@@ -1,0 +1,177 @@
+// Package cdl is the public API of a Go reproduction of "Conditional Deep
+// Learning for Energy-Efficient and Enhanced Pattern Recognition"
+// (P. Panda, A. Sengupta, K. Roy — DATE 2016).
+//
+// Conditional Deep Learning (CDL) attaches a cascade of linear classifiers
+// to the convolutional stages of a trained baseline network; at inference
+// time an activation module compares each stage's confidence against a
+// threshold δ and terminates classification early for easy inputs, saving
+// the operations and energy of the deeper layers while — on an
+// under-trained baseline — improving accuracy.
+//
+// Typical use:
+//
+//	trainS, testS, _ := cdl.GenerateMNIST(4000, 1500, 1)
+//	arch := cdl.NewArch8(7)
+//	cdl.TrainBaseline(arch, trainS, 7, 1)
+//	cdln, report, _ := cdl.BuildCDLN(arch, trainS, cdl.DefaultBuildConfig())
+//	res, _ := cdl.Evaluate(cdln, testS)
+//	fmt.Println(res.Confusion.Accuracy(), res.NormalizedOps())
+//
+// The facade re-exports the library's core types; the full surface lives in
+// the internal packages (tensor, nn, train, mnist, linclass, core, opcount,
+// fixed, hw, energy, experiments) and is documented in DESIGN.md.
+package cdl
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+	"cdl/internal/fixed"
+	"cdl/internal/mnist"
+	"cdl/internal/modelio"
+	"cdl/internal/nn"
+	"cdl/internal/train"
+)
+
+// Re-exported types. Downstream code uses these names; the internal
+// packages hold the implementations.
+type (
+	// Arch is a baseline DLN plus its CDL tap metadata.
+	Arch = nn.Arch
+	// Network is a sequential layer stack.
+	Network = nn.Network
+	// CDLN is a conditional deep learning network (the paper's
+	// contribution).
+	CDLN = core.CDLN
+	// Stage is one early-exit point of a CDLN.
+	Stage = core.Stage
+	// ExitRecord describes how one input was classified.
+	ExitRecord = core.ExitRecord
+	// EvalResult aggregates accuracy, exit and OPS statistics.
+	EvalResult = core.EvalResult
+	// BuildConfig controls Algorithm 1 (CDLN construction).
+	BuildConfig = core.BuildConfig
+	// BuildReport records Algorithm 1's per-stage decisions.
+	BuildReport = core.Report
+	// TrainConfig controls baseline SGD training.
+	TrainConfig = train.Config
+	// Sample is one labelled instance.
+	Sample = train.Sample
+	// Image is one synthetic or loaded MNIST digit.
+	Image = mnist.Image
+	// EnergySummary reports 45nm-model energy for an evaluation.
+	EnergySummary = energy.Summary
+)
+
+// NewArch6 builds the paper's Table I 6-layer baseline (MNIST_2C host)
+// with Xavier initialization from the given seed.
+func NewArch6(seed int64) *Arch { return nn.Arch6Layer(rand.New(rand.NewSource(seed))) }
+
+// NewArch8 builds the paper's Table II 8-layer baseline (MNIST_3C host).
+func NewArch8(seed int64) *Arch { return nn.Arch8Layer(rand.New(rand.NewSource(seed))) }
+
+// GenerateMNIST synthesizes a deterministic MNIST-like split (see
+// internal/mnist for the substitution rationale) and returns it as training
+// samples.
+func GenerateMNIST(trainN, testN int, seed int64) (trainS, testS []Sample, err error) {
+	trainImgs, testImgs, err := mnist.GenerateSplit(trainN, testN, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mnist.ToSamples(trainImgs), mnist.ToSamples(testImgs), nil
+}
+
+// GenerateMNISTImages is GenerateMNIST returning the raw images (with
+// difficulty metadata and ASCII rendering support).
+func GenerateMNISTImages(trainN, testN int, seed int64) (trainImgs, testImgs []Image, err error) {
+	return mnist.GenerateSplit(trainN, testN, seed)
+}
+
+// RenderImage draws a digit as ASCII art.
+func RenderImage(im Image) string { return mnist.Render(im) }
+
+// DefaultTrainConfig returns baseline SGD settings for the given class
+// count (MSE loss, lr 1.0, momentum 0.5 — the regime where these sigmoid
+// CNNs converge).
+func DefaultTrainConfig(classes int) TrainConfig { return train.Defaults(classes) }
+
+// TrainBaseline trains the baseline DLN in place for the given number of
+// epochs with default settings. Use train.SGD directly (via TrainConfig)
+// for full control.
+func TrainBaseline(arch *Arch, data []Sample, epochs int, seed int64) error {
+	cfg := train.Defaults(arch.NumClasses)
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	_, err := train.SGD(arch.Net, data, cfg)
+	return err
+}
+
+// BaselineAccuracy evaluates the plain DLN on a labelled dataset.
+func BaselineAccuracy(arch *Arch, data []Sample) float64 {
+	return train.Accuracy(arch.Net, data, arch.NumClasses)
+}
+
+// DefaultBuildConfig returns the paper-style Algorithm 1 settings
+// (δ=0.5, ε=0, threshold exit rule, unit op costs).
+func DefaultBuildConfig() BuildConfig { return core.DefaultBuildConfig() }
+
+// BuildCDLN runs Algorithm 1 on a trained baseline: train a linear
+// classifier per tap, apply the Eq. 1 gain rule and assemble the cascade.
+func BuildCDLN(arch *Arch, data []Sample, cfg BuildConfig) (*CDLN, *BuildReport, error) {
+	return core.Build(arch, data, cfg)
+}
+
+// Evaluate classifies every sample with early exit (Algorithm 2) and
+// aggregates accuracy, exit and OPS statistics.
+func Evaluate(c *CDLN, data []Sample) (*EvalResult, error) {
+	return core.Evaluate(c, data, 0, false)
+}
+
+// EvaluateWithRecords is Evaluate keeping the per-sample exit records.
+func EvaluateWithRecords(c *CDLN, data []Sample) (*EvalResult, error) {
+	return core.Evaluate(c, data, 0, true)
+}
+
+// EnergyOf converts an evaluation into 45 nm-model energy numbers (Fig. 6
+// methodology).
+func EnergyOf(c *CDLN, res *EvalResult) (EnergySummary, error) {
+	return energy.NewEvaluator().FromEval(c, res)
+}
+
+// TuneDeltas grid-searches a per-stage confidence threshold on validation
+// data (an extension beyond the paper's single δ), updating the CDLN in
+// place and returning the chosen thresholds.
+func TuneDeltas(c *CDLN, val []Sample) ([]float64, *EvalResult, error) {
+	return core.TuneDeltas(c, val, core.DefaultTuneConfig())
+}
+
+// Quantize returns a copy of the cascade rounded to the 16-bit Q2.13
+// fixed-point format of the default 45 nm datapath, plus the maximum
+// weight rounding error.
+func Quantize(c *CDLN) (*CDLN, float64, error) {
+	return core.QuantizeCDLN(c, fixed.Q2x13)
+}
+
+// SaveCDLN writes a trained CDLN to path.
+func SaveCDLN(path string, c *CDLN) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cdl: %w", err)
+	}
+	defer f.Close()
+	return modelio.SaveCDLN(f, c)
+}
+
+// LoadCDLN reads a CDLN written by SaveCDLN.
+func LoadCDLN(path string) (*CDLN, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cdl: %w", err)
+	}
+	defer f.Close()
+	return modelio.LoadCDLN(f)
+}

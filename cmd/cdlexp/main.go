@@ -1,0 +1,99 @@
+// Command cdlexp reproduces every table and figure of the paper's
+// evaluation section (Tables I–IV, Figs. 5–10) in one run, printing each in
+// paper order. Pass -small for a quick smoke-scale run, or -out to also
+// write the report to a file.
+//
+// Usage:
+//
+//	cdlexp            # paper-scale defaults, ~30s
+//	cdlexp -small     # reduced sizes, ~10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdl/internal/experiments"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced test-scale configuration")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	analysis := flag.Bool("analysis", false, "also run the per-exit precision and accelerator design-space analyses")
+	robust := flag.Int("robust", 0, "also replicate the MNIST_3C headline across N fresh seeds")
+	out := flag.String("out", "", "also write the report to this file")
+	trainN := flag.Int("train", 0, "override training set size")
+	testN := flag.Int("test", 0, "override test set size")
+	seed := flag.Int64("seed", 0, "override seed")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *small {
+		cfg = experiments.SmallConfig()
+	}
+	if *trainN > 0 {
+		cfg.TrainN = *trainN
+	}
+	if *testN > 0 {
+		cfg.TestN = *testN
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	start := time.Now()
+	ctx := experiments.NewContext(cfg)
+	report, err := experiments.RunAll(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlexp:", err)
+		os.Exit(1)
+	}
+	if *ablations {
+		abl, err := experiments.RunAblations(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlexp:", err)
+			os.Exit(1)
+		}
+		report += "\n" + abl
+	}
+	if *analysis {
+		sa, err := experiments.StageAccuracy(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlexp:", err)
+			os.Exit(1)
+		}
+		sweep, err := experiments.AcceleratorSweep(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlexp:", err)
+			os.Exit(1)
+		}
+		report += "\n" + sa.String() + "\n" + sweep.String()
+	}
+	if *robust > 0 {
+		seeds := make([]int64, *robust)
+		for i := range seeds {
+			seeds[i] = cfg.Seed + int64(i)
+		}
+		rb, err := experiments.Robustness(cfg, seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlexp:", err)
+			os.Exit(1)
+		}
+		report += "\n" + rb.String()
+	}
+	fmt.Println(report)
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdlexp: write report:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command cdlrtl emits the RTL artifacts the paper's hardware flow
+// consumed: structural Verilog for each CDL stage-classifier datapath
+// (with the δ-gated activation module), a testbench, and the
+// synthesis-style area/energy summary from the 45 nm netlist model.
+//
+// Usage:
+//
+//	cdlrtl -arch 8 -dir rtl/     # write o1.v, o2.v, o3.v + testbenches
+//	cdlrtl -arch 8               # print the area/energy summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"cdl/internal/hw"
+	"cdl/internal/nn"
+)
+
+func main() {
+	archN := flag.Int("arch", 8, "baseline architecture: 6 or 8")
+	dir := flag.String("dir", "", "write Verilog files into this directory")
+	flag.Parse()
+
+	if err := run(*archN, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlrtl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archN int, dir string) error {
+	var arch *nn.Arch
+	switch archN {
+	case 6:
+		arch = nn.Arch6Layer(rand.New(rand.NewSource(1)))
+	case 8:
+		arch = nn.Arch8Layer(rand.New(rand.NewSource(1)))
+	default:
+		return fmt.Errorf("-arch must be 6 or 8, got %d", archN)
+	}
+	acc := hw.Default45nm()
+
+	fmt.Printf("=== %s baseline accelerator ===\n", arch.Name)
+	fmt.Print(hw.Synthesize(arch.Name, arch.Net, acc))
+	fmt.Println()
+
+	for i := range arch.Taps {
+		name := fmt.Sprintf("cdl_o%d", i+1)
+		in := arch.TapFeatureLen(i)
+		nl := hw.SynthesizeClassifier(name, in, arch.NumClasses, acc)
+		fmt.Print(nl)
+		e := acc.LayerEnergy(hw.LinearClassifierActivity(in, arch.NumClasses))
+		fmt.Printf("  energy per evaluation: %.2f nJ in %.0f cycles\n\n", e.Total()/1000, e.Cycles)
+
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		mod, err := hw.EmitClassifierVerilog(name, in, arch.NumClasses, acc.Tech.Width)
+		if err != nil {
+			return err
+		}
+		tb, err := hw.EmitClassifierTestbench(name, in, arch.NumClasses, acc.Tech.Width)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".v"), []byte(mod), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+"_tb.v"), []byte(tb), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s.v and %s_tb.v\n\n", name, name)
+	}
+	return nil
+}

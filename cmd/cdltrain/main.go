@@ -1,0 +1,107 @@
+// Command cdltrain trains a baseline DLN on synthetic MNIST, builds the
+// CDLN cascade with Algorithm 1, reports the gain-rule decisions and saves
+// the result.
+//
+// Usage:
+//
+//	cdltrain -arch 8 -train 4000 -test 1500 -epochs 7 -delta 0.5 -out model.cdln
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdl"
+	"cdl/internal/core"
+)
+
+func main() {
+	archN := flag.Int("arch", 8, "baseline architecture: 6 (Table I) or 8 (Table II)")
+	trainN := flag.Int("train", 4000, "training set size")
+	testN := flag.Int("test", 1500, "test set size")
+	seed := flag.Int64("seed", 1, "dataset and initialization seed")
+	epochs := flag.Int("epochs", 0, "baseline training epochs (0 = per-arch default)")
+	delta := flag.Float64("delta", 0.5, "confidence threshold δ")
+	epsilon := flag.Float64("epsilon", 10, "gain-rule admission threshold ε (ops/input)")
+	force := flag.Bool("force-stages", false, "admit every stage, skipping the gain rule")
+	out := flag.String("out", "model.cdln", "output model path")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	if err := run(*archN, *trainN, *testN, *seed, *epochs, *delta, *epsilon, *force, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "cdltrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archN, trainN, testN int, seed int64, epochs int, delta, epsilon float64, force bool, out string, quiet bool) error {
+	log := os.Stderr
+	if quiet {
+		log = nil
+	}
+
+	trainS, testS, err := cdl.GenerateMNIST(trainN, testN, seed)
+	if err != nil {
+		return err
+	}
+
+	var arch *cdl.Arch
+	switch archN {
+	case 6:
+		arch = cdl.NewArch6(seed + 100)
+		if epochs == 0 {
+			epochs = 3
+		}
+	case 8:
+		arch = cdl.NewArch8(seed + 200)
+		if epochs == 0 {
+			epochs = 7
+		}
+	default:
+		return fmt.Errorf("-arch must be 6 or 8, got %d", archN)
+	}
+	if log != nil {
+		fmt.Fprintf(log, "training %s baseline for %d epochs on %d samples\n", arch.Name, epochs, trainN)
+	}
+	if err := cdl.TrainBaseline(arch, trainS, epochs, seed); err != nil {
+		return err
+	}
+	baseAcc := cdl.BaselineAccuracy(arch, testS)
+	fmt.Printf("baseline accuracy: %.4f\n", baseAcc)
+
+	bcfg := cdl.DefaultBuildConfig()
+	bcfg.Delta = delta
+	bcfg.Epsilon = epsilon
+	bcfg.ForceAllStages = force
+	bcfg.Seed = seed
+	bcfg.Log = log
+	cdln, report, err := cdl.BuildCDLN(arch, trainS, bcfg)
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	fmt.Print(cdln.Summary())
+
+	res, err := cdl.Evaluate(cdln, testS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CDLN accuracy: %.4f (%+.2f%% vs baseline)\n",
+		res.Confusion.Accuracy(), 100*(res.Confusion.Accuracy()-baseAcc))
+	fmt.Printf("normalized OPS: %.3f (%.2fx improvement)\n", res.NormalizedOps(), 1/res.NormalizedOps())
+
+	if err := cdl.SaveCDLN(out, cdln); err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s\n", out)
+	return nil
+}
+
+func printReport(r *core.Report) {
+	fmt.Printf("Algorithm 1 decisions (baseline %.0f ops):\n", r.BaselineOps)
+	for _, s := range r.Stages {
+		fmt.Printf("  %-3s reach=%-5d classify=%-5d lcAcc=%.3f gain=%10.1f ops/input admitted=%v\n",
+			s.Name, s.Reaching, s.Classified, s.LCAccuracy, s.Gain, s.Admitted)
+	}
+}

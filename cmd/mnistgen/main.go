@@ -1,0 +1,88 @@
+// Command mnistgen generates the synthetic MNIST-like dataset used by this
+// reproduction, writing standard IDX files (byte-compatible with LeCun's
+// format) and optionally rendering samples as ASCII art.
+//
+// Usage:
+//
+//	mnistgen -n 60000 -test 10000 -dir ./data     # write IDX files
+//	mnistgen -show 5                               # preview 5 digits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cdl/internal/mnist"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "training images to generate")
+	testN := flag.Int("test", 2000, "test images to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dir := flag.String("dir", "", "write IDX files into this directory")
+	show := flag.Int("show", 0, "render this many sample digits as ASCII art")
+	flag.Parse()
+
+	if err := run(*n, *testN, *seed, *dir, *show); err != nil {
+		fmt.Fprintln(os.Stderr, "mnistgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, testN int, seed int64, dir string, show int) error {
+	trainImgs, testImgs, err := mnist.GenerateSplit(n, testN, seed)
+	if err != nil {
+		return err
+	}
+
+	if show > 0 {
+		if show > len(trainImgs) {
+			show = len(trainImgs)
+		}
+		for i := 0; i < show; i++ {
+			fmt.Printf("label %d  difficulty %.2f\n", trainImgs[i].Label, trainImgs[i].Difficulty)
+			fmt.Print(mnist.Render(trainImgs[i]))
+		}
+	}
+
+	if dir == "" {
+		if show == 0 {
+			fmt.Printf("generated %d train / %d test images (pass -dir to write IDX files)\n", n, testN)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name   string
+		imgs   []mnist.Image
+		labels bool
+	}{
+		{"train-images-idx3-ubyte", trainImgs, false},
+		{"train-labels-idx1-ubyte", trainImgs, true},
+		{"t10k-images-idx3-ubyte", testImgs, false},
+		{"t10k-labels-idx1-ubyte", testImgs, true},
+	}
+	for _, fspec := range files {
+		f, err := os.Create(filepath.Join(dir, fspec.name))
+		if err != nil {
+			return err
+		}
+		if fspec.labels {
+			err = mnist.WriteIDXLabels(f, fspec.imgs)
+		} else {
+			err = mnist.WriteIDXImages(f, fspec.imgs)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d train / %d test images to %s\n", n, testN, dir)
+	return nil
+}

@@ -1,0 +1,48 @@
+// Deltasweep: the paper's runtime knob (§III.B, Fig. 10). The confidence
+// threshold δ of a *trained* CDLN is adjusted at runtime — no retraining —
+// trading operations for accuracy on the fly.
+//
+// Run with:
+//
+//	go run ./examples/deltasweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdl"
+)
+
+func main() {
+	trainS, testS, err := cdl.GenerateMNIST(3000, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := cdl.NewArch8(11)
+	if err := cdl.TrainBaseline(arch, trainS, 7, 1); err != nil {
+		log.Fatal(err)
+	}
+	cdln, _, err := cdl.BuildCDLN(arch, trainS, cdl.DefaultBuildConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Fig. 10 — runtime δ sweep on one trained CDLN")
+	fmt.Println("delta  accuracy  normOPS   accuracy-vs-ops trade")
+	for delta := 0.30; delta <= 0.951; delta += 0.05 {
+		cdln.Delta = delta
+		res, err := cdl.Evaluate(cdln, testS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := ""
+		for i := 0.0; i < res.NormalizedOps()*40; i++ {
+			bar += "▒"
+		}
+		fmt.Printf(" %.2f   %.4f    %.3f   %s\n",
+			delta, res.Confusion.Accuracy(), res.NormalizedOps(), bar)
+	}
+	fmt.Println("\nlow δ: loose gate, most inputs exit early (cheap, riskier)")
+	fmt.Println("high δ: strict gate, inputs defer to the deep layers (costly, baseline-like)")
+}

@@ -1,0 +1,50 @@
+// Hwenergy: a tour of the 45 nm hardware substrate that replaces the
+// paper's Synopsys flow — per-layer energy/cycle reports for both baseline
+// DLNs, synthesized netlist inventories, and the per-stage classifier
+// datapaths the paper adds.
+//
+// Run with:
+//
+//	go run ./examples/hwenergy
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdl/internal/hw"
+	"cdl/internal/nn"
+)
+
+func main() {
+	acc := hw.Default45nm()
+	fmt.Printf("accelerator: %d PEs, %d memory ports, %s process at %.0f MHz\n\n",
+		acc.PEs, acc.MemPorts, acc.Tech.Name, acc.Tech.ClockMHz)
+
+	arch6 := nn.Arch6Layer(rand.New(rand.NewSource(1)))
+	arch8 := nn.Arch8Layer(rand.New(rand.NewSource(2)))
+
+	for _, arch := range []*nn.Arch{arch6, arch8} {
+		fmt.Printf("=== %s baseline — per-layer energy (one inference) ===\n", arch.Name)
+		acts := hw.AnalyzeNetwork(arch.Net)
+		fmt.Print(acc.Report(acts))
+		total := acc.NetworkEnergy(acts)
+		fmt.Printf("total: %.1f nJ per inference, %.1f µs at %.0f MHz\n\n",
+			total.Total()/1000, total.Cycles/acc.Tech.ClockMHz, acc.Tech.ClockMHz)
+
+		fmt.Print(hw.Synthesize(arch.Name, arch.Net, acc))
+		fmt.Println()
+	}
+
+	// The per-stage linear classifiers the paper synthesizes alongside the
+	// network (cost of "adding an output layer of neurons", §II.A.1).
+	fmt.Println("=== CDL stage classifier datapaths (8-layer taps) ===")
+	for i, tap := range arch8.Taps {
+		in := arch8.TapFeatureLen(i)
+		name := fmt.Sprintf("O%d", i+1)
+		nl := hw.SynthesizeClassifier(name, in, arch8.NumClasses, acc)
+		e := acc.LayerEnergy(hw.LinearClassifierActivity(in, arch8.NumClasses))
+		fmt.Printf("%s (%d→%d, tap %d): %.1f kGE, %d B SRAM, %.2f nJ per evaluation\n",
+			name, in, arch8.NumClasses, tap, nl.GateCount()/1000, nl.SRAMBytes(), e.Total()/1000)
+	}
+}

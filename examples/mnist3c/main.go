@@ -1,0 +1,61 @@
+// MNIST_3C: the paper's headline configuration — the 8-layer network
+// (Table II) with early exits O1 and O2, reproducing the 1.91x OPS and
+// 1.84x energy improvements and the per-digit difficulty analysis of
+// Figs. 5, 6 and 8.
+//
+// Run with:
+//
+//	go run ./examples/mnist3c
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdl"
+)
+
+func main() {
+	trainS, testS, err := cdl.GenerateMNIST(4000, 1500, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arch := cdl.NewArch8(201)
+	if err := cdl.TrainBaseline(arch, trainS, 7, 1); err != nil {
+		log.Fatal(err)
+	}
+	baseAcc := cdl.BaselineAccuracy(arch, testS)
+
+	cfg := cdl.DefaultBuildConfig()
+	cfg.Epsilon = 10 // rejects O3, as the paper's Fig. 9 break-even demands
+	cdln, _, err := cdl.BuildCDLN(arch, trainS, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cdln.Summary())
+
+	res, err := cdl.Evaluate(cdln, testS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := cdl.EnergyOf(cdln, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nbaseline accuracy %.4f → CDLN %.4f (%+.2f%%)\n",
+		baseAcc, res.Confusion.Accuracy(), 100*(res.Confusion.Accuracy()-baseAcc))
+	fmt.Printf("OPS:    %.2fx improvement (normalized %.3f)\n", 1/res.NormalizedOps(), res.NormalizedOps())
+	fmt.Printf("energy: %.2fx improvement (%.1f nJ → %.1f nJ per input)\n",
+		sum.Improvement(), sum.BaselineEnergy/1000, sum.MeanEnergy/1000)
+
+	fmt.Println("\nper-digit analysis (Figs. 5, 6, 8):")
+	fmt.Println("digit  normOPS  normEnergy  exit@O1  exit@FC")
+	fcExit := len(res.ExitNames) - 1
+	for d := 0; d < 10; d++ {
+		fmt.Printf("  %d     %.3f    %.3f      %5.1f%%   %5.1f%%\n",
+			d, res.ClassNormalizedOps(d), sum.ClassNormalized(d),
+			100*res.ExitFraction(0, d), 100*res.ExitFraction(fcExit, d))
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: train a Conditional Deep Learning network and watch easy
+// inputs exit early.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdl"
+)
+
+func main() {
+	// 1. Data: a deterministic synthetic MNIST split (28×28 digits).
+	trainS, testS, err := cdl.GenerateMNIST(3000, 500, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Baseline: the paper's Table II 8-layer DLN, trained briefly — CDL
+	// explicitly works with baselines that are "less than optimal".
+	arch := cdl.NewArch8(7)
+	if err := cdl.TrainBaseline(arch, trainS, 10, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline accuracy: %.4f\n", cdl.BaselineAccuracy(arch, testS))
+
+	// 3. CDL: attach linear classifiers to the conv stages (Algorithm 1).
+	cdln, _, err := cdl.BuildCDLN(arch, trainS, cdl.DefaultBuildConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cdln.Summary())
+
+	// 4. Early-exit inference (Algorithm 2).
+	res, err := cdl.Evaluate(cdln, testS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CDLN accuracy:  %.4f\n", res.Confusion.Accuracy())
+	fmt.Printf("normalized OPS: %.3f (%.2fx fewer operations per input)\n",
+		res.NormalizedOps(), 1/res.NormalizedOps())
+	for e, name := range res.ExitNames {
+		fmt.Printf("  %5.1f%% of inputs exit at %s\n", 100*res.ExitFraction(e, -1), name)
+	}
+
+	// 5. Classify one input and see where it exits.
+	rec := cdln.Classify(testS[0].X)
+	fmt.Printf("sample 0: predicted %d at stage %s with confidence %.2f (%.0f ops)\n",
+		rec.Label, rec.StageName, rec.Confidence, rec.Ops)
+}

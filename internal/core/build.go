@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cdl/internal/linclass"
+	"cdl/internal/nn"
+	"cdl/internal/opcount"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// BuildConfig controls Algorithm 1 (CDLN construction from a trained
+// baseline).
+type BuildConfig struct {
+	// Delta is the confidence threshold δ used to route training instances
+	// between stages while building (paper §II.A.2 recommends 0.5–0.7
+	// during training). It also becomes the constructed CDLN's initial
+	// runtime δ.
+	Delta float64
+	// Epsilon is ε, the user-defined admission threshold on the per-input
+	// gain G_i (in operations per input; 0 admits any strictly profitable
+	// stage).
+	Epsilon float64
+	// Rule is the activation module (default ThresholdRule, the paper's).
+	Rule ExitRule
+	// LC configures LMS training of the per-stage classifiers.
+	LC linclass.TrainConfig
+	// Ops is the operation model used for γ_i and the gain rule.
+	Ops opcount.Model
+	// ForceAllStages skips the gain rule and admits a classifier at every
+	// tap — used by the Fig. 7 and Fig. 9 stage-count sweeps.
+	ForceAllStages bool
+	// TrainLCOnAllData trains every stage classifier on the full training
+	// set instead of only the instances passed from the previous stage —
+	// an ablation of Algorithm 1's routing design choice (the paper trains
+	// "only on those instances passed from the previous stage").
+	TrainLCOnAllData bool
+	// MaxStages, if positive, caps the number of taps considered (again for
+	// the stage-count sweeps: MaxStages=1 builds O1-FC, 2 builds O1-O2-FC).
+	MaxStages int
+	// Workers is the parallel feature-extraction fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives linear-classifier weight initialization.
+	Seed int64
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultBuildConfig returns the paper-style configuration: δ=0.5, ε=0,
+// threshold rule, unit op costs.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		Delta: 0.5,
+		Rule:  ThresholdRule{},
+		LC:    linclass.DefaultTrainConfig(),
+		Ops:   opcount.Default(),
+		Seed:  1,
+	}
+}
+
+// StageReport records Algorithm 1's decision for one candidate stage.
+type StageReport struct {
+	// Name and Tap identify the candidate ("O1" at the P1 tap, ...).
+	Name string
+	Tap  int
+	// FeatureLen is the classifier input width.
+	FeatureLen int
+	// Reaching is I_i: the number of training instances that reached this
+	// stage.
+	Reaching int
+	// Classified is Cl_i: how many of those the stage exits under δ.
+	Classified int
+	// LCAccuracy is the classifier's accuracy over the instances reaching
+	// the stage.
+	LCAccuracy float64
+	// Gain is G_i per Eq. 1, normalized per reaching instance (ops/input).
+	Gain float64
+	// Admitted reports whether the stage joined the CDLN.
+	Admitted bool
+}
+
+// Report summarizes a Build run.
+type Report struct {
+	// BaselineOps is γ_base.
+	BaselineOps float64
+	// Stages holds one entry per candidate tap, in depth order.
+	Stages []StageReport
+}
+
+// Build runs Algorithm 1: starting from a *trained* baseline arch, train a
+// linear classifier on the CNN features at every tap, measure the fraction
+// of instances each stage would classify under δ, compute the Eq. 1 gain
+// G_i, and admit the stage iff G_i > ε.
+//
+// Gain accounting: for the Cl_i instances the stage classifies, the saving
+// per instance is the cost of the full pipeline they avoid
+// (γ_full − γ_i, where γ_full includes previously admitted classifiers and
+// this stage's own classifier, since those would run regardless before the
+// input reached FC). For the I_i − Cl_i instances that pass through, the
+// penalty is this stage's classifier evaluation, which is pure overhead.
+// This is Eq. 1 of the paper with γ read as "cost actually paid by an
+// instance under the cascade"; dividing by I_i expresses G_i in ops per
+// reaching instance so ε has a scale-free meaning.
+func Build(arch *nn.Arch, data []train.Sample, cfg BuildConfig) (*CDLN, *Report, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training set")
+	}
+	if cfg.Delta <= 0 || cfg.Delta > 1 {
+		return nil, nil, fmt.Errorf("core: build delta %v outside (0,1]", cfg.Delta)
+	}
+	if cfg.Rule == nil {
+		cfg.Rule = ThresholdRule{}
+	}
+	if cfg.Ops == (opcount.Model{}) {
+		cfg.Ops = opcount.Default()
+	}
+
+	taps := arch.Taps
+	names := arch.TapNames
+	if cfg.MaxStages > 0 && cfg.MaxStages < len(taps) {
+		taps = taps[:cfg.MaxStages]
+		names = names[:cfg.MaxStages]
+	}
+
+	// Harvest tap features for every instance with one forward pass each,
+	// fanned out across workers.
+	features, err := TapFeatures(arch, data, taps, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cum := cfg.Ops.CumulativeOps(arch.Net)
+	baseOps := cum[len(cum)-1]
+	report := &Report{BaselineOps: baseOps}
+	cdln := &CDLN{Arch: arch, Delta: cfg.Delta, Rule: cfg.Rule, Ops: cfg.Ops}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	reaching := make([]int, len(data))
+	for i := range reaching {
+		reaching[i] = i
+	}
+	lcOpsSoFar := 0.0
+
+	for si, tap := range taps {
+		stageName := fmt.Sprintf("O%d", si+1)
+		featLen := features[si][0].Numel()
+
+		// Algorithm 1 step 7: train LC_i on the instances that reach it.
+		// When a forced sweep (Fig. 7/9) asks for a deeper stage than the
+		// routed data sustains, fall back to the full training set so the
+		// classifier still exists; gain accounting below still uses the
+		// true reaching set.
+		trainIdx := reaching
+		if cfg.TrainLCOnAllData || (cfg.ForceAllStages && len(reaching) < 10*arch.NumClasses) {
+			trainIdx = make([]int, len(data))
+			for i := range trainIdx {
+				trainIdx[i] = i
+			}
+		}
+		feats := make([]*tensor.T, len(trainIdx))
+		labels := make([]int, len(trainIdx))
+		for j, idx := range trainIdx {
+			feats[j] = features[si][idx]
+			labels[j] = data[idx].Label
+		}
+		lc := linclass.New(featLen, arch.NumClasses, rng)
+		lcCfg := cfg.LC
+		lcCfg.Seed = cfg.Seed + int64(si)
+		if _, err := lc.Train(feats, labels, lcCfg); err != nil {
+			return nil, nil, fmt.Errorf("core: training %s: %w", stageName, err)
+		}
+
+		// Count exits under δ (Algorithm 1 step 8).
+		classified := 0
+		var passed []int
+		for _, idx := range reaching {
+			if cfg.Rule.ShouldExit(lc.Scores(features[si][idx]), cfg.Delta) {
+				classified++
+			} else {
+				passed = append(passed, idx)
+			}
+		}
+
+		// Eq. 1 / step 9: gain of admitting the stage, expressed per
+		// reaching instance (0 if nothing reaches the stage).
+		lcOps := cfg.Ops.LinearClassifierOps(featLen, arch.NumClasses)
+		exitCost := cum[tap] + lcOpsSoFar + lcOps
+		fullCost := baseOps + lcOpsSoFar + lcOps
+		gain := 0.0
+		if len(reaching) > 0 {
+			gainTotal := (fullCost-exitCost)*float64(classified) - lcOps*float64(len(reaching)-classified)
+			gain = gainTotal / float64(len(reaching))
+		}
+
+		admitted := cfg.ForceAllStages || gain > cfg.Epsilon
+		report.Stages = append(report.Stages, StageReport{
+			Name:       stageName,
+			Tap:        tap,
+			FeatureLen: featLen,
+			Reaching:   len(reaching),
+			Classified: classified,
+			LCAccuracy: lc.Accuracy(feats, labels),
+			Gain:       gain,
+			Admitted:   admitted,
+		})
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "stage %s (%s tap): reach=%d classify=%d gain=%.1f ops/input admitted=%v\n",
+				stageName, names[si], len(reaching), classified, gain, admitted)
+		}
+
+		if admitted {
+			cdln.Stages = append(cdln.Stages, &Stage{Name: stageName, Tap: tap, LC: lc, Gain: gain})
+			lcOpsSoFar += lcOps
+			reaching = passed
+		}
+		if len(reaching) == 0 && !cfg.ForceAllStages {
+			break
+		}
+	}
+
+	if err := cdln.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return cdln, report, nil
+}
+
+// TapFeatures runs every sample through the baseline once and collects the
+// flattened feature vector at each tap: result[t][i] is sample i's features
+// at taps[t]. Extraction fans out across workers; the baseline weights are
+// shared read-only.
+func TapFeatures(arch *nn.Arch, data []train.Sample, taps []int, workers int) ([][]*tensor.T, error) {
+	for _, t := range taps {
+		if t <= 0 || t >= len(arch.Net.Layers) {
+			return nil, fmt.Errorf("core: tap %d out of range", t)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data) {
+		workers = len(data)
+	}
+	features := make([][]*tensor.T, len(taps))
+	for t := range features {
+		features[t] = make([]*tensor.T, len(data))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			replica := arch.Net.Clone()
+			for i := w; i < len(data); i += workers {
+				act := data[i].X
+				pos := 0
+				for t, tap := range taps {
+					act = replica.ForwardRange(act, pos, tap)
+					pos = tap
+					features[t][i] = act.Flatten().Clone()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return features, nil
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdl/internal/nn"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// twoStageArch builds a small two-tap architecture for cascade tests:
+// 12×12 input → C1 3×3 (2 maps, 10×10) → P1 (5×5) → C2 2×2 (3 maps, 4×4)
+// → P2 (2×2) → FC classes. Taps after P1 and P2.
+func twoStageArch(seed int64, classes int) *nn.Arch {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{1, 12, 12},
+		nn.NewConv2D("C1", 1, 2, 3),
+		nn.NewSigmoid("C1.act"),
+		nn.NewMaxPool2D("P1", 2),
+		nn.NewConv2D("C2", 2, 3, 2),
+		nn.NewSigmoid("C2.act"),
+		nn.NewMaxPool2D("P2", 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("FC", 3*2*2, classes),
+		nn.NewSigmoid("FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	a := &nn.Arch{
+		Name: "two-stage-test", Net: net,
+		Taps: []int{3, 6}, TapNames: []string{"P1", "P2"},
+		NumClasses: classes,
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// blobData builds a 3-class 12×12 image problem: a bright blob whose
+// position encodes the class, with per-sample noise whose amplitude varies
+// (the "difficulty" spread CDL exploits).
+func blobData(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]int{{3, 3}, {3, 8}, {8, 5}}
+	out := make([]train.Sample, n)
+	for i := range out {
+		label := i % 3
+		noise := 0.05
+		if rng.Float64() < 0.3 { // hard tail
+			noise = 0.35
+		}
+		x := tensor.New(1, 12, 12)
+		cy, cx := centers[label][0], centers[label][1]
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d2 := float64((y-cy)*(y-cy) + (xx-cx)*(xx-cx))
+				v := 1/(1+d2/3) + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				x.Data[y*12+xx] = v
+			}
+		}
+		out[i] = train.Sample{X: x, Label: label}
+	}
+	return out
+}
+
+// trainedArch returns a two-stage arch trained on blobs.
+func trainedArch(t *testing.T, seed int64) (*nn.Arch, []train.Sample) {
+	t.Helper()
+	arch := twoStageArch(seed, 3)
+	data := blobData(180, seed+1)
+	cfg := train.Defaults(3)
+	cfg.Epochs = 12
+	cfg.BatchSize = 10
+	if _, err := train.SGD(arch.Net, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return arch, data
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	arch, data := trainedArch(t, 1)
+	cdln, rep, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cdln.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("no stage reports")
+	}
+	if rep.BaselineOps <= 0 {
+		t.Error("baseline ops must be positive")
+	}
+	// Reaching counts must not increase with depth.
+	prev := rep.Stages[0].Reaching
+	for _, s := range rep.Stages[1:] {
+		if s.Reaching > prev {
+			t.Errorf("stage %s reaching %d > previous %d", s.Name, s.Reaching, prev)
+		}
+		prev = s.Reaching
+	}
+	for _, s := range rep.Stages {
+		if s.Classified > s.Reaching {
+			t.Errorf("stage %s classified %d > reaching %d", s.Name, s.Classified, s.Reaching)
+		}
+		if s.LCAccuracy < 0 || s.LCAccuracy > 1 {
+			t.Errorf("stage %s LCAccuracy %v", s.Name, s.LCAccuracy)
+		}
+	}
+}
+
+func TestBuildEpsilonRejectsAll(t *testing.T) {
+	arch, data := trainedArch(t, 2)
+	cfg := DefaultBuildConfig()
+	cfg.Epsilon = 1e12 // nothing can save this many ops per input
+	cdln, rep, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) != 0 {
+		t.Fatalf("expected all stages rejected, got %d", len(cdln.Stages))
+	}
+	for _, s := range rep.Stages {
+		if s.Admitted {
+			t.Errorf("stage %s admitted despite huge ε", s.Name)
+		}
+	}
+	// A stage-less CDLN is a plain baseline: everything exits at FC with
+	// exactly baseline cost.
+	rec := cdln.Classify(data[0].X)
+	if rec.StageName != "FC" {
+		t.Errorf("exit at %s, want FC", rec.StageName)
+	}
+	if rec.Ops != cdln.BaselineOps() {
+		t.Errorf("ops %v != baseline %v", rec.Ops, cdln.BaselineOps())
+	}
+}
+
+func TestBuildForceAllStages(t *testing.T) {
+	arch, data := trainedArch(t, 3)
+	cfg := DefaultBuildConfig()
+	cfg.Epsilon = 1e12
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) != 2 {
+		t.Fatalf("ForceAllStages built %d stages, want 2", len(cdln.Stages))
+	}
+}
+
+func TestBuildMaxStages(t *testing.T) {
+	arch, data := trainedArch(t, 4)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cfg.MaxStages = 1
+	cdln, rep, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) != 1 || len(rep.Stages) != 1 {
+		t.Fatalf("MaxStages=1 built %d stages", len(cdln.Stages))
+	}
+	if cdln.Stages[0].Name != "O1" {
+		t.Errorf("stage name %s", cdln.Stages[0].Name)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	arch, data := trainedArch(t, 5)
+	if _, _, err := Build(arch, nil, DefaultBuildConfig()); err == nil {
+		t.Error("empty data accepted")
+	}
+	cfg := DefaultBuildConfig()
+	cfg.Delta = 1.5
+	if _, _, err := Build(arch, data, cfg); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	cfg = DefaultBuildConfig()
+	cfg.Delta = 0
+	if _, _, err := Build(arch, data, cfg); err == nil {
+		t.Error("delta 0 accepted")
+	}
+}
+
+func TestExitOpsArithmetic(t *testing.T) {
+	arch, data := trainedArch(t, 6)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := cdln.Ops.CumulativeOps(arch.Net)
+	lc1 := cdln.Ops.LinearClassifierOps(cdln.Stages[0].LC.In, 3)
+	lc2 := cdln.Ops.LinearClassifierOps(cdln.Stages[1].LC.In, 3)
+	exit := cdln.ExitOps()
+	if exit[0] != cum[3]+lc1 {
+		t.Errorf("exit[0] = %v, want %v", exit[0], cum[3]+lc1)
+	}
+	if exit[1] != cum[6]+lc1+lc2 {
+		t.Errorf("exit[1] = %v, want %v", exit[1], cum[6]+lc1+lc2)
+	}
+	if exit[2] != cum[len(cum)-1]+lc1+lc2 {
+		t.Errorf("exit[2] = %v, want %v", exit[2], cum[len(cum)-1]+lc1+lc2)
+	}
+	// Exit costs increase with depth.
+	for i := 1; i < len(exit); i++ {
+		if exit[i] <= exit[i-1] {
+			t.Error("exit costs must increase with depth")
+		}
+	}
+}
+
+func TestClassifyRespectsDelta(t *testing.T) {
+	arch, data := trainedArch(t, 7)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ→1 forces everything to the final layer (no sigmoid score reaches 1).
+	cdln.Delta = 1.0
+	rec := cdln.Classify(data[0].X)
+	if rec.StageName != "FC" {
+		t.Errorf("δ=1 exit at %s, want FC", rec.StageName)
+	}
+	// δ→~0 exits at stage 1 only if exactly one score clears the bar;
+	// with δ=0 every score qualifies, so nothing exits early either.
+	cdln.Delta = 0.0
+	rec = cdln.Classify(data[0].X)
+	if rec.StageName != "FC" {
+		t.Errorf("δ=0 exit at %s, want FC (all labels 'confident' → ambiguous)", rec.StageName)
+	}
+}
+
+func TestClassifyMatchesEvaluate(t *testing.T) {
+	arch, data := trainedArch(t, 8)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(cdln, data, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(data) {
+		t.Fatalf("records %d", len(res.Records))
+	}
+	// Serial classification must agree with the parallel evaluation.
+	for i := 0; i < 10; i++ {
+		rec := cdln.Classify(data[i].X)
+		if rec != res.Records[i] {
+			t.Errorf("sample %d: serial %+v != parallel %+v", i, rec, res.Records[i])
+		}
+	}
+}
+
+func TestEvaluateAccounting(t *testing.T) {
+	arch, data := trainedArch(t, 9)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(cdln, data, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != len(data) {
+		t.Errorf("confusion total %d", res.Confusion.Total())
+	}
+	// Exit fractions over all classes sum to 1.
+	sum := 0.0
+	for e := range res.ExitNames {
+		sum += res.ExitFraction(e, -1)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("exit fractions sum to %v", sum)
+	}
+	// TotalOps equals the sum of per-record ops and of per-class ops.
+	recSum, classSum := 0.0, 0.0
+	for _, r := range res.Records {
+		recSum += r.Ops
+	}
+	for _, c := range res.ClassOps {
+		classSum += c
+	}
+	if recSum != res.TotalOps || classSum != res.TotalOps {
+		t.Errorf("ops accounting mismatch: rec %v class %v total %v", recSum, classSum, res.TotalOps)
+	}
+	// Normalized OPS must lie between the cheapest and the most expensive
+	// exit ratios.
+	exit := cdln.ExitOps()
+	lo := exit[0] / res.BaselineOps
+	hi := exit[len(exit)-1] / res.BaselineOps
+	if n := res.NormalizedOps(); n < lo-1e-9 || n > hi+1e-9 {
+		t.Errorf("normalized ops %v outside [%v,%v]", n, lo, hi)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	arch, data := trainedArch(t, 10)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(cdln, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanOps() != 0 || res.NormalizedOps() != 0 {
+		t.Error("empty eval should produce zero metrics")
+	}
+}
+
+func TestCloneConcurrentSafety(t *testing.T) {
+	arch, data := trainedArch(t, 11)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run Evaluate with many workers; the race detector (go test -race)
+	// verifies replica isolation.
+	if _, err := Evaluate(cdln, data, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	// Clone must classify identically.
+	clone := cdln.Clone()
+	for i := 0; i < 20; i++ {
+		a, b := cdln.Classify(data[i].X), clone.Classify(data[i].X)
+		if a != b {
+			t.Fatalf("clone diverges on sample %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	arch, data := trainedArch(t, 12)
+	cdln, _, err := Build(arch, data, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) == 0 {
+		t.Skip("no stages admitted")
+	}
+	bad := cdln.Clone()
+	bad.Delta = 2
+	if bad.Validate() == nil {
+		t.Error("delta 2 validated")
+	}
+	bad = cdln.Clone()
+	bad.Rule = nil
+	if bad.Validate() == nil {
+		t.Error("nil rule validated")
+	}
+	bad = cdln.Clone()
+	bad.Stages[0].Tap = 0
+	if bad.Validate() == nil {
+		t.Error("tap 0 validated")
+	}
+}
+
+func TestGainRuleSkipsUnprofitableStage(t *testing.T) {
+	// With a δ so high that no instance exits, every stage has negative
+	// gain (pure LC overhead) and must be rejected.
+	arch, data := trainedArch(t, 13)
+	cfg := DefaultBuildConfig()
+	cfg.Delta = 0.999999
+	cdln, rep, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) != 0 {
+		t.Errorf("admitted %d stages despite no exits", len(cdln.Stages))
+	}
+	for _, s := range rep.Stages {
+		if s.Gain > 0 {
+			t.Errorf("stage %s gain %v should be ≤ 0 with no exits", s.Name, s.Gain)
+		}
+	}
+}
+
+func TestExitNamesAndNumExits(t *testing.T) {
+	arch, data := trainedArch(t, 14)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdln.NumExits() != 3 {
+		t.Fatalf("NumExits = %d", cdln.NumExits())
+	}
+	names := []string{"O1", "O2", "FC"}
+	for i, want := range names {
+		if got := cdln.ExitName(i); got != want {
+			t.Errorf("ExitName(%d) = %s, want %s", i, got, want)
+		}
+	}
+}

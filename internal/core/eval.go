@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cdl/internal/stats"
+	"cdl/internal/train"
+)
+
+// EvalResult aggregates a CDLN evaluation over a labelled dataset: overall
+// and per-class accuracy, the exit distribution, and dynamic OPS — the raw
+// material for the paper's Figs. 5, 8, 9, 10 and Table III.
+type EvalResult struct {
+	// Confusion is the prediction matrix over the dataset.
+	Confusion *stats.Confusion
+	// ExitCounts[e][c] counts class-c inputs exiting at exit point e
+	// (stage index semantics; the last row is FC).
+	ExitCounts [][]int
+	// ExitNames labels the exit points.
+	ExitNames []string
+	// TotalOps is the summed dynamic op count over the dataset.
+	TotalOps float64
+	// ClassOps[c] is the summed dynamic op count over class-c inputs.
+	ClassOps []float64
+	// BaselineOps is γ_base for normalization.
+	BaselineOps float64
+	// Records holds the per-sample exit records in dataset order (only if
+	// KeepRecords was set).
+	Records []ExitRecord
+}
+
+// Evaluate classifies every sample with Algorithm 2, fanning out across
+// goroutine-local CDLN replicas. keepRecords retains per-sample exit
+// records (needed by the Table IV gallery).
+func Evaluate(c *CDLN, data []train.Sample, workers int, keepRecords bool) (*EvalResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	classes := c.Arch.NumClasses
+	exits := c.NumExits()
+	res := &EvalResult{
+		Confusion:   stats.NewConfusion(classes),
+		ExitCounts:  make([][]int, exits),
+		ExitNames:   make([]string, exits),
+		ClassOps:    make([]float64, classes),
+		BaselineOps: c.BaselineOps(),
+	}
+	for e := 0; e < exits; e++ {
+		res.ExitCounts[e] = make([]int, classes)
+		res.ExitNames[e] = c.ExitName(e)
+	}
+	if len(data) == 0 {
+		return res, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data) {
+		workers = len(data)
+	}
+
+	records := make([]ExitRecord, len(data))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			replica := c.Clone()
+			for i := w; i < len(data); i += workers {
+				records[i] = replica.Classify(data[i].X)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, rec := range records {
+		label := data[i].Label
+		res.Confusion.Add(label, rec.Label)
+		res.ExitCounts[rec.StageIndex][label]++
+		res.TotalOps += rec.Ops
+		res.ClassOps[label] += rec.Ops
+	}
+	if keepRecords {
+		res.Records = records
+	}
+	return res, nil
+}
+
+// MeanOps returns the average dynamic op count per input.
+func (r *EvalResult) MeanOps() float64 {
+	n := r.Confusion.Total()
+	if n == 0 {
+		return 0
+	}
+	return r.TotalOps / float64(n)
+}
+
+// NormalizedOps returns mean dynamic ops divided by γ_base — the paper's
+// "normalized OPS" (Figs. 5, 9, 10; lower is better, 1.0 is the baseline).
+func (r *EvalResult) NormalizedOps() float64 {
+	if r.BaselineOps == 0 {
+		return 0
+	}
+	return r.MeanOps() / r.BaselineOps
+}
+
+// ClassNormalizedOps returns the per-class normalized OPS (Fig. 5's bars).
+func (r *EvalResult) ClassNormalizedOps(class int) float64 {
+	n := r.Confusion.ClassCount(class)
+	if n == 0 || r.BaselineOps == 0 {
+		return 0
+	}
+	return r.ClassOps[class] / float64(n) / r.BaselineOps
+}
+
+// ClassImprovement returns the per-class OPS improvement factor
+// (baseline/CDLN, the "1.46x–2.32x" numbers of §V.A).
+func (r *EvalResult) ClassImprovement(class int) float64 {
+	n := r.ClassNormalizedOps(class)
+	if n == 0 {
+		return 0
+	}
+	return 1 / n
+}
+
+// ExitFraction returns the fraction of class-c inputs leaving at exit e;
+// class -1 aggregates all classes. Fig. 8's "FC is activated for only 1% of
+// digit 1" numbers come from here.
+func (r *EvalResult) ExitFraction(e, class int) float64 {
+	if class >= 0 {
+		n := r.Confusion.ClassCount(class)
+		if n == 0 {
+			return 0
+		}
+		return float64(r.ExitCounts[e][class]) / float64(n)
+	}
+	total := r.Confusion.Total()
+	if total == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range r.ExitCounts[e] {
+		sum += v
+	}
+	return float64(sum) / float64(total)
+}
+
+// String renders the headline numbers.
+func (r *EvalResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy %.4f, normalized OPS %.3f (%.2fx improvement)\n",
+		r.Confusion.Accuracy(), r.NormalizedOps(), 1/r.NormalizedOps())
+	for e, name := range r.ExitNames {
+		fmt.Fprintf(&b, "  exit %-4s %.1f%%\n", name, 100*r.ExitFraction(e, -1))
+	}
+	return b.String()
+}

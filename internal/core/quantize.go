@@ -1,0 +1,45 @@
+package core
+
+import (
+	"cdl/internal/fixed"
+)
+
+// QuantizeCDLN returns a deep copy of the cascade whose baseline weights,
+// biases and stage-classifier parameters are rounded to the given
+// fixed-point format — the numeric precision the paper's 45 nm RTL
+// datapaths would carry (hw.Tech45nm uses Q2.13). It reports the maximum
+// absolute rounding error over all non-saturated parameters, so callers
+// can verify the format has enough fractional bits for the trained model.
+//
+// Activations are not quantized here: with sigmoid networks every
+// activation lies in [0,1], which Q2.13 represents with ≤2⁻¹⁴ error, an
+// order of magnitude below the weight-rounding effect this function
+// measures.
+func QuantizeCDLN(c *CDLN, f fixed.Format) (*CDLN, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	q := c.Clone()
+	// CDLN.Clone deep-copies the stage classifiers but shares baseline
+	// weight storage; take private weight copies before rounding so the
+	// float model stays intact.
+	q.Arch.Net = q.Arch.Net.DeepClone()
+	maxErr := 0.0
+	for _, p := range q.Arch.Net.Params() {
+		if e := f.QuantizeSlice(p.W.Data); e > maxErr {
+			maxErr = e
+		}
+	}
+	for _, s := range q.Stages {
+		if e := f.QuantizeSlice(s.LC.W.Data); e > maxErr {
+			maxErr = e
+		}
+		if e := f.QuantizeSlice(s.LC.B.Data); e > maxErr {
+			maxErr = e
+		}
+	}
+	return q, maxErr, nil
+}

@@ -1,0 +1,120 @@
+// Package core implements Conditional Deep Learning (CDL), the paper's
+// primary contribution: a cascade of linear classifiers attached to the
+// convolutional stages of a trained baseline DLN, with an activation module
+// that terminates classification early for easy inputs (Algorithm 2) and a
+// training procedure that decides which stages deserve a classifier at all
+// (Algorithm 1, Eq. 1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cdl/internal/tensor"
+)
+
+// ExitRule is the activation module's decision function: given the stage's
+// class scores and the user threshold δ, decide whether classification
+// terminates at this stage.
+type ExitRule interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// ShouldExit reports whether the activation module terminates at this
+	// stage given the scores.
+	ShouldExit(scores *tensor.T, delta float64) bool
+}
+
+// ThresholdRule is the paper's activation module (§II): terminate iff the
+// classifier produces sufficient confidence (score ≥ δ) for *exactly one*
+// class label. Both failure modes — no confident label, or more than one
+// confident label — pass the input to the next stage.
+type ThresholdRule struct{}
+
+// Name implements ExitRule.
+func (ThresholdRule) Name() string { return "threshold" }
+
+// ShouldExit implements ExitRule.
+func (ThresholdRule) ShouldExit(scores *tensor.T, delta float64) bool {
+	confident := 0
+	for _, v := range scores.Data {
+		if v >= delta {
+			confident++
+			if confident > 1 {
+				return false
+			}
+		}
+	}
+	return confident == 1
+}
+
+// MarginRule is an ablation: terminate iff the gap between the best and
+// second-best scores is at least δ.
+type MarginRule struct{}
+
+// Name implements ExitRule.
+func (MarginRule) Name() string { return "margin" }
+
+// ShouldExit implements ExitRule.
+func (MarginRule) ShouldExit(scores *tensor.T, delta float64) bool {
+	if scores.Numel() < 2 {
+		return true
+	}
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range scores.Data {
+		if v > best {
+			second = best
+			best = v
+		} else if v > second {
+			second = v
+		}
+	}
+	return best-second >= delta
+}
+
+// EntropyRule is an ablation: terminate iff the normalized entropy of the
+// score distribution is at most δ (low entropy = concentrated = confident).
+// Scores are normalized to a distribution first.
+type EntropyRule struct{}
+
+// Name implements ExitRule.
+func (EntropyRule) Name() string { return "entropy" }
+
+// ShouldExit implements ExitRule.
+func (EntropyRule) ShouldExit(scores *tensor.T, delta float64) bool {
+	n := scores.Numel()
+	if n < 2 {
+		return true
+	}
+	sum := 0.0
+	for _, v := range scores.Data {
+		if v > 0 {
+			sum += v
+		}
+	}
+	if sum <= 0 {
+		return false
+	}
+	h := 0.0
+	for _, v := range scores.Data {
+		if v > 0 {
+			p := v / sum
+			h -= p * math.Log(p)
+		}
+	}
+	h /= math.Log(float64(n)) // normalize to [0,1]
+	return h <= delta
+}
+
+// RuleByName returns the rule registered under name ("threshold", "margin"
+// or "entropy").
+func RuleByName(name string) (ExitRule, error) {
+	switch name {
+	case "threshold":
+		return ThresholdRule{}, nil
+	case "margin":
+		return MarginRule{}, nil
+	case "entropy":
+		return EntropyRule{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown exit rule %q", name)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdl/internal/tensor"
+)
+
+func scores(vs ...float64) *tensor.T { return tensor.FromSlice(vs, len(vs)) }
+
+func TestThresholdRuleExactlyOne(t *testing.T) {
+	r := ThresholdRule{}
+	cases := []struct {
+		name  string
+		s     *tensor.T
+		delta float64
+		want  bool
+	}{
+		{"one confident", scores(0.95, 0.1, 0.2), 0.8, true},
+		{"none confident", scores(0.3, 0.4, 0.2), 0.8, false},
+		{"two confident", scores(0.95, 0.9, 0.2), 0.8, false},
+		{"exactly at delta", scores(0.8, 0.1), 0.8, true},
+		{"all confident", scores(0.9, 0.9, 0.9), 0.5, false},
+		{"paper fig4a easy", scores(0.95, 0.3, 0.1, 0.2), 0.8, true},
+		{"paper fig4a hard", scores(0.3, 0.4, 0.1, 0.2), 0.8, false},
+	}
+	for _, c := range cases {
+		if got := r.ShouldExit(c.s, c.delta); got != c.want {
+			t.Errorf("%s: ShouldExit=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMarginRule(t *testing.T) {
+	r := MarginRule{}
+	if !r.ShouldExit(scores(0.9, 0.3), 0.5) {
+		t.Error("margin 0.6 ≥ 0.5 should exit")
+	}
+	if r.ShouldExit(scores(0.9, 0.8), 0.5) {
+		t.Error("margin 0.1 < 0.5 should not exit")
+	}
+	if !r.ShouldExit(scores(0.4), 0.9) {
+		t.Error("single-class scores always exit")
+	}
+}
+
+func TestEntropyRule(t *testing.T) {
+	r := EntropyRule{}
+	if !r.ShouldExit(scores(1, 0, 0, 0), 0.1) {
+		t.Error("zero-entropy scores should exit")
+	}
+	if r.ShouldExit(scores(0.5, 0.5, 0.5, 0.5), 0.5) {
+		t.Error("uniform scores (max entropy) should not exit at δ=0.5")
+	}
+	if r.ShouldExit(scores(0, 0, 0), 0.9) {
+		t.Error("all-zero scores should not exit")
+	}
+	if !r.ShouldExit(scores(0.7), 0.0) {
+		t.Error("single-class always exits")
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	for _, name := range []string{"threshold", "margin", "entropy"} {
+		r, err := RuleByName(name)
+		if err != nil || r.Name() != name {
+			t.Errorf("RuleByName(%q) = %v, %v", name, r, err)
+		}
+	}
+	if _, err := RuleByName("bogus"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+// Property: margin-rule exits are monotone in δ — exiting at δ implies
+// exiting at any smaller δ. (The threshold rule is deliberately NOT
+// monotone: lowering δ can make a second class confident; see
+// TestThresholdNonMonotoneByDesign.)
+func TestQuickMarginMonotone(t *testing.T) {
+	f := func(a, b, c uint8, d1, d2 uint8) bool {
+		s := scores(float64(a)/255, float64(b)/255, float64(c)/255)
+		lo, hi := float64(d1)/255, float64(d2)/255
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := MarginRule{}
+		if r.ShouldExit(s, hi) && !r.ShouldExit(s, lo) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdNonMonotoneByDesign(t *testing.T) {
+	// At δ=0.8 only one class qualifies → exit; at δ=0.5 two qualify → no
+	// exit. The paper's second criterion ("sufficient confidence for more
+	// than one label" passes the input on) requires this behaviour.
+	s := scores(0.9, 0.6)
+	r := ThresholdRule{}
+	if !r.ShouldExit(s, 0.8) {
+		t.Fatal("should exit at δ=0.8")
+	}
+	if r.ShouldExit(s, 0.5) {
+		t.Fatal("must not exit at δ=0.5 (two confident labels)")
+	}
+}
+
+// Property: threshold rule never exits when every score is below δ, and
+// always exits when exactly the max is above δ and the rest are below.
+func TestQuickThresholdDefinition(t *testing.T) {
+	f := func(raw []uint8, draw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		delta := 0.2 + float64(draw%6)/10 // 0.2..0.7
+		s := tensor.New(len(raw))
+		allBelow := true
+		above := 0
+		for i, v := range raw {
+			s.Data[i] = float64(v) / 255
+			if s.Data[i] >= delta {
+				allBelow = false
+				above++
+			}
+		}
+		got := ThresholdRule{}.ShouldExit(s, delta)
+		if allBelow && got {
+			return false
+		}
+		return got == (above == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

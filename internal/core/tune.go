@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"cdl/internal/train"
+)
+
+// Per-stage thresholds are an extension beyond the paper, which uses one
+// global δ: the paper's own Fig. 4 discussion implies different stages
+// have different confidence profiles, so letting each stage carry its own
+// threshold recovers accuracy the single knob leaves on the table.
+//
+// A CDLN uses StageDeltas[i] for stage i when StageDeltas is non-nil;
+// otherwise every stage uses Delta.
+
+// TuneConfig controls TuneDeltas.
+type TuneConfig struct {
+	// Grid is the candidate threshold set per stage (default
+	// 0.30,0.35,…,0.90).
+	Grid []float64
+	// MaxNormalizedOps, if positive, constrains the search to settings
+	// whose normalized OPS stay at or below the bound.
+	MaxNormalizedOps float64
+	// Workers bounds evaluation parallelism.
+	Workers int
+}
+
+// DefaultTuneConfig returns the standard grid.
+func DefaultTuneConfig() TuneConfig {
+	grid := make([]float64, 0, 13)
+	for d := 0.30; d <= 0.901; d += 0.05 {
+		grid = append(grid, d)
+	}
+	return TuneConfig{Grid: grid}
+}
+
+// TuneDeltas greedily assigns a per-stage threshold by sweeping each
+// stage's δ over the grid (deepest stage last), keeping the value that
+// maximizes validation accuracy and breaking ties toward lower OPS. It
+// returns the chosen thresholds and the final validation result; the CDLN
+// is updated in place with StageDeltas set.
+func TuneDeltas(c *CDLN, val []train.Sample, cfg TuneConfig) ([]float64, *EvalResult, error) {
+	if len(val) == 0 {
+		return nil, nil, fmt.Errorf("core: empty validation set")
+	}
+	if len(cfg.Grid) == 0 {
+		cfg.Grid = DefaultTuneConfig().Grid
+	}
+	for _, d := range cfg.Grid {
+		if d <= 0 || d > 1 {
+			return nil, nil, fmt.Errorf("core: grid value %v outside (0,1]", d)
+		}
+	}
+	if len(c.Stages) == 0 {
+		res, err := Evaluate(c, val, cfg.Workers, false)
+		return nil, res, err
+	}
+
+	deltas := make([]float64, len(c.Stages))
+	for i := range deltas {
+		deltas[i] = c.Delta
+	}
+	c.StageDeltas = deltas
+
+	best, err := Evaluate(c, val, cfg.Workers, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	for si := range c.Stages {
+		bestDelta := deltas[si]
+		for _, d := range cfg.Grid {
+			deltas[si] = d
+			res, err := Evaluate(c, val, cfg.Workers, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			if cfg.MaxNormalizedOps > 0 && res.NormalizedOps() > cfg.MaxNormalizedOps {
+				continue
+			}
+			better := res.Confusion.Accuracy() > best.Confusion.Accuracy()
+			tie := res.Confusion.Accuracy() == best.Confusion.Accuracy() &&
+				res.NormalizedOps() < best.NormalizedOps()
+			if better || tie {
+				best = res
+				bestDelta = d
+			}
+		}
+		deltas[si] = bestDelta
+	}
+	return deltas, best, nil
+}

@@ -1,0 +1,132 @@
+// Package energy maps CDLN exit behaviour to hardware energy: it combines
+// the per-layer 45 nm cost model (internal/hw) with the exit distribution
+// measured by internal/core to produce the paper's energy results (Fig. 6:
+// normalized energy benefits per digit; Fig. 8: energy benefit versus input
+// difficulty).
+package energy
+
+import (
+	"fmt"
+
+	"cdl/internal/core"
+	"cdl/internal/hw"
+)
+
+// Evaluator costs CDLN executions on a fixed accelerator configuration.
+type Evaluator struct {
+	Acc hw.Accelerator
+}
+
+// NewEvaluator returns an evaluator on the default 45 nm accelerator.
+func NewEvaluator() Evaluator { return Evaluator{Acc: hw.Default45nm()} }
+
+// ExitEnergies returns the energy (pJ) consumed by an input that exits at
+// each exit point of the CDLN, mirroring core.CDLN.ExitOps: baseline layers
+// executed through the exit's tap plus every stage classifier evaluated on
+// the way.
+func (e Evaluator) ExitEnergies(c *core.CDLN) []float64 {
+	acts := hw.AnalyzeNetwork(c.Arch.Net)
+	cum := e.Acc.CumulativeEnergy(acts)
+	out := make([]float64, len(c.Stages)+1)
+	lcSoFar := 0.0
+	for i, s := range c.Stages {
+		lcSoFar += e.Acc.LayerEnergy(hw.LinearClassifierActivity(s.LC.In, s.LC.Out)).Total()
+		out[i] = cum[s.Tap] + lcSoFar
+	}
+	out[len(c.Stages)] = cum[len(cum)-1] + lcSoFar
+	return out
+}
+
+// BaselineEnergy returns the energy of one full baseline forward pass — the
+// normalization denominator of Figs. 6 and 8.
+func (e Evaluator) BaselineEnergy(c *core.CDLN) float64 {
+	acts := hw.AnalyzeNetwork(c.Arch.Net)
+	return e.Acc.NetworkEnergy(acts).Total()
+}
+
+// Summary reports the energy aggregation of one evaluation run.
+type Summary struct {
+	// MeanEnergy is the average pJ per input under early exit.
+	MeanEnergy float64
+	// BaselineEnergy is pJ per input for the unconditioned baseline.
+	BaselineEnergy float64
+	// PerClassMean is the average pJ per input of each class.
+	PerClassMean []float64
+	// ExitEnergies is the cost of each exit point.
+	ExitEnergies []float64
+}
+
+// Normalized returns mean CDLN energy over baseline energy (the paper's
+// normalized energy; lower is better).
+func (s Summary) Normalized() float64 {
+	if s.BaselineEnergy == 0 {
+		return 0
+	}
+	return s.MeanEnergy / s.BaselineEnergy
+}
+
+// Improvement returns the baseline/CDLN energy ratio (the paper's
+// "1.84x improvement in energy" style numbers).
+func (s Summary) Improvement() float64 {
+	if s.MeanEnergy == 0 {
+		return 0
+	}
+	return s.BaselineEnergy / s.MeanEnergy
+}
+
+// ClassNormalized returns the per-class normalized energy (Fig. 6 bars).
+func (s Summary) ClassNormalized(class int) float64 {
+	if s.BaselineEnergy == 0 {
+		return 0
+	}
+	return s.PerClassMean[class] / s.BaselineEnergy
+}
+
+// ClassImprovement returns the per-class energy improvement factor.
+func (s Summary) ClassImprovement(class int) float64 {
+	n := s.ClassNormalized(class)
+	if n == 0 {
+		return 0
+	}
+	return 1 / n
+}
+
+// FromEval converts a CDLN evaluation (exit counts per class) into an
+// energy summary by weighting exit energies with the measured exit
+// distribution.
+func (e Evaluator) FromEval(c *core.CDLN, res *core.EvalResult) (Summary, error) {
+	if err := e.Acc.Validate(); err != nil {
+		return Summary{}, err
+	}
+	exits := e.ExitEnergies(c)
+	if len(exits) != len(res.ExitCounts) {
+		return Summary{}, fmt.Errorf("energy: CDLN has %d exits but eval has %d", len(exits), len(res.ExitCounts))
+	}
+	classes := c.Arch.NumClasses
+	s := Summary{
+		BaselineEnergy: e.BaselineEnergy(c),
+		PerClassMean:   make([]float64, classes),
+		ExitEnergies:   exits,
+	}
+	classTotals := make([]float64, classes)
+	classCounts := make([]int, classes)
+	total := 0.0
+	n := 0
+	for ei, counts := range res.ExitCounts {
+		for class, cnt := range counts {
+			classTotals[class] += float64(cnt) * exits[ei]
+			classCounts[class] += cnt
+			total += float64(cnt) * exits[ei]
+			n += cnt
+		}
+	}
+	if n > 0 {
+		s.MeanEnergy = total / float64(n)
+	}
+	for class := range classTotals {
+		if classCounts[class] > 0 {
+			s.PerClassMean[class] = classTotals[class] / float64(classCounts[class])
+		}
+	}
+	return s, nil
+}

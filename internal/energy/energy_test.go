@@ -1,0 +1,145 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdl/internal/core"
+	"cdl/internal/mnist"
+	"cdl/internal/nn"
+	"cdl/internal/train"
+)
+
+// buildSmallCDLN trains a quick 6-layer CDLN on a small synthetic set.
+func buildSmallCDLN(t *testing.T) (*core.CDLN, *core.EvalResult) {
+	t.Helper()
+	trainImgs, testImgs, err := mnist.GenerateSplit(300, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainS, testS := mnist.ToSamples(trainImgs), mnist.ToSamples(testImgs)
+	arch := nn.Arch6Layer(rand.New(rand.NewSource(3)))
+	cfg := train.Defaults(10)
+	cfg.Epochs = 4
+	if _, err := train.SGD(arch.Net, trainS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, trainS, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Evaluate(cdln, testS, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, res
+}
+
+func TestExitEnergiesIncrease(t *testing.T) {
+	cdln, _ := buildSmallCDLN(t)
+	ev := NewEvaluator()
+	exits := ev.ExitEnergies(cdln)
+	if len(exits) != cdln.NumExits() {
+		t.Fatalf("exit energies %d, want %d", len(exits), cdln.NumExits())
+	}
+	for i := 1; i < len(exits); i++ {
+		if exits[i] <= exits[i-1] {
+			t.Error("exit energies must increase with depth")
+		}
+	}
+	// Early exit must be cheaper than baseline; the final exit costs more
+	// than baseline (it also paid the stage classifiers).
+	base := ev.BaselineEnergy(cdln)
+	if exits[0] >= base {
+		t.Errorf("O1 exit energy %v should be below baseline %v", exits[0], base)
+	}
+	if exits[len(exits)-1] <= base {
+		t.Errorf("FC exit energy %v should exceed baseline %v", exits[len(exits)-1], base)
+	}
+}
+
+func TestFromEvalAccounting(t *testing.T) {
+	cdln, res := buildSmallCDLN(t)
+	ev := NewEvaluator()
+	sum, err := ev.FromEval(cdln, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanEnergy <= 0 || sum.BaselineEnergy <= 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	// Mean energy must lie between the cheapest and most expensive exits.
+	if sum.MeanEnergy < sum.ExitEnergies[0] || sum.MeanEnergy > sum.ExitEnergies[len(sum.ExitEnergies)-1] {
+		t.Errorf("mean %v outside exit range [%v, %v]",
+			sum.MeanEnergy, sum.ExitEnergies[0], sum.ExitEnergies[len(sum.ExitEnergies)-1])
+	}
+	// Per-class means weighted by class counts must reproduce the mean.
+	total, n := 0.0, 0
+	for c, m := range sum.PerClassMean {
+		cnt := res.Confusion.ClassCount(c)
+		total += m * float64(cnt)
+		n += cnt
+	}
+	recon := total / float64(n)
+	if d := recon - sum.MeanEnergy; d > 1e-6 || d < -1e-6 {
+		t.Errorf("per-class reconstruction %v != mean %v", recon, sum.MeanEnergy)
+	}
+	// Improvement and Normalized are inverses.
+	if v := sum.Normalized() * sum.Improvement(); v < 0.999 || v > 1.001 {
+		t.Errorf("Normalized×Improvement = %v", v)
+	}
+}
+
+func TestEnergyImprovementTracksOpsImprovement(t *testing.T) {
+	// The paper reports energy improvement slightly below OPS improvement
+	// (1.84x vs 1.91x). Our model must at least agree on direction: if OPS
+	// improve, energy improves, within a reasonable band of each other.
+	cdln, res := buildSmallCDLN(t)
+	ev := NewEvaluator()
+	sum, err := ev.FromEval(cdln, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsImp := 1 / res.NormalizedOps()
+	enImp := sum.Improvement()
+	if opsImp > 1.05 && enImp <= 1.0 {
+		t.Errorf("OPS improved %.2fx but energy did not (%.2fx)", opsImp, enImp)
+	}
+	ratio := enImp / opsImp
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("energy improvement %.2fx wildly diverges from OPS %.2fx", enImp, opsImp)
+	}
+}
+
+func TestClassNormalizedConsistency(t *testing.T) {
+	cdln, res := buildSmallCDLN(t)
+	ev := NewEvaluator()
+	sum, err := ev.FromEval(cdln, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 10; c++ {
+		n := sum.ClassNormalized(c)
+		if n < 0 {
+			t.Errorf("class %d normalized energy %v < 0", c, n)
+		}
+		if n > 0 {
+			imp := sum.ClassImprovement(c)
+			if v := n * imp; v < 0.999 || v > 1.001 {
+				t.Errorf("class %d normalized×improvement = %v", c, v)
+			}
+		}
+	}
+}
+
+func TestFromEvalMismatch(t *testing.T) {
+	cdln, res := buildSmallCDLN(t)
+	ev := NewEvaluator()
+	// Corrupt the exit table to trigger the mismatch check.
+	res.ExitCounts = res.ExitCounts[:1]
+	if _, err := ev.FromEval(cdln, res); err == nil {
+		t.Error("exit-count mismatch accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRules(t *testing.T) {
+	r, err := AblationRules(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row.Rule] = true
+		if row.Accuracy < 0.5 || row.Accuracy > 1 {
+			t.Errorf("rule %s accuracy %v implausible", row.Rule, row.Accuracy)
+		}
+		if row.NormalizedOps <= 0 {
+			t.Errorf("rule %s norm OPS %v", row.Rule, row.NormalizedOps)
+		}
+	}
+	for _, want := range []string{"threshold", "margin", "entropy"} {
+		if !names[want] {
+			t.Errorf("missing rule %s", want)
+		}
+	}
+	if !strings.Contains(r.String(), "threshold") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationLCData(t *testing.T) {
+	r, err := AblationLCData(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both policies must produce functioning cascades with savings.
+	if r.PassedOnlyOps >= 1 || r.AllDataOps >= 1 {
+		t.Errorf("no savings: passed-only %v, all-data %v", r.PassedOnlyOps, r.AllDataOps)
+	}
+	if r.PassedOnlyAcc < 0.5 || r.AllDataAcc < 0.5 {
+		t.Errorf("accuracy collapsed: %v / %v", r.PassedOnlyAcc, r.AllDataAcc)
+	}
+}
+
+func TestAblationQuantization(t *testing.T) {
+	r, err := AblationQuantization(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// 16-bit quantization must be essentially lossless (within 1%).
+	d := r.Rows[0].Accuracy - r.FloatAccuracy
+	if d < -0.01 || d > 0.01 {
+		t.Errorf("Q2.13 accuracy %v vs float %v: 16-bit should be lossless", r.Rows[0].Accuracy, r.FloatAccuracy)
+	}
+	// Rounding error grows as fractional bits shrink.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].MaxRoundErr < r.Rows[i-1].MaxRoundErr {
+			t.Error("rounding error should grow with coarser formats")
+		}
+	}
+}
+
+func TestAblationTunedDeltas(t *testing.T) {
+	r, err := AblationTunedDeltas(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TunedDeltas) == 0 {
+		t.Fatal("no tuned deltas")
+	}
+	// Tuning on train data must not catastrophically hurt test accuracy.
+	if r.TunedAcc < r.GlobalAcc-0.02 {
+		t.Errorf("tuned accuracy %.4f far below global %.4f", r.TunedAcc, r.GlobalAcc)
+	}
+}
+
+func TestRunAblationsRenders(t *testing.T) {
+	s, err := RunAblations(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exit rules", "training data", "fixed-point", "tuned δ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV–V): Tables I–IV and Figs. 5–10. Each experiment is a
+// function from a shared Context (datasets plus trained baselines and
+// CDLNs, built lazily and cached) to a structured result with a String
+// rendering that mirrors the paper's presentation.
+//
+// The substrate differs from the authors' (synthetic MNIST, analytic 45 nm
+// energy model — see DESIGN.md §4), so EXPERIMENTS.md records paper-vs-
+// measured values; the assertions encoded here are the *shape* claims:
+// who wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"cdl/internal/core"
+	"cdl/internal/linclass"
+	"cdl/internal/mnist"
+	"cdl/internal/nn"
+	"cdl/internal/train"
+)
+
+// Config sizes an experiment run. DefaultConfig is paper-scale for this
+// reproduction; tests use SmallConfig.
+type Config struct {
+	// TrainN and TestN size the synthetic MNIST split.
+	TrainN, TestN int
+	// Seed drives dataset generation and weight initialization.
+	Seed int64
+	// Epochs6 and Epochs8 are baseline training budgets for the 6- and
+	// 8-layer DLNs. They are deliberately moderate: the paper's accuracy
+	// enhancement relies on baselines that are "less than optimal" (§II).
+	Epochs6, Epochs8 int
+	// Delta is the runtime confidence threshold δ.
+	Delta float64
+	// Epsilon is the gain-rule admission threshold ε (ops per input).
+	Epsilon float64
+	// LC configures stage-classifier training.
+	LC linclass.TrainConfig
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultConfig returns the configuration used for the recorded
+// EXPERIMENTS.md numbers. The baseline epoch budgets stop well short of
+// convergence on purpose: the paper's accuracy enhancement (§II, §V.B)
+// assumes a baseline that is "less than optimal, i.e. not fully trained",
+// whose features the rapidly-converging stage classifiers then out-predict.
+func DefaultConfig() Config {
+	return Config{
+		TrainN:  4000,
+		TestN:   1500,
+		Seed:    1,
+		Epochs6: 3,
+		Epochs8: 7,
+		Delta:   0.5,
+		Epsilon: 10,
+		LC:      linclass.DefaultTrainConfig(),
+	}
+}
+
+// SmallConfig returns a reduced configuration for unit tests and smoke
+// runs.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TrainN = 2000
+	cfg.TestN = 600
+	cfg.Epochs6 = 4
+	cfg.Epochs8 = 14
+	return cfg
+}
+
+// Context owns the datasets and trained models shared by all experiments.
+// All accessors are lazy, cached and safe for concurrent use.
+type Context struct {
+	Cfg Config
+
+	dataOnce            sync.Once
+	trainImgs, testImgs []mnist.Image
+	trainS, testS       []train.Sample
+	dataErr             error
+
+	arch6Once sync.Once
+	arch6     *nn.Arch
+	arch6Err  error
+
+	arch8Once sync.Once
+	arch8     *nn.Arch
+	arch8Err  error
+
+	cdln2COnce sync.Once
+	cdln2C     *core.CDLN
+	rep2C      *core.Report
+	cdln2CErr  error
+
+	cdln3COnce sync.Once
+	cdln3C     *core.CDLN
+	rep3C      *core.Report
+	cdln3CErr  error
+}
+
+// NewContext creates an empty context; models train on first use.
+func NewContext(cfg Config) *Context { return &Context{Cfg: cfg} }
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Cfg.Log != nil {
+		fmt.Fprintf(c.Cfg.Log, format, args...)
+	}
+}
+
+// Data returns the synthetic MNIST split.
+func (c *Context) Data() (trainS, testS []train.Sample, err error) {
+	c.dataOnce.Do(func() {
+		c.logf("generating dataset: %d train / %d test (seed %d)\n", c.Cfg.TrainN, c.Cfg.TestN, c.Cfg.Seed)
+		c.trainImgs, c.testImgs, c.dataErr = mnist.GenerateSplit(c.Cfg.TrainN, c.Cfg.TestN, c.Cfg.Seed)
+		if c.dataErr == nil {
+			c.trainS = mnist.ToSamples(c.trainImgs)
+			c.testS = mnist.ToSamples(c.testImgs)
+		}
+	})
+	return c.trainS, c.testS, c.dataErr
+}
+
+// Images returns the raw image structs (needed by the Table IV gallery).
+func (c *Context) Images() (trainImgs, testImgs []mnist.Image, err error) {
+	if _, _, err := c.Data(); err != nil {
+		return nil, nil, err
+	}
+	return c.trainImgs, c.testImgs, nil
+}
+
+func (c *Context) trainBaseline(arch *nn.Arch, epochs int) error {
+	trainS, _, err := c.Data()
+	if err != nil {
+		return err
+	}
+	cfg := train.Defaults(arch.NumClasses)
+	cfg.Epochs = epochs
+	cfg.Seed = c.Cfg.Seed
+	cfg.Workers = c.Cfg.Workers
+	cfg.Log = c.Cfg.Log
+	_, err = train.SGD(arch.Net, trainS, cfg)
+	return err
+}
+
+// Arch6 returns the trained 6-layer baseline (Table I).
+func (c *Context) Arch6() (*nn.Arch, error) {
+	c.arch6Once.Do(func() {
+		c.logf("training 6-layer baseline (%d epochs)\n", c.Cfg.Epochs6)
+		a := nn.Arch6Layer(rand.New(rand.NewSource(c.Cfg.Seed + 100)))
+		if err := c.trainBaseline(a, c.Cfg.Epochs6); err != nil {
+			c.arch6Err = err
+			return
+		}
+		c.arch6 = a
+	})
+	return c.arch6, c.arch6Err
+}
+
+// Arch8 returns the trained 8-layer baseline (Table II).
+func (c *Context) Arch8() (*nn.Arch, error) {
+	c.arch8Once.Do(func() {
+		c.logf("training 8-layer baseline (%d epochs)\n", c.Cfg.Epochs8)
+		a := nn.Arch8Layer(rand.New(rand.NewSource(c.Cfg.Seed + 200)))
+		if err := c.trainBaseline(a, c.Cfg.Epochs8); err != nil {
+			c.arch8Err = err
+			return
+		}
+		c.arch8 = a
+	})
+	return c.arch8, c.arch8Err
+}
+
+func (c *Context) buildConfig() core.BuildConfig {
+	bcfg := core.DefaultBuildConfig()
+	bcfg.Delta = c.Cfg.Delta
+	bcfg.Epsilon = c.Cfg.Epsilon
+	bcfg.LC = c.Cfg.LC
+	bcfg.Workers = c.Cfg.Workers
+	bcfg.Seed = c.Cfg.Seed
+	bcfg.Log = c.Cfg.Log
+	return bcfg
+}
+
+// MNIST2C returns the CDLN built on the 6-layer baseline (paper's
+// MNIST_2C) along with its Algorithm 1 report.
+func (c *Context) MNIST2C() (*core.CDLN, *core.Report, error) {
+	c.cdln2COnce.Do(func() {
+		arch, err := c.Arch6()
+		if err != nil {
+			c.cdln2CErr = err
+			return
+		}
+		trainS, _, _ := c.Data()
+		c.logf("building MNIST_2C cascade\n")
+		c.cdln2C, c.rep2C, c.cdln2CErr = core.Build(arch, trainS, c.buildConfig())
+	})
+	return c.cdln2C, c.rep2C, c.cdln2CErr
+}
+
+// MNIST3C returns the CDLN built on the 8-layer baseline (paper's
+// MNIST_3C) along with its Algorithm 1 report.
+func (c *Context) MNIST3C() (*core.CDLN, *core.Report, error) {
+	c.cdln3COnce.Do(func() {
+		arch, err := c.Arch8()
+		if err != nil {
+			c.cdln3CErr = err
+			return
+		}
+		trainS, _, _ := c.Data()
+		c.logf("building MNIST_3C cascade\n")
+		c.cdln3C, c.rep3C, c.cdln3CErr = core.Build(arch, trainS, c.buildConfig())
+	})
+	return c.cdln3C, c.rep3C, c.cdln3CErr
+}
+
+// BuildSweepCDLN builds an 8-layer CDLN with exactly maxStages forced
+// stages — the Fig. 7 and Fig. 9 sweep points (O1-FC, O1-O2-FC,
+// O1-O2-O3-FC).
+func (c *Context) BuildSweepCDLN(maxStages int) (*core.CDLN, *core.Report, error) {
+	arch, err := c.Arch8()
+	if err != nil {
+		return nil, nil, err
+	}
+	trainS, _, err := c.Data()
+	if err != nil {
+		return nil, nil, err
+	}
+	bcfg := c.buildConfig()
+	bcfg.ForceAllStages = true
+	bcfg.MaxStages = maxStages
+	return core.Build(arch, trainS, bcfg)
+}

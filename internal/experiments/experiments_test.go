@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedCtx trains the small-config models once for the whole test
+// package.
+var (
+	ctxOnce sync.Once
+	ctx     *Context
+)
+
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		ctx = NewContext(SmallConfig())
+	})
+	return ctx
+}
+
+func TestTableIAndII(t *testing.T) {
+	c := testCtx(t)
+	t1, err := TableI(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"C1", "P1", "C2", "P2", "FC"} {
+		if !strings.Contains(t1, s) {
+			t.Errorf("Table I missing %s", s)
+		}
+	}
+	t2, err := TableII(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"C1", "C2", "C3", "P3", "FC"} {
+		if !strings.Contains(t2, s) {
+			t.Errorf("Table II missing %s", s)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core claim: every digit costs less than the baseline on both CDLNs.
+	for d := 0; d < 10; d++ {
+		if r.Norm2C[d] <= 0 || r.Norm2C[d] >= 1 {
+			t.Errorf("digit %d MNIST_2C normalized OPS %v outside (0,1)", d, r.Norm2C[d])
+		}
+		if r.Norm3C[d] <= 0 || r.Norm3C[d] >= 1 {
+			t.Errorf("digit %d MNIST_3C normalized OPS %v outside (0,1)", d, r.Norm3C[d])
+		}
+	}
+	if r.AvgImp2C <= 1.2 || r.AvgImp3C <= 1.2 {
+		t.Errorf("average improvements too small: %.2f / %.2f", r.AvgImp2C, r.AvgImp3C)
+	}
+	// Digit 1 is the easiest in this dataset by construction.
+	if r.BestDigit != 1 {
+		t.Errorf("best digit %d, want 1", r.BestDigit)
+	}
+	if !strings.Contains(r.String(), "average improvement") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 10; d++ {
+		if r.NormEnergy3C[d] <= 0 || r.NormEnergy3C[d] >= 1 {
+			t.Errorf("digit %d normalized energy %v outside (0,1)", d, r.NormEnergy3C[d])
+		}
+	}
+	if r.AvgImp2C <= 1.2 || r.AvgImp3C <= 1.2 {
+		t.Errorf("energy improvements too small: %.2f / %.2f", r.AvgImp2C, r.AvgImp3C)
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	r, err := TableIII(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"baseline6": r.Baseline6, "cdln2c": r.CDLN2C,
+		"baseline8": r.Baseline8, "cdln3c": r.CDLN3C,
+	} {
+		if v < 0.5 || v > 1 {
+			t.Errorf("%s accuracy %v implausible", name, v)
+		}
+	}
+	// The paper's headline: CDLN accuracy is at least competitive with the
+	// baseline. At small scale we allow a 1.5% band rather than demanding
+	// strict improvement.
+	if r.CDLN3C < r.Baseline8-0.015 {
+		t.Errorf("MNIST_3C %.4f far below baseline %.4f", r.CDLN3C, r.Baseline8)
+	}
+	if r.CDLN2C < r.Baseline6-0.015 {
+		t.Errorf("MNIST_2C %.4f far below baseline %.4f", r.CDLN2C, r.Baseline6)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points %d, want 4", len(r.Points))
+	}
+	if r.Points[0].Label != "baseline" || r.Points[3].Label != "O1-O2-O3-FC" {
+		t.Error("labels wrong")
+	}
+	// FC misclassification fraction decreases as stages are added (paper
+	// §V.B: "the fraction of inputs misclassified by the final layer
+	// progressively decreases").
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FCMisclassified > r.Points[i-1].FCMisclassified+1e-9 {
+			t.Errorf("FC misclassified rose from %.4f to %.4f at %s",
+				r.Points[i-1].FCMisclassified, r.Points[i].FCMisclassified, r.Points[i].Label)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// Rows are sorted by decreasing improvement.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].EnergyImprovement > r.Rows[i-1].EnergyImprovement+1e-9 {
+			t.Error("rows not sorted by improvement")
+		}
+	}
+	if r.EasiestDigit != 1 {
+		t.Errorf("easiest digit %d, want 1", r.EasiestDigit)
+	}
+	// Paper: ≥1.5x benefit even for the hardest digit; we allow ≥1.2x at
+	// test scale.
+	if r.MinImprovement < 1.2 {
+		t.Errorf("hardest digit improvement %.2f < 1.2", r.MinImprovement)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	if r.Points[0].NormalizedOps != 1 {
+		t.Error("baseline point must be 1.0")
+	}
+	// Adding the first stage must produce a large drop; the fraction
+	// reaching FC must shrink monotonically with stages.
+	if r.Points[1].NormalizedOps >= 0.9 {
+		t.Errorf("one stage normalized OPS %.3f, expected a large drop", r.Points[1].NormalizedOps)
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FCFraction > r.Points[i-1].FCFraction+1e-9 {
+			t.Error("fraction to FC must shrink as stages are added")
+		}
+	}
+	if r.BestStages < 1 {
+		t.Errorf("best stages %d", r.BestStages)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Fig10(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 14 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	// OPS at the loosest δ must be below OPS at the strictest δ (the knob
+	// trades efficiency for deference to the deep layers).
+	if r.Points[0].NormalizedOps >= r.Points[len(r.Points)-1].NormalizedOps {
+		t.Errorf("normalized OPS should rise with δ: %.3f at δ=%.2f vs %.3f at δ=%.2f",
+			r.Points[0].NormalizedOps, r.Points[0].Delta,
+			r.Points[len(r.Points)-1].NormalizedOps, r.Points[len(r.Points)-1].Delta)
+	}
+	if r.BestDelta < 0.3 || r.BestDelta > 0.95 {
+		t.Errorf("best delta %v outside sweep", r.BestDelta)
+	}
+}
+
+func TestTableIVGallery(t *testing.T) {
+	r, err := TableIV(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Digits) != 2 || r.Digits[0] != 1 || r.Digits[1] != 5 {
+		t.Errorf("digits %v, want [1 5]", r.Digits)
+	}
+	// Digit 1 must have at least one O1 exemplar (it exits early en masse).
+	if r.Galleries[1][0] == nil {
+		t.Error("digit 1 has no O1 exemplar")
+	}
+	s := r.String()
+	if !strings.Contains(s, "digit 1") || !strings.Contains(s, "digit 5") {
+		t.Error("gallery rendering incomplete")
+	}
+}
+
+func TestGainReport(t *testing.T) {
+	s, err := GainReport(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MNIST_2C", "MNIST_3C", "O1", "gain"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("gain report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+	"cdl/internal/mnist"
+	"cdl/internal/stats"
+)
+
+// Fig5Result reproduces Fig. 5: normalized OPS per digit for MNIST_2C and
+// MNIST_3C relative to their baselines.
+type Fig5Result struct {
+	// Norm2C and Norm3C are per-digit normalized OPS (lower is better).
+	Norm2C, Norm3C [mnist.Classes]float64
+	// AvgImp2C and AvgImp3C are the average improvement factors the paper
+	// headlines (1.73x and 1.91x).
+	AvgImp2C, AvgImp3C float64
+	// BestDigit and WorstDigit are the extremes for MNIST_3C.
+	BestDigit, WorstDigit int
+}
+
+// Fig5 measures normalized OPS per digit on the test set.
+func Fig5(ctx *Context) (*Fig5Result, error) {
+	cdln2, _, err := ctx.MNIST2C()
+	if err != nil {
+		return nil, err
+	}
+	cdln3, _, err := ctx.MNIST3C()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	res2, err := core.Evaluate(cdln2, testS, ctx.Cfg.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	res3, err := core.Evaluate(cdln3, testS, ctx.Cfg.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig5Result{}
+	var imp2, imp3 []float64
+	bestImp, worstImp := 0.0, 1e18
+	for d := 0; d < mnist.Classes; d++ {
+		r.Norm2C[d] = res2.ClassNormalizedOps(d)
+		r.Norm3C[d] = res3.ClassNormalizedOps(d)
+		imp2 = append(imp2, res2.ClassImprovement(d))
+		imp3 = append(imp3, res3.ClassImprovement(d))
+		if i := res3.ClassImprovement(d); i > bestImp {
+			bestImp, r.BestDigit = i, d
+		}
+		if i := res3.ClassImprovement(d); i < worstImp {
+			worstImp, r.WorstDigit = i, d
+		}
+	}
+	r.AvgImp2C = stats.GeoMean(imp2)
+	r.AvgImp3C = stats.GeoMean(imp3)
+	return r, nil
+}
+
+// String renders the per-digit bars.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — Normalized OPS per digit (CDLN / baseline, lower is better)\n")
+	b.WriteString("digit   MNIST_2C  MNIST_3C\n")
+	for d := 0; d < mnist.Classes; d++ {
+		fmt.Fprintf(&b, "  %d      %6.3f    %6.3f\n", d, r.Norm2C[d], r.Norm3C[d])
+	}
+	fmt.Fprintf(&b, "average improvement: MNIST_2C %.2fx, MNIST_3C %.2fx\n", r.AvgImp2C, r.AvgImp3C)
+	fmt.Fprintf(&b, "MNIST_3C best digit %d, worst digit %d\n", r.BestDigit, r.WorstDigit)
+	return b.String()
+}
+
+// Fig6Result reproduces Fig. 6: normalized energy per digit under the
+// 45 nm hardware model.
+type Fig6Result struct {
+	// NormEnergy2C and NormEnergy3C are per-digit normalized energies.
+	NormEnergy2C, NormEnergy3C [mnist.Classes]float64
+	// AvgImp2C and AvgImp3C are the average energy improvement factors the
+	// paper headlines (1.71x and 1.84x).
+	AvgImp2C, AvgImp3C float64
+}
+
+// Fig6 measures normalized energy per digit on the test set.
+func Fig6(ctx *Context) (*Fig6Result, error) {
+	cdln2, _, err := ctx.MNIST2C()
+	if err != nil {
+		return nil, err
+	}
+	cdln3, _, err := ctx.MNIST3C()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	ev := energy.NewEvaluator()
+	r := &Fig6Result{}
+	for i, cdln := range []*core.CDLN{cdln2, cdln3} {
+		res, err := core.Evaluate(cdln, testS, ctx.Cfg.Workers, false)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := ev.FromEval(cdln, res)
+		if err != nil {
+			return nil, err
+		}
+		var imps []float64
+		for d := 0; d < mnist.Classes; d++ {
+			n := sum.ClassNormalized(d)
+			if i == 0 {
+				r.NormEnergy2C[d] = n
+			} else {
+				r.NormEnergy3C[d] = n
+			}
+			imps = append(imps, sum.ClassImprovement(d))
+		}
+		if i == 0 {
+			r.AvgImp2C = stats.GeoMean(imps)
+		} else {
+			r.AvgImp3C = stats.GeoMean(imps)
+		}
+	}
+	return r, nil
+}
+
+// String renders the per-digit energy bars.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — Normalized energy per digit (45nm model, lower is better)\n")
+	b.WriteString("digit   MNIST_2C  MNIST_3C\n")
+	for d := 0; d < mnist.Classes; d++ {
+		fmt.Fprintf(&b, "  %d      %6.3f    %6.3f\n", d, r.NormEnergy2C[d], r.NormEnergy3C[d])
+	}
+	fmt.Fprintf(&b, "average energy improvement: MNIST_2C %.2fx, MNIST_3C %.2fx\n", r.AvgImp2C, r.AvgImp3C)
+	return b.String()
+}
+
+// Fig8Row is one digit of Fig. 8, ordered by decreasing energy benefit.
+type Fig8Row struct {
+	Digit int
+	// EnergyImprovement is baseline/CDLN energy for this digit.
+	EnergyImprovement float64
+	// FCFraction is the fraction of the digit's inputs that activate the
+	// final output layer.
+	FCFraction float64
+}
+
+// Fig8Result reproduces Fig. 8: energy benefit versus input difficulty for
+// MNIST_3C, with the FC activation fractions quoted in §V.C.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// EasiestDigit and HardestDigit are the first and last rows.
+	EasiestDigit, HardestDigit int
+	// MinImprovement is the benefit on the hardest digit (paper: ≥1.5x).
+	MinImprovement float64
+}
+
+// Fig8 ranks digits by measured energy benefit under MNIST_3C.
+func Fig8(ctx *Context) (*Fig8Result, error) {
+	cdln3, _, err := ctx.MNIST3C()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Evaluate(cdln3, testS, ctx.Cfg.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := energy.NewEvaluator().FromEval(cdln3, res)
+	if err != nil {
+		return nil, err
+	}
+	imps := make([]float64, mnist.Classes)
+	for d := range imps {
+		imps[d] = sum.ClassImprovement(d)
+	}
+	order := stats.Rank(imps)
+	fcExit := len(cdln3.Stages)
+	r := &Fig8Result{}
+	for _, d := range order {
+		r.Rows = append(r.Rows, Fig8Row{
+			Digit:             d,
+			EnergyImprovement: imps[d],
+			FCFraction:        res.ExitFraction(fcExit, d),
+		})
+	}
+	r.EasiestDigit = r.Rows[0].Digit
+	r.HardestDigit = r.Rows[len(r.Rows)-1].Digit
+	r.MinImprovement = r.Rows[len(r.Rows)-1].EnergyImprovement
+	return r, nil
+}
+
+// String renders the ranking.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — Energy benefit in decreasing order (MNIST_3C)\n")
+	b.WriteString("digit   improvement   FC activated\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %d       %5.2fx        %5.1f%%\n", row.Digit, row.EnergyImprovement, 100*row.FCFraction)
+	}
+	fmt.Fprintf(&b, "easiest digit %d, hardest digit %d, min improvement %.2fx\n",
+		r.EasiestDigit, r.HardestDigit, r.MinImprovement)
+	return b.String()
+}

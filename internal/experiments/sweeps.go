@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cdl/internal/core"
+)
+
+// Fig7Point is one configuration of the Fig. 7 sweep: accuracy as output
+// layers are added one at a time to the 8-layer baseline.
+type Fig7Point struct {
+	// Stages is the number of linear classifiers (0 = plain baseline).
+	Stages int
+	// Label is "baseline", "O1-FC", "O1-O2-FC", "O1-O2-O3-FC".
+	Label string
+	// Accuracy is CDLN test accuracy at this configuration.
+	Accuracy float64
+	// FCMisclassified is the fraction of inputs that reach FC and are
+	// misclassified there (the paper observes it shrinking).
+	FCMisclassified float64
+}
+
+// Fig7Result reproduces Fig. 7: accuracy improvement with the number of
+// output layers.
+type Fig7Result struct {
+	Points []Fig7Point
+	// BaselineAccuracy repeats Points[0].Accuracy for convenience.
+	BaselineAccuracy float64
+}
+
+// Fig7 sweeps stage count 0..3 on the 8-layer architecture.
+func Fig7(ctx *Context) (*Fig7Result, error) {
+	arch, err := ctx.Arch8()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"baseline", "O1-FC", "O1-O2-FC", "O1-O2-O3-FC"}
+	r := &Fig7Result{}
+	for k := 0; k <= len(arch.Taps); k++ {
+		var acc, fcMis float64
+		if k == 0 {
+			conf := evalBaseline(arch, testS, ctx.Cfg.Workers)
+			acc = conf.Accuracy()
+			fcMis = 1 - conf.Accuracy()
+		} else {
+			cdln, _, err := ctx.BuildSweepCDLN(k)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Evaluate(cdln, testS, ctx.Cfg.Workers, true)
+			if err != nil {
+				return nil, err
+			}
+			acc = res.Confusion.Accuracy()
+			fcMis = fcMisclassifiedFraction(res, testS)
+		}
+		r.Points = append(r.Points, Fig7Point{Stages: k, Label: labels[k], Accuracy: acc, FCMisclassified: fcMis})
+	}
+	r.BaselineAccuracy = r.Points[0].Accuracy
+	return r, nil
+}
+
+// String renders the sweep.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — Accuracy vs number of output layers (8-layer arch)\n")
+	b.WriteString("config        accuracy   Δ vs baseline   FC misclassified\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s  %7.4f   %+7.4f         %6.3f\n",
+			p.Label, p.Accuracy, p.Accuracy-r.BaselineAccuracy, p.FCMisclassified)
+	}
+	return b.String()
+}
+
+// Fig9Point is one configuration of the Fig. 9 sweep: normalized OPS as
+// stages are added.
+type Fig9Point struct {
+	Stages int
+	Label  string
+	// NormalizedOps is mean dynamic ops / baseline ops.
+	NormalizedOps float64
+	// FCFraction is the fraction of inputs passed to the final layer.
+	FCFraction float64
+}
+
+// Fig9Result reproduces Fig. 9: normalized #OPS versus the number of
+// stages, exposing the break-even behaviour that motivates the gain rule.
+type Fig9Result struct {
+	Points []Fig9Point
+	// BestStages is the argmin configuration (paper: 2 stages, ≈0.45).
+	BestStages int
+	// BestNormalizedOps is the minimum normalized OPS.
+	BestNormalizedOps float64
+}
+
+// Fig9 sweeps stage count 0..3 on the 8-layer architecture.
+func Fig9(ctx *Context) (*Fig9Result, error) {
+	arch, err := ctx.Arch8()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"baseline", "O1-FC", "O1-O2-FC", "O1-O2-O3-FC"}
+	r := &Fig9Result{BestNormalizedOps: 1}
+	r.Points = append(r.Points, Fig9Point{Stages: 0, Label: labels[0], NormalizedOps: 1, FCFraction: 1})
+	for k := 1; k <= len(arch.Taps); k++ {
+		cdln, _, err := ctx.BuildSweepCDLN(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Evaluate(cdln, testS, ctx.Cfg.Workers, false)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig9Point{
+			Stages:        k,
+			Label:         labels[k],
+			NormalizedOps: res.NormalizedOps(),
+			FCFraction:    res.ExitFraction(len(cdln.Stages), -1),
+		}
+		r.Points = append(r.Points, p)
+		if p.NormalizedOps < r.BestNormalizedOps {
+			r.BestNormalizedOps = p.NormalizedOps
+			r.BestStages = k
+		}
+	}
+	return r, nil
+}
+
+// String renders the sweep.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9 — Normalized #OPS vs number of stages (8-layer arch)\n")
+	b.WriteString("config        norm OPS   fraction to FC\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s   %6.3f        %5.1f%%\n", p.Label, p.NormalizedOps, 100*p.FCFraction)
+	}
+	fmt.Fprintf(&b, "break-even: %d stages at %.3f normalized OPS\n", r.BestStages, r.BestNormalizedOps)
+	return b.String()
+}
+
+// Fig10Point is one δ of the Fig. 10 sweep.
+type Fig10Point struct {
+	Delta         float64
+	Accuracy      float64
+	NormalizedOps float64
+}
+
+// Fig10Result reproduces Fig. 10: the efficiency–accuracy trade-off as the
+// confidence threshold δ varies at runtime on MNIST_3C.
+type Fig10Result struct {
+	Points []Fig10Point
+	// BestDelta maximizes accuracy (paper: δ=0.5).
+	BestDelta float64
+	// BestAccuracy is the maximum accuracy.
+	BestAccuracy float64
+}
+
+// Fig10 sweeps δ over [0.30, 0.95] in steps of 0.05 without retraining —
+// exactly the runtime knob the paper describes (§III.B).
+func Fig10(ctx *Context) (*Fig10Result, error) {
+	cdln3, _, err := ctx.MNIST3C()
+	if err != nil {
+		return nil, err
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig10Result{}
+	sweep := cdln3.Clone()
+	for i := 0; i <= 13; i++ {
+		delta := 0.30 + 0.05*float64(i)
+		sweep.Delta = delta
+		res, err := core.Evaluate(sweep, testS, ctx.Cfg.Workers, false)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig10Point{Delta: delta, Accuracy: res.Confusion.Accuracy(), NormalizedOps: res.NormalizedOps()}
+		r.Points = append(r.Points, p)
+		if p.Accuracy > r.BestAccuracy {
+			r.BestAccuracy = p.Accuracy
+			r.BestDelta = p.Delta
+		}
+	}
+	return r, nil
+}
+
+// String renders the sweep.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — Efficiency vs accuracy with confidence level δ (MNIST_3C)\n")
+	b.WriteString("delta   accuracy   norm OPS\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, " %.2f    %7.4f    %6.3f\n", p.Delta, p.Accuracy, p.NormalizedOps)
+	}
+	fmt.Fprintf(&b, "best accuracy %.4f at δ=%.2f\n", r.BestAccuracy, r.BestDelta)
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package fixed implements signed Qm.n fixed-point arithmetic with
+// saturation. The paper's classifiers were synthesized to RTL on a 45 nm
+// process; datapaths of that generation use fixed-point MAC units, so the
+// hardware model (internal/hw) quantizes weights and activations through
+// this package to estimate precision-faithful energy and to bound the
+// accuracy cost of a hardware deployment.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed fixed-point format with IntBits integer bits
+// (excluding sign) and FracBits fractional bits; total width is
+// 1+IntBits+FracBits.
+type Format struct {
+	IntBits  int
+	FracBits int
+}
+
+// Q2x13 is the default 16-bit format (1 sign + 2 integer + 13 fraction),
+// a common choice for CNN accelerators in 45 nm-class designs: activations
+// live in [0,1] and the sigmoid keeps weights small.
+var Q2x13 = Format{IntBits: 2, FracBits: 13}
+
+// Q7x8 is a wider-range 16-bit format for accumulators.
+var Q7x8 = Format{IntBits: 7, FracBits: 8}
+
+// Validate checks the format is representable.
+func (f Format) Validate() error {
+	if f.IntBits < 0 || f.FracBits < 0 {
+		return fmt.Errorf("fixed: negative field in %+v", f)
+	}
+	if f.Width() > 63 {
+		return fmt.Errorf("fixed: width %d exceeds 63 bits", f.Width())
+	}
+	if f.Width() < 2 {
+		return fmt.Errorf("fixed: width %d too small", f.Width())
+	}
+	return nil
+}
+
+// Width returns the total bit width including sign.
+func (f Format) Width() int { return 1 + f.IntBits + f.FracBits }
+
+// Scale returns 2^FracBits.
+func (f Format) Scale() float64 { return math.Ldexp(1, f.FracBits) }
+
+// MaxValue returns the largest representable value.
+func (f Format) MaxValue() float64 {
+	return float64(f.maxRaw()) / f.Scale()
+}
+
+// MinValue returns the smallest (most negative) representable value.
+func (f Format) MinValue() float64 {
+	return float64(f.minRaw()) / f.Scale()
+}
+
+func (f Format) maxRaw() int64 { return (int64(1) << uint(f.IntBits+f.FracBits)) - 1 }
+func (f Format) minRaw() int64 { return -(int64(1) << uint(f.IntBits+f.FracBits)) }
+
+// Resolution returns the quantization step 2^-FracBits.
+func (f Format) Resolution() float64 { return 1 / f.Scale() }
+
+// Quantize converts x to the nearest representable raw integer with
+// saturation. NaN quantizes to zero.
+func (f Format) Quantize(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	raw := math.Round(x * f.Scale())
+	if raw > float64(f.maxRaw()) {
+		return f.maxRaw()
+	}
+	if raw < float64(f.minRaw()) {
+		return f.minRaw()
+	}
+	return int64(raw)
+}
+
+// Dequantize converts a raw integer back to float64.
+func (f Format) Dequantize(raw int64) float64 { return float64(raw) / f.Scale() }
+
+// Round quantizes and dequantizes in one step: the nearest representable
+// value with saturation.
+func (f Format) Round(x float64) float64 { return f.Dequantize(f.Quantize(x)) }
+
+// QuantizeSlice rounds every element of xs in place and returns the maximum
+// absolute rounding error over non-saturated inputs.
+func (f Format) QuantizeSlice(xs []float64) float64 {
+	maxErr := 0.0
+	for i, x := range xs {
+		q := f.Round(x)
+		if x >= f.MinValue() && x <= f.MaxValue() {
+			if e := math.Abs(q - x); e > maxErr {
+				maxErr = e
+			}
+		}
+		xs[i] = q
+	}
+	return maxErr
+}
+
+// MulRaw multiplies two raw values in the same format, returning a raw
+// value in that format (with rounding and saturation), as a fixed-point
+// multiplier array would.
+func (f Format) MulRaw(a, b int64) int64 {
+	wide := a * b // up to 2*(width-1) bits; fits in int64 for width ≤ 31
+	// shift back by FracBits with round-to-nearest
+	half := int64(1) << uint(f.FracBits-1)
+	if f.FracBits == 0 {
+		half = 0
+	}
+	var r int64
+	if wide >= 0 {
+		r = (wide + half) >> uint(f.FracBits)
+	} else {
+		r = -((-wide + half) >> uint(f.FracBits))
+	}
+	if r > f.maxRaw() {
+		return f.maxRaw()
+	}
+	if r < f.minRaw() {
+		return f.minRaw()
+	}
+	return r
+}
+
+// AddRaw adds two raw values with saturation.
+func (f Format) AddRaw(a, b int64) int64 {
+	s := a + b
+	if s > f.maxRaw() {
+		return f.maxRaw()
+	}
+	if s < f.minRaw() {
+		return f.minRaw()
+	}
+	return s
+}
+
+// String renders the format as "Qm.n".
+func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.IntBits, f.FracBits) }

@@ -1,0 +1,179 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBasics(t *testing.T) {
+	f := Q2x13
+	if f.Width() != 16 {
+		t.Errorf("Q2.13 width %d, want 16", f.Width())
+	}
+	if f.Scale() != 8192 {
+		t.Errorf("scale %v", f.Scale())
+	}
+	if f.Resolution() != 1.0/8192 {
+		t.Errorf("resolution %v", f.Resolution())
+	}
+	if f.String() != "Q2.13" {
+		t.Errorf("String %s", f.String())
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Format{
+		{IntBits: -1, FracBits: 3},
+		{IntBits: 3, FracBits: -1},
+		{IntBits: 40, FracBits: 40},
+		{IntBits: 0, FracBits: 0},
+	}
+	for _, f := range bad {
+		if f.Validate() == nil {
+			t.Errorf("%+v validated", f)
+		}
+	}
+}
+
+func TestQuantizeKnownValues(t *testing.T) {
+	f := Format{IntBits: 2, FracBits: 2} // raw range [-16, 15], step 0.25
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{0.25, 0.25},
+		{0.3, 0.25},
+		{0.4, 0.5},
+		{-0.3, -0.25},
+		{100, 3.75},  // saturate high
+		{-100, -4.0}, // saturate low
+		{3.75, 3.75}, // max value
+		{-4.0, -4.0}, // min value
+	}
+	for _, c := range cases {
+		if got := f.Round(c.x); got != c.want {
+			t.Errorf("Round(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if f.MaxValue() != 3.75 || f.MinValue() != -4 {
+		t.Errorf("range [%v,%v]", f.MinValue(), f.MaxValue())
+	}
+}
+
+func TestQuantizeNaN(t *testing.T) {
+	if Q2x13.Quantize(math.NaN()) != 0 {
+		t.Error("NaN should quantize to 0")
+	}
+}
+
+func TestRoundIdempotent(t *testing.T) {
+	f := Q2x13
+	for _, x := range []float64{0.123456, -1.9, 3.999, -4, 0} {
+		once := f.Round(x)
+		twice := f.Round(once)
+		if once != twice {
+			t.Errorf("Round not idempotent at %v: %v vs %v", x, once, twice)
+		}
+	}
+}
+
+func TestQuantizeSliceErrorBound(t *testing.T) {
+	f := Q2x13
+	xs := []float64{0.1, -0.7, 0.999, 0.5}
+	maxErr := f.QuantizeSlice(xs)
+	if maxErr > f.Resolution()/2+1e-15 {
+		t.Errorf("max error %v exceeds half resolution %v", maxErr, f.Resolution()/2)
+	}
+}
+
+func TestMulRawKnown(t *testing.T) {
+	f := Format{IntBits: 3, FracBits: 4} // step 1/16
+	a := f.Quantize(1.5)                 // 24
+	b := f.Quantize(2.0)                 // 32
+	got := f.Dequantize(f.MulRaw(a, b))
+	if got != 3.0 {
+		t.Errorf("1.5*2.0 = %v, want 3", got)
+	}
+	// saturation: 7*7 = 49 > max 7.9375
+	big := f.Quantize(7)
+	if got := f.Dequantize(f.MulRaw(big, big)); got != f.MaxValue() {
+		t.Errorf("7*7 = %v, want saturated %v", got, f.MaxValue())
+	}
+	// negative saturation
+	neg := f.Quantize(-8)
+	if got := f.Dequantize(f.MulRaw(big, neg)); got != f.MinValue() {
+		t.Errorf("7*-8 = %v, want saturated %v", got, f.MinValue())
+	}
+}
+
+func TestAddRawSaturates(t *testing.T) {
+	f := Format{IntBits: 2, FracBits: 2}
+	mx := f.Quantize(f.MaxValue())
+	if f.AddRaw(mx, mx) != f.maxRaw() {
+		t.Error("AddRaw should saturate high")
+	}
+	mn := f.Quantize(f.MinValue())
+	if f.AddRaw(mn, mn) != f.minRaw() {
+		t.Error("AddRaw should saturate low")
+	}
+	if f.Dequantize(f.AddRaw(f.Quantize(1), f.Quantize(-0.5))) != 0.5 {
+		t.Error("AddRaw plain addition wrong")
+	}
+}
+
+// Property: quantization error of in-range values is at most half a step.
+func TestQuickQuantizeError(t *testing.T) {
+	f := Q2x13
+	g := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 3.9) // keep in range
+		err := math.Abs(f.Round(x) - x)
+		return err <= f.Resolution()/2+1e-15
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Round is monotone: x ≤ y ⇒ Round(x) ≤ Round(y).
+func TestQuickRoundMonotone(t *testing.T) {
+	f := Q2x13
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		x, y := a, b
+		if x > y {
+			x, y = y, x
+		}
+		return f.Round(x) <= f.Round(y)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulRaw by the representation of 1.0 is the identity for
+// in-range values.
+func TestQuickMulIdentity(t *testing.T) {
+	f := Format{IntBits: 3, FracBits: 8}
+	one := f.Quantize(1)
+	g := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 7.5)
+		raw := f.Quantize(x)
+		return f.MulRaw(raw, one) == raw
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

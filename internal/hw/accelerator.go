@@ -1,0 +1,127 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Accelerator is a PE-array execution model: PEs parallel MAC units fed by
+// on-chip SRAM through MemPorts word-wide ports. It converts layer activity
+// into cycles and energy.
+type Accelerator struct {
+	// Tech is the process cost table.
+	Tech Tech
+	// PEs is the number of parallel multiply-accumulate units.
+	PEs int
+	// MemPorts is the number of parallel SRAM word ports.
+	MemPorts int
+}
+
+// Default45nm returns the reference configuration used by the experiments:
+// a 16-PE, 8-port accelerator at 45 nm. With the Tech45nm cost table this
+// yields a roughly 10/60/30 compute/memory/leakage energy split on the
+// paper's networks — representative of direct-dataflow CNN engines of that
+// generation.
+func Default45nm() Accelerator {
+	return Accelerator{Tech: Tech45nm(), PEs: 16, MemPorts: 8}
+}
+
+// Validate checks the configuration.
+func (a Accelerator) Validate() error {
+	if err := a.Tech.Validate(); err != nil {
+		return err
+	}
+	if a.PEs <= 0 {
+		return fmt.Errorf("hw: PEs = %d", a.PEs)
+	}
+	if a.MemPorts <= 0 {
+		return fmt.Errorf("hw: MemPorts = %d", a.MemPorts)
+	}
+	return nil
+}
+
+// Energy is the energy split of one execution in picojoules, plus its
+// cycle count.
+type Energy struct {
+	// Compute is datapath dynamic energy (MACs, adds, compares,
+	// activations).
+	Compute float64
+	// Memory is SRAM dynamic energy.
+	Memory float64
+	// Leakage is static energy over the execution's cycles.
+	Leakage float64
+	// Cycles is the execution time in clock cycles.
+	Cycles float64
+}
+
+// Total returns total energy in pJ.
+func (e Energy) Total() float64 { return e.Compute + e.Memory + e.Leakage }
+
+// Add accumulates another energy record.
+func (e *Energy) Add(o Energy) {
+	e.Compute += o.Compute
+	e.Memory += o.Memory
+	e.Leakage += o.Leakage
+	e.Cycles += o.Cycles
+}
+
+// LayerEnergy costs one layer's activity on this accelerator. Cycles are
+// the maximum of the compute-bound and memory-bound estimates (a simple
+// roofline); leakage is charged over those cycles.
+func (a Accelerator) LayerEnergy(act LayerActivity) Energy {
+	t := a.Tech
+	e := Energy{}
+	e.Compute = act.MACs*(t.EMul+t.EAdd) +
+		act.Adds*t.EAdd +
+		act.Compares*t.ECmp +
+		act.ActEvals*t.EAct
+	e.Memory = (act.WeightReads+act.InputReads)*t.ESRAMRead +
+		act.OutputWrites*t.ESRAMWrite
+
+	datapathOps := act.MACs + act.Adds + act.Compares + act.ActEvals
+	memWords := act.WeightReads + act.InputReads + act.OutputWrites
+	computeCycles := datapathOps / float64(a.PEs)
+	memCycles := memWords / float64(a.MemPorts)
+	e.Cycles = computeCycles
+	if memCycles > e.Cycles {
+		e.Cycles = memCycles
+	}
+	e.Leakage = e.Cycles * t.LeakagePerCycle()
+	return e
+}
+
+// NetworkEnergy sums layer energies over an activity list.
+func (a Accelerator) NetworkEnergy(acts []LayerActivity) Energy {
+	var total Energy
+	for _, act := range acts {
+		total.Add(a.LayerEnergy(act))
+	}
+	return total
+}
+
+// CumulativeEnergy returns the total energy of executing the first k layers
+// of the activity list, for k = 0..len(acts). Mirrors
+// opcount.Model.CumulativeOps, but in picojoules.
+func (a Accelerator) CumulativeEnergy(acts []LayerActivity) []float64 {
+	cum := make([]float64, len(acts)+1)
+	for i, act := range acts {
+		cum[i+1] = cum[i] + a.LayerEnergy(act).Total()
+	}
+	return cum
+}
+
+// Report renders a per-layer energy table.
+func (a Accelerator) Report(acts []LayerActivity) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %10s\n", "layer", "compute pJ", "memory pJ", "leakage pJ", "total pJ", "cycles")
+	var total Energy
+	for _, act := range acts {
+		e := a.LayerEnergy(act)
+		total.Add(e)
+		fmt.Fprintf(&b, "%-8s %12.1f %12.1f %12.1f %12.1f %10.0f\n",
+			act.Name, e.Compute, e.Memory, e.Leakage, e.Total(), e.Cycles)
+	}
+	fmt.Fprintf(&b, "%-8s %12.1f %12.1f %12.1f %12.1f %10.0f\n",
+		"total", total.Compute, total.Memory, total.Leakage, total.Total(), total.Cycles)
+	return b.String()
+}

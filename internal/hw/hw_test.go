@@ -1,0 +1,230 @@
+package hw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cdl/internal/nn"
+)
+
+func TestTech45nmValid(t *testing.T) {
+	tech := Tech45nm()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// SRAM access must cost more than a MAC at this node — the imbalance
+	// that separates energy ratios from op ratios.
+	if tech.ESRAMRead <= tech.EMul {
+		t.Error("SRAM read should cost more than a multiply at 45nm")
+	}
+	if tech.LeakagePerCycle() <= 0 {
+		t.Error("leakage per cycle must be positive")
+	}
+}
+
+func TestTechValidateRejects(t *testing.T) {
+	tech := Tech45nm()
+	tech.EMul = 0
+	if tech.Validate() == nil {
+		t.Error("zero EMul accepted")
+	}
+	tech = Tech45nm()
+	tech.ClockMHz = -1
+	if tech.Validate() == nil {
+		t.Error("negative clock accepted")
+	}
+}
+
+func TestAcceleratorValidate(t *testing.T) {
+	acc := Default45nm()
+	if err := acc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	acc.PEs = 0
+	if acc.Validate() == nil {
+		t.Error("zero PEs accepted")
+	}
+	acc = Default45nm()
+	acc.MemPorts = 0
+	if acc.Validate() == nil {
+		t.Error("zero ports accepted")
+	}
+}
+
+func TestAnalyzeConvActivity(t *testing.T) {
+	c := nn.NewConv2D("C1", 1, 6, 5)
+	a := AnalyzeLayer(c, []int{1, 28, 28})
+	wantMACs := float64(6 * 24 * 24 * 25)
+	if a.MACs != wantMACs {
+		t.Errorf("MACs = %v, want %v", a.MACs, wantMACs)
+	}
+	if a.WeightReads != wantMACs || a.InputReads != wantMACs {
+		t.Error("direct dataflow should read one weight and one act per MAC")
+	}
+	if a.OutputWrites != float64(6*24*24) {
+		t.Errorf("OutputWrites = %v", a.OutputWrites)
+	}
+}
+
+func TestAnalyzePoolActivity(t *testing.T) {
+	p := nn.NewMaxPool2D("P1", 2)
+	a := AnalyzeLayer(p, []int{6, 24, 24})
+	if a.Compares != float64(6*12*12*3) {
+		t.Errorf("Compares = %v", a.Compares)
+	}
+	if a.MACs != 0 {
+		t.Error("pool should have no MACs")
+	}
+}
+
+func TestLayerEnergyComposition(t *testing.T) {
+	acc := Default45nm()
+	d := nn.NewDense("FC", 100, 10)
+	e := acc.LayerEnergy(AnalyzeLayer(d, []int{100}))
+	if e.Compute <= 0 || e.Memory <= 0 || e.Leakage <= 0 || e.Cycles <= 0 {
+		t.Errorf("energy components must be positive: %+v", e)
+	}
+	if e.Total() != e.Compute+e.Memory+e.Leakage {
+		t.Error("Total != sum of components")
+	}
+	// Under the direct dataflow, memory energy dominates compute at 45nm.
+	if e.Memory <= e.Compute {
+		t.Error("expected memory-dominated energy for dense layer")
+	}
+}
+
+func TestRooflineCycles(t *testing.T) {
+	acc := Accelerator{Tech: Tech45nm(), PEs: 1, MemPorts: 1000000}
+	d := nn.NewDense("FC", 10, 10)
+	act := AnalyzeLayer(d, []int{10})
+	e := acc.LayerEnergy(act)
+	// compute-bound: 100 MACs + 10 adds on 1 PE = 110 cycles
+	if e.Cycles != 110 {
+		t.Errorf("compute-bound cycles = %v, want 110", e.Cycles)
+	}
+	acc = Accelerator{Tech: Tech45nm(), PEs: 1000000, MemPorts: 1}
+	e = acc.LayerEnergy(act)
+	// memory-bound: 100+100 reads + 10 writes = 210 cycles
+	if e.Cycles != 210 {
+		t.Errorf("memory-bound cycles = %v, want 210", e.Cycles)
+	}
+}
+
+func TestCumulativeEnergyMatchesTotal(t *testing.T) {
+	arch := nn.Arch6Layer(rand.New(rand.NewSource(1)))
+	acc := Default45nm()
+	acts := AnalyzeNetwork(arch.Net)
+	cum := acc.CumulativeEnergy(acts)
+	if len(cum) != len(acts)+1 {
+		t.Fatalf("cumulative len %d", len(cum))
+	}
+	total := acc.NetworkEnergy(acts).Total()
+	diff := cum[len(cum)-1] - total
+	if diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("cumulative end %v != network total %v", cum[len(cum)-1], total)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Error("cumulative energy must be nondecreasing")
+		}
+	}
+}
+
+func TestPaperArchEnergyOrdering(t *testing.T) {
+	// The 6-layer DLN must cost more energy than the 8-layer one (paper
+	// §V.A), mirroring the op-count ordering.
+	acc := Default45nm()
+	e6 := acc.NetworkEnergy(AnalyzeNetwork(nn.Arch6Layer(rand.New(rand.NewSource(1))).Net)).Total()
+	e8 := acc.NetworkEnergy(AnalyzeNetwork(nn.Arch8Layer(rand.New(rand.NewSource(1))).Net)).Total()
+	if e6 <= e8 {
+		t.Errorf("6-layer energy %v should exceed 8-layer %v", e6, e8)
+	}
+}
+
+func TestLinearClassifierActivity(t *testing.T) {
+	a := LinearClassifierActivity(507, 10)
+	if a.MACs != 5070 || a.ActEvals != 10 {
+		t.Errorf("LC activity = %+v", a)
+	}
+}
+
+func TestSynthesizeNetlist(t *testing.T) {
+	arch := nn.Arch8Layer(rand.New(rand.NewSource(1)))
+	acc := Default45nm()
+	nl := Synthesize("mnist3c", arch.Net, acc)
+	if nl.Multipliers != acc.PEs {
+		t.Errorf("multipliers %d", nl.Multipliers)
+	}
+	if nl.WeightBytes != arch.Net.NumParams()*2 {
+		t.Errorf("weight bytes %d, want %d", nl.WeightBytes, arch.Net.NumParams()*2)
+	}
+	// Largest tensor in the 8-layer net is C1's 3×26×26 output.
+	want := 2 * 3 * 26 * 26 * 2
+	if nl.BufferBytes != want {
+		t.Errorf("buffer bytes %d, want %d", nl.BufferBytes, want)
+	}
+	if nl.GateCount() <= 0 || nl.SRAMBytes() <= 0 {
+		t.Error("non-positive netlist inventory")
+	}
+	if !strings.Contains(nl.String(), "kGE") {
+		t.Error("report missing gate count")
+	}
+}
+
+func TestSynthesizeClassifierNetlist(t *testing.T) {
+	acc := Default45nm()
+	nl := SynthesizeClassifier("O1", 507, 10, acc)
+	if nl.WeightBytes != (507*10+10)*2 {
+		t.Errorf("classifier weight bytes %d", nl.WeightBytes)
+	}
+	if nl.BufferBytes != (507+10)*2 {
+		t.Errorf("classifier buffer bytes %d", nl.BufferBytes)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	arch := nn.ArchTiny(rand.New(rand.NewSource(1)), 4)
+	acc := Default45nm()
+	rep := acc.Report(AnalyzeNetwork(arch.Net))
+	for _, col := range []string{"layer", "compute", "total", "C1", "FC"} {
+		if !strings.Contains(rep, col) {
+			t.Errorf("report missing %q:\n%s", col, rep)
+		}
+	}
+}
+
+// Property: energy scales monotonically with activity — doubling MACs never
+// reduces any component.
+func TestQuickEnergyMonotone(t *testing.T) {
+	acc := Default45nm()
+	f := func(macs, reads uint16) bool {
+		a := LayerActivity{MACs: float64(macs), WeightReads: float64(reads)}
+		b := a
+		b.MACs *= 2
+		b.WeightReads *= 2
+		ea, eb := acc.LayerEnergy(a), acc.LayerEnergy(b)
+		return eb.Compute >= ea.Compute && eb.Memory >= ea.Memory &&
+			eb.Leakage >= ea.Leakage && eb.Total() >= ea.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy is additive across activity lists.
+func TestQuickEnergyAdditive(t *testing.T) {
+	acc := Default45nm()
+	f := func(m1, m2 uint16) bool {
+		a := LayerActivity{MACs: float64(m1), InputReads: float64(m1)}
+		b := LayerActivity{MACs: float64(m2), InputReads: float64(m2)}
+		sum := acc.NetworkEnergy([]LayerActivity{a, b}).Total()
+		sep := acc.LayerEnergy(a).Total() + acc.LayerEnergy(b).Total()
+		diff := sum - sep
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+
+	"cdl/internal/nn"
+)
+
+// Gate-equivalent costs of the datapath units a synthesis tool would infer
+// for a 16-bit fixed-point pipeline, in NAND2-equivalent gates. These are
+// textbook figures for the 45 nm generation; they parameterize the area
+// report only and do not affect energy numbers.
+const (
+	gatesPerMultiplier  = 2000
+	gatesPerAdder       = 220
+	gatesPerComparator  = 160
+	gatesPerRegisterBit = 8
+	gatesPerLUTEntryBit = 1.5 // activation LUT as synthesized ROM
+	actLUTEntries       = 64
+)
+
+// Netlist is the synthesized-inventory estimate of one design: datapath
+// unit counts, register bits, and SRAM requirements. It stands in for the
+// gate-level netlist Design Compiler would emit.
+type Netlist struct {
+	// Name labels the design.
+	Name string
+	// Multipliers..Comparators are datapath unit counts for a fully
+	// time-multiplexed PE array (PEs multipliers/adders shared by layers).
+	Multipliers, Adders, Comparators int
+	// ActLUTs is the number of activation lookup tables.
+	ActLUTs int
+	// RegisterBits counts pipeline and accumulator registers.
+	RegisterBits int
+	// WeightBytes and BufferBytes size the on-chip SRAMs.
+	WeightBytes, BufferBytes int
+}
+
+// Synthesize sizes an accelerator netlist for a network: a PE array wide
+// enough for acc.PEs MACs, weight SRAM holding every parameter, and
+// activation buffers sized to the largest inter-layer tensor.
+func Synthesize(name string, net *nn.Network, acc Accelerator) Netlist {
+	wordBytes := (acc.Tech.Width.Width() + 7) / 8
+	nl := Netlist{
+		Name:        name,
+		Multipliers: acc.PEs,
+		Adders:      acc.PEs + 1, // accumulate plus bias adder
+		Comparators: acc.PEs,     // pooling compare lanes
+		ActLUTs:     1,
+		// per-PE accumulator register plus an output staging register
+		RegisterBits: (acc.PEs + 1) * acc.Tech.Width.Width(),
+	}
+	nl.WeightBytes = net.NumParams() * wordBytes
+
+	// Largest activation tensor determines double-buffered SRAM size.
+	maxAct := 0
+	shape := append([]int(nil), net.InShape...)
+	size := func(s []int) int {
+		n := 1
+		for _, d := range s {
+			n *= d
+		}
+		return n
+	}
+	if v := size(shape); v > maxAct {
+		maxAct = v
+	}
+	for _, l := range net.Layers {
+		shape = l.OutShape(shape)
+		if v := size(shape); v > maxAct {
+			maxAct = v
+		}
+	}
+	nl.BufferBytes = 2 * maxAct * wordBytes
+	return nl
+}
+
+// SynthesizeClassifier sizes the standalone linear-classifier datapath the
+// paper adds per stage: weights in×out plus biases, a dot-product PE row.
+func SynthesizeClassifier(name string, in, out int, acc Accelerator) Netlist {
+	wordBytes := (acc.Tech.Width.Width() + 7) / 8
+	return Netlist{
+		Name:         name,
+		Multipliers:  acc.PEs,
+		Adders:       acc.PEs + 1,
+		Comparators:  1, // argmax scan
+		ActLUTs:      1,
+		RegisterBits: (acc.PEs + 1) * acc.Tech.Width.Width(),
+		WeightBytes:  (in*out + out) * wordBytes,
+		BufferBytes:  (in + out) * wordBytes,
+	}
+}
+
+// GateCount returns the NAND2-equivalent gate estimate of the logic
+// (excluding SRAM macros).
+func (n Netlist) GateCount() float64 {
+	return float64(n.Multipliers)*gatesPerMultiplier +
+		float64(n.Adders)*gatesPerAdder +
+		float64(n.Comparators)*gatesPerComparator +
+		float64(n.RegisterBits)*gatesPerRegisterBit +
+		float64(n.ActLUTs)*actLUTEntries*16*gatesPerLUTEntryBit
+}
+
+// SRAMBytes returns total on-chip memory.
+func (n Netlist) SRAMBytes() int { return n.WeightBytes + n.BufferBytes }
+
+// String renders the inventory like a synthesis report summary.
+func (n Netlist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netlist %s\n", n.Name)
+	fmt.Fprintf(&b, "  multipliers %d, adders %d, comparators %d, act-LUTs %d\n",
+		n.Multipliers, n.Adders, n.Comparators, n.ActLUTs)
+	fmt.Fprintf(&b, "  register bits %d\n", n.RegisterBits)
+	fmt.Fprintf(&b, "  gate count %.1f kGE\n", n.GateCount()/1000)
+	fmt.Fprintf(&b, "  SRAM: weights %d B, buffers %d B\n", n.WeightBytes, n.BufferBytes)
+	return b.String()
+}

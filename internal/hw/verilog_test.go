@@ -1,0 +1,107 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"cdl/internal/fixed"
+)
+
+func TestEmitClassifierVerilogStructure(t *testing.T) {
+	v, err := EmitClassifierVerilog("cdl_o1", 507, 10, fixed.Q2x13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Module must be balanced and carry the paper's interface: δ input,
+	// exit output, weight/bias ROMs, sigmoid LUT, the two-criteria check.
+	for _, want := range []string{
+		"module cdl_o1",
+		"endmodule",
+		"parameter IN  = 507",
+		"parameter OUT = 10",
+		"input  wire signed [W-1:0] delta",
+		"output reg               out_exit",
+		"reg signed [W-1:0] weights [0:OUT*IN-1]",
+		"sigmoid_lut",
+		"(confident == 1)",
+		"endfunction",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q", want)
+		}
+	}
+	if strings.Count(v, "module") < 1 || strings.Count(v, "endmodule") != 1 {
+		t.Error("unbalanced module/endmodule")
+	}
+	if strings.Count(v, "begin") != strings.Count(v, "end")-strings.Count(v, "endmodule")-strings.Count(v, "endcase")-strings.Count(v, "endfunction") {
+		// begin/end balance: every "end" that is not endmodule/endcase/
+		// endfunction closes a begin.
+		t.Errorf("unbalanced begin/end: %d begin vs %d plain end",
+			strings.Count(v, "begin"),
+			strings.Count(v, "end")-strings.Count(v, "endmodule")-strings.Count(v, "endcase")-strings.Count(v, "endfunction"))
+	}
+}
+
+func TestEmitClassifierVerilogWidths(t *testing.T) {
+	v, err := EmitClassifierVerilog("m", 81, 10, fixed.Q2x13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// accumulator: 2*16 + ceil(log2(81)) = 32+7 = 39 bits
+	if !strings.Contains(v, "parameter ACCW = 39") {
+		t.Error("accumulator width wrong for 81 features")
+	}
+	// class index bus: ceil(log2(10)) = 4 bits → [3:0]
+	if !strings.Contains(v, "output reg  [3:0]       out_class") {
+		t.Error("class bus width wrong for 10 classes")
+	}
+}
+
+func TestEmitClassifierVerilogErrors(t *testing.T) {
+	if _, err := EmitClassifierVerilog("m", 0, 10, fixed.Q2x13); err == nil {
+		t.Error("zero inputs accepted")
+	}
+	if _, err := EmitClassifierVerilog("m", 10, 0, fixed.Q2x13); err == nil {
+		t.Error("zero outputs accepted")
+	}
+	if _, err := EmitClassifierVerilog("m", 10, 10, fixed.Format{IntBits: -1}); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestEmitTestbench(t *testing.T) {
+	tb, err := EmitClassifierTestbench("cdl_o1", 507, 10, fixed.Q2x13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module cdl_o1_tb",
+		"cdl_o1 dut",
+		"$finish",
+		"always #5 clk = ~clk",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q", want)
+		}
+	}
+	if _, err := EmitClassifierTestbench("m", 0, 1, fixed.Q2x13); err == nil {
+		t.Error("zero inputs accepted")
+	}
+}
+
+func TestClog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 10: 4, 81: 7, 507: 9, 1024: 10}
+	for n, want := range cases {
+		if got := clog2(n); got != want {
+			t.Errorf("clog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestVerilogDeterministic(t *testing.T) {
+	a, _ := EmitClassifierVerilog("m", 150, 10, fixed.Q2x13)
+	b, _ := EmitClassifierVerilog("m", 150, 10, fixed.Q2x13)
+	if a != b {
+		t.Error("emission not deterministic")
+	}
+}

@@ -1,0 +1,45 @@
+package linclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+func benchFeatures(n, width int, seed int64) ([]*tensor.T, []int) {
+	r := rand.New(rand.NewSource(seed))
+	fs := make([]*tensor.T, n)
+	ls := make([]int, n)
+	for i := range fs {
+		f := tensor.New(width)
+		for j := range f.Data {
+			f.Data[j] = r.Float64()
+		}
+		fs[i] = f
+		ls[i] = i % 10
+	}
+	return fs, ls
+}
+
+func BenchmarkScores507(b *testing.B) {
+	c := New(507, 10, rand.New(rand.NewSource(1)))
+	fs, _ := benchFeatures(1, 507, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Scores(fs[0])
+	}
+}
+
+func BenchmarkTrainEpoch507(b *testing.B) {
+	fs, ls := benchFeatures(200, 507, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(507, 10, rand.New(rand.NewSource(4)))
+		if _, err := c.Train(fs, ls, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package mnist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig controls the synthetic digit generator. Zero values take the
+// documented defaults via Normalize.
+type GenConfig struct {
+	// N is the number of images to generate.
+	N int
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+	// NoiseLevel is the standard deviation of additive pixel noise at
+	// difficulty 1 (default 0.12).
+	NoiseLevel float64
+	// MaxRotate is the rotation range in radians at difficulty 1
+	// (default 0.45 ≈ 26°).
+	MaxRotate float64
+	// DifficultyExponent shapes the difficulty distribution: difficulty is
+	// drawn as U^e, so larger e skews the dataset easier. Default 1.6,
+	// which makes the bulk of inputs easy with a hard tail — the
+	// distribution CDL exploits.
+	DifficultyExponent float64
+	// BalanceClasses makes the label sequence a repeating 0..9 cycle
+	// instead of uniform draws.
+	BalanceClasses bool
+}
+
+// Normalize fills zero fields with defaults and validates the rest.
+func (c *GenConfig) Normalize() error {
+	if c.N <= 0 {
+		return fmt.Errorf("mnist: GenConfig.N=%d", c.N)
+	}
+	if c.NoiseLevel == 0 {
+		c.NoiseLevel = 0.18
+	}
+	if c.NoiseLevel < 0 || c.NoiseLevel > 1 {
+		return fmt.Errorf("mnist: NoiseLevel=%v", c.NoiseLevel)
+	}
+	if c.MaxRotate == 0 {
+		c.MaxRotate = 0.55
+	}
+	if c.DifficultyExponent == 0 {
+		c.DifficultyExponent = 1.2
+	}
+	if c.DifficultyExponent < 0 {
+		return fmt.Errorf("mnist: DifficultyExponent=%v", c.DifficultyExponent)
+	}
+	return nil
+}
+
+// Generate synthesizes cfg.N labelled digit images. It is deterministic
+// for a fixed config.
+func Generate(cfg GenConfig) ([]Image, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	variants := glyphVariants()
+	imgs := make([]Image, cfg.N)
+	for i := range imgs {
+		label := rng.Intn(Classes)
+		if cfg.BalanceClasses {
+			label = i % Classes
+		}
+		imgs[i] = renderDigit(label, variants[label], rng, &cfg)
+	}
+	return imgs, nil
+}
+
+// GenerateSplit produces a train and a test set from two derived seeds, the
+// usual 60k/10k style split at configurable sizes.
+func GenerateSplit(trainN, testN int, seed int64) (trainImgs, testImgs []Image, err error) {
+	trainImgs, err = Generate(GenConfig{N: trainN, Seed: seed, BalanceClasses: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	testImgs, err = Generate(GenConfig{N: testN, Seed: seed + 7919, BalanceClasses: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainImgs, testImgs, nil
+}
+
+// renderDigit draws one randomized instance of the digit's glyph.
+func renderDigit(label int, variants []glyph, rng *rand.Rand, cfg *GenConfig) Image {
+	// Difficulty draw: U^e keeps most samples easy; the per-class hardness
+	// multiplier shifts each digit's whole distribution.
+	difficulty := math.Pow(rng.Float64(), cfg.DifficultyExponent)
+	d := difficulty * classHardness[label]
+
+	g := variants[rng.Intn(len(variants))]
+
+	// Affine warp parameters scale with effective difficulty d.
+	rot := (rng.Float64()*2 - 1) * cfg.MaxRotate * d
+	scaleX := 1 + (rng.Float64()*2-1)*0.30*d
+	scaleY := 1 + (rng.Float64()*2-1)*0.30*d
+	shear := (rng.Float64()*2 - 1) * 0.50 * d
+	dx := (rng.Float64()*2 - 1) * 0.15 * d
+	dy := (rng.Float64()*2 - 1) * 0.15 * d
+
+	// Stroke appearance.
+	width := 0.040 + 0.018*rng.Float64() + 0.028*d*rng.Float64()
+	wavAmp := 0.022 * d * rng.Float64() * 2
+	wavFreq := 2 + rng.Float64()*4
+	wavPhase := rng.Float64() * 2 * math.Pi
+
+	cos, sin := math.Cos(rot), math.Sin(rot)
+	warp := func(p pt) pt {
+		// center, scale/shear/rotate, translate, un-center
+		x := (p.X - 0.5) * scaleX
+		y := (p.Y - 0.5) * scaleY
+		x += shear * y
+		xr := x*cos - y*sin
+		yr := x*sin + y*cos
+		return pt{X: xr + 0.5 + dx, Y: yr + 0.5 + dy}
+	}
+
+	// Build the warped, wavy segment list.
+	type seg struct{ a, b pt }
+	var segs []seg
+	arcPos := 0.0
+	for _, st := range g {
+		prev := pt{}
+		for i, p := range st {
+			q := warp(p)
+			arcPos += 0.13
+			q.X += wavAmp * math.Sin(wavFreq*arcPos+wavPhase)
+			q.Y += wavAmp * math.Cos(wavFreq*arcPos*0.8+wavPhase)
+			if i > 0 {
+				segs = append(segs, seg{prev, q})
+			}
+			prev = q
+		}
+	}
+
+	// Rasterize: intensity from distance-to-nearest-segment with a soft
+	// falloff, approximating pen pressure and antialiasing.
+	pix := make([]float64, Side*Side)
+	aa := 0.030 // antialias band in glyph units
+	for py := 0; py < Side; py++ {
+		for px := 0; px < Side; px++ {
+			gx := (float64(px) + 0.5) / Side
+			gy := (float64(py) + 0.5) / Side
+			best := math.Inf(1)
+			for _, s := range segs {
+				if dseg := distPointSeg(gx, gy, s.a, s.b); dseg < best {
+					best = dseg
+				}
+			}
+			v := 1 - (best-width)/aa
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			pix[py*Side+px] = v
+		}
+	}
+
+	// Slight blur couples neighbouring pixels like optical scanning does.
+	pix = blur3x3(pix, 0.30+0.35*d)
+
+	// Additive noise, scaled by difficulty.
+	sigma := cfg.NoiseLevel * (0.25 + 0.75*d)
+	for i := range pix {
+		pix[i] += rng.NormFloat64() * sigma
+		if pix[i] < 0 {
+			pix[i] = 0
+		}
+		if pix[i] > 1 {
+			pix[i] = 1
+		}
+	}
+
+	return Image{Pixels: pix, Label: label, Difficulty: d}
+}
+
+// distPointSeg returns the Euclidean distance from (x,y) to segment ab.
+func distPointSeg(x, y float64, a, b pt) float64 {
+	vx, vy := b.X-a.X, b.Y-a.Y
+	wx, wy := x-a.X, y-a.Y
+	den := vx*vx + vy*vy
+	t := 0.0
+	if den > 0 {
+		t = (wx*vx + wy*vy) / den
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+	}
+	dx := x - (a.X + t*vx)
+	dy := y - (a.Y + t*vy)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// blur3x3 applies one pass of a 3×3 binomial-ish blur with the given
+// strength in [0,1]; strength 0 returns the input unchanged.
+func blur3x3(pix []float64, strength float64) []float64 {
+	if strength <= 0 {
+		return pix
+	}
+	out := make([]float64, len(pix))
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			sum := 0.0
+			cnt := 0.0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= Side || ny < 0 || ny >= Side {
+						continue
+					}
+					sum += pix[ny*Side+nx]
+					cnt++
+				}
+			}
+			center := pix[y*Side+x]
+			out[y*Side+x] = center*(1-strength) + strength*(sum/cnt)
+		}
+	}
+	return out
+}

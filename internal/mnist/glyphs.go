@@ -1,0 +1,203 @@
+package mnist
+
+import "math"
+
+// pt is a point in glyph space: the unit square [0,1]², x right, y down.
+type pt struct{ X, Y float64 }
+
+// stroke is a polyline in glyph space. Curved strokes are pre-sampled into
+// polylines by the helpers below, so the rasterizer only ever deals with
+// line segments.
+type stroke []pt
+
+// glyph is the skeleton of one digit: a set of strokes.
+type glyph []stroke
+
+// line returns a two-point stroke.
+func line(x0, y0, x1, y1 float64) stroke {
+	return stroke{{x0, y0}, {x1, y1}}
+}
+
+// bezier samples a quadratic Bézier curve into n segments.
+func bezier(p0, c, p1 pt, n int) stroke {
+	s := make(stroke, 0, n+1)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		u := 1 - t
+		s = append(s, pt{
+			X: u*u*p0.X + 2*u*t*c.X + t*t*p1.X,
+			Y: u*u*p0.Y + 2*u*t*c.Y + t*t*p1.Y,
+		})
+	}
+	return s
+}
+
+// arc samples a circular arc (angles in radians, y-down screen coords) into
+// n segments.
+func arc(cx, cy, r, a0, a1 float64, n int) stroke {
+	s := make(stroke, 0, n+1)
+	for i := 0; i <= n; i++ {
+		t := a0 + (a1-a0)*float64(i)/float64(n)
+		s = append(s, pt{X: cx + r*math.Cos(t), Y: cy + r*math.Sin(t)})
+	}
+	return s
+}
+
+// circle samples a full circle.
+func circle(cx, cy, r float64, n int) stroke {
+	return arc(cx, cy, r, 0, 2*math.Pi, n)
+}
+
+// glyphVariants returns the skeleton variants for each digit. Multiple
+// variants per digit model handwriting styles (e.g. "1" with and without a
+// flag, "7" with and without a crossbar); the generator picks one per
+// sample.
+//
+// The geometry is chosen so that digit 1 is the simplest, least confusable
+// shape while 5 shares long sub-strokes with 3, 6 and 8 — the intrinsic
+// hardness ordering the paper observes on real MNIST.
+func glyphVariants() [Classes][]glyph {
+	var g [Classes][]glyph
+
+	// 0 — oval; variant with a slight slant.
+	g[0] = []glyph{
+		{ovalStroke(0.5, 0.5, 0.21, 0.33, 0)},
+		{ovalStroke(0.5, 0.5, 0.19, 0.34, 0.15)},
+	}
+
+	// 1 — vertical bar; variant with entry flag; variant with base serif.
+	g[1] = []glyph{
+		{line(0.52, 0.15, 0.48, 0.85)},
+		{line(0.36, 0.30, 0.53, 0.15), line(0.53, 0.15, 0.50, 0.85)},
+		{line(0.38, 0.28, 0.52, 0.15), line(0.52, 0.15, 0.50, 0.85), line(0.36, 0.85, 0.64, 0.85)},
+	}
+
+	// 2 — open top arc, diagonal, base bar.
+	g[2] = []glyph{
+		{
+			arc(0.48, 0.32, 0.18, math.Pi*1.05, math.Pi*2.25, 10),
+			bezier(pt{0.64, 0.42}, pt{0.42, 0.62}, pt{0.28, 0.84}, 8),
+			line(0.28, 0.84, 0.74, 0.84),
+		},
+		{
+			arc(0.5, 0.30, 0.17, math.Pi*1.0, math.Pi*2.3, 10),
+			line(0.62, 0.44, 0.28, 0.84),
+			line(0.28, 0.84, 0.72, 0.80),
+		},
+	}
+
+	// 3 — two right-facing bowls.
+	g[3] = []glyph{
+		{
+			arc(0.45, 0.32, 0.17, math.Pi*1.15, math.Pi*2.6, 10),
+			arc(0.45, 0.66, 0.19, math.Pi*1.45, math.Pi*2.85, 10),
+		},
+		{
+			bezier(pt{0.32, 0.2}, pt{0.68, 0.16}, pt{0.52, 0.46}, 8),
+			bezier(pt{0.52, 0.46}, pt{0.76, 0.62}, pt{0.34, 0.82}, 8),
+		},
+	}
+
+	// 4 — open and closed styles.
+	g[4] = []glyph{
+		{
+			line(0.56, 0.15, 0.24, 0.58),
+			line(0.24, 0.58, 0.78, 0.58),
+			line(0.62, 0.32, 0.60, 0.85),
+		},
+		{
+			line(0.30, 0.15, 0.28, 0.52),
+			line(0.28, 0.52, 0.74, 0.52),
+			line(0.64, 0.15, 0.62, 0.85),
+		},
+	}
+
+	// 5 — top bar, spine, belly; the belly shares its arc with 3's lower
+	// bowl and 6's loop, which is what makes 5 intrinsically confusable.
+	g[5] = []glyph{
+		{
+			line(0.68, 0.16, 0.32, 0.16),
+			line(0.32, 0.16, 0.30, 0.46),
+			bezier(pt{0.30, 0.46}, pt{0.78, 0.42}, pt{0.62, 0.74}, 8),
+			bezier(pt{0.62, 0.74}, pt{0.50, 0.90}, pt{0.28, 0.78}, 6),
+		},
+		{
+			line(0.70, 0.15, 0.34, 0.17),
+			line(0.34, 0.17, 0.33, 0.44),
+			arc(0.47, 0.64, 0.20, math.Pi*1.5, math.Pi*2.85, 10),
+		},
+	}
+
+	// 6 — sweeping descender into a lower loop.
+	g[6] = []glyph{
+		{
+			bezier(pt{0.64, 0.14}, pt{0.36, 0.30}, pt{0.32, 0.62}, 8),
+			circle(0.49, 0.66, 0.17, 14),
+		},
+		{
+			bezier(pt{0.60, 0.16}, pt{0.34, 0.36}, pt{0.33, 0.68}, 8),
+			circle(0.48, 0.68, 0.15, 14),
+		},
+	}
+
+	// 7 — top bar and diagonal; variant with crossbar.
+	g[7] = []glyph{
+		{line(0.26, 0.18, 0.74, 0.18), line(0.74, 0.18, 0.42, 0.85)},
+		{
+			line(0.26, 0.18, 0.74, 0.18),
+			line(0.74, 0.18, 0.42, 0.85),
+			line(0.38, 0.52, 0.66, 0.52),
+		},
+	}
+
+	// 8 — stacked loops sharing a waist.
+	g[8] = []glyph{
+		{circle(0.5, 0.32, 0.155, 14), circle(0.5, 0.665, 0.185, 14)},
+		{ovalStroke(0.5, 0.31, 0.15, 0.16, 0.1), ovalStroke(0.5, 0.67, 0.18, 0.19, -0.1)},
+	}
+
+	// 9 — upper loop with tail (mirror of 6).
+	g[9] = []glyph{
+		{
+			circle(0.5, 0.33, 0.165, 14),
+			bezier(pt{0.66, 0.36}, pt{0.66, 0.62}, pt{0.56, 0.85}, 8),
+		},
+		{
+			circle(0.51, 0.34, 0.155, 14),
+			line(0.66, 0.36, 0.60, 0.85),
+		},
+	}
+
+	return g
+}
+
+// ovalStroke samples an axis-aligned ellipse rotated by theta.
+func ovalStroke(cx, cy, rx, ry, theta float64) stroke {
+	const n = 18
+	s := make(stroke, 0, n+1)
+	ct, st := math.Cos(theta), math.Sin(theta)
+	for i := 0; i <= n; i++ {
+		t := 2 * math.Pi * float64(i) / float64(n)
+		x := rx * math.Cos(t)
+		y := ry * math.Sin(t)
+		s = append(s, pt{X: cx + x*ct - y*st, Y: cy + x*st + y*ct})
+	}
+	return s
+}
+
+// classHardness is the per-digit deformation multiplier. Digit 1 is drawn
+// with the least distortion (its glyph is also the simplest); digit 5 with
+// the most. These defaults reproduce the intrinsic-difficulty ordering of
+// the paper's Figs. 5 and 8 (max benefit digit 1, min digit 5).
+var classHardness = [Classes]float64{
+	0: 0.55,
+	1: 0.25,
+	2: 0.70,
+	3: 0.72,
+	4: 0.60,
+	5: 1.00,
+	6: 0.65,
+	7: 0.50,
+	8: 0.74,
+	9: 0.66,
+}

@@ -1,0 +1,177 @@
+package mnist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// IDX magic numbers from Yann LeCun's MNIST format: unsigned byte data with
+// 3 dimensions (images) or 1 dimension (labels).
+const (
+	idxMagicImages = 0x00000803
+	idxMagicLabels = 0x00000801
+)
+
+// WriteIDXImages writes images in idx3-ubyte format (big-endian header,
+// one byte per pixel, intensity 0..255). The Difficulty field is not
+// representable in the format and is dropped.
+func WriteIDXImages(w io.Writer, imgs []Image) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{idxMagicImages, uint32(len(imgs)), Side, Side}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: write idx header: %w", err)
+		}
+	}
+	buf := make([]byte, Side*Side)
+	for i := range imgs {
+		if len(imgs[i].Pixels) != Side*Side {
+			return fmt.Errorf("mnist: image %d has %d pixels, want %d", i, len(imgs[i].Pixels), Side*Side)
+		}
+		for j, p := range imgs[i].Pixels {
+			v := p * 255
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			buf[j] = byte(v + 0.5)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("mnist: write idx pixels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels writes labels in idx1-ubyte format.
+func WriteIDXLabels(w io.Writer, imgs []Image) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{idxMagicLabels, uint32(len(imgs))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: write idx header: %w", err)
+		}
+	}
+	for i := range imgs {
+		if imgs[i].Label < 0 || imgs[i].Label > 255 {
+			return fmt.Errorf("mnist: label %d not a byte", imgs[i].Label)
+		}
+		if err := bw.WriteByte(byte(imgs[i].Label)); err != nil {
+			return fmt.Errorf("mnist: write idx label: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIDXImages parses an idx3-ubyte stream into images with zero labels;
+// pair it with ReadIDXLabels via MergeLabels.
+func ReadIDXImages(r io.Reader) ([]Image, error) {
+	br := bufio.NewReader(r)
+	var magic, n, rows, cols uint32
+	for _, p := range []*uint32{&magic, &n, &rows, &cols} {
+		if err := binary.Read(br, binary.BigEndian, p); err != nil {
+			return nil, fmt.Errorf("mnist: read idx header: %w", err)
+		}
+	}
+	if magic != idxMagicImages {
+		return nil, fmt.Errorf("mnist: bad image magic 0x%08x", magic)
+	}
+	if rows != Side || cols != Side {
+		return nil, fmt.Errorf("mnist: image size %dx%d, want %dx%d", rows, cols, Side, Side)
+	}
+	imgs := make([]Image, n)
+	buf := make([]byte, Side*Side)
+	for i := range imgs {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("mnist: read image %d: %w", i, err)
+		}
+		pix := make([]float64, Side*Side)
+		for j, b := range buf {
+			pix[j] = float64(b) / 255
+		}
+		imgs[i] = Image{Pixels: pix}
+	}
+	return imgs, nil
+}
+
+// ReadIDXLabels parses an idx1-ubyte stream.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	br := bufio.NewReader(r)
+	var magic, n uint32
+	for _, p := range []*uint32{&magic, &n} {
+		if err := binary.Read(br, binary.BigEndian, p); err != nil {
+			return nil, fmt.Errorf("mnist: read idx header: %w", err)
+		}
+	}
+	if magic != idxMagicLabels {
+		return nil, fmt.Errorf("mnist: bad label magic 0x%08x", magic)
+	}
+	labels := make([]int, n)
+	buf := make([]byte, 1)
+	for i := range labels {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("mnist: read label %d: %w", i, err)
+		}
+		labels[i] = int(buf[0])
+	}
+	return labels, nil
+}
+
+// MergeLabels attaches labels to images in order.
+func MergeLabels(imgs []Image, labels []int) error {
+	if len(imgs) != len(labels) {
+		return fmt.Errorf("mnist: %d images but %d labels", len(imgs), len(labels))
+	}
+	for i := range imgs {
+		if labels[i] < 0 || labels[i] >= Classes {
+			return fmt.Errorf("mnist: label %d out of range at %d", labels[i], i)
+		}
+		imgs[i].Label = labels[i]
+	}
+	return nil
+}
+
+// LoadDir loads a real MNIST directory if the canonical four files exist
+// (train-images-idx3-ubyte etc.); otherwise it returns os.ErrNotExist so
+// callers can fall back to Generate.
+func LoadDir(dir string) (trainImgs, testImgs []Image, err error) {
+	load := func(imgFile, lblFile string) ([]Image, error) {
+		fi, err := os.Open(filepath.Join(dir, imgFile))
+		if err != nil {
+			return nil, err
+		}
+		defer fi.Close()
+		imgs, err := ReadIDXImages(fi)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := os.Open(filepath.Join(dir, lblFile))
+		if err != nil {
+			return nil, err
+		}
+		defer fl.Close()
+		labels, err := ReadIDXLabels(fl)
+		if err != nil {
+			return nil, err
+		}
+		if err := MergeLabels(imgs, labels); err != nil {
+			return nil, err
+		}
+		return imgs, nil
+	}
+	trainImgs, err = load("train-images-idx3-ubyte", "train-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	testImgs, err = load("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainImgs, testImgs, nil
+}

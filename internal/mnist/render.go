@@ -1,0 +1,54 @@
+package mnist
+
+import "strings"
+
+// asciiRamp maps intensity 0..1 to a character, darkest first. The gallery
+// in Table IV of the paper shows example digit images per exit stage; the
+// cmd tools reproduce it as ASCII art through Render.
+const asciiRamp = " .:-=+*#%@"
+
+// Render draws the image as ASCII art, one text row per pixel row.
+func Render(im Image) string {
+	var b strings.Builder
+	b.Grow((Side + 1) * Side)
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			v := im.Pixels[y*Side+x]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(asciiRamp)-1))
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSideBySide renders several images in one block, separated by a
+// column of spaces — used for the Table IV exit gallery.
+func RenderSideBySide(imgs []Image, gap int) string {
+	if len(imgs) == 0 {
+		return ""
+	}
+	rows := make([]strings.Builder, Side)
+	sep := strings.Repeat(" ", gap)
+	for k, im := range imgs {
+		lines := strings.Split(strings.TrimRight(Render(im), "\n"), "\n")
+		for y := 0; y < Side; y++ {
+			if k > 0 {
+				rows[y].WriteString(sep)
+			}
+			rows[y].WriteString(lines[y])
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < Side; y++ {
+		b.WriteString(rows[y].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,278 @@
+// Package modelio serializes trained models (baseline DLNs and CDLNs) so
+// the cmd tools can separate training from evaluation. The on-disk format
+// is a gob-encoded structural spec: layer kinds, hyper-parameters and
+// weight payloads — not Go object graphs — so files stay readable across
+// refactors of the layer types.
+package modelio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cdl/internal/core"
+	"cdl/internal/linclass"
+	"cdl/internal/nn"
+	"cdl/internal/opcount"
+	"cdl/internal/tensor"
+)
+
+// formatVersion guards against decoding files from incompatible revisions.
+const formatVersion = 1
+
+type layerSpec struct {
+	Kind    string // "conv", "maxpool", "meanpool", "dense", "sigmoid", "tanh", "relu", "flatten", "softmax"
+	Name    string
+	Ints    map[string]int
+	Weights map[string][]float64
+}
+
+type archSpec struct {
+	Version    int
+	Name       string
+	InShape    []int
+	Layers     []layerSpec
+	Taps       []int
+	TapNames   []string
+	NumClasses int
+}
+
+type stageSpec struct {
+	Name    string
+	Tap     int
+	In, Out int
+	W, B    []float64
+	Gain    float64
+}
+
+type cdlnSpec struct {
+	Version     int
+	Arch        archSpec
+	Stages      []stageSpec
+	Delta       float64
+	StageDeltas []float64
+	Rule        string
+}
+
+func specFromLayer(l nn.Layer) (layerSpec, error) {
+	s := layerSpec{Name: l.Name(), Ints: map[string]int{}, Weights: map[string][]float64{}}
+	switch t := l.(type) {
+	case *nn.Conv2D:
+		s.Kind = "conv"
+		s.Ints["inC"], s.Ints["outC"], s.Ints["k"] = t.InChannels(), t.OutChannels(), t.KernelSize()
+		s.Weights["w"] = append([]float64(nil), t.Weight().W.Data...)
+		s.Weights["b"] = append([]float64(nil), t.Bias().W.Data...)
+	case *nn.Dense:
+		s.Kind = "dense"
+		s.Ints["in"], s.Ints["out"] = t.In(), t.Out()
+		s.Weights["w"] = append([]float64(nil), t.Weight().W.Data...)
+		s.Weights["b"] = append([]float64(nil), t.Bias().W.Data...)
+	case *nn.MaxPool2D:
+		s.Kind = "maxpool"
+		s.Ints["win"] = t.Window()
+	case *nn.MeanPool2D:
+		s.Kind = "meanpool"
+		s.Ints["win"] = t.Window()
+	case *nn.Sigmoid:
+		s.Kind = "sigmoid"
+	case *nn.Tanh:
+		s.Kind = "tanh"
+	case *nn.ReLU:
+		s.Kind = "relu"
+	case *nn.Flatten:
+		s.Kind = "flatten"
+	case *nn.Softmax:
+		s.Kind = "softmax"
+	case *nn.Dropout:
+		// Serialized for structural completeness; a loaded model is for
+		// inference, where dropout is the identity.
+		s.Kind = "dropout"
+		s.Weights["rate"] = []float64{t.Rate}
+	default:
+		return s, fmt.Errorf("modelio: unsupported layer type %T", l)
+	}
+	return s, nil
+}
+
+func layerFromSpec(s layerSpec) (nn.Layer, error) {
+	switch s.Kind {
+	case "conv":
+		c := nn.NewConv2D(s.Name, s.Ints["inC"], s.Ints["outC"], s.Ints["k"])
+		if err := fill(c.Weight().W, s.Weights["w"]); err != nil {
+			return nil, fmt.Errorf("modelio: %s weights: %w", s.Name, err)
+		}
+		if err := fill(c.Bias().W, s.Weights["b"]); err != nil {
+			return nil, fmt.Errorf("modelio: %s bias: %w", s.Name, err)
+		}
+		return c, nil
+	case "dense":
+		d := nn.NewDense(s.Name, s.Ints["in"], s.Ints["out"])
+		if err := fill(d.Weight().W, s.Weights["w"]); err != nil {
+			return nil, fmt.Errorf("modelio: %s weights: %w", s.Name, err)
+		}
+		if err := fill(d.Bias().W, s.Weights["b"]); err != nil {
+			return nil, fmt.Errorf("modelio: %s bias: %w", s.Name, err)
+		}
+		return d, nil
+	case "maxpool":
+		return nn.NewMaxPool2D(s.Name, s.Ints["win"]), nil
+	case "meanpool":
+		return nn.NewMeanPool2D(s.Name, s.Ints["win"]), nil
+	case "sigmoid":
+		return nn.NewSigmoid(s.Name), nil
+	case "tanh":
+		return nn.NewTanh(s.Name), nil
+	case "relu":
+		return nn.NewReLU(s.Name), nil
+	case "flatten":
+		return nn.NewFlatten(s.Name), nil
+	case "softmax":
+		return nn.NewSoftmax(s.Name), nil
+	case "dropout":
+		rate := 0.0
+		if v := s.Weights["rate"]; len(v) == 1 {
+			rate = v[0]
+		}
+		d := nn.NewDropout(s.Name, rate, 1)
+		d.SetTraining(false) // loaded models are inference models
+		return d, nil
+	}
+	return nil, fmt.Errorf("modelio: unknown layer kind %q", s.Kind)
+}
+
+func fill(dst *tensor.T, src []float64) error {
+	if len(src) != dst.Numel() {
+		return fmt.Errorf("payload has %d values, want %d", len(src), dst.Numel())
+	}
+	copy(dst.Data, src)
+	return nil
+}
+
+func specFromArch(a *nn.Arch) (archSpec, error) {
+	s := archSpec{
+		Version:    formatVersion,
+		Name:       a.Name,
+		InShape:    a.Net.InShape,
+		Taps:       a.Taps,
+		TapNames:   a.TapNames,
+		NumClasses: a.NumClasses,
+	}
+	for _, l := range a.Net.Layers {
+		ls, err := specFromLayer(l)
+		if err != nil {
+			return s, err
+		}
+		s.Layers = append(s.Layers, ls)
+	}
+	return s, nil
+}
+
+func archFromSpec(s archSpec) (*nn.Arch, error) {
+	if s.Version != formatVersion {
+		return nil, fmt.Errorf("modelio: format version %d, want %d", s.Version, formatVersion)
+	}
+	layers := make([]nn.Layer, 0, len(s.Layers))
+	for _, ls := range s.Layers {
+		l, err := layerFromSpec(ls)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, l)
+	}
+	a := &nn.Arch{
+		Name:       s.Name,
+		Net:        nn.NewNetwork(s.InShape, layers...),
+		Taps:       s.Taps,
+		TapNames:   s.TapNames,
+		NumClasses: s.NumClasses,
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SaveArch writes a trained baseline architecture (structure + weights).
+func SaveArch(w io.Writer, a *nn.Arch) error {
+	s, err := specFromArch(a)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadArch reads a baseline architecture saved with SaveArch.
+func LoadArch(r io.Reader) (*nn.Arch, error) {
+	var s archSpec
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelio: decode arch: %w", err)
+	}
+	return archFromSpec(s)
+}
+
+// SaveCDLN writes a full conditional network: baseline, admitted stages
+// with classifier weights, δ and the exit rule.
+func SaveCDLN(w io.Writer, c *core.CDLN) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	as, err := specFromArch(c.Arch)
+	if err != nil {
+		return err
+	}
+	s := cdlnSpec{
+		Version:     formatVersion,
+		Arch:        as,
+		Delta:       c.Delta,
+		StageDeltas: c.StageDeltas,
+		Rule:        c.Rule.Name(),
+	}
+	for _, st := range c.Stages {
+		s.Stages = append(s.Stages, stageSpec{
+			Name: st.Name,
+			Tap:  st.Tap,
+			In:   st.LC.In, Out: st.LC.Out,
+			W:    append([]float64(nil), st.LC.W.Data...),
+			B:    append([]float64(nil), st.LC.B.Data...),
+			Gain: st.Gain,
+		})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadCDLN reads a conditional network saved with SaveCDLN.
+func LoadCDLN(r io.Reader) (*core.CDLN, error) {
+	var s cdlnSpec
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelio: decode cdln: %w", err)
+	}
+	if s.Version != formatVersion {
+		return nil, fmt.Errorf("modelio: format version %d, want %d", s.Version, formatVersion)
+	}
+	arch, err := archFromSpec(s.Arch)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := core.RuleByName(s.Rule)
+	if err != nil {
+		return nil, err
+	}
+	c := &core.CDLN{Arch: arch, Delta: s.Delta, StageDeltas: s.StageDeltas, Rule: rule, Ops: opcount.Default()}
+	for _, st := range s.Stages {
+		lc := &linclass.Classifier{
+			In: st.In, Out: st.Out,
+			W: tensor.New(st.Out, st.In), B: tensor.New(st.Out),
+		}
+		if err := fill(lc.W, st.W); err != nil {
+			return nil, fmt.Errorf("modelio: stage %s: %w", st.Name, err)
+		}
+		if err := fill(lc.B, st.B); err != nil {
+			return nil, fmt.Errorf("modelio: stage %s: %w", st.Name, err)
+		}
+		c.Stages = append(c.Stages, &core.Stage{Name: st.Name, Tap: st.Tap, LC: lc, Gain: st.Gain})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,135 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cdl/internal/core"
+	"cdl/internal/mnist"
+	"cdl/internal/nn"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+func trainedPair(t *testing.T) (*core.CDLN, []train.Sample) {
+	t.Helper()
+	imgs, err := mnist.Generate(mnist.GenConfig{N: 200, Seed: 9, BalanceClasses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mnist.ToSamples(imgs)
+	arch := nn.Arch6Layer(rand.New(rand.NewSource(2)))
+	cfg := train.Defaults(10)
+	cfg.Epochs = 3
+	if _, err := train.SGD(arch.Net, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, data, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, data
+}
+
+func TestArchRoundTrip(t *testing.T) {
+	cdln, data := trainedPair(t)
+	arch := cdln.Arch
+
+	var buf bytes.Buffer
+	if err := SaveArch(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != arch.Name || back.NumClasses != arch.NumClasses {
+		t.Error("arch metadata lost")
+	}
+	if len(back.Taps) != len(arch.Taps) {
+		t.Fatal("taps lost")
+	}
+	// Outputs must be bit-identical on real inputs.
+	for i := 0; i < 10; i++ {
+		a := arch.Net.Forward(data[i].X)
+		b := back.Net.Forward(data[i].X)
+		if !tensor.Equal(a, b) {
+			t.Fatalf("forward mismatch on sample %d", i)
+		}
+	}
+}
+
+func TestCDLNRoundTrip(t *testing.T) {
+	cdln, data := trainedPair(t)
+
+	var buf bytes.Buffer
+	if err := SaveCDLN(&buf, cdln); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCDLN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Delta != cdln.Delta || back.Rule.Name() != cdln.Rule.Name() {
+		t.Error("δ or rule lost")
+	}
+	if len(back.Stages) != len(cdln.Stages) {
+		t.Fatalf("stages %d, want %d", len(back.Stages), len(cdln.Stages))
+	}
+	for i := range cdln.Stages {
+		if back.Stages[i].Gain != cdln.Stages[i].Gain {
+			t.Error("stage gain lost")
+		}
+	}
+	// Exit decisions and labels must be identical.
+	for i := 0; i < 30; i++ {
+		a := cdln.Classify(data[i].X)
+		b := back.Classify(data[i].X)
+		if a != b {
+			t.Fatalf("classify mismatch on sample %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := LoadArch(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage arch accepted")
+	}
+	if _, err := LoadCDLN(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage cdln accepted")
+	}
+}
+
+func TestAllLayerKindsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := nn.NewNetwork([]int{1, 8, 8},
+		nn.NewConv2D("c", 1, 2, 3),
+		nn.NewTanh("t"),
+		nn.NewMeanPool2D("mp", 2),
+		nn.NewReLU("r"),
+		nn.NewFlatten("f"),
+		nn.NewDense("d", 2*3*3, 5),
+		nn.NewSoftmax("sm"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{Name: "kinds", Net: net, Taps: []int{3}, TapNames: []string{"mp"}, NumClasses: 5}
+
+	var buf bytes.Buffer
+	if err := SaveArch(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	if !tensor.Equal(arch.Net.Forward(x), back.Net.Forward(x)) {
+		t.Error("all-kinds network changed behaviour after round trip")
+	}
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arch bundles a baseline DLN with the metadata the CDL cascade needs: the
+// tap points after each pooling layer where per-stage feature vectors are
+// harvested (paper §IV: "the learnt feature vectors from the pooling layers
+// are used as training inputs to the linear classifiers").
+type Arch struct {
+	// Name identifies the preset, e.g. "6-layer" (Table I) or "8-layer"
+	// (Table II).
+	Name string
+	// Net is the baseline DLN.
+	Net *Network
+	// Taps[i] is the number of leading layers whose composition produces
+	// stage i's feature tensor; i.e. features_i = Net.Layers[:Taps[i]]
+	// applied to the input. One tap per pooling stage, in depth order.
+	Taps []int
+	// TapNames labels each tap ("P1", "P2", ...).
+	TapNames []string
+	// NumClasses is the width of the output layer (10 for MNIST).
+	NumClasses int
+}
+
+// TapFeatureLen returns the flattened feature-vector length at tap i — the
+// input width of the linear classifier O(i+1).
+func (a *Arch) TapFeatureLen(i int) int {
+	shape := a.Net.ShapeAt(a.Taps[i])
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks internal consistency of the arch definition.
+func (a *Arch) Validate() error {
+	if a.Net == nil {
+		return fmt.Errorf("nn: arch %q has nil network", a.Name)
+	}
+	out := a.Net.OutShape()
+	if len(out) != 1 || out[0] != a.NumClasses {
+		return fmt.Errorf("nn: arch %q output shape %v, want [%d]", a.Name, out, a.NumClasses)
+	}
+	prev := 0
+	for i, t := range a.Taps {
+		if t <= prev || t >= len(a.Net.Layers) {
+			return fmt.Errorf("nn: arch %q tap %d = %d out of order or range", a.Name, i, t)
+		}
+		prev = t
+	}
+	if len(a.TapNames) != len(a.Taps) {
+		return fmt.Errorf("nn: arch %q has %d tap names for %d taps", a.Name, len(a.TapNames), len(a.Taps))
+	}
+	return nil
+}
+
+// Arch6Layer builds the paper's Table I baseline:
+//
+//	I 28×28 → C1 5×5 conv, 6 maps (24×24) → P1 2×2 max pool (12×12)
+//	        → C2 5×5 conv, 12 maps (8×8)  → P2 2×2 max pool (4×4)
+//	        → FC 10
+//
+// with sigmoid activations after each convolution and the output layer.
+// The MNIST_2C CDLN adds linear classifier O1 at the P1 tap.
+func Arch6Layer(rng *rand.Rand) *Arch {
+	net := NewNetwork([]int{1, 28, 28},
+		NewConv2D("C1", 1, 6, 5),
+		NewSigmoid("C1.act"),
+		NewMaxPool2D("P1", 2),
+		NewConv2D("C2", 6, 12, 5),
+		NewSigmoid("C2.act"),
+		NewMaxPool2D("P2", 2),
+		NewFlatten("flat"),
+		NewDense("FC", 12*4*4, 10),
+		NewSigmoid("FC.act"),
+	)
+	InitNetwork(net, rng)
+	a := &Arch{
+		Name:       "6-layer",
+		Net:        net,
+		Taps:       []int{3}, // after P1
+		TapNames:   []string{"P1"},
+		NumClasses: 10,
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Arch8Layer builds the paper's Table II baseline:
+//
+//	I 28×28 → C1 3×3 conv, 3 maps (26×26) → P1 2×2 max pool (13×13)
+//	        → C2 4×4 conv, 6 maps (10×10) → P2 2×2 max pool (5×5)
+//	        → C3 3×3 conv, 9 maps (3×3)   → P3 1×1 pool (3×3)
+//	        → FC 10
+//
+// with sigmoid activations. The MNIST_3C CDLN adds linear classifiers O1
+// (P1 tap) and O2 (P2 tap); the P3 tap exists for the Fig. 7/9 stage-count
+// sweeps (O3) but is rejected by Algorithm 1's gain rule.
+func Arch8Layer(rng *rand.Rand) *Arch {
+	net := NewNetwork([]int{1, 28, 28},
+		NewConv2D("C1", 1, 3, 3),
+		NewSigmoid("C1.act"),
+		NewMaxPool2D("P1", 2),
+		NewConv2D("C2", 3, 6, 4),
+		NewSigmoid("C2.act"),
+		NewMaxPool2D("P2", 2),
+		NewConv2D("C3", 6, 9, 3),
+		NewSigmoid("C3.act"),
+		NewMaxPool2D("P3", 1),
+		NewFlatten("flat"),
+		NewDense("FC", 9*3*3, 10),
+		NewSigmoid("FC.act"),
+	)
+	InitNetwork(net, rng)
+	a := &Arch{
+		Name:       "8-layer",
+		Net:        net,
+		Taps:       []int{3, 6, 9}, // after P1, P2, P3
+		TapNames:   []string{"P1", "P2", "P3"},
+		NumClasses: 10,
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ArchTiny builds a small 1-conv-stage network for fast unit and
+// integration tests: I 12×12 → C1 3×3 conv, 2 maps → P1 2×2 → FC classes.
+func ArchTiny(rng *rand.Rand, classes int) *Arch {
+	net := NewNetwork([]int{1, 12, 12},
+		NewConv2D("C1", 1, 2, 3),
+		NewSigmoid("C1.act"),
+		NewMaxPool2D("P1", 2),
+		NewFlatten("flat"),
+		NewDense("FC", 2*5*5, classes),
+		NewSigmoid("FC.act"),
+	)
+	InitNetwork(net, rng)
+	a := &Arch{
+		Name:       "tiny",
+		Net:        net,
+		Taps:       []int{3},
+		TapNames:   []string{"P1"},
+		NumClasses: classes,
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}

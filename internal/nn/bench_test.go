@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+func benchInput(seed int64) *tensor.T {
+	x := tensor.New(1, 28, 28)
+	r := rand.New(rand.NewSource(seed))
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	return x
+}
+
+func BenchmarkArch6Forward(b *testing.B) {
+	net := Arch6Layer(rand.New(rand.NewSource(1))).Net
+	x := benchInput(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkArch8Forward(b *testing.B) {
+	net := Arch8Layer(rand.New(rand.NewSource(1))).Net
+	x := benchInput(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkArch8ForwardBackward(b *testing.B) {
+	net := Arch8Layer(rand.New(rand.NewSource(1))).Net
+	x := benchInput(2)
+	target := OneHot(3, 10)
+	loss := MSE{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := net.Forward(x)
+		net.Backward(loss.Grad(out, target))
+	}
+}
+
+func BenchmarkArch8ForwardToP1(b *testing.B) {
+	// The cost of the feature extraction feeding O1 — what an early-exit
+	// input actually executes.
+	net := Arch8Layer(rand.New(rand.NewSource(1))).Net
+	x := benchInput(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardRange(x, 0, 3)
+	}
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdl/internal/tensor"
+)
+
+// Dropout randomly zeroes a fraction of activations during training
+// (inverted dropout: survivors are scaled by 1/(1−rate) so inference needs
+// no rescaling). In inference mode it is the identity. Provided as a
+// regularization extension for the baseline DLNs; the paper's networks do
+// not use it, and the Table I/II presets leave it out.
+type Dropout struct {
+	name string
+	// Rate is the drop probability in [0,1).
+	Rate float64
+
+	rng      *rand.Rand
+	seed     int64
+	training bool
+	mask     []float64
+	frozen   bool
+}
+
+// NewDropout constructs a dropout layer; masks are drawn deterministically
+// from the seed. The layer starts in training mode.
+func NewDropout(name string, rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: NewDropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{
+		name:     name,
+		Rate:     rate,
+		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		training: true,
+	}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// SetTraining switches between mask sampling (true) and identity (false).
+func (d *Dropout) SetTraining(b bool) { d.training = b }
+
+// Training reports the current mode.
+func (d *Dropout) Training() bool { return d.training }
+
+// FreezeMask keeps the current mask fixed across subsequent Forward calls
+// (used by finite-difference gradient checks).
+func (d *Dropout) FreezeMask() { d.frozen = true }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(in *tensor.T) *tensor.T {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return in
+	}
+	if !d.frozen || d.mask == nil || len(d.mask) != in.Numel() {
+		d.mask = make([]float64, in.Numel())
+		keepScale := 1 / (1 - d.Rate)
+		for i := range d.mask {
+			if d.rng.Float64() >= d.Rate {
+				d.mask[i] = keepScale
+			}
+		}
+	}
+	out := in.Clone()
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient passes through the same mask.
+func (d *Dropout) Backward(gradOut *tensor.T) *tensor.T {
+	if d.mask == nil {
+		// inference mode or rate 0: identity
+		if !d.training || d.Rate == 0 {
+			return gradOut
+		}
+		panic("nn: Dropout.Backward before Forward")
+	}
+	gradIn := gradOut.Clone()
+	for i := range gradIn.Data {
+		gradIn.Data[i] *= d.mask[i]
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Clone implements Layer. The replica re-derives its mask stream from the
+// original seed; replicas therefore sample identical mask sequences, which
+// keeps parallel training deterministic at the cost of mask correlation
+// across workers (acceptable for the small worker counts used here).
+func (d *Dropout) Clone() Layer {
+	return &Dropout{
+		name:     d.name,
+		Rate:     d.Rate,
+		rng:      rand.New(rand.NewSource(d.seed)),
+		seed:     d.seed,
+		training: d.training,
+	}
+}
+
+// SetNetworkTraining flips every Dropout layer in the network between
+// training and inference mode.
+func SetNetworkTraining(n *Network, training bool) {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.SetTraining(training)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+func TestDropoutInferenceIsIdentity(t *testing.T) {
+	d := NewDropout("do", 0.5, 1)
+	d.SetTraining(false)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	out := d.Forward(x)
+	if !tensor.Equal(x, out) {
+		t.Error("inference-mode dropout must be the identity")
+	}
+	g := tensor.FromSlice([]float64{5, 6, 7, 8}, 4)
+	if !tensor.Equal(d.Backward(g), g) {
+		t.Error("inference-mode backward must be the identity")
+	}
+}
+
+func TestDropoutMaskStatistics(t *testing.T) {
+	d := NewDropout("do", 0.3, 2)
+	x := tensor.New(10000)
+	x.Fill(1)
+	out := d.Forward(x)
+	zeros, kept := 0, 0
+	for _, v := range out.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-1/0.7) < 1e-12:
+			kept++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(x.Numel())
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("drop fraction %.3f far from rate 0.3", frac)
+	}
+	if kept+zeros != x.Numel() {
+		t.Error("mask values outside {0, 1/(1-rate)}")
+	}
+	// Inverted scaling keeps the expectation: mean should stay ≈ 1.
+	mean, _ := out.MeanStd()
+	if math.Abs(mean-1) > 0.03 {
+		t.Errorf("mean after inverted dropout %.3f, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	d := NewDropout("do", 0.5, 3)
+	x := tensor.New(64)
+	x.Fill(1)
+	out := d.Forward(x)
+	g := tensor.New(64)
+	g.Fill(1)
+	back := d.Backward(g)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutFrozenMaskGradCheck(t *testing.T) {
+	d := NewDropout("do", 0.4, 4)
+	rng := rand.New(rand.NewSource(5))
+	in := tensor.New(3, 4)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	target := tensor.New(3, 4)
+	for i := range target.Data {
+		target.Data[i] = rng.Float64()
+	}
+	d.Forward(in) // sample a mask
+	d.FreezeMask()
+	loss := MSE{}
+	out := d.Forward(in)
+	gradIn := d.Backward(loss.Grad(out, target))
+	ng := numGrad(in, func() float64 { return loss.Loss(d.Forward(in), target) })
+	assertClose(t, "dropout input grad", gradIn, ng, 1e-4)
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.0, 2.0} {
+		func(rate float64) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v accepted", rate)
+				}
+			}()
+			NewDropout("do", rate, 1)
+		}(rate)
+	}
+}
+
+func TestSetNetworkTraining(t *testing.T) {
+	net := NewNetwork([]int{4},
+		NewDense("d1", 4, 4),
+		NewDropout("do", 0.5, 1),
+		NewDense("d2", 4, 2),
+	)
+	InitNetwork(net, rand.New(rand.NewSource(1)))
+	SetNetworkTraining(net, false)
+	do := net.Layers[1].(*Dropout)
+	if do.Training() {
+		t.Error("SetNetworkTraining(false) did not reach the dropout layer")
+	}
+	// In inference mode the network must be deterministic.
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	a, b := net.Forward(x), net.Forward(x)
+	if !tensor.Equal(a, b) {
+		t.Error("inference not deterministic with dropout disabled")
+	}
+	SetNetworkTraining(net, true)
+	if !do.Training() {
+		t.Error("SetNetworkTraining(true) did not re-enable")
+	}
+}
+
+func TestDropoutTrainsRegularizedNetwork(t *testing.T) {
+	// A dropout-regularized dense net still learns separable data (smoke
+	// test that the layer integrates with the trainer path).
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork([]int{4},
+		NewDense("h", 4, 16),
+		NewSigmoid("h.act"),
+		NewDropout("do", 0.2, 7),
+		NewDense("out", 16, 2),
+		NewSigmoid("out.act"),
+	)
+	InitNetwork(net, rng)
+	loss := MSE{}
+	for epoch := 0; epoch < 200; epoch++ {
+		for i := 0; i < 20; i++ {
+			label := i % 2
+			x := tensor.New(4)
+			for j := range x.Data {
+				x.Data[j] = rng.NormFloat64()*0.1 + float64(label) - 0.5
+			}
+			net.ZeroGrad()
+			out := net.Forward(x)
+			net.Backward(loss.Grad(out, OneHot(label, 2)))
+			for _, p := range net.Params() {
+				p.W.AddScaled(-0.5, p.G)
+			}
+		}
+	}
+	SetNetworkTraining(net, false)
+	correct := 0
+	for i := 0; i < 100; i++ {
+		label := i % 2
+		x := tensor.New(4)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()*0.1 + float64(label) - 0.5
+		}
+		if net.Predict(x) == label {
+			correct++
+		}
+	}
+	if correct < 90 {
+		t.Errorf("dropout net accuracy %d/100 on separable data", correct)
+	}
+}

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// XavierConv initializes a Conv2D layer with Glorot/Xavier uniform weights
+// scaled by fan-in and fan-out (fan = maps × k²), the standard scheme for
+// sigmoid networks; biases start at zero.
+func XavierConv(c *Conv2D, rng *rand.Rand) {
+	fanIn := float64(c.inC * c.k * c.k)
+	fanOut := float64(c.outC * c.k * c.k)
+	limit := math.Sqrt(6.0 / (fanIn + fanOut))
+	for i := range c.weight.W.Data {
+		c.weight.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	c.bias.W.Zero()
+}
+
+// XavierDense initializes a Dense layer with Glorot/Xavier uniform weights;
+// biases start at zero.
+func XavierDense(d *Dense, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(d.in+d.out))
+	for i := range d.weight.W.Data {
+		d.weight.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	d.bias.W.Zero()
+}
+
+// InitNetwork applies Xavier initialization to every Conv2D and Dense layer
+// in the network, drawing from rng in layer order (deterministic for a
+// fixed seed).
+func InitNetwork(n *Network, rng *rand.Rand) {
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			XavierConv(t, rng)
+		case *Dense:
+			XavierDense(t, rng)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package nn is a from-scratch convolutional neural network framework: the
+// substrate the CDL paper builds on (the authors used Palm's MATLAB
+// DeepLearnToolbox [19]; we reimplement the same convolutional
+// backpropagation in Go).
+//
+// The package provides layers (Conv2D, MaxPool2D, MeanPool2D, Dense,
+// Sigmoid, Tanh, ReLU, Flatten, Softmax), a sequential Network container
+// with per-layer activation taps (needed by the CDL cascade), MSE and
+// softmax cross-entropy losses, and deterministic Xavier initialization.
+//
+// Layers process one sample at a time; batching is handled by
+// internal/train, which fans samples out across goroutine-local network
+// replicas (see Layer.Clone).
+package nn
+
+import (
+	"fmt"
+
+	"cdl/internal/tensor"
+)
+
+// Param is a trainable parameter tensor paired with its gradient
+// accumulator. Backward passes accumulate into G; optimizers read G and
+// update W.
+type Param struct {
+	Name string
+	W    *tensor.T
+	G    *tensor.T
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is one differentiable stage of a network.
+//
+// Forward caches whatever Backward needs, so a Layer value must not be used
+// from multiple goroutines concurrently; use Clone to obtain a replica that
+// shares parameter storage (W) but owns private caches and gradient buffers
+// (G).
+type Layer interface {
+	// Name identifies the layer in diagnostics and op counting
+	// (e.g. "C1", "P1", "FC").
+	Name() string
+	// Forward computes the layer's output for one input sample.
+	Forward(in *tensor.T) *tensor.T
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients into Params().G. It must be called after Forward.
+	Backward(gradOut *tensor.T) *tensor.T
+	// Params returns the layer's trainable parameters; may be empty.
+	Params() []*Param
+	// OutShape maps an input shape to this layer's output shape without
+	// running it. It panics if the input shape is incompatible.
+	OutShape(in []int) []int
+	// Clone returns a replica sharing W but with fresh caches and gradients.
+	Clone() Layer
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustShape(layer string, got, want []int) {
+	if !shapeEq(got, want) {
+		panic(fmt.Sprintf("nn: %s input shape %v, want %v", layer, got, want))
+	}
+}

@@ -1,0 +1,176 @@
+// Package stats provides the evaluation metrics used by the CDL
+// experiments: confusion matrices, per-class accuracy, and small numeric
+// summaries. It exists so the experiment harness and the cmd tools report
+// results through one audited code path.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Confusion is a square confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion creates an empty confusion matrix for the given number of
+// classes.
+func NewConfusion(classes int) *Confusion {
+	if classes <= 0 {
+		panic(fmt.Sprintf("stats: NewConfusion classes=%d", classes))
+	}
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(actual, predicted int) {
+	if actual < 0 || actual >= c.Classes || predicted < 0 || predicted >= c.Classes {
+		panic(fmt.Sprintf("stats: Confusion.Add(%d,%d) out of range %d", actual, predicted, c.Classes))
+	}
+	c.Counts[actual][predicted]++
+}
+
+// Merge accumulates another confusion matrix into c.
+func (c *Confusion) Merge(o *Confusion) {
+	if o.Classes != c.Classes {
+		panic("stats: Merge class count mismatch")
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Correct returns the number of correct predictions (trace).
+func (c *Confusion) Correct() int {
+	t := 0
+	for i := range c.Counts {
+		t += c.Counts[i][i]
+	}
+	return t
+}
+
+// Accuracy returns overall accuracy in [0,1]; 0 if empty.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Correct()) / float64(total)
+}
+
+// ClassAccuracy returns the recall of class k (diagonal over row sum); 0 if
+// the class never occurs.
+func (c *Confusion) ClassAccuracy(k int) float64 {
+	row := c.Counts[k]
+	total := 0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[k]) / float64(total)
+}
+
+// ClassCount returns the number of samples whose actual class is k.
+func (c *Confusion) ClassCount(k int) int {
+	total := 0
+	for _, v := range c.Counts[k] {
+		total += v
+	}
+	return total
+}
+
+// String renders the matrix with per-class accuracy.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.4f)\n", c.Classes, c.Total(), c.Accuracy())
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "%2d |", i)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%6d", v)
+		}
+		fmt.Fprintf(&b, " | %.3f\n", c.ClassAccuracy(i))
+	}
+	return b.String()
+}
+
+// Summary holds basic descriptive statistics of a float series.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes a Summary; an empty series yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(s.N)
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(s.N))
+	return s
+}
+
+// GeoMean returns the geometric mean of strictly positive values; it panics
+// if any value is non-positive. Used for averaging normalized OPS/energy
+// ratios across digits, where a geometric mean is the conventional choice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Rank returns the indices of xs sorted by descending value (ties broken by
+// index). Used to order digits by energy benefit for Fig. 8.
+func Rank(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(2, 2)
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+	if c.Correct() != 4 {
+		t.Errorf("Correct = %d, want 4", c.Correct())
+	}
+	if got := c.Accuracy(); got != 0.8 {
+		t.Errorf("Accuracy = %v, want 0.8", got)
+	}
+	if got := c.ClassAccuracy(0); got != 0.5 {
+		t.Errorf("ClassAccuracy(0) = %v, want 0.5", got)
+	}
+	if got := c.ClassAccuracy(2); got != 1 {
+		t.Errorf("ClassAccuracy(2) = %v, want 1", got)
+	}
+	if got := c.ClassCount(0); got != 2 {
+		t.Errorf("ClassCount(0) = %d, want 2", got)
+	}
+}
+
+func TestConfusionEmptyAndErrors(t *testing.T) {
+	c := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if c.ClassAccuracy(1) != 0 {
+		t.Error("empty class accuracy should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Add did not panic")
+		}
+	}()
+	c.Add(2, 0)
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a, b := NewConfusion(2), NewConfusion(2)
+	a.Add(0, 0)
+	b.Add(1, 0)
+	b.Add(1, 1)
+	a.Merge(b)
+	if a.Total() != 3 || a.Correct() != 2 {
+		t.Errorf("merge wrong: total=%d correct=%d", a.Total(), a.Correct())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Merge did not panic")
+		}
+	}()
+	a.Merge(NewConfusion(3))
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	s := c.String()
+	if !strings.Contains(s, "acc") {
+		t.Errorf("String missing accuracy: %s", s)
+	}
+}
+
+func TestNewConfusionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewConfusion(0) did not panic")
+		}
+	}()
+	NewConfusion(0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestRank(t *testing.T) {
+	got := Rank([]float64{0.3, 0.9, 0.1, 0.9})
+	// descending, stable: 1 (0.9), 3 (0.9), 0 (0.3), 2 (0.1)
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: accuracy is always in [0,1] and equals Correct/Total.
+func TestQuickConfusionAccuracyBounds(t *testing.T) {
+	f := func(adds []uint16) bool {
+		c := NewConfusion(4)
+		for _, a := range adds {
+			c.Add(int(a)%4, int(a/7)%4)
+		}
+		acc := c.Accuracy()
+		if acc < 0 || acc > 1 {
+			return false
+		}
+		if c.Total() > 0 && acc != float64(c.Correct())/float64(c.Total()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean of equal values is that value, and GeoMean lies between
+// min and max.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		s := Summarize(xs)
+		return g >= s.Min-1e-9 && g <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
