@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"cdl/internal/core"
 	"cdl/internal/experiments"
 	"cdl/internal/mnist"
 	"cdl/internal/nn"
@@ -338,6 +339,79 @@ func BenchmarkCDLNClassifyHard(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		replica.Classify(testS[hard].X)
+	}
+}
+
+// BenchmarkClassifyClonePerCall is the serving anti-pattern the session API
+// replaces: clone a replica per request, then classify once. Compare
+// against BenchmarkClassifySession — the gap is the per-request cost of
+// Clone (fresh cache and gradient buffers for every layer) plus the
+// per-call ExitOps/score allocations inside Classify.
+func BenchmarkClassifyClonePerCall(b *testing.B) {
+	ctx := benchContext(b)
+	cdln, _, err := ctx.MNIST3C()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replica := cdln.Clone()
+		replica.Classify(testS[i%len(testS)].X)
+	}
+}
+
+// BenchmarkClassifySession is the pooled serving path: one warm
+// core.Session (pre-cloned replica, precomputed exit costs, reused score
+// buffers) classifying request after request.
+func BenchmarkClassifySession(b *testing.B) {
+	ctx := benchContext(b)
+	cdln, _, err := ctx.MNIST3C()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := core.NewSession(cdln)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Classify(testS[i%len(testS)].X)
+	}
+}
+
+// BenchmarkEvaluateParallel times the full-dataset evaluation path (which
+// now rides the session API internally: one clone per worker, zero
+// per-sample cascade allocations).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	ctx := benchContext(b)
+	cdln, _, err := ctx.MNIST3C()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, testS, err := ctx.Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Evaluate(cdln, testS, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(testS))/b.Elapsed().Seconds()*float64(b.N), "images/s")
+			b.ReportMetric(res.NormalizedOps(), "normOPS")
+		}
 	}
 }
 

@@ -20,7 +20,7 @@
 //
 // The facade re-exports the library's core types; the full surface lives in
 // the internal packages (tensor, nn, train, mnist, linclass, core, opcount,
-// fixed, hw, energy, experiments) and is documented in DESIGN.md.
+// fixed, hw, energy, experiments, serve) and is documented in DESIGN.md.
 package cdl
 
 import (
@@ -34,6 +34,7 @@ import (
 	"cdl/internal/mnist"
 	"cdl/internal/modelio"
 	"cdl/internal/nn"
+	"cdl/internal/serve"
 	"cdl/internal/train"
 )
 
@@ -65,6 +66,18 @@ type (
 	Image = mnist.Image
 	// EnergySummary reports 45nm-model energy for an evaluation.
 	EnergySummary = energy.Summary
+	// EnergyAccumulator aggregates 45nm energy one ExitRecord at a time
+	// (the serving-path counterpart of EnergyOf).
+	EnergyAccumulator = energy.Accumulator
+	// Session is a warm single-goroutine classifier with reusable scratch
+	// buffers — the unit of the serving replica pool.
+	Session = core.Session
+	// Server is the batched CDLN inference server (internal/serve).
+	Server = serve.Server
+	// ServeConfig sizes the inference server (pool, queue, micro-batch).
+	ServeConfig = serve.Config
+	// ServeStats is the server's live counter snapshot (/statsz payload).
+	ServeStats = serve.Stats
 )
 
 // NewArch6 builds the paper's Table I 6-layer baseline (MNIST_2C host)
@@ -140,6 +153,36 @@ func EvaluateWithRecords(c *CDLN, data []Sample) (*EvalResult, error) {
 // methodology).
 func EnergyOf(c *CDLN, res *EvalResult) (EnergySummary, error) {
 	return energy.NewEvaluator().FromEval(c, res)
+}
+
+// NewEnergyAccumulator returns an incremental 45 nm energy counter for the
+// cascade: feed it ExitRecords as they are produced (e.g. by a server) and
+// snapshot a Summary at any time.
+func NewEnergyAccumulator(c *CDLN) (*EnergyAccumulator, error) {
+	return energy.NewEvaluator().NewAccumulator(c)
+}
+
+// NewSession returns a warm classifier over a private replica of the
+// cascade: exit costs precomputed and scratch buffers reused across calls,
+// so repeated classification avoids both the per-call Clone and the
+// per-call allocations of CDLN.Classify. Sessions are single-goroutine;
+// create one per worker.
+func NewSession(c *CDLN) (*Session, error) {
+	return core.NewSession(c)
+}
+
+// DefaultServeConfig returns the inference server's default sizing
+// (GOMAXPROCS workers, 1024-image queue, 32-image micro-batches, 200µs
+// batch window).
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServer starts a batched inference server over a pool of pre-cloned
+// replicas of the cascade: POST /v1/classify (single image or batch, with
+// optional per-request δ override — the paper's §III.B runtime knob),
+// GET /healthz, GET /statsz. Serve its Handler() or call ListenAndServe;
+// Close drains the pool.
+func NewServer(c *CDLN, cfg ServeConfig) (*Server, error) {
+	return serve.New(c, cfg)
 }
 
 // TuneDeltas grid-searches a per-stage confidence threshold on validation

@@ -63,7 +63,11 @@ func run(model string, testN int, seed int64, delta float64, tune, perDigit bool
 		return err
 	}
 	fmt.Printf("accuracy: %.4f\n", res.Confusion.Accuracy())
-	fmt.Printf("normalized OPS: %.3f (%.2fx improvement)\n", res.NormalizedOps(), 1/res.NormalizedOps())
+	if n := res.NormalizedOps(); n > 0 {
+		fmt.Printf("normalized OPS: %.3f (%.2fx improvement)\n", n, res.Improvement())
+	} else {
+		fmt.Println("normalized OPS: n/a (empty evaluation)")
+	}
 	for e, name := range res.ExitNames {
 		fmt.Printf("  exit %-4s %5.1f%%\n", name, 100*res.ExitFraction(e, -1))
 	}

@@ -1,0 +1,81 @@
+// Command cdlserve serves a saved CDLN model over HTTP: batched
+// classification with per-request δ override, liveness, and live
+// exit/OPS/energy statistics. It is the runtime half of the paper's
+// pipeline — cdltrain builds the cascade, cdlserve exploits it: easy
+// inputs exit early and cost a fraction of a full forward pass.
+//
+// Usage:
+//
+//	cdlserve -model model.cdln -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/classify -d '{"images": [[...784 floats...]], "delta": 0.6}'
+//	curl -s localhost:8080/statsz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdl"
+	"cdl/internal/serve"
+)
+
+func main() {
+	model := flag.String("model", "model.cdln", "model path written by cdltrain")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "replica pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "work queue depth in images (0 = default 1024)")
+	batch := flag.Int("batch", 0, "micro-batch size B (0 = default 32)")
+	window := flag.Duration("window", 0, "micro-batch wait T (0 = default 200µs)")
+	delta := flag.Float64("delta", -1, "override the model's trained δ at load (-1 keeps it)")
+	flag.Parse()
+
+	if err := run(*model, *addr, *workers, *queue, *batch, *window, *delta); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, addr string, workers, queue, batch int, window time.Duration, delta float64) error {
+	cdln, err := cdl.LoadCDLN(model)
+	if err != nil {
+		return err
+	}
+	if delta >= 0 {
+		cdln.Delta = delta
+		cdln.StageDeltas = nil
+	}
+	srv, err := serve.New(cdln, serve.Config{
+		Workers:     workers,
+		QueueDepth:  queue,
+		MaxBatch:    batch,
+		BatchWindow: window,
+		ModelName:   model,
+	})
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "cdlserve: %v, shutting down\n", s)
+		close(stop)
+	}()
+
+	fmt.Fprintf(os.Stderr, "cdlserve: %s on %s (δ=%.2f, %d stages)\n",
+		cdln.Arch.Name, addr, cdln.Delta, len(cdln.Stages))
+	if err := srv.ListenAndServe(addr, stop); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "cdlserve: served %d images in %d requests (%.2fx OPS, %.2fx energy improvement)\n",
+		st.Images, st.Requests, st.OpsSpeedup, st.EnergySpeedup)
+	return nil
+}

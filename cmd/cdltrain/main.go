@@ -89,7 +89,7 @@ func run(archN, trainN, testN int, seed int64, epochs int, delta, epsilon float6
 	}
 	fmt.Printf("CDLN accuracy: %.4f (%+.2f%% vs baseline)\n",
 		res.Confusion.Accuracy(), 100*(res.Confusion.Accuracy()-baseAcc))
-	fmt.Printf("normalized OPS: %.3f (%.2fx improvement)\n", res.NormalizedOps(), 1/res.NormalizedOps())
+	fmt.Printf("normalized OPS: %.3f (%.2fx improvement)\n", res.NormalizedOps(), res.Improvement())
 
 	if err := cdl.SaveCDLN(out, cdln); err != nil {
 		return err

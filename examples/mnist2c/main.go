@@ -54,5 +54,5 @@ func main() {
 		}
 		fmt.Printf("  %d %5.3f %s\n", d, res.ClassNormalizedOps(d), bar)
 	}
-	fmt.Printf("mean improvement: %.2fx\n", 1/res.NormalizedOps())
+	fmt.Printf("mean improvement: %.2fx\n", res.Improvement())
 }

@@ -46,7 +46,7 @@ func main() {
 
 	fmt.Printf("\nbaseline accuracy %.4f → CDLN %.4f (%+.2f%%)\n",
 		baseAcc, res.Confusion.Accuracy(), 100*(res.Confusion.Accuracy()-baseAcc))
-	fmt.Printf("OPS:    %.2fx improvement (normalized %.3f)\n", 1/res.NormalizedOps(), res.NormalizedOps())
+	fmt.Printf("OPS:    %.2fx improvement (normalized %.3f)\n", res.Improvement(), res.NormalizedOps())
 	fmt.Printf("energy: %.2fx improvement (%.1f nJ → %.1f nJ per input)\n",
 		sum.Improvement(), sum.BaselineEnergy/1000, sum.MeanEnergy/1000)
 

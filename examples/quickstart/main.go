@@ -42,7 +42,7 @@ func main() {
 	}
 	fmt.Printf("CDLN accuracy:  %.4f\n", res.Confusion.Accuracy())
 	fmt.Printf("normalized OPS: %.3f (%.2fx fewer operations per input)\n",
-		res.NormalizedOps(), 1/res.NormalizedOps())
+		res.NormalizedOps(), res.Improvement())
 	for e, name := range res.ExitNames {
 		fmt.Printf("  %5.1f%% of inputs exit at %s\n", 100*res.ExitFraction(e, -1), name)
 	}

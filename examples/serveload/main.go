@@ -1,0 +1,180 @@
+// Command serveload is a load generator for cdlserve: it synthesizes a
+// deterministic MNIST-like test set, sprays it at a running server from
+// concurrent clients in batched /v1/classify requests, and reports
+// throughput, latency percentiles and the server's own /statsz counters.
+//
+// Usage (against a server started as in README.md):
+//
+//	go run ./examples/serveload -addr http://localhost:8080 -n 2000 -c 8 -batch 16
+//	go run ./examples/serveload -addr http://localhost:8080 -delta 0.3   # cheaper, riskier
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cdl"
+)
+
+type classifyRequest struct {
+	Images [][]float64 `json:"images"`
+	Delta  *float64    `json:"delta,omitempty"`
+}
+
+type classifyResponse struct {
+	Results []struct {
+		Label         int     `json:"label"`
+		Exit          string  `json:"exit"`
+		NormalizedOps float64 `json:"normalized_ops"`
+	} `json:"results"`
+	Count int `json:"count"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	n := flag.Int("n", 2000, "total images to send")
+	concurrency := flag.Int("c", 8, "concurrent client goroutines")
+	batch := flag.Int("batch", 16, "images per request")
+	delta := flag.Float64("delta", -1, "per-request δ override (-1 = server default)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	if err := run(*addr, *n, *concurrency, *batch, *delta, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n, concurrency, batch int, delta float64, seed int64) error {
+	if batch < 1 || concurrency < 1 || n < 1 {
+		return fmt.Errorf("n, c and batch must be positive")
+	}
+	_, testImgs, err := cdl.GenerateMNISTImages(1, n, seed)
+	if err != nil {
+		return err
+	}
+	pixels := make([][]float64, len(testImgs))
+	labels := make([]int, len(testImgs))
+	for i, img := range testImgs {
+		pixels[i] = img.Pixels
+		labels[i] = img.Label
+	}
+
+	// Carve the image stream into per-request batches up front.
+	type chunk struct{ lo, hi int }
+	var chunks []chunk
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, chunk{lo, hi})
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	work := make(chan chunk)
+	latencies := make([]time.Duration, len(chunks))
+	correct := make([]int, concurrency)
+	sumNorm := make([]float64, concurrency)
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			failed := false
+			for ck := range work {
+				// After a failure keep draining the channel so the
+				// producer never blocks; just stop issuing requests.
+				if failed {
+					continue
+				}
+				req := classifyRequest{Images: pixels[ck.lo:ck.hi]}
+				if delta >= 0 {
+					req.Delta = &delta
+				}
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(addr+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed = true
+					continue
+				}
+				payload, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, payload)
+				}
+				var out classifyResponse
+				if err == nil {
+					err = json.Unmarshal(payload, &out)
+				}
+				if err == nil && out.Count != ck.hi-ck.lo {
+					err = fmt.Errorf("got %d results for %d images", out.Count, ck.hi-ck.lo)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed = true
+					continue
+				}
+				latencies[ck.lo/batch] = time.Since(t0)
+				for i, r := range out.Results {
+					if r.Label == labels[ck.lo+i] {
+						correct[w]++
+					}
+					sumNorm[w] += r.NormalizedOps
+				}
+			}
+		}(w)
+	}
+	for _, ck := range chunks {
+		work <- ck
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	totalCorrect, totalNorm := 0, 0.0
+	for w := 0; w < concurrency; w++ {
+		totalCorrect += correct[w]
+		totalNorm += sumNorm[w]
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
+
+	fmt.Printf("sent %d images in %d requests (%d clients, batch %d) in %v\n",
+		n, len(chunks), concurrency, batch, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f images/s\n", float64(n)/elapsed.Seconds())
+	fmt.Printf("request latency: p50 %v  p95 %v  p99 %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("accuracy vs generated labels: %.4f\n", float64(totalCorrect)/float64(n))
+	fmt.Printf("mean normalized OPS: %.3f\n", totalNorm/float64(n))
+
+	stats, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return err
+	}
+	defer stats.Body.Close()
+	var pretty map[string]any
+	if err := json.NewDecoder(stats.Body).Decode(&pretty); err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(pretty, "", "  ")
+	fmt.Printf("server /statsz:\n%s\n", out)
+	return nil
+}

@@ -143,18 +143,36 @@ func (c *CDLN) BaselineOps() float64 { return c.Ops.NetworkOps(c.Arch.Net) }
 // the final FC layer is reached.
 //
 // Classify mutates per-layer forward caches, so a CDLN must not be shared
-// across goroutines; use Clone for parallel evaluation.
+// across goroutines; use Clone for parallel evaluation, or a Session to
+// additionally reuse scratch buffers across calls.
 func (c *CDLN) Classify(x *tensor.T) ExitRecord {
-	exitOps := c.ExitOps()
+	return c.classify(x, c.ExitOps(), nil, -1)
+}
+
+// classify is the single Algorithm 2 implementation shared by CDLN.Classify
+// and Session: exitOps is the precomputed per-exit cost vector, scratch (if
+// non-nil) holds one reusable score buffer per stage, and deltaOverride ≥ 0
+// replaces the model's Delta/StageDeltas for this call (the paper's §III.B
+// runtime knob).
+func (c *CDLN) classify(x *tensor.T, exitOps []float64, scratch []*tensor.T, deltaOverride float64) ExitRecord {
 	act := x
 	pos := 0
 	for i, s := range c.Stages {
 		act = c.Arch.Net.ForwardRange(act, pos, s.Tap)
 		pos = s.Tap
-		scores := s.LC.Scores(act)
+		var scores *tensor.T
+		if scratch != nil {
+			scores = scratch[i]
+			s.LC.ScoresInto(act, scores)
+		} else {
+			scores = s.LC.Scores(act)
+		}
 		delta := c.Delta
 		if c.StageDeltas != nil {
 			delta = c.StageDeltas[i]
+		}
+		if deltaOverride >= 0 {
+			delta = deltaOverride
 		}
 		if c.Rule.ShouldExit(scores, delta) {
 			conf, label := scores.Max()

@@ -68,9 +68,9 @@ func Evaluate(c *CDLN, data []train.Sample, workers int, keepRecords bool) (*Eva
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			replica := c.Clone()
+			sess := newSession(c.Clone())
 			for i := w; i < len(data); i += workers {
-				records[i] = replica.Classify(data[i].X)
+				records[i] = sess.Classify(data[i].X)
 			}
 		}(w)
 	}
@@ -148,11 +148,26 @@ func (r *EvalResult) ExitFraction(e, class int) float64 {
 	return float64(sum) / float64(total)
 }
 
+// Improvement returns the overall OPS improvement factor (baseline/CDLN),
+// or 0 when the evaluation is empty or has no baseline to normalize by.
+func (r *EvalResult) Improvement() float64 {
+	n := r.NormalizedOps()
+	if n == 0 {
+		return 0
+	}
+	return 1 / n
+}
+
 // String renders the headline numbers.
 func (r *EvalResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "accuracy %.4f, normalized OPS %.3f (%.2fx improvement)\n",
-		r.Confusion.Accuracy(), r.NormalizedOps(), 1/r.NormalizedOps())
+	if n := r.NormalizedOps(); n > 0 {
+		fmt.Fprintf(&b, "accuracy %.4f, normalized OPS %.3f (%.2fx improvement)\n",
+			r.Confusion.Accuracy(), n, r.Improvement())
+	} else {
+		fmt.Fprintf(&b, "accuracy %.4f, normalized OPS n/a (empty evaluation)\n",
+			r.Confusion.Accuracy())
+	}
 	for e, name := range r.ExitNames {
 		fmt.Fprintf(&b, "  exit %-4s %.1f%%\n", name, 100*r.ExitFraction(e, -1))
 	}

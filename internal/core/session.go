@@ -1,0 +1,69 @@
+package core
+
+import (
+	"cdl/internal/tensor"
+)
+
+// Session is a reusable single-goroutine classifier over a CDLN. It owns a
+// private replica of the cascade (weights shared with the source model,
+// caches private) plus all scratch state Algorithm 2 needs — the per-exit
+// cost vector and one score buffer per stage — so repeated Classify calls
+// perform no cascade-level allocation and no re-derivation of exit costs.
+//
+// This is the serving-path counterpart of CDLN.Classify: Classify clones
+// nothing but recomputes ExitOps and allocates score tensors on every call,
+// while Evaluate historically paid one Clone per goroutine per evaluation.
+// A Session front-loads both costs once, which is what lets a server keep a
+// pool of warm replicas instead of cloning per request.
+//
+// A Session is not safe for concurrent use; create one per worker.
+type Session struct {
+	model   *CDLN
+	exitOps []float64
+	scores  []*tensor.T
+}
+
+// NewSession validates the model and returns a warm session over a private
+// replica of it. As with Clone, the baseline network's weight storage is
+// shared with the source model, but the stage classifiers are deep-copied:
+// later updates to the source's LC weights, thresholds or structure are NOT
+// visible to the session — build new sessions after retraining.
+func NewSession(c *CDLN) (*Session, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return newSession(c.Clone()), nil
+}
+
+// newSession wraps an already-private, already-validated replica.
+func newSession(replica *CDLN) *Session {
+	s := &Session{
+		model:   replica,
+		exitOps: replica.ExitOps(),
+		scores:  make([]*tensor.T, len(replica.Stages)),
+	}
+	for i, st := range replica.Stages {
+		s.scores[i] = tensor.New(st.LC.Out)
+	}
+	return s
+}
+
+// Model returns the session's private CDLN replica. Mutating its Delta or
+// StageDeltas between calls is allowed (thresholds are read per call);
+// structural mutation invalidates the session.
+func (s *Session) Model() *CDLN { return s.model }
+
+// Classify runs Algorithm 2 on one input with the model's trained
+// thresholds, reusing the session's scratch buffers. Results are
+// bit-identical to CDLN.Classify on the same weights.
+func (s *Session) Classify(x *tensor.T) ExitRecord {
+	return s.model.classify(x, s.exitOps, s.scores, -1)
+}
+
+// ClassifyDelta is Classify with a per-call confidence threshold: delta in
+// [0,1] overrides the model's Delta and StageDeltas for this input only
+// (the paper's §III.B runtime accuracy/efficiency knob, exposed per request
+// by the serving layer); a negative delta keeps the trained thresholds.
+func (s *Session) ClassifyDelta(x *tensor.T, delta float64) ExitRecord {
+	return s.model.classify(x, s.exitOps, s.scores, delta)
+}

@@ -1,0 +1,121 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"cdl/internal/core"
+	"cdl/internal/mnist"
+)
+
+// evalWithRecords re-runs the small fixture keeping per-sample records.
+func evalWithRecords(t *testing.T) (*core.CDLN, *core.EvalResult) {
+	t.Helper()
+	cdln, _ := buildSmallCDLN(t)
+	_, testImgs, err := mnist.GenerateSplit(1, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Evaluate(cdln, mnist.ToSamples(testImgs), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, res
+}
+
+// TestAccumulatorMatchesFromEval feeds an evaluation's records through the
+// incremental path and checks the aggregate numbers agree with the batch
+// summary (per-class means legitimately differ: predicted vs true label).
+func TestAccumulatorMatchesFromEval(t *testing.T) {
+	cdln, res := evalWithRecords(t)
+	ev := NewEvaluator()
+	want, err := ev.FromEval(cdln, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ev.NewAccumulator(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if err := acc.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := acc.Summary()
+	if acc.Count() != int64(len(res.Records)) {
+		t.Fatalf("count %d, want %d", acc.Count(), len(res.Records))
+	}
+	if math.Abs(got.MeanEnergy-want.MeanEnergy) > 1e-6 {
+		t.Errorf("mean %v != FromEval %v", got.MeanEnergy, want.MeanEnergy)
+	}
+	if got.BaselineEnergy != want.BaselineEnergy {
+		t.Errorf("baseline %v != %v", got.BaselineEnergy, want.BaselineEnergy)
+	}
+	if math.Abs(got.Normalized()-want.Normalized()) > 1e-9 {
+		t.Errorf("normalized %v != %v", got.Normalized(), want.Normalized())
+	}
+	// Per-exit counts must match the evaluation's exit distribution.
+	counts := acc.ExitCounts()
+	for e := range res.ExitCounts {
+		sum := int64(0)
+		for _, v := range res.ExitCounts[e] {
+			sum += int64(v)
+		}
+		if counts[e] != sum {
+			t.Errorf("exit %d count %d, want %d", e, counts[e], sum)
+		}
+	}
+}
+
+// TestAccumulatorMerge shards records across two accumulators and merges.
+func TestAccumulatorMerge(t *testing.T) {
+	cdln, res := evalWithRecords(t)
+	ev := NewEvaluator()
+	whole, err := ev.NewAccumulator(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ev.NewAccumulator(cdln)
+	b, _ := ev.NewAccumulator(cdln)
+	for i, rec := range res.Records {
+		if err := whole.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		shard := a
+		if i%2 == 1 {
+			shard = b
+		}
+		if err := shard.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != whole.Count() || math.Abs(a.TotalEnergy()-whole.TotalEnergy()) > 1e-6 {
+		t.Errorf("merged (%d, %v) != whole (%d, %v)",
+			a.Count(), a.TotalEnergy(), whole.Count(), whole.TotalEnergy())
+	}
+}
+
+// TestAccumulatorRejects covers the bounds checks and shape-mismatch merge.
+func TestAccumulatorRejects(t *testing.T) {
+	cdln, _ := evalWithRecords(t)
+	ev := NewEvaluator()
+	acc, err := ev.NewAccumulator(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(core.ExitRecord{StageIndex: cdln.NumExits()}); err == nil {
+		t.Error("out-of-range exit accepted")
+	}
+	if err := acc.Add(core.ExitRecord{Label: -1}); err == nil {
+		t.Error("negative label accepted")
+	}
+	other := &Accumulator{exits: []float64{1}, classes: 1, perExit: []int64{0},
+		perClass: []float64{0}, perClassN: []int64{0}}
+	if err := acc.Merge(other); err == nil {
+		t.Error("shape-mismatched merge accepted")
+	}
+}

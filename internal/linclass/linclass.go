@@ -41,15 +41,25 @@ func New(in, out int, rng *rand.Rand) *Classifier {
 // Scores returns the sigmoid class scores for a feature vector. The input
 // is flattened automatically; its element count must equal In.
 func (c *Classifier) Scores(x *tensor.T) *tensor.T {
+	y := tensor.New(c.Out)
+	c.ScoresInto(x, y)
+	return y
+}
+
+// ScoresInto computes the sigmoid class scores into y (length Out) without
+// allocating. It is the hot path of core.Session, which reuses one score
+// buffer per stage across classification calls.
+func (c *Classifier) ScoresInto(x, y *tensor.T) {
 	if x.Numel() != c.In {
 		panic(fmt.Sprintf("linclass: feature width %d, want %d", x.Numel(), c.In))
 	}
-	y := tensor.New(c.Out)
+	if y.Numel() != c.Out {
+		panic(fmt.Sprintf("linclass: score width %d, want %d", y.Numel(), c.Out))
+	}
 	tensor.MatVecInto(c.W, x.Flatten(), y)
 	for o := 0; o < c.Out; o++ {
 		y.Data[o] = 1 / (1 + math.Exp(-(y.Data[o] + c.B.Data[o])))
 	}
-	return y
 }
 
 // Predict returns the argmax class and its confidence (the max sigmoid

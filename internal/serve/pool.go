@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/tensor"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 503) when the bounded work
+// queue is full: the server sheds load instead of queueing unboundedly.
+var ErrOverloaded = errors.New("serve: work queue full")
+
+// ErrClosed is returned when work arrives after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// job is one image to classify. A multi-image request fans out into one job
+// per image sharing a WaitGroup; each job writes its record in place, so
+// the handler reassembles results in request order for free.
+type job struct {
+	x     *tensor.T
+	delta float64 // <0 keeps the model's trained thresholds
+	rec   *core.ExitRecord
+	wg    *sync.WaitGroup
+}
+
+// pool is the replica fan-out: a bounded job queue drained by one goroutine
+// per pre-built core.Session. Workers micro-batch — after blocking on the
+// first job they greedily collect up to maxBatch jobs or until the batch
+// window elapses — so the per-batch costs downstream (one metrics lock per
+// batch, not per image) amortize under load while a lone request still
+// clears in roughly the batch window.
+type pool struct {
+	jobs     chan *job
+	maxBatch int
+	window   time.Duration
+
+	mu     sync.Mutex // serializes submits; guards closed against close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPool starts one worker per session.
+func newPool(sessions []*core.Session, queueDepth, maxBatch int, window time.Duration, done func(batch []*job)) *pool {
+	p := &pool{
+		jobs:     make(chan *job, queueDepth),
+		maxBatch: maxBatch,
+		window:   window,
+	}
+	for _, sess := range sessions {
+		p.wg.Add(1)
+		go p.worker(sess, done)
+	}
+	return p
+}
+
+// submit enqueues jobs without blocking; on a full queue it rejects the
+// whole request so the caller never waits behind a saturated pool.
+// Admission is all-or-nothing: submits serialize on the mutex and check
+// free capacity up front, so a rejected request enqueues nothing and costs
+// the saturated server no worker time. The check cannot go stale mid-loop
+// — workers only ever drain the queue, so free space only grows.
+func (p *pool) submit(jobs []*job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if len(jobs) > cap(p.jobs)-len(p.jobs) {
+		return ErrOverloaded
+	}
+	for _, j := range jobs {
+		j.wg.Add(1)
+		p.jobs <- j
+	}
+	return nil
+}
+
+// depth reports how many jobs are queued right now.
+func (p *pool) depth() int { return len(p.jobs) }
+
+// close stops accepting work, drains the queue and waits for the workers.
+// Jobs already queued are still classified.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker drains micro-batches with its private session. done is called once
+// per batch after every record is written and its waiters released.
+func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
+	defer p.wg.Done()
+	batch := make([]*job, 0, p.maxBatch)
+	for {
+		first, ok := <-p.jobs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		p.collect(&batch)
+		for _, j := range batch {
+			*j.rec = sess.ClassifyDelta(j.x, j.delta)
+			j.wg.Done()
+		}
+		if done != nil {
+			done(batch)
+		}
+	}
+}
+
+// collect greedily tops the batch up to maxBatch, first without waiting,
+// then waiting out the remainder of the batch window.
+func (p *pool) collect(batch *[]*job) {
+	for len(*batch) < p.maxBatch {
+		select {
+		case j, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, j)
+			continue
+		default:
+		}
+		break
+	}
+	if len(*batch) >= p.maxBatch || p.window <= 0 {
+		return
+	}
+	timer := time.NewTimer(p.window)
+	defer timer.Stop()
+	for len(*batch) < p.maxBatch {
+		select {
+		case j, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, j)
+		case <-timer.C:
+			return
+		}
+	}
+}

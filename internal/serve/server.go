@@ -1,0 +1,337 @@
+// Package serve is the CDLN inference server: an HTTP JSON API over a pool
+// of pre-cloned per-worker model replicas (core.Session), a bounded work
+// queue with micro-batching, and live exit/OPS/energy statistics.
+//
+// The serving design is the paper's thesis operationalized: easy inputs
+// exit the cascade early, so most requests cost a fraction of a full
+// forward pass, and the per-request δ override exposes §III.B's runtime
+// accuracy/efficiency knob to clients per call.
+//
+// Endpoints:
+//
+//	POST /v1/classify  one image or a batch, optional per-request δ
+//	GET  /healthz      liveness and model identity
+//	GET  /statsz       live exit distribution, normalized OPS, 45 nm energy
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+	"cdl/internal/tensor"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the replica-pool size: one core.Session (and one worker
+	// goroutine) each. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the work queue in images; requests beyond it are
+	// rejected with 503. Default 1024.
+	QueueDepth int
+	// MaxBatch is the micro-batch size B: a worker drains up to B queued
+	// images before touching shared state. Default 32.
+	MaxBatch int
+	// BatchWindow is the micro-batch wait T: after the first image a worker
+	// waits at most this long for the batch to fill. Default 200µs.
+	BatchWindow time.Duration
+	// MaxRequestImages caps the images accepted in one request (they must
+	// all fit the queue anyway). Default MaxBatch×8.
+	MaxRequestImages int
+	// ModelName is reported by /healthz (e.g. the model file path).
+	ModelName string
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.MaxRequestImages <= 0 {
+		c.MaxRequestImages = c.MaxBatch * 8
+	}
+	// Admission is all-or-nothing against the queue, so a request larger
+	// than the queue could never be accepted.
+	if c.MaxRequestImages > c.QueueDepth {
+		c.MaxRequestImages = c.QueueDepth
+	}
+	return c
+}
+
+// DefaultConfig returns the default sizing.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Server serves classification over a CDLN replica pool. Create with New,
+// expose via Handler (or ListenAndServe) and stop with Close.
+type Server struct {
+	cfg     Config
+	model   *core.CDLN
+	inWidth int
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New validates the model, pre-clones cfg.Workers warm sessions and starts
+// the worker pool.
+func New(model *core.CDLN, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	acc, err := energy.NewEvaluator().NewAccumulator(model)
+	if err != nil {
+		return nil, err
+	}
+	sessions := make([]*core.Session, cfg.Workers)
+	for i := range sessions {
+		if sessions[i], err = core.NewSession(model); err != nil {
+			return nil, err
+		}
+	}
+	inWidth := 1
+	for _, d := range model.Arch.Net.InShape {
+		inWidth *= d
+	}
+	s := &Server{
+		cfg:     cfg,
+		model:   model,
+		inWidth: inWidth,
+		metrics: newMetrics(model, acc),
+	}
+	s.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.metrics.observeBatch)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler (also what ListenAndServe mounts).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the live counters.
+func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool.depth(), s.cfg.Workers) }
+
+// Close drains the queue and stops the workers. Call after the HTTP layer
+// has stopped accepting requests (http.Server.Shutdown); classify requests
+// racing Close receive 503.
+func (s *Server) Close() { s.pool.close() }
+
+// ListenAndServe runs the server on addr until stop is closed, then shuts
+// down gracefully: stop accepting, wait for in-flight requests, drain the
+// pool.
+func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
+	httpSrv := &http.Server{Addr: addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(ctx)
+	s.Close()
+	if err != nil {
+		return err
+	}
+	if lerr := <-errCh; !errors.Is(lerr, http.ErrServerClosed) {
+		return lerr
+	}
+	return nil
+}
+
+// ClassifyRequest is the /v1/classify payload: exactly one of Image (a
+// single flattened image) or Images (a batch) must be set. Pixel counts
+// must match the model's input shape. Delta, when non-nil, overrides the
+// model's confidence threshold δ for every image in the request — the
+// paper's §III.B runtime knob. δ=1 disables early exit entirely (maximum
+// accuracy of the baseline, baseline-like cost); moderate δ trades depth
+// for cost. Note the default threshold rule (exit iff exactly one score
+// clears δ) is not monotone at the low end: δ near 0 makes every class
+// "confident" and so forces full depth too.
+type ClassifyRequest struct {
+	Image  []float64   `json:"image,omitempty"`
+	Images [][]float64 `json:"images,omitempty"`
+	Delta  *float64    `json:"delta,omitempty"`
+}
+
+// ClassifyResult is one image's outcome.
+type ClassifyResult struct {
+	// Label is the predicted class.
+	Label int `json:"label"`
+	// Exit names the exit point taken ("O1".."On" or "FC"); ExitIndex is
+	// its index in the cascade.
+	Exit      string `json:"exit"`
+	ExitIndex int    `json:"exit_index"`
+	// Confidence is the winning score at the exit point.
+	Confidence float64 `json:"confidence"`
+	// Ops and EnergyPJ are the dynamic cost of this input; NormalizedOps is
+	// Ops over one full baseline pass (1.0 = no early-exit benefit).
+	Ops           float64 `json:"ops"`
+	NormalizedOps float64 `json:"normalized_ops"`
+	EnergyPJ      float64 `json:"energy_pj"`
+}
+
+// ClassifyResponse is the /v1/classify response; Results is in request
+// order.
+type ClassifyResponse struct {
+	Results []ClassifyResult `json:"results"`
+	Count   int              `json:"count"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.metrics.observeInvalid()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	// Bound the body before decoding: the per-request image cap is useless
+	// if a client can make the decoder buffer gigabytes first. ~32 bytes
+	// covers any float64 JSON rendering plus separators.
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(s.inWidth)*32 + 4096
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req ClassifyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.observeInvalid()
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	images, err := s.requestImages(&req)
+	if err != nil {
+		s.metrics.observeInvalid()
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	delta := -1.0
+	if req.Delta != nil {
+		delta = *req.Delta
+		if delta < 0 || delta > 1 {
+			s.metrics.observeInvalid()
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("delta %v outside [0,1]", delta)})
+			return
+		}
+	}
+
+	records := make([]core.ExitRecord, len(images))
+	jobs := make([]*job, len(images))
+	var wg sync.WaitGroup
+	for i, img := range images {
+		jobs[i] = &job{
+			x:     tensor.FromSlice(img, s.model.Arch.Net.InShape...),
+			delta: delta,
+			rec:   &records[i],
+			wg:    &wg,
+		}
+	}
+	if err := s.pool.submit(jobs); err != nil {
+		s.metrics.observeRejected()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		return
+	}
+	wg.Wait()
+	s.metrics.observeRequest()
+
+	resp := ClassifyResponse{Results: make([]ClassifyResult, len(records)), Count: len(records)}
+	baseOps := s.metrics.baselineOps
+	for i, rec := range records {
+		res := ClassifyResult{
+			Label:      rec.Label,
+			Exit:       rec.StageName,
+			ExitIndex:  rec.StageIndex,
+			Confidence: rec.Confidence,
+			Ops:        rec.Ops,
+			EnergyPJ:   s.metrics.acc.ExitEnergy(rec.StageIndex),
+		}
+		if baseOps > 0 {
+			res.NormalizedOps = rec.Ops / baseOps
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestImages normalizes the single/batch request forms into validated
+// pixel slices.
+func (s *Server) requestImages(req *ClassifyRequest) ([][]float64, error) {
+	var images [][]float64
+	switch {
+	case req.Image != nil && req.Images != nil:
+		return nil, errors.New(`set "image" or "images", not both`)
+	case req.Image != nil:
+		images = [][]float64{req.Image}
+	case len(req.Images) > 0:
+		images = req.Images
+	default:
+		return nil, errors.New(`missing "image" or "images"`)
+	}
+	if len(images) > s.cfg.MaxRequestImages {
+		return nil, fmt.Errorf("%d images exceed the per-request cap %d", len(images), s.cfg.MaxRequestImages)
+	}
+	for i, img := range images {
+		if len(img) != s.inWidth {
+			return nil, fmt.Errorf("image %d has %d pixels, model wants %d (shape %v)",
+				i, len(img), s.inWidth, s.model.Arch.Net.InShape)
+		}
+	}
+	return images, nil
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Model         string  `json:"model,omitempty"`
+	Arch          string  `json:"arch"`
+	Stages        int     `json:"stages"`
+	Delta         float64 `json:"delta"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Model:         s.cfg.ModelName,
+		Arch:          s.model.Arch.Name,
+		Stages:        len(s.model.Stages),
+		Delta:         s.model.Delta,
+		Workers:       s.cfg.Workers,
+		UptimeSeconds: time.Since(s.metrics.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

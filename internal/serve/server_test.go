@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/nn"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// testCDLN trains a small two-tap cascade on a synthetic blob problem
+// (mirrors internal/core's test fixture: 12×12 inputs, 3 classes, noise
+// spread so some inputs exit early and some reach FC).
+func testCDLN(t testing.TB, seed int64) (*core.CDLN, []train.Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{1, 12, 12},
+		nn.NewConv2D("C1", 1, 2, 3),
+		nn.NewSigmoid("C1.act"),
+		nn.NewMaxPool2D("P1", 2),
+		nn.NewConv2D("C2", 2, 3, 2),
+		nn.NewSigmoid("C2.act"),
+		nn.NewMaxPool2D("P2", 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("FC", 3*2*2, 3),
+		nn.NewSigmoid("FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{
+		Name: "serve-test", Net: net,
+		Taps: []int{3, 6}, TapNames: []string{"P1", "P2"},
+		NumClasses: 3,
+	}
+	data := blobData(180, seed+1)
+	cfg := train.Defaults(3)
+	cfg.Epochs = 12
+	cfg.BatchSize = 10
+	if _, err := train.SGD(arch.Net, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, data, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, data
+}
+
+// blobData builds the 3-class blob-position problem with a hard noise tail.
+func blobData(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]int{{3, 3}, {3, 8}, {8, 5}}
+	out := make([]train.Sample, n)
+	for i := range out {
+		label := i % 3
+		noise := 0.05
+		if rng.Float64() < 0.3 {
+			noise = 0.35
+		}
+		x := tensor.New(1, 12, 12)
+		cy, cx := centers[label][0], centers[label][1]
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d2 := float64((y-cy)*(y-cy) + (xx-cx)*(xx-cx))
+				v := 1/(1+d2/3) + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				x.Data[y*12+xx] = v
+			}
+		}
+		out[i] = train.Sample{X: x, Label: label}
+	}
+	return out
+}
+
+// startServer builds a serve.Server over an httptest listener.
+func startServer(t testing.TB, cdln *core.CDLN, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cdln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postClassify(t testing.TB, url string, req ClassifyRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestServerMatchesEvaluate is the end-to-end identity check: batched
+// /v1/classify results must be bit-identical to core.Evaluate's records on
+// the same samples.
+func TestServerMatchesEvaluate(t *testing.T) {
+	cdln, data := testCDLN(t, 21)
+	res, err := core.Evaluate(cdln, data, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, cdln, Config{Workers: 4})
+
+	// Send in batches of 32 and compare per-sample.
+	for lo := 0; lo < len(data); lo += 32 {
+		hi := lo + 32
+		if hi > len(data) {
+			hi = len(data)
+		}
+		req := ClassifyRequest{Images: make([][]float64, 0, hi-lo)}
+		for _, s := range data[lo:hi] {
+			req.Images = append(req.Images, s.X.Flatten().Data)
+		}
+		status, body := postClassify(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", status, body)
+		}
+		var out ClassifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Count != hi-lo {
+			t.Fatalf("count %d, want %d", out.Count, hi-lo)
+		}
+		for i, got := range out.Results {
+			want := res.Records[lo+i]
+			if got.Label != want.Label || got.Exit != want.StageName ||
+				got.ExitIndex != want.StageIndex ||
+				got.Confidence != want.Confidence || got.Ops != want.Ops {
+				t.Fatalf("sample %d: server %+v != evaluate %+v", lo+i, got, want)
+			}
+		}
+	}
+}
+
+// TestServerStatsz checks the live counters after serving traffic.
+func TestServerStatsz(t *testing.T) {
+	cdln, data := testCDLN(t, 22)
+	srv, ts := startServer(t, cdln, Config{Workers: 2})
+
+	req := ClassifyRequest{}
+	for _, s := range data[:50] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	if status, body := postClassify(t, ts.URL, req); status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Images != 50 || st.Requests != 1 {
+		t.Fatalf("stats %d images / %d requests, want 50/1", st.Images, st.Requests)
+	}
+	total := int64(0)
+	for _, e := range st.Exits {
+		total += e.Count
+	}
+	if total != 50 {
+		t.Errorf("exit counts sum to %d, want 50", total)
+	}
+	if st.MeanOps <= 0 || st.MeanEnergyPJ <= 0 || st.BaselineEnergyPJ <= 0 {
+		t.Errorf("cost counters not populated: %+v", st)
+	}
+	if st.NormalizedOps <= 0 || st.NormalizedOps > 1.5 {
+		t.Errorf("normalized OPS %v implausible", st.NormalizedOps)
+	}
+	if got := srv.Stats(); got.Images != 50 {
+		t.Errorf("Server.Stats images %d, want 50", got.Images)
+	}
+
+	// healthz reports the model identity.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["arch"] != "serve-test" {
+		t.Errorf("healthz %v", h)
+	}
+}
+
+// TestServerDeltaOverride exercises the §III.B runtime knob over HTTP: δ=1
+// forces every input to FC; δ=0 exits every input at the first stage
+// (threshold rule fires iff exactly one score ≥ δ... δ=0 passes when one
+// class clears zero, which sigmoids always do for all classes, so use the
+// model behaviour instead: δ=1 vs trained must differ in exit mix).
+func TestServerDeltaOverride(t *testing.T) {
+	cdln, data := testCDLN(t, 23)
+	_, ts := startServer(t, cdln, Config{Workers: 2})
+
+	one := 1.0
+	req := ClassifyRequest{Delta: &one}
+	for _, s := range data[:30] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	status, body := postClassify(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	var out ClassifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if r.Exit != "FC" {
+			t.Fatalf("sample %d: δ=1 exited at %s", i, r.Exit)
+		}
+	}
+
+	// Trained thresholds: expect at least one early exit on this fixture.
+	req.Delta = nil
+	status, body = postClassify(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	early := 0
+	for _, r := range out.Results {
+		if r.Exit != "FC" {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Error("no early exits under trained thresholds; fixture degenerate")
+	}
+}
+
+// TestServerConcurrent hammers the server from many goroutines and checks
+// every response against the expected record (run under -race in CI).
+func TestServerConcurrent(t *testing.T) {
+	cdln, data := testCDLN(t, 24)
+	res, err := core.Evaluate(cdln, data, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, cdln, Config{Workers: 4, MaxBatch: 8, BatchWindow: 50 * time.Microsecond})
+
+	const clients = 16
+	const perClient = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl)))
+			for k := 0; k < perClient; k++ {
+				i := rng.Intn(len(data))
+				req := ClassifyRequest{Image: data[i].X.Flatten().Data}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var out ClassifyResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				want := res.Records[i]
+				got := out.Results[0]
+				if got.Label != want.Label || got.Exit != want.StageName || got.Confidence != want.Confidence {
+					errCh <- fmt.Errorf("client %d sample %d: %+v != %+v", cl, i, got, want)
+					return
+				}
+			}
+			errCh <- nil
+		}(cl)
+	}
+	wg.Wait()
+	for cl := 0; cl < clients; cl++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerBadRequests covers the 4xx/405 paths.
+func TestServerBadRequests(t *testing.T) {
+	cdln, data := testCDLN(t, 25)
+	srv, ts := startServer(t, cdln, Config{Workers: 1, MaxRequestImages: 4})
+
+	good := data[0].X.Flatten().Data
+	bad := 2.0
+	cases := []struct {
+		name string
+		req  ClassifyRequest
+	}{
+		{"empty", ClassifyRequest{}},
+		{"wrong width", ClassifyRequest{Image: []float64{1, 2, 3}}},
+		{"both forms", ClassifyRequest{Image: good, Images: [][]float64{good}}},
+		{"delta range", ClassifyRequest{Image: good, Delta: &bad}},
+		{"too many images", ClassifyRequest{Images: [][]float64{good, good, good, good, good}}},
+	}
+	for _, tc := range cases {
+		if status, body := postClassify(t, ts.URL, tc.req); status != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d (%s), want 400", tc.name, status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET classify: HTTP %d, want 405", resp.StatusCode)
+	}
+
+	// Oversized body: rejected by the byte limit while decoding, well
+	// before the image-count check could see it.
+	huge := bytes.Repeat([]byte("9"), 8<<20)
+	oresp, err := http.Post(ts.URL+"/v1/classify", "application/json",
+		bytes.NewReader(append([]byte(`{"image":[`), huge...)))
+	if err == nil {
+		oresp.Body.Close()
+		if oresp.StatusCode == http.StatusOK {
+			t.Error("8MB body accepted")
+		}
+	}
+
+	// Malformed JSON.
+	mresp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", mresp.StatusCode)
+	}
+
+	if st := srv.Stats(); st.Invalid == 0 {
+		t.Error("invalid-request counter not incremented")
+	}
+}
+
+// TestPoolAllOrNothingAdmission checks that an oversized submit enqueues
+// nothing: a rejected request must cost the saturated server no worker
+// time. The pool has no workers, so the queue never drains underneath us.
+func TestPoolAllOrNothingAdmission(t *testing.T) {
+	p := newPool(nil, 4, 1, 0, nil)
+	defer p.close()
+	mkJobs := func(n int) []*job {
+		out := make([]*job, n)
+		var wg sync.WaitGroup
+		for i := range out {
+			out[i] = &job{rec: &core.ExitRecord{}, wg: &wg}
+		}
+		return out
+	}
+	if err := p.submit(mkJobs(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.submit(mkJobs(2)); err != ErrOverloaded {
+		t.Fatalf("overflow submit: %v, want ErrOverloaded", err)
+	}
+	if d := p.depth(); d != 3 {
+		t.Fatalf("queue depth %d after rejected submit, want 3 (partial enqueue)", d)
+	}
+	if err := p.submit(mkJobs(1)); err != nil {
+		t.Fatalf("exact-fit submit rejected: %v", err)
+	}
+}
+
+// TestServerClosedRejects checks that classify after Close sheds load with
+// 503 instead of panicking on the closed queue.
+func TestServerClosedRejects(t *testing.T) {
+	cdln, data := testCDLN(t, 26)
+	srv, err := New(cdln, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	status, _ := postClassify(t, ts.URL, ClassifyRequest{Image: data[0].X.Flatten().Data})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("classify after Close: HTTP %d, want 503", status)
+	}
+	if st := srv.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected counter %d, want 1", st.Rejected)
+	}
+}
+
+// BenchmarkServerClassify measures end-to-end single-image request
+// throughput through the full HTTP + pool + session path.
+func BenchmarkServerClassify(b *testing.B) {
+	cdln, data := testCDLN(b, 27)
+	_, ts := startServer(b, cdln, Config{Workers: 4})
+	body, _ := json.Marshal(ClassifyRequest{Image: data[0].X.Flatten().Data})
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+)
+
+// metrics aggregates live serving statistics: request/image counters, the
+// exit distribution, dynamic OPS and the 45 nm energy counters. Workers
+// update it once per micro-batch (observeBatch), so the mutex is taken per
+// batch rather than per image.
+type metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests int64 // /v1/classify requests admitted
+	rejected int64 // 503s (queue full / shutting down)
+	invalid  int64 // 4xx classify requests
+	images   int64
+
+	exitNames   []string
+	exitCounts  []int64
+	totalOps    float64
+	baselineOps float64
+	acc         *energy.Accumulator
+}
+
+func newMetrics(c *core.CDLN, acc *energy.Accumulator) *metrics {
+	m := &metrics{
+		started:     time.Now(),
+		exitNames:   make([]string, c.NumExits()),
+		exitCounts:  make([]int64, c.NumExits()),
+		baselineOps: c.BaselineOps(),
+		acc:         acc,
+	}
+	for e := range m.exitNames {
+		m.exitNames[e] = c.ExitName(e)
+	}
+	return m
+}
+
+func (m *metrics) observeRequest() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeInvalid() {
+	m.mu.Lock()
+	m.invalid++
+	m.mu.Unlock()
+}
+
+// observeBatch charges one classified micro-batch to the counters.
+func (m *metrics) observeBatch(batch []*job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range batch {
+		rec := *j.rec
+		m.images++
+		m.exitCounts[rec.StageIndex]++
+		m.totalOps += rec.Ops
+		// Records come from a validated session; Add can only fail on a
+		// model/accumulator mismatch, which construction rules out.
+		_ = m.acc.Add(rec)
+	}
+}
+
+// ExitStat is one exit point's share of the served traffic.
+type ExitStat struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	Fraction float64 `json:"fraction"`
+	EnergyPJ float64 `json:"energy_pj"`
+}
+
+// Stats is the /statsz payload: a consistent snapshot of the counters.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Rejected      int64   `json:"rejected"`
+	Invalid       int64   `json:"invalid"`
+	Images        int64   `json:"images"`
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+
+	Exits []ExitStat `json:"exits"`
+
+	MeanOps       float64 `json:"mean_ops"`
+	BaselineOps   float64 `json:"baseline_ops"`
+	NormalizedOps float64 `json:"normalized_ops"`
+	OpsSpeedup    float64 `json:"ops_improvement_x"`
+
+	MeanEnergyPJ     float64 `json:"mean_energy_pj"`
+	TotalEnergyPJ    float64 `json:"total_energy_pj"`
+	BaselineEnergyPJ float64 `json:"baseline_energy_pj"`
+	NormalizedEnergy float64 `json:"normalized_energy"`
+	EnergySpeedup    float64 `json:"energy_improvement_x"`
+}
+
+// snapshot assembles a Stats under the lock.
+func (m *metrics) snapshot(queueDepth, workers int) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Requests:      m.requests,
+		Rejected:      m.rejected,
+		Invalid:       m.invalid,
+		Images:        m.images,
+		QueueDepth:    queueDepth,
+		Workers:       workers,
+		BaselineOps:   m.baselineOps,
+		Exits:         make([]ExitStat, len(m.exitNames)),
+	}
+	for e := range s.Exits {
+		s.Exits[e] = ExitStat{
+			Name:     m.exitNames[e],
+			Count:    m.exitCounts[e],
+			EnergyPJ: m.acc.ExitEnergy(e),
+		}
+		if m.images > 0 {
+			s.Exits[e].Fraction = float64(m.exitCounts[e]) / float64(m.images)
+		}
+	}
+	sum := m.acc.Summary()
+	s.TotalEnergyPJ = m.acc.TotalEnergy()
+	s.BaselineEnergyPJ = sum.BaselineEnergy
+	if m.images > 0 {
+		s.MeanOps = m.totalOps / float64(m.images)
+		s.MeanEnergyPJ = sum.MeanEnergy
+		if m.baselineOps > 0 {
+			s.NormalizedOps = s.MeanOps / m.baselineOps
+		}
+		if s.NormalizedOps > 0 {
+			s.OpsSpeedup = 1 / s.NormalizedOps
+		}
+		s.NormalizedEnergy = sum.Normalized()
+		s.EnergySpeedup = sum.Improvement()
+	}
+	return s
+}
