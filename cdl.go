@@ -29,6 +29,8 @@ import (
 	"os"
 
 	"cdl/internal/core"
+	"cdl/internal/edgecloud"
+	"cdl/internal/edgecloud/wire"
 	"cdl/internal/energy"
 	"cdl/internal/fixed"
 	"cdl/internal/mnist"
@@ -78,6 +80,42 @@ type (
 	ServeConfig = serve.Config
 	// ServeStats is the server's live counter snapshot (/statsz payload).
 	ServeStats = serve.Stats
+	// Edge is the edge-tier runtime of a split deployment: it owns the
+	// cascade prefix and offloads hard inputs to a cloud backend
+	// (internal/edgecloud).
+	Edge = edgecloud.Edge
+	// EdgeConfig shapes an edge node (split stage, δ, wire encoding, link
+	// energy model).
+	EdgeConfig = edgecloud.Config
+	// EdgeResult is one input's tier-split outcome (record, offload flag,
+	// per-tier pJ).
+	EdgeResult = edgecloud.Result
+	// EdgeTransport ships offloaded activations to the cloud tier.
+	EdgeTransport = edgecloud.Transport
+	// EdgeServer is the edge node's HTTP front (classify-or-offload).
+	EdgeServer = edgecloud.Server
+	// EdgeServerConfig sizes the edge HTTP front.
+	EdgeServerConfig = edgecloud.ServerConfig
+	// EdgeStats is the edge server's live counter snapshot.
+	EdgeStats = edgecloud.Stats
+	// Link is the edge→cloud transmission energy model.
+	Link = energy.Link
+	// TieredSummary is the per-tier (edge/link/cloud) energy view of a
+	// split deployment.
+	TieredSummary = energy.TieredSummary
+	// WireEncoding selects the offload payload representation (lossless
+	// float64 or quantized fixed-point).
+	WireEncoding = wire.Encoding
+)
+
+// Wire encodings for EdgeConfig.Encoding.
+const (
+	// WireFloat64 is the lossless encoding: split results are
+	// bit-identical to monolithic classification.
+	WireFloat64 = wire.EncodingFloat64
+	// WireFixed ships Q2.13-quantized activations at a quarter of the
+	// bytes, modelling a quantized radio link.
+	WireFixed = wire.EncodingFixed
 )
 
 // NewArch6 builds the paper's Table I 6-layer baseline (MNIST_2C host)
@@ -183,6 +221,39 @@ func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
 // Close drains the pool.
 func NewServer(c *CDLN, cfg ServeConfig) (*Server, error) {
 	return serve.New(c, cfg)
+}
+
+// DefaultEdgeConfig returns an edge configuration for the given split
+// stage: trained thresholds, lossless wire encoding, default link model.
+func DefaultEdgeConfig(splitStage int) EdgeConfig { return edgecloud.DefaultConfig(splitStage) }
+
+// DefaultLink returns the reference edge→cloud transmission energy model
+// (400 pJ/byte + 20 nJ per transfer — an ultra-low-power short-range
+// radio).
+func DefaultLink() Link { return energy.DefaultLink() }
+
+// NewEdge returns a warm edge runtime over a private replica of the
+// cascade: the first cfg.SplitStage stages run locally, everything past
+// them is offloaded through t. With the lossless encoding, results are
+// bit-identical to monolithic classification for every split stage.
+func NewEdge(c *CDLN, t EdgeTransport, cfg EdgeConfig) (*Edge, error) {
+	return edgecloud.New(c, t, cfg)
+}
+
+// NewEdgeLoopback returns an in-process cloud tier (decode + resume on a
+// private session) — the transport for tests, demos and single-node runs.
+func NewEdgeLoopback(c *CDLN) (EdgeTransport, error) { return edgecloud.NewLoopback(c) }
+
+// NewEdgeHTTPTransport returns a transport that offloads to a cdlserve
+// backend's /v1/resume at the given base URL.
+func NewEdgeHTTPTransport(baseURL string) EdgeTransport { return edgecloud.NewHTTPTransport(baseURL) }
+
+// NewEdgeServer starts an edge HTTP front: same /v1/classify schema as
+// NewServer, but only the cascade prefix runs here — hard inputs are
+// forwarded to the cloud tier via transports from newTransport (one per
+// worker).
+func NewEdgeServer(c *CDLN, newTransport func() (EdgeTransport, error), edgeCfg EdgeConfig, cfg EdgeServerConfig) (*EdgeServer, error) {
+	return edgecloud.NewServer(c, newTransport, edgeCfg, cfg)
 }
 
 // TuneDeltas grid-searches a per-stage confidence threshold on validation

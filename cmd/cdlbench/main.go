@@ -1,0 +1,147 @@
+// Command cdlbench turns `go test -bench` output into a machine-readable
+// JSON file, so the repo's performance trajectory can be tracked across
+// commits (CI uploads BENCH_serve.json as a build artifact).
+//
+// It reads the benchmark stream from stdin (or -in), parses every
+// Benchmark line — standard metrics (ns/op, B/op, allocs/op) and custom
+// ReportMetric units alike — and writes one JSON document:
+//
+//	go test -run '^$' -bench . -benchtime 100x ./internal/serve | cdlbench -out BENCH_serve.json
+//
+// cdlbench exits non-zero when the stream contains no benchmarks (an empty
+// artifact usually means the bench invocation silently broke) or when the
+// stream reports a test failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Package is the Go package the benchmark ran in (from the stream's
+	// "pkg:" header; empty if the stream had none).
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name including the GOMAXPROCS suffix, e.g.
+	// "BenchmarkServerClassify-8".
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	// GeneratedUnix is the report's creation time.
+	GeneratedUnix int64 `json:"generated_unix"`
+	// GoVersion is the toolchain that produced the report.
+	GoVersion string `json:"go_version"`
+	// Benchmarks holds every parsed benchmark in stream order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", `benchmark stream ("-" = stdin)`)
+	out := flag.String("out", "-", `output JSON path ("-" = stdout)`)
+	flag.Parse()
+
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input — did the bench invocation run?")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// parse consumes a `go test -bench` stream. It tolerates interleaved
+// non-benchmark output (the tool may share a pipe with -v test logs) but
+// fails on an explicit FAIL marker so CI cannot archive results from a
+// broken run.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{GeneratedUnix: time.Now().Unix(), GoVersion: runtime.Version()}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t") || strings.HasPrefix(line, "--- FAIL"):
+			return nil, fmt.Errorf("input stream reports a failure: %q", line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line, pkg)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  v1 u1  v2 u2 ..." line.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Package:    pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

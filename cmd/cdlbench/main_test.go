@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: cdl/internal/serve
+cpu: Test CPU
+BenchmarkServerClassify-8   	    1000	     82123 ns/op	    1234 B/op	      12 allocs/op
+BenchmarkCustomMetric-8     	     500	     41000 ns/op	        1.91 opsx
+some unrelated -v log line
+PASS
+ok  	cdl/internal/serve	2.345s
+`
+
+func TestParseStream(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Package != "cdl/internal/serve" || b.Name != "BenchmarkServerClassify-8" || b.Iterations != 1000 {
+		t.Fatalf("benchmark 0: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 82123 || b.Metrics["B/op"] != 1234 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("benchmark 0 metrics: %v", b.Metrics)
+	}
+	if got := rep.Benchmarks[1].Metrics["opsx"]; got != 1.91 {
+		t.Fatalf("custom metric opsx = %v, want 1.91", got)
+	}
+	if rep.GoVersion == "" || rep.GeneratedUnix == 0 {
+		t.Fatalf("report metadata missing: %+v", rep)
+	}
+}
+
+func TestParseRejectsFailure(t *testing.T) {
+	for _, stream := range []string{
+		"--- FAIL: TestX (0.0s)\nFAIL\n",
+		"BenchmarkY-8 10 5 ns/op\nFAIL\tcdl/internal/serve\t0.1s\n",
+	} {
+		if _, err := parse(strings.NewReader(stream)); err == nil {
+			t.Errorf("stream %q parsed without error", stream)
+		}
+	}
+}
+
+func TestParseIgnoresMalformedBenchLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\nBenchmarkAlso broken\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
+	}
+}

@@ -1,0 +1,100 @@
+// Command cdledge runs the edge half of a split CDLN deployment: it owns
+// the cascade prefix up to -split stages, answers /v1/classify locally when
+// the δ-rule fires, and offloads the hard residue to a cdlserve backend's
+// /v1/resume as wire-encoded activations. Clients speak the same JSON
+// schema to an edge node as to a full server.
+//
+// Usage (cloud first, then the edge against it):
+//
+//	cdlserve -model model.cdln -addr :8080
+//	cdledge  -model model.cdln -addr :8081 -cloud http://localhost:8080 -split 1
+//	curl -s -X POST localhost:8081/v1/classify -d '{"images": [[...784 floats...]]}'
+//	curl -s localhost:8081/statsz   # offload fraction, edge/link/cloud pJ
+//
+// -encoding fixed ships Q2.13-quantized activations (4x smaller payloads,
+// no bit-identity guarantee); the default float64 encoding keeps split
+// results bit-identical to a monolithic server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cdl"
+	"cdl/internal/edgecloud"
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/energy"
+)
+
+func main() {
+	model := flag.String("model", "model.cdln", "model path written by cdltrain")
+	addr := flag.String("addr", ":8081", "listen address")
+	cloud := flag.String("cloud", "http://localhost:8080", "cloud cdlserve base URL for offloads")
+	split := flag.Int("split", 1, "cascade stages owned by this edge node (0 = offload everything)")
+	delta := flag.Float64("delta", -1, "δ override for the local exit rule (-1 keeps the trained thresholds)")
+	workers := flag.Int("workers", 0, "edge runtime pool size (0 = GOMAXPROCS)")
+	encoding := flag.String("encoding", "float64", `offload payload encoding: "float64" (lossless) or "fixed" (Q2.13, 4x smaller)`)
+	pjByte := flag.Float64("pjbyte", energy.DefaultLink().PJPerByte, "link energy model: pJ per transmitted byte")
+	pjOffload := flag.Float64("pjoffload", energy.DefaultLink().PerOffloadPJ, "link energy model: fixed pJ per transfer")
+	flag.Parse()
+
+	if err := run(*model, *addr, *cloud, *encoding, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
+		fmt.Fprintln(os.Stderr, "cdledge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, addr, cloud, encoding string, split, workers int, delta, pjByte, pjOffload float64) error {
+	cdln, err := cdl.LoadCDLN(model)
+	if err != nil {
+		return err
+	}
+	var enc wire.Encoding
+	switch encoding {
+	case "float64", "f64":
+		enc = wire.EncodingFloat64
+	case "fixed", "q2.13":
+		enc = wire.EncodingFixed
+	default:
+		return fmt.Errorf("unknown -encoding %q (want float64 or fixed)", encoding)
+	}
+
+	srv, err := edgecloud.NewServer(cdln,
+		func() (edgecloud.Transport, error) { return edgecloud.NewHTTPTransport(cloud), nil },
+		edgecloud.Config{
+			SplitStage: split,
+			Delta:      delta,
+			Encoding:   enc,
+			Link:       energy.Link{PJPerByte: pjByte, PerOffloadPJ: pjOffload},
+		},
+		edgecloud.ServerConfig{
+			Workers:   workers,
+			ModelName: model,
+			CloudURL:  cloud,
+		})
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "cdledge: %v, shutting down\n", s)
+		close(stop)
+	}()
+
+	fmt.Fprintf(os.Stderr, "cdledge: %s on %s, split=%d/%d stages, %s offload to %s\n",
+		cdln.Arch.Name, addr, split, len(cdln.Stages), enc, cloud)
+	if err := srv.ListenAndServe(addr, stop); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "cdledge: served %d images, %.1f%% offloaded (%.0f edge / %.0f link / %.0f cloud pJ per image)\n",
+		st.Images, 100*st.Tier.OffloadFraction, st.Tier.MeanEdgePJ, st.Tier.MeanLinkPJ, st.Tier.MeanCloudPJ)
+	return nil
+}

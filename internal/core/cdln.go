@@ -155,9 +155,27 @@ func (c *CDLN) Classify(x *tensor.T) ExitRecord {
 // replaces the model's Delta/StageDeltas for this call (the paper's §III.B
 // runtime knob).
 func (c *CDLN) classify(x *tensor.T, exitOps []float64, scratch []*tensor.T, deltaOverride float64) ExitRecord {
-	act := x
-	pos := 0
-	for i, s := range c.Stages {
+	rec, exited, act, pos := c.runStages(x, 0, 0, len(c.Stages), exitOps, scratch, deltaOverride)
+	if exited {
+		return rec
+	}
+	return c.finalExit(act, pos, exitOps)
+}
+
+// runStages evaluates cascade stages [from, to) starting from an activation
+// act that sits after the first pos baseline layers. It is the one stage
+// loop behind every Algorithm 2 entry point — monolithic classify, the
+// edge-side prefix (ClassifyPrefix) and the cloud-side resume (Resume) —
+// so a cascade split across tiers performs the identical floating-point
+// operations in the identical order as a monolithic pass.
+//
+// When a stage's activation module fires it returns (record, true, _, _);
+// otherwise it returns (_, false, act, pos) with the activation and layer
+// position where the caller must continue (the tap of stage to−1, or the
+// starting position when from == to).
+func (c *CDLN) runStages(act *tensor.T, pos, from, to int, exitOps []float64, scratch []*tensor.T, deltaOverride float64) (ExitRecord, bool, *tensor.T, int) {
+	for i := from; i < to; i++ {
+		s := c.Stages[i]
 		act = c.Arch.Net.ForwardRange(act, pos, s.Tap)
 		pos = s.Tap
 		var scores *tensor.T
@@ -182,9 +200,15 @@ func (c *CDLN) classify(x *tensor.T, exitOps []float64, scratch []*tensor.T, del
 				Label:      label,
 				Confidence: conf,
 				Ops:        exitOps[i],
-			}
+			}, true, nil, 0
 		}
 	}
+	return ExitRecord{}, false, act, pos
+}
+
+// finalExit runs the remaining baseline layers from pos through the output
+// layer — the cascade's unconditional FC terminator.
+func (c *CDLN) finalExit(act *tensor.T, pos int, exitOps []float64) ExitRecord {
 	act = c.Arch.Net.ForwardRange(act, pos, len(c.Arch.Net.Layers))
 	conf, label := act.Max()
 	return ExitRecord{
@@ -194,6 +218,46 @@ func (c *CDLN) classify(x *tensor.T, exitOps []float64, scratch []*tensor.T, del
 		Confidence: conf,
 		Ops:        exitOps[len(c.Stages)],
 	}
+}
+
+// SplitPos returns the baseline-layer position of the activation handed
+// across a tier split after splitStage cascade stages: 0 when splitStage is
+// 0 (the raw input is shipped) and the tap of stage splitStage−1 otherwise.
+// It panics when splitStage is outside [0, len(Stages)].
+func (c *CDLN) SplitPos(splitStage int) int {
+	if splitStage < 0 || splitStage > len(c.Stages) {
+		panic(fmt.Sprintf("core: split stage %d outside [0,%d]", splitStage, len(c.Stages)))
+	}
+	if splitStage == 0 {
+		return 0
+	}
+	return c.Stages[splitStage-1].Tap
+}
+
+// ValidateResume checks a tier-split handoff against this model: the
+// resume stage must exist, pos must be the stage's SplitPos, and the
+// activation shape must match the network at that position. It is the one
+// validation shared by every resume entry point — Session.Resume (which
+// panics on failure), the serve /v1/resume handler and the edgecloud
+// Loopback transport (which map it to request errors) — so a payload the
+// loopback accepts is exactly a payload a real backend accepts.
+func (c *CDLN) ValidateResume(fromStage, pos int, shape []int) error {
+	if fromStage < 0 || fromStage > len(c.Stages) {
+		return fmt.Errorf("core: resume stage %d outside [0,%d]", fromStage, len(c.Stages))
+	}
+	if want := c.SplitPos(fromStage); pos != want {
+		return fmt.Errorf("core: activation position %d, want %d for stage %d", pos, want, fromStage)
+	}
+	want := c.Arch.Net.ShapeAt(pos)
+	if len(shape) != len(want) {
+		return fmt.Errorf("core: activation rank %d, want %d (shape %v)", len(shape), len(want), want)
+	}
+	for i := range want {
+		if shape[i] != want[i] {
+			return fmt.Errorf("core: activation shape %v, want %v", shape, want)
+		}
+	}
+	return nil
 }
 
 // Clone returns a CDLN replica safe for concurrent use: the baseline

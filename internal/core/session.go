@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cdl/internal/tensor"
 )
 
@@ -66,4 +68,64 @@ func (s *Session) Classify(x *tensor.T) ExitRecord {
 // by the serving layer); a negative delta keeps the trained thresholds.
 func (s *Session) ClassifyDelta(x *tensor.T, delta float64) ExitRecord {
 	return s.model.classify(x, s.exitOps, s.scores, delta)
+}
+
+// PrefixResult is the outcome of the edge-side half of a tier-split
+// classification (ClassifyPrefix): either the input exited locally and
+// Record is final, or the cascade must continue past the split and
+// Activation/Pos describe what to hand to Resume on the other tier.
+type PrefixResult struct {
+	// Record is the final classification; valid only when Exited.
+	Record ExitRecord
+	// Exited reports whether a prefix stage's activation module fired.
+	Exited bool
+	// Activation is the intermediate activation at the split point; valid
+	// only when !Exited. It aliases the session's layer forward caches, so
+	// it must be consumed (serialized or copied) before the session's next
+	// classification.
+	Activation *tensor.T
+	// Pos is the number of baseline layers composing Activation — the
+	// CDLN.SplitPos of the split stage, recorded here so transports need
+	// not re-derive it.
+	Pos int
+}
+
+// ClassifyPrefix runs only the first splitStage cascade stages — the edge
+// tier's share of Algorithm 2. If any of those stages' activation modules
+// fires, the result carries the final ExitRecord (bit-identical to what the
+// monolithic Classify would produce, including full-pipeline Ops
+// accounting); otherwise it carries the intermediate activation to resume
+// from. splitStage must be in [0, len(Stages)] — 0 owns no stages and
+// always defers, len(Stages) owns the whole cascade and defers only the FC
+// tail. delta ≥ 0 overrides the trained thresholds as in ClassifyDelta.
+func (s *Session) ClassifyPrefix(x *tensor.T, splitStage int, delta float64) PrefixResult {
+	pos := s.model.SplitPos(splitStage) // validates splitStage
+	rec, exited, act, pos := s.model.runStages(x, 0, 0, splitStage, s.exitOps, s.scores, delta)
+	if exited {
+		return PrefixResult{Record: rec, Exited: true}
+	}
+	return PrefixResult{Activation: act, Pos: pos}
+}
+
+// Resume continues Algorithm 2 past a tier split: act is the activation a
+// ClassifyPrefix(…, fromStage, …) deferred (sitting after
+// CDLN.SplitPos(fromStage) baseline layers), and the remaining stages
+// [fromStage, len(Stages)) plus the FC tail run here. Resume(x, 0, delta)
+// is exactly ClassifyDelta(x, delta), and for any split the pair
+// ClassifyPrefix+Resume performs the same floating-point operations in the
+// same order as the monolithic call — tier-split results are bit-identical.
+//
+// The activation's shape must match the model at that position; Resume
+// panics on a mismatch (callers decoding activations from the network must
+// validate first with CDLN.ValidateResume).
+func (s *Session) Resume(act *tensor.T, fromStage int, delta float64) ExitRecord {
+	pos := s.model.SplitPos(fromStage) // validates fromStage
+	if err := s.model.ValidateResume(fromStage, pos, act.Shape()); err != nil {
+		panic(fmt.Sprintf("core: Resume: %v", err))
+	}
+	rec, exited, act, pos := s.model.runStages(act, pos, fromStage, len(s.model.Stages), s.exitOps, s.scores, delta)
+	if exited {
+		return rec
+	}
+	return s.model.finalExit(act, pos, s.exitOps)
 }

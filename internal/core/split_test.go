@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+// splitCDLN builds the two-stage test cascade used by the tier-split tests.
+func splitCDLN(t *testing.T, seed int64) (*CDLN, []*tensor.T) {
+	t.Helper()
+	arch, data := trainedArch(t, seed)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*tensor.T, len(data))
+	for i, s := range data {
+		xs[i] = s.X
+	}
+	return cdln, xs
+}
+
+// copyActivation simulates the wire: the prefix activation aliases the edge
+// session's layer caches, so a transport must serialize it before the
+// session is reused. A deep copy is the lossless equivalent.
+func copyActivation(act *tensor.T) *tensor.T {
+	return tensor.FromSlice(append([]float64(nil), act.Data...), act.Shape()...)
+}
+
+func sameRecord(a, b ExitRecord) bool {
+	return a.StageIndex == b.StageIndex && a.StageName == b.StageName &&
+		a.Label == b.Label && a.Confidence == b.Confidence && a.Ops == b.Ops
+}
+
+// TestSplitIdentityEverySplitStage is the tier-split identity guarantee:
+// for every split stage and every input, the edge-exit and edge→cloud
+// resume paths must agree bit-for-bit with the monolithic Classify —
+// labels, exits, confidences and (full-pipeline) OPS.
+func TestSplitIdentityEverySplitStage(t *testing.T) {
+	cdln, xs := splitCDLN(t, 31)
+	mono, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{-1, 0.55, 0.9} {
+		for split := 0; split <= len(cdln.Stages); split++ {
+			edge, err := NewSession(cdln)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud, err := NewSession(cdln)
+			if err != nil {
+				t.Fatal(err)
+			}
+			localExits, offloads := 0, 0
+			for i, x := range xs {
+				want := mono.ClassifyDelta(x, delta)
+				pre := edge.ClassifyPrefix(x, split, delta)
+				var got ExitRecord
+				if pre.Exited {
+					localExits++
+					if pre.Record.StageIndex >= split {
+						t.Fatalf("split %d: prefix exited at stage %d", split, pre.Record.StageIndex)
+					}
+					got = pre.Record
+				} else {
+					offloads++
+					if wantPos := cdln.SplitPos(split); pre.Pos != wantPos {
+						t.Fatalf("split %d: prefix pos %d, want %d", split, pre.Pos, wantPos)
+					}
+					got = cloud.Resume(copyActivation(pre.Activation), split, delta)
+					if got.StageIndex < split {
+						t.Fatalf("split %d: resume exited at stage %d", split, got.StageIndex)
+					}
+				}
+				if !sameRecord(got, want) {
+					t.Fatalf("split %d δ=%v sample %d: split-path %+v != monolithic %+v",
+						split, delta, i, got, want)
+				}
+			}
+			if split == 0 && localExits != 0 {
+				t.Fatalf("split 0 produced %d local exits", localExits)
+			}
+			if split == len(cdln.Stages) && delta < 0 && offloads == len(xs) {
+				t.Fatalf("full-cascade edge never exited locally; fixture degenerate")
+			}
+		}
+	}
+}
+
+// TestResumeFromZeroIsClassify pins Resume's degenerate split: resuming the
+// raw input from stage 0 is exactly ClassifyDelta.
+func TestResumeFromZeroIsClassify(t *testing.T) {
+	cdln, xs := splitCDLN(t, 32)
+	a, _ := NewSession(cdln)
+	b, _ := NewSession(cdln)
+	for i, x := range xs[:40] {
+		want := a.ClassifyDelta(x, -1)
+		got := b.Resume(copyActivation(x), 0, -1)
+		if !sameRecord(got, want) {
+			t.Fatalf("sample %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestSplitValidation covers the misuse panics: split stage out of range
+// and resume-activation shape mismatch.
+func TestSplitValidation(t *testing.T) {
+	cdln, xs := splitCDLN(t, 33)
+	sess, _ := NewSession(cdln)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SplitPos(-1)", func() { cdln.SplitPos(-1) })
+	mustPanic("SplitPos(too deep)", func() { cdln.SplitPos(len(cdln.Stages) + 1) })
+	mustPanic("ClassifyPrefix out of range", func() { sess.ClassifyPrefix(xs[0], len(cdln.Stages)+1, -1) })
+	mustPanic("Resume out of range", func() { sess.Resume(xs[0], -1, -1) })
+	mustPanic("Resume wrong shape", func() { sess.Resume(xs[0], 1, -1) })
+	mustPanic("Resume wrong rank", func() { sess.Resume(tensor.New(4), 1, -1) })
+}
+
+// TestSplitOpsEnergyAccounting checks that the dynamic cost attributed to a
+// split-path record is the full-pipeline cost, independent of which tier
+// computed it, so downstream OPS and energy accounting (both keyed by
+// StageIndex/Ops) cannot drift between deployments.
+func TestSplitOpsEnergyAccounting(t *testing.T) {
+	cdln, xs := splitCDLN(t, 34)
+	exitOps := cdln.ExitOps()
+	edge, _ := NewSession(cdln)
+	cloud, _ := NewSession(cdln)
+	for _, x := range xs[:60] {
+		pre := edge.ClassifyPrefix(x, 1, -1)
+		rec := pre.Record
+		if !pre.Exited {
+			rec = cloud.Resume(copyActivation(pre.Activation), 1, -1)
+		}
+		if rec.Ops != exitOps[rec.StageIndex] {
+			t.Fatalf("record ops %v != exit ops %v at exit %d", rec.Ops, exitOps[rec.StageIndex], rec.StageIndex)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package edgecloud splits CDLN inference across two tiers: an edge node
+// owns the baseline prefix up to a configurable split stage plus its linear
+// classifiers, exits easy inputs locally when the δ-rule fires, and ships
+// only the hard residue — as wire-encoded intermediate activations — to a
+// cloud backend that resumes the cascade (internal/serve's /v1/resume).
+//
+// This is the paper's thesis turned into an offload policy: the exit
+// cascade already separates easy inputs from hard ones, so the same
+// confidence test that saves deep-layer compute in a monolithic deployment
+// decides what crosses the link in a distributed one (cf. Long et al.,
+// "Conditionally Deep Hybrid Neural Networks Across Edge and Cloud", 2020).
+// With the lossless wire encoding the split is semantically invisible:
+// labels, exits and OPS are bit-identical to monolithic classification for
+// every split stage. The fixed-point encoding trades that identity for a 4×
+// smaller payload, modelling a quantized radio link.
+//
+// Energy is accounted per tier (internal/energy's TierCosts): edge compute
+// for the prefix, bytes × pJ/byte for the link, cloud compute for the
+// remainder.
+package edgecloud
+
+import (
+	"fmt"
+
+	"cdl/internal/core"
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/energy"
+	"cdl/internal/fixed"
+	"cdl/internal/tensor"
+)
+
+// Config shapes an edge node.
+type Config struct {
+	// SplitStage is the number of cascade stages the edge owns, in
+	// [0, len(Stages)]: 0 offloads every input untouched, len(Stages) runs
+	// the whole cascade locally and offloads only FC-bound residues.
+	SplitStage int
+	// Delta overrides the model's trained thresholds for every input when
+	// ≥ 0 (the §III.B runtime knob); negative keeps them. The same δ is
+	// forwarded with each offload so the cloud continues the cascade the
+	// edge started.
+	Delta float64
+	// Encoding selects the offload payload representation; the default
+	// (EncodingFloat64) preserves bit-identity with monolithic
+	// classification, EncodingFixed models a quantized link at a quarter
+	// of the bytes.
+	Encoding wire.Encoding
+	// Format is the fixed-point format for EncodingFixed; zero value
+	// means fixed.Q2x13 (the 16-bit datapath format).
+	Format fixed.Format
+	// Link is the transmission energy model; zero value means
+	// energy.DefaultLink().
+	Link energy.Link
+}
+
+// DefaultConfig returns an edge configuration for the given split stage:
+// trained thresholds (Delta −1), lossless encoding, default link model.
+func DefaultConfig(splitStage int) Config {
+	return Config{SplitStage: splitStage, Delta: -1}.withDefaults()
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Format == (fixed.Format{}) {
+		c.Format = fixed.Q2x13
+	}
+	if c.Link == (energy.Link{}) {
+		c.Link = energy.DefaultLink()
+	}
+	return c
+}
+
+// Transport ships one wire-encoded activation to the cloud tier and
+// returns the cascade's final exit record. delta follows Session.Resume
+// semantics (< 0 = the model's trained thresholds). Implementations:
+// HTTPTransport (a real cdlserve backend) and Loopback (in-process, for
+// tests and single-node runs).
+type Transport interface {
+	Resume(payload []byte, delta float64) (core.ExitRecord, error)
+}
+
+// BatchTransport is an optional Transport extension: ship several
+// offloaded activations in one round trip. Edge.ClassifyBatch uses it when
+// available, so a hard batch pays one network round trip instead of one
+// per image. Results must be in payload order.
+type BatchTransport interface {
+	Transport
+	ResumeBatch(payloads [][]byte, delta float64) ([]core.ExitRecord, error)
+}
+
+// Edge is the edge-tier runtime: a warm session over the full model of
+// which it executes only the prefix, plus the offload machinery. Like
+// core.Session it is single-goroutine; create one per worker (the edge
+// Server does).
+type Edge struct {
+	cfg       Config
+	sess      *core.Session
+	transport Transport
+	costs     *energy.TierCosts
+}
+
+// New validates the model and config and returns a warm edge runtime.
+func New(model *core.CDLN, t Transport, cfg Config) (*Edge, error) {
+	cfg = cfg.withDefaults()
+	if t == nil {
+		return nil, fmt.Errorf("edgecloud: nil transport")
+	}
+	if cfg.SplitStage < 0 || cfg.SplitStage > len(model.Stages) {
+		return nil, fmt.Errorf("edgecloud: split stage %d outside [0,%d]", cfg.SplitStage, len(model.Stages))
+	}
+	if cfg.Delta > 1 {
+		return nil, fmt.Errorf("edgecloud: delta %v outside [0,1]", cfg.Delta)
+	}
+	if cfg.Encoding != wire.EncodingFloat64 && cfg.Encoding != wire.EncodingFixed {
+		return nil, fmt.Errorf("edgecloud: unknown encoding %d", cfg.Encoding)
+	}
+	costs, err := energy.NewEvaluator().TierCosts(model, cfg.SplitStage, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(model)
+	if err != nil {
+		return nil, err
+	}
+	return &Edge{cfg: cfg, sess: sess, transport: t, costs: costs}, nil
+}
+
+// Config returns the edge's effective (defaults-filled) configuration.
+func (e *Edge) Config() Config { return e.cfg }
+
+// Costs returns the precomputed per-exit tier energy split.
+func (e *Edge) Costs() *energy.TierCosts { return e.costs }
+
+// Result is one input's tier-split outcome.
+type Result struct {
+	// Record is the final classification, from the edge prefix or the
+	// cloud resume.
+	Record core.ExitRecord
+	// Offloaded reports whether the input crossed the link.
+	Offloaded bool
+	// WireBytes is the encoded payload size (0 for local exits).
+	WireBytes int
+	// EdgePJ/LinkPJ/CloudPJ split this input's energy across tiers.
+	EdgePJ  float64
+	LinkPJ  float64
+	CloudPJ float64
+}
+
+// TotalPJ is the input's whole-system energy.
+func (r Result) TotalPJ() float64 { return r.EdgePJ + r.LinkPJ + r.CloudPJ }
+
+// Classify runs the split pipeline on one input: prefix locally, exit if
+// the δ-rule fires, otherwise encode the split-point activation and resume
+// on the cloud. Classify uses ClassifyDelta semantics with the config's δ.
+func (e *Edge) Classify(x *tensor.T) (Result, error) {
+	return e.ClassifyDelta(x, e.cfg.Delta)
+}
+
+// ClassifyDelta is Classify with a per-call δ override (< 0 keeps the
+// model's trained thresholds), forwarded to the cloud on offload.
+func (e *Edge) ClassifyDelta(x *tensor.T, delta float64) (Result, error) {
+	pre := e.sess.ClassifyPrefix(x, e.cfg.SplitStage, delta)
+	if pre.Exited {
+		return e.localResult(pre.Record), nil
+	}
+	payload, err := e.encodePrefix(pre)
+	if err != nil {
+		return Result{}, err
+	}
+	rec, err := e.transport.Resume(payload, delta)
+	if err != nil {
+		return Result{}, fmt.Errorf("edgecloud: cloud resume: %w", err)
+	}
+	return e.offloadResult(rec, len(payload))
+}
+
+// ClassifyBatch runs the split pipeline over a batch: every input's prefix
+// runs locally first (encoding offload payloads as it goes — the prefix
+// activation aliases session caches, so it is serialized before the next
+// input reuses them), then all offloads travel together when the transport
+// supports batching (one round trip) and one by one otherwise. Results are
+// in input order.
+func (e *Edge) ClassifyBatch(xs []*tensor.T, delta float64) ([]Result, error) {
+	results := make([]Result, len(xs))
+	var payloads [][]byte
+	var deferred []int // index into xs of each offloaded input
+	for i, x := range xs {
+		pre := e.sess.ClassifyPrefix(x, e.cfg.SplitStage, delta)
+		if pre.Exited {
+			results[i] = e.localResult(pre.Record)
+			continue
+		}
+		payload, err := e.encodePrefix(pre)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, payload)
+		deferred = append(deferred, i)
+	}
+	if len(payloads) == 0 {
+		return results, nil
+	}
+	var recs []core.ExitRecord
+	if bt, ok := e.transport.(BatchTransport); ok {
+		var err error
+		if recs, err = bt.ResumeBatch(payloads, delta); err != nil {
+			return nil, fmt.Errorf("edgecloud: cloud resume: %w", err)
+		}
+		if len(recs) != len(payloads) {
+			return nil, fmt.Errorf("edgecloud: cloud returned %d records for %d offloads", len(recs), len(payloads))
+		}
+	} else {
+		recs = make([]core.ExitRecord, len(payloads))
+		for k, p := range payloads {
+			rec, err := e.transport.Resume(p, delta)
+			if err != nil {
+				return nil, fmt.Errorf("edgecloud: cloud resume: %w", err)
+			}
+			recs[k] = rec
+		}
+	}
+	for k, rec := range recs {
+		res, err := e.offloadResult(rec, len(payloads[k]))
+		if err != nil {
+			return nil, err
+		}
+		results[deferred[k]] = res
+	}
+	return results, nil
+}
+
+// localResult charges a prefix exit to the edge tier.
+func (e *Edge) localResult(rec core.ExitRecord) Result {
+	return Result{Record: rec, EdgePJ: e.costs.Edge[rec.StageIndex]}
+}
+
+// encodePrefix serializes a deferred prefix for the wire.
+func (e *Edge) encodePrefix(pre core.PrefixResult) ([]byte, error) {
+	payload, err := wire.Encode(wire.Activation{
+		FromStage: e.cfg.SplitStage,
+		Pos:       pre.Pos,
+		Shape:     pre.Activation.Shape(),
+		Data:      pre.Activation.Data,
+	}, e.cfg.Encoding, e.cfg.Format)
+	if err != nil {
+		return nil, fmt.Errorf("edgecloud: encode offload: %w", err)
+	}
+	return payload, nil
+}
+
+// offloadResult validates a cloud record and charges all three tiers.
+func (e *Edge) offloadResult(rec core.ExitRecord, wireBytes int) (Result, error) {
+	if rec.StageIndex < e.cfg.SplitStage || rec.StageIndex >= len(e.costs.Edge) {
+		return Result{}, fmt.Errorf("edgecloud: cloud returned exit %d outside [%d,%d)",
+			rec.StageIndex, e.cfg.SplitStage, len(e.costs.Edge))
+	}
+	return Result{
+		Record:    rec,
+		Offloaded: true,
+		WireBytes: wireBytes,
+		EdgePJ:    e.costs.Edge[rec.StageIndex],
+		LinkPJ:    e.costs.Link.TransferPJ(wireBytes),
+		CloudPJ:   e.costs.Cloud[rec.StageIndex],
+	}, nil
+}

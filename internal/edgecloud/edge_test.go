@@ -1,0 +1,549 @@
+package edgecloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/energy"
+	"cdl/internal/nn"
+	"cdl/internal/serve"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// testCDLN trains the small two-tap blob cascade shared with the core and
+// serve test suites: 12×12 inputs, 3 classes, a hard noise tail so the
+// exit mix spans the cascade.
+func testCDLN(t testing.TB, seed int64) (*core.CDLN, []train.Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{1, 12, 12},
+		nn.NewConv2D("C1", 1, 2, 3),
+		nn.NewSigmoid("C1.act"),
+		nn.NewMaxPool2D("P1", 2),
+		nn.NewConv2D("C2", 2, 3, 2),
+		nn.NewSigmoid("C2.act"),
+		nn.NewMaxPool2D("P2", 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("FC", 3*2*2, 3),
+		nn.NewSigmoid("FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{
+		Name: "edge-test", Net: net,
+		Taps: []int{3, 6}, TapNames: []string{"P1", "P2"},
+		NumClasses: 3,
+	}
+	data := blobData(180, seed+1)
+	cfg := train.Defaults(3)
+	cfg.Epochs = 12
+	cfg.BatchSize = 10
+	if _, err := train.SGD(arch.Net, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, data, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, data
+}
+
+func blobData(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]int{{3, 3}, {3, 8}, {8, 5}}
+	out := make([]train.Sample, n)
+	for i := range out {
+		label := i % 3
+		noise := 0.05
+		if rng.Float64() < 0.3 {
+			noise = 0.35
+		}
+		x := tensor.New(1, 12, 12)
+		cy, cx := centers[label][0], centers[label][1]
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d2 := float64((y-cy)*(y-cy) + (xx-cx)*(xx-cx))
+				v := 1/(1+d2/3) + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				x.Data[y*12+xx] = v
+			}
+		}
+		out[i] = train.Sample{X: x, Label: label}
+	}
+	return out
+}
+
+func sameRecord(a, b core.ExitRecord) bool {
+	return a.StageIndex == b.StageIndex && a.StageName == b.StageName &&
+		a.Label == b.Label && a.Confidence == b.Confidence && a.Ops == b.Ops
+}
+
+// TestEdgeLoopbackIdentity is the subsystem-level identity check: with the
+// lossless encoding, the full edge pipeline (prefix → wire encode → decode
+// → resume) must agree bit-for-bit with monolithic classification for
+// every split stage and δ, and the per-tier energies must sum to the
+// monolithic exit energy.
+func TestEdgeLoopbackIdentity(t *testing.T) {
+	cdln, data := testCDLN(t, 51)
+	mono, err := core.NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exits := energy.NewEvaluator().ExitEnergies(cdln)
+	for _, delta := range []float64{-1, 0.9} {
+		for split := 0; split <= len(cdln.Stages); split++ {
+			lb, err := NewLoopback(cdln)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edge, err := New(cdln, lb, Config{SplitStage: split, Delta: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			offloads := 0
+			for i, s := range data {
+				want := mono.ClassifyDelta(s.X, delta)
+				res, err := edge.ClassifyDelta(s.X, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameRecord(res.Record, want) {
+					t.Fatalf("split %d δ=%v sample %d: edge %+v != monolithic %+v",
+						split, delta, i, res.Record, want)
+				}
+				if res.Offloaded != (want.StageIndex >= split) {
+					t.Fatalf("split %d sample %d: offloaded=%v for exit %d", split, i, res.Offloaded, want.StageIndex)
+				}
+				if res.Offloaded {
+					offloads++
+					if res.WireBytes == 0 || res.LinkPJ == 0 {
+						t.Fatalf("split %d: offload with no wire cost: %+v", split, res)
+					}
+				} else if res.WireBytes != 0 || res.LinkPJ != 0 || res.CloudPJ != 0 {
+					t.Fatalf("split %d: local exit charged remote costs: %+v", split, res)
+				}
+				if got := res.EdgePJ + res.CloudPJ; got != exits[want.StageIndex] {
+					t.Fatalf("split %d: edge %v + cloud %v != monolithic %v pJ",
+						split, res.EdgePJ, res.CloudPJ, exits[want.StageIndex])
+				}
+			}
+			if split == 0 && offloads != len(data) {
+				t.Fatalf("split 0: %d/%d offloads", offloads, len(data))
+			}
+		}
+	}
+}
+
+// TestEdgeQuantizedLink runs the fixed-point wire: payloads must shrink to
+// roughly a quarter of the lossless size and predictions must stay close
+// to monolithic (quantization noise on a [0,1] sigmoid activation at Q2.13
+// resolution is tiny, but identity is no longer guaranteed).
+func TestEdgeQuantizedLink(t *testing.T) {
+	cdln, data := testCDLN(t, 52)
+	mono, err := core.NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := NewLoopback(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := New(cdln, lb, Config{SplitStage: 1, Delta: -1, Encoding: wire.EncodingFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, offloads := 0, 0
+	var fixedBytes int
+	const strict = 0.9 // force offloads past the easy-exit thresholds
+	for _, s := range data {
+		want := mono.ClassifyDelta(s.X, strict)
+		res, err := edge.ClassifyDelta(s.X, strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Offloaded {
+			offloads++
+			fixedBytes = res.WireBytes
+		}
+		if res.Record.Label == want.Label {
+			agree++
+		}
+	}
+	if offloads == 0 {
+		t.Fatal("no offloads; fixture degenerate")
+	}
+	shape := cdln.Arch.Net.ShapeAt(cdln.SplitPos(1))
+	numel := 1
+	for _, d := range shape {
+		numel *= d
+	}
+	lossless := wire.EncodedSize(len(shape), numel, wire.EncodingFloat64)
+	if fixedBytes >= lossless/3 {
+		t.Errorf("fixed payload %d B not ~4x smaller than lossless %d B", fixedBytes, lossless)
+	}
+	if frac := float64(agree) / float64(len(data)); frac < 0.95 {
+		t.Errorf("quantized-link label agreement %.2f below 0.95", frac)
+	}
+}
+
+// TestEdgeServerEndToEnd drives the full two-tier deployment over real
+// HTTP: a cloud serve.Server, an edge Server offloading to it via
+// HTTPTransport, and a client speaking the plain classify schema to the
+// edge. Results must match monolithic evaluation; the tier counters must
+// reconcile.
+func TestEdgeServerEndToEnd(t *testing.T) {
+	cdln, data := testCDLN(t, 53)
+	res, err := core.Evaluate(cdln, data, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cloud, err := serve.New(cdln, serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudTS := httptest.NewServer(cloud.Handler())
+	t.Cleanup(func() { cloudTS.Close(); cloud.Close() })
+
+	edgeSrv, err := NewServer(cdln,
+		func() (Transport, error) { return NewHTTPTransport(cloudTS.URL), nil },
+		Config{SplitStage: 1, Delta: -1},
+		ServerConfig{Workers: 2, CloudURL: cloudTS.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeTS := httptest.NewServer(edgeSrv.Handler())
+	t.Cleanup(edgeTS.Close)
+
+	req := serve.ClassifyRequest{}
+	for _, s := range data[:60] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(edgeTS.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var out serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 60 {
+		t.Fatalf("count %d, want 60", out.Count)
+	}
+	for i, got := range out.Results {
+		want := res.Records[i]
+		if got.Label != want.Label || got.Exit != want.StageName ||
+			got.ExitIndex != want.StageIndex || got.Confidence != want.Confidence {
+			t.Fatalf("sample %d: edge-served %+v != monolithic %+v", i, got, want)
+		}
+		if got.EnergyPJ <= 0 {
+			t.Fatalf("sample %d: no energy reported", i)
+		}
+	}
+
+	st := edgeSrv.Stats()
+	if st.Images != 60 || st.LocalExits+st.Offloads != 60 {
+		t.Fatalf("edge stats %+v do not reconcile", st)
+	}
+	if st.Tier.Count != 60 || st.Tier.OffloadFraction != float64(st.Offloads)/60 {
+		t.Fatalf("tier summary %+v does not reconcile", st.Tier)
+	}
+	if st.Offloads > 0 && (st.Tier.LinkPJ <= 0 || st.Tier.WireBytes <= 0) {
+		t.Fatalf("offloads charged no link cost: %+v", st.Tier)
+	}
+
+	// Cloud side saw exactly the offloaded residue.
+	cst := cloud.Stats()
+	if cst.Images != st.Offloads {
+		t.Fatalf("cloud served %d images, edge offloaded %d", cst.Images, st.Offloads)
+	}
+	if cst.ResumeRequests != st.Offloads {
+		t.Fatalf("cloud resume requests %d, want %d", cst.ResumeRequests, st.Offloads)
+	}
+
+	// healthz reports the edge role and split.
+	hr, err := http.Get(edgeTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["role"] != "edge" || h["split_stage"] != float64(1) || h["arch"] != "edge-test" {
+		t.Errorf("healthz %v", h)
+	}
+}
+
+// TestEdgeServerCloudDown maps transport failures to 502 and counts them.
+func TestEdgeServerCloudDown(t *testing.T) {
+	cdln, data := testCDLN(t, 54)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	edgeSrv, err := NewServer(cdln,
+		func() (Transport, error) { return NewHTTPTransport(dead.URL), nil },
+		Config{SplitStage: 0, Delta: -1}, // split 0: every input must offload
+		ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(edgeSrv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(serve.ClassifyRequest{Image: data[0].X.Flatten().Data})
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("HTTP %d, want 502", resp.StatusCode)
+	}
+	if st := edgeSrv.Stats(); st.CloudErrors != 1 {
+		t.Errorf("cloud_errors %d, want 1", st.CloudErrors)
+	}
+}
+
+// TestEdgeServerBadRequests covers the edge front's 4xx paths.
+func TestEdgeServerBadRequests(t *testing.T) {
+	cdln, data := testCDLN(t, 55)
+	lbFactory := func() (Transport, error) { return NewLoopback(cdln) }
+	edgeSrv, err := NewServer(cdln, lbFactory, Config{SplitStage: 1, Delta: -1},
+		ServerConfig{Workers: 1, MaxRequestImages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(edgeSrv.Handler())
+	defer ts.Close()
+
+	good := data[0].X.Flatten().Data
+	bad := 1.5
+	cases := []struct {
+		name string
+		req  serve.ClassifyRequest
+	}{
+		{"empty", serve.ClassifyRequest{}},
+		{"wrong width", serve.ClassifyRequest{Image: []float64{1, 2}}},
+		{"both forms", serve.ClassifyRequest{Image: good, Images: [][]float64{good}}},
+		{"bad delta", serve.ClassifyRequest{Image: good, Delta: &bad}},
+		{"too many", serve.ClassifyRequest{Images: [][]float64{good, good, good}}},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: HTTP %d, want 405", resp.StatusCode)
+	}
+	if st := edgeSrv.Stats(); st.Invalid == 0 {
+		t.Error("invalid counter not incremented")
+	}
+}
+
+// countingBatchTransport wraps a Loopback, counting single and batched
+// resume calls and implementing BatchTransport on top of it.
+type countingBatchTransport struct {
+	lb      *Loopback
+	singles int
+	batches int
+}
+
+func (c *countingBatchTransport) Resume(p []byte, d float64) (core.ExitRecord, error) {
+	c.singles++
+	return c.lb.Resume(p, d)
+}
+
+func (c *countingBatchTransport) ResumeBatch(ps [][]byte, d float64) ([]core.ExitRecord, error) {
+	c.batches++
+	recs := make([]core.ExitRecord, len(ps))
+	for i, p := range ps {
+		rec, err := c.lb.Resume(p, d)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = rec
+	}
+	return recs, nil
+}
+
+// TestClassifyBatchUsesBatchTransport checks that a batch's offloads
+// travel through one ResumeBatch call, with results bit-identical to the
+// per-input path and in input order.
+func TestClassifyBatchUsesBatchTransport(t *testing.T) {
+	cdln, data := testCDLN(t, 57)
+	mono, err := core.NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := NewLoopback(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &countingBatchTransport{lb: lb}
+	edge, err := New(cdln, ct, Config{SplitStage: 1, Delta: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*tensor.T, 40)
+	for i := range xs {
+		xs[i] = data[i].X
+	}
+	const strict = 0.9 // force a local/offload mix
+	results, err := edge.ClassifyBatch(xs, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offloads := 0
+	for i, res := range results {
+		want := mono.ClassifyDelta(xs[i], strict)
+		if !sameRecord(res.Record, want) {
+			t.Fatalf("sample %d: batch %+v != monolithic %+v", i, res.Record, want)
+		}
+		if res.Offloaded {
+			offloads++
+		}
+	}
+	if offloads == 0 {
+		t.Fatal("no offloads; fixture degenerate")
+	}
+	if ct.singles != 0 || ct.batches != 1 {
+		t.Fatalf("transport saw %d single + %d batch calls, want 0 + 1", ct.singles, ct.batches)
+	}
+
+	// A non-batch transport still works, one round trip per offload.
+	edge2, err := New(cdln, lb, Config{SplitStage: 1, Delta: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results2, err := edge2.ClassifyBatch(xs, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results2 {
+		if !sameRecord(results2[i].Record, results[i].Record) {
+			t.Fatalf("sample %d: plain-transport batch diverged", i)
+		}
+	}
+}
+
+// blockingTransport parks every Resume until released, signalling entry.
+type blockingTransport struct {
+	entered chan struct{}
+	release chan struct{}
+	lb      *Loopback
+}
+
+func (b *blockingTransport) Resume(p []byte, d float64) (core.ExitRecord, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.lb.Resume(p, d)
+}
+
+// TestEdgeServerShedsWhenBusy pins the load-shedding path: with one worker
+// stuck on a slow cloud, a second request must be rejected with 503 within
+// AcquireTimeout instead of queueing unboundedly.
+func TestEdgeServerShedsWhenBusy(t *testing.T) {
+	cdln, data := testCDLN(t, 58)
+	lb, err := NewLoopback(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := &blockingTransport{entered: make(chan struct{}, 1), release: make(chan struct{}), lb: lb}
+	edgeSrv, err := NewServer(cdln,
+		func() (Transport, error) { return bt, nil },
+		Config{SplitStage: 0, Delta: -1}, // split 0: every input offloads
+		ServerConfig{Workers: 1, AcquireTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(edgeSrv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(serve.ClassifyRequest{Image: data[0].X.Flatten().Data})
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+	<-bt.entered // the lone worker is now parked inside the cloud call
+
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("busy server: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	close(bt.release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	st := edgeSrv.Stats()
+	if st.Rejected != 1 {
+		t.Errorf("rejected %d, want 1", st.Rejected)
+	}
+	if st.Images != 1 {
+		t.Errorf("images %d, want 1 (the shed request must not be classified)", st.Images)
+	}
+}
+
+// TestNewValidation covers Edge constructor rejection.
+func TestNewValidation(t *testing.T) {
+	cdln, _ := testCDLN(t, 56)
+	lb, err := NewLoopback(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cdln, nil, Config{SplitStage: 1}); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := New(cdln, lb, Config{SplitStage: -1}); err == nil {
+		t.Error("negative split accepted")
+	}
+	if _, err := New(cdln, lb, Config{SplitStage: len(cdln.Stages) + 1}); err == nil {
+		t.Error("too-deep split accepted")
+	}
+	if _, err := New(cdln, lb, Config{SplitStage: 1, Delta: 1.5}); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	if _, err := New(cdln, lb, Config{SplitStage: 1, Encoding: wire.Encoding(9)}); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+}

@@ -1,0 +1,345 @@
+package edgecloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+	"cdl/internal/serve"
+	"cdl/internal/tensor"
+)
+
+// ServerConfig sizes the edge HTTP front.
+type ServerConfig struct {
+	// Workers is the number of warm Edge runtimes (each with a private
+	// session and transport). Default GOMAXPROCS.
+	Workers int
+	// MaxRequestImages caps the images accepted in one request. Default
+	// 256.
+	MaxRequestImages int
+	// ModelName is reported by /healthz.
+	ModelName string
+	// CloudURL is reported by /healthz (informational; the transports
+	// decide where offloads actually go).
+	CloudURL string
+	// AcquireTimeout is how long a request may wait for a free edge
+	// worker before being shed with 503 — with a slow cloud each offload
+	// can hold a worker for the transport's full timeout, and an edge
+	// node must shed that backlog rather than queue unboundedly (the
+	// same philosophy as serve's bounded queue). Default 1s.
+	AcquireTimeout time.Duration
+
+	// ReadHeaderTimeout/IdleTimeout/MaxHeaderBytes harden ListenAndServe
+	// exactly as in serve.Config. Defaults 5s / 60s / 64 KiB.
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxRequestImages <= 0 {
+		c.MaxRequestImages = 256
+	}
+	if c.AcquireTimeout == 0 {
+		c.AcquireTimeout = time.Second
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 64 << 10
+	}
+	return c
+}
+
+// Server is the edge node's HTTP front. It speaks the same /v1/classify
+// JSON schema as the monolithic serve.Server — a client cannot tell an
+// edge front from a full backend — but answers locally only when the
+// prefix cascade exits, forwarding the hard residue to the cloud tier.
+//
+// Endpoints:
+//
+//	POST /v1/classify  same schema as serve; per-request δ forwarded on offload
+//	GET  /healthz      liveness, model identity, split point, cloud target
+//	GET  /statsz       offload fraction and tiered (edge/link/cloud) energy
+type Server struct {
+	cfg      ServerConfig
+	edgeCfg  Config
+	model    *core.CDLN
+	inWidth  int
+	baseOps  float64
+	edges    chan *Edge
+	mux      *http.ServeMux
+	started  time.Time
+	mu       sync.Mutex
+	acc      *energy.TieredAccumulator
+	requests int64
+	invalid  int64
+	rejected int64
+	cloudErr int64
+	images   int64
+	local    int64
+	offload  int64
+}
+
+// NewServer builds cfg.Workers Edge runtimes, each with its own transport
+// from newTransport (transports with per-connection state must not be
+// shared across workers; an HTTPTransport may simply be returned
+// repeatedly).
+func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg Config, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	edgeCfg = edgeCfg.withDefaults()
+	costs, err := energy.NewEvaluator().TierCosts(model, edgeCfg.SplitStage, edgeCfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		edgeCfg: edgeCfg,
+		model:   model,
+		baseOps: model.BaselineOps(),
+		edges:   make(chan *Edge, cfg.Workers),
+		started: time.Now(),
+		acc:     costs.NewAccumulator(),
+	}
+	s.inWidth = 1
+	for _, d := range model.Arch.Net.InShape {
+		s.inWidth *= d
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		t, err := newTransport()
+		if err != nil {
+			return nil, err
+		}
+		e, err := New(model, t, edgeCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.edges <- e
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats is the edge /statsz payload.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Invalid       int64   `json:"invalid"`
+	// Rejected counts requests shed with 503 because no edge worker
+	// freed up within AcquireTimeout.
+	Rejected int64 `json:"rejected"`
+	// CloudErrors counts offloads that failed at the cloud tier (mapped
+	// to 502 for the whole request).
+	CloudErrors int64 `json:"cloud_errors"`
+	Images      int64 `json:"images"`
+	LocalExits  int64 `json:"local_exits"`
+	Offloads    int64 `json:"offloads"`
+
+	SplitStage int    `json:"split_stage"`
+	Encoding   string `json:"encoding"`
+
+	// Tier is the tiered energy view: offload fraction, per-tier pJ,
+	// wire bytes.
+	Tier energy.TieredSummary `json:"tier"`
+}
+
+// Stats snapshots the live counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests,
+		Invalid:       s.invalid,
+		Rejected:      s.rejected,
+		CloudErrors:   s.cloudErr,
+		Images:        s.images,
+		LocalExits:    s.local,
+		Offloads:      s.offload,
+		SplitStage:    s.edgeCfg.SplitStage,
+		Encoding:      s.edgeCfg.Encoding.String(),
+		Tier:          s.acc.Summary(),
+	}
+}
+
+func (s *Server) observeInvalid() {
+	s.mu.Lock()
+	s.invalid++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.observeInvalid()
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(s.inWidth)*32 + 4096
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req serve.ClassifyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.observeInvalid()
+		serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	images, err := req.NormalizeImages(s.inWidth, s.cfg.MaxRequestImages, s.model.Arch.Net.InShape)
+	if err != nil {
+		s.observeInvalid()
+		serve.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	delta, err := serve.ParseDeltaOverride(req.Delta)
+	if err != nil {
+		s.observeInvalid()
+		serve.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if delta < 0 {
+		delta = s.edgeCfg.Delta
+	}
+
+	// Acquire a worker with a bounded wait: a slow cloud can hold every
+	// edge for its transport timeout, and the backlog must be shed, not
+	// queued unboundedly.
+	var edge *Edge
+	select {
+	case edge = <-s.edges:
+	default:
+		timer := time.NewTimer(s.cfg.AcquireTimeout)
+		defer timer.Stop()
+		select {
+		case edge = <-s.edges:
+		case <-timer.C:
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			serve.WriteError(w, http.StatusServiceUnavailable, "all edge workers busy")
+			return
+		}
+	}
+	defer func() { s.edges <- edge }()
+
+	xs := make([]*tensor.T, len(images))
+	for i, img := range images {
+		xs[i] = tensor.FromSlice(img, s.model.Arch.Net.InShape...)
+	}
+	// One batched cloud round trip for all of this request's offloads
+	// (HTTPTransport implements BatchTransport).
+	results, err := edge.ClassifyBatch(xs, delta)
+	if err != nil {
+		s.mu.Lock()
+		s.cloudErr++
+		s.mu.Unlock()
+		serve.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.requests++
+	for _, res := range results {
+		s.images++
+		if res.Offloaded {
+			s.offload++
+		} else {
+			s.local++
+		}
+		// Records validated by Edge.ClassifyDelta against the same model.
+		_ = s.acc.Add(res.Record, res.WireBytes)
+	}
+	s.mu.Unlock()
+
+	resp := serve.ClassifyResponse{Results: make([]serve.ClassifyResult, len(results)), Count: len(results)}
+	for i, res := range results {
+		rec := res.Record
+		out := serve.ClassifyResult{
+			Label:      rec.Label,
+			Exit:       rec.StageName,
+			ExitIndex:  rec.StageIndex,
+			Confidence: rec.Confidence,
+			Ops:        rec.Ops,
+			// Whole-system energy: edge compute + link + cloud compute —
+			// a monolithic server reports the same exit's pipeline energy,
+			// an edge front adds the transmission surcharge.
+			EnergyPJ: res.TotalPJ(),
+		}
+		if s.baseOps > 0 {
+			out.NormalizedOps = rec.Ops / s.baseOps
+		}
+		resp.Results[i] = out
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the edge /healthz payload.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Role          string  `json:"role"`
+	Model         string  `json:"model,omitempty"`
+	Arch          string  `json:"arch"`
+	Stages        int     `json:"stages"`
+	SplitStage    int     `json:"split_stage"`
+	Delta         float64 `json:"delta"`
+	Encoding      string  `json:"encoding"`
+	Cloud         string  `json:"cloud,omitempty"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	delta := s.edgeCfg.Delta
+	if delta < 0 {
+		delta = s.model.Delta
+	}
+	serve.WriteJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Role:          "edge",
+		Model:         s.cfg.ModelName,
+		Arch:          s.model.Arch.Name,
+		Stages:        len(s.model.Stages),
+		SplitStage:    s.edgeCfg.SplitStage,
+		Delta:         delta,
+		Encoding:      s.edgeCfg.Encoding.String(),
+		Cloud:         s.cfg.CloudURL,
+		Workers:       s.cfg.Workers,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, s.Stats())
+}
+
+// ListenAndServe runs the edge front on addr until stop is closed, then
+// shuts down gracefully, with the same slow-client hardening as the cloud
+// server (serve.ListenHardened).
+func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
+	hard := serve.HTTPHardening{
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
+	}
+	return serve.ListenHardened(addr, s.mux, stop, hard, nil)
+}

@@ -1,0 +1,141 @@
+package edgecloud
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/serve"
+	"cdl/internal/tensor"
+)
+
+// HTTPTransport offloads to a cdlserve backend's POST /v1/resume. It is
+// stateless apart from the shared http.Client, so any number of Edges may
+// hold the same transport.
+type HTTPTransport struct {
+	// BaseURL is the cloud server's base, e.g. "http://cloud:8080".
+	BaseURL string
+	// Client is the HTTP client; nil uses a client with a 30s timeout
+	// (an offload must never hang an edge worker forever).
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a transport for the given base URL with the
+// default client.
+func NewHTTPTransport(baseURL string) *HTTPTransport {
+	return &HTTPTransport{BaseURL: baseURL}
+}
+
+// Resume implements Transport over the serve JSON schema.
+func (h *HTTPTransport) Resume(payload []byte, delta float64) (core.ExitRecord, error) {
+	recs, err := h.ResumeBatch([][]byte{payload}, delta)
+	if err != nil {
+		return core.ExitRecord{}, err
+	}
+	return recs[0], nil
+}
+
+// ResumeBatch implements BatchTransport: all payloads travel in one
+// /v1/resume request, so a hard batch costs one round trip instead of one
+// per image.
+func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.ExitRecord, error) {
+	req := serve.ResumeRequest{}
+	if len(payloads) == 1 {
+		req.Payload = base64.StdEncoding.EncodeToString(payloads[0])
+	} else {
+		req.Payloads = make([]string, len(payloads))
+		for i, p := range payloads {
+			req.Payloads[i] = base64.StdEncoding.EncodeToString(p)
+		}
+	}
+	if delta >= 0 {
+		d := delta
+		req.Delta = &d
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := strings.TrimSuffix(h.BaseURL, "/") + "/v1/resume"
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("cloud HTTP %d: %s", resp.StatusCode, e.Error)
+		}
+		return nil, fmt.Errorf("cloud HTTP %d", resp.StatusCode)
+	}
+	var out serve.ClassifyResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("cloud response: %w", err)
+	}
+	if len(out.Results) != len(payloads) {
+		return nil, fmt.Errorf("cloud returned %d results for %d payloads", len(out.Results), len(payloads))
+	}
+	recs := make([]core.ExitRecord, len(out.Results))
+	for i, r := range out.Results {
+		recs[i] = core.ExitRecord{
+			StageIndex: r.ExitIndex,
+			StageName:  r.Exit,
+			Label:      r.Label,
+			Confidence: r.Confidence,
+			Ops:        r.Ops,
+		}
+	}
+	return recs, nil
+}
+
+// Loopback is an in-process cloud tier: it decodes offloads and resumes
+// them on its own warm session. It exists for tests, demos and the
+// degenerate single-node deployment, and exercises the same wire
+// round-trip a real backend would. Single-goroutine, like the Edge that
+// owns it.
+type Loopback struct {
+	model *core.CDLN
+	sess  *core.Session
+}
+
+// NewLoopback builds an in-process cloud over a private replica of the
+// model.
+func NewLoopback(model *core.CDLN) (*Loopback, error) {
+	sess, err := core.NewSession(model)
+	if err != nil {
+		return nil, err
+	}
+	return &Loopback{model: model, sess: sess}, nil
+}
+
+// Resume implements Transport. Payload validation is the same
+// core.CDLN.ValidateResume a real backend applies, so the loopback accepts
+// exactly what /v1/resume would.
+func (l *Loopback) Resume(payload []byte, delta float64) (core.ExitRecord, error) {
+	act, err := wire.Decode(payload)
+	if err != nil {
+		return core.ExitRecord{}, err
+	}
+	if err := l.model.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
+		return core.ExitRecord{}, err
+	}
+	return l.sess.Resume(tensor.FromSlice(act.Data, act.Shape...), act.FromStage, delta), nil
+}

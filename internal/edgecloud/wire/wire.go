@@ -1,0 +1,229 @@
+// Package wire is the versioned binary encoding of intermediate activations
+// shipped across the edge–cloud split. An encoded activation carries enough
+// metadata for the cloud to resume Algorithm 2 — the cascade stage to resume
+// from, the baseline-layer position and shape of the tensor — plus the
+// payload in one of two encodings:
+//
+//   - EncodingFloat64: raw IEEE-754 bits, lossless. The default, because it
+//     preserves the tier-split bit-identity guarantee (split results equal
+//     monolithic Classify exactly).
+//   - EncodingFixed: int16 fixed-point words in a Qm.n format from
+//     internal/fixed, modelling the quantized link of an edge deployment
+//     (Long et al. 2020 ship 8/16-bit activations to cut radio energy).
+//     4× smaller than float64 at Q2.13 resolution (2^-13) per element.
+//
+// The byte layout (all multi-byte fields little-endian) is:
+//
+//	offset size  field
+//	0      4     magic "CDLA"
+//	4      1     version (currently 1)
+//	5      1     encoding (0 = float64, 1 = fixed)
+//	6      1     fixed-point integer bits (0 for float64)
+//	7      1     fixed-point fraction bits (0 for float64)
+//	8      2     fromStage: first cascade stage the receiver evaluates
+//	10     2     pos: number of baseline layers composing the activation
+//	12     1     rank, then rank × uint32 dims
+//	...          payload: numel × 8 bytes (float64) or × 2 bytes (fixed)
+//
+// Decoders reject unknown magic, versions and encodings, so the format can
+// evolve without silently misreading old peers.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cdl/internal/fixed"
+)
+
+// Encoding selects the payload representation.
+type Encoding uint8
+
+const (
+	// EncodingFloat64 is the lossless raw-bits payload.
+	EncodingFloat64 Encoding = 0
+	// EncodingFixed is the quantized int16 payload in a fixed.Format.
+	EncodingFixed Encoding = 1
+)
+
+// String renders the encoding for logs and tables.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingFloat64:
+		return "float64"
+	case EncodingFixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("encoding(%d)", uint8(e))
+}
+
+const (
+	magic   = "CDLA"
+	version = 1
+	// headerBase is the fixed part of the header before the dims.
+	headerBase = 13
+	// maxDim bounds each dimension and the total element count a decoder
+	// will accept, so a hostile header cannot make it allocate unboundedly.
+	maxElems = 1 << 24
+)
+
+// Activation is the decoded form of a split-point handoff.
+type Activation struct {
+	// FromStage is the first cascade stage the receiving tier evaluates
+	// (the split stage of the sender's prefix).
+	FromStage int
+	// Pos is the number of leading baseline layers composing Data — the
+	// CDLN.SplitPos of FromStage, carried explicitly so the receiver can
+	// cross-check it against its own model.
+	Pos int
+	// Shape is the activation tensor's shape.
+	Shape []int
+	// Data is the payload in float64 (dequantized when the wire encoding
+	// was fixed-point).
+	Data []float64
+}
+
+// Numel returns the element count implied by Shape.
+func (a Activation) Numel() int {
+	n := 1
+	for _, d := range a.Shape {
+		n *= d
+	}
+	return n
+}
+
+// EncodedSize returns the wire size in bytes of an activation with the
+// given rank and element count under an encoding — the quantity the tiered
+// energy model charges at pJ/byte.
+func EncodedSize(rank, numel int, enc Encoding) int {
+	per := 8
+	if enc == EncodingFixed {
+		per = 2
+	}
+	return headerBase + 4*rank + per*numel
+}
+
+// Encode serializes the activation. For EncodingFixed, f must be a valid
+// format of width ≤ 16 (the int16 payload word); values are quantized with
+// saturation, so out-of-range activations clip rather than wrap. For
+// EncodingFloat64, f is ignored.
+func Encode(a Activation, enc Encoding, f fixed.Format) ([]byte, error) {
+	if len(a.Data) != a.Numel() {
+		return nil, fmt.Errorf("wire: %d values for shape %v (%d elements)", len(a.Data), a.Shape, a.Numel())
+	}
+	if a.FromStage < 0 || a.FromStage > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: fromStage %d outside uint16", a.FromStage)
+	}
+	if a.Pos < 0 || a.Pos > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: pos %d outside uint16", a.Pos)
+	}
+	if len(a.Shape) > math.MaxUint8 {
+		return nil, fmt.Errorf("wire: rank %d outside uint8", len(a.Shape))
+	}
+	var intBits, fracBits uint8
+	switch enc {
+	case EncodingFloat64:
+	case EncodingFixed:
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		if f.Width() > 16 {
+			return nil, fmt.Errorf("wire: fixed format %s width %d exceeds the 16-bit payload word", f, f.Width())
+		}
+		intBits, fracBits = uint8(f.IntBits), uint8(f.FracBits)
+	default:
+		return nil, fmt.Errorf("wire: unknown encoding %d", enc)
+	}
+
+	b := make([]byte, 0, EncodedSize(len(a.Shape), len(a.Data), enc))
+	b = append(b, magic...)
+	b = append(b, version, uint8(enc), intBits, fracBits)
+	b = binary.LittleEndian.AppendUint16(b, uint16(a.FromStage))
+	b = binary.LittleEndian.AppendUint16(b, uint16(a.Pos))
+	b = append(b, uint8(len(a.Shape)))
+	for _, d := range a.Shape {
+		if d < 0 || d > maxElems {
+			return nil, fmt.Errorf("wire: dimension %d outside [0,%d]", d, maxElems)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	switch enc {
+	case EncodingFloat64:
+		for _, v := range a.Data {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	case EncodingFixed:
+		for _, v := range a.Data {
+			b = binary.LittleEndian.AppendUint16(b, uint16(int16(f.Quantize(v))))
+		}
+	}
+	return b, nil
+}
+
+// Decode parses an encoded activation, dequantizing fixed-point payloads
+// back to float64. It validates the header defensively: the input may come
+// off the network.
+func Decode(b []byte) (Activation, error) {
+	var a Activation
+	if len(b) < headerBase {
+		return a, fmt.Errorf("wire: %d bytes, shorter than the %d-byte header", len(b), headerBase)
+	}
+	if string(b[:4]) != magic {
+		return a, fmt.Errorf("wire: bad magic %q", b[:4])
+	}
+	if b[4] != version {
+		return a, fmt.Errorf("wire: version %d, want %d", b[4], version)
+	}
+	enc := Encoding(b[5])
+	f := fixed.Format{IntBits: int(b[6]), FracBits: int(b[7])}
+	switch enc {
+	case EncodingFloat64:
+	case EncodingFixed:
+		if err := f.Validate(); err != nil {
+			return a, err
+		}
+		if f.Width() > 16 {
+			return a, fmt.Errorf("wire: fixed format %s width %d exceeds the 16-bit payload word", f, f.Width())
+		}
+	default:
+		return a, fmt.Errorf("wire: unknown encoding %d", enc)
+	}
+	a.FromStage = int(binary.LittleEndian.Uint16(b[8:10]))
+	a.Pos = int(binary.LittleEndian.Uint16(b[10:12]))
+	rank := int(b[12])
+	if len(b) < headerBase+4*rank {
+		return a, fmt.Errorf("wire: truncated dims (rank %d, %d bytes)", rank, len(b))
+	}
+	a.Shape = make([]int, rank)
+	numel := 1
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(b[headerBase+4*i:]))
+		if d > maxElems || numel > maxElems/max(d, 1) {
+			return a, fmt.Errorf("wire: dimension %d of %d exceeds the %d-element decode bound", d, rank, maxElems)
+		}
+		a.Shape[i] = d
+		numel *= d
+	}
+	payload := b[headerBase+4*rank:]
+	switch enc {
+	case EncodingFloat64:
+		if len(payload) != 8*numel {
+			return a, fmt.Errorf("wire: float64 payload %d bytes, want %d", len(payload), 8*numel)
+		}
+		a.Data = make([]float64, numel)
+		for i := range a.Data {
+			a.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case EncodingFixed:
+		if len(payload) != 2*numel {
+			return a, fmt.Errorf("wire: fixed payload %d bytes, want %d", len(payload), 2*numel)
+		}
+		a.Data = make([]float64, numel)
+		for i := range a.Data {
+			raw := int16(binary.LittleEndian.Uint16(payload[2*i:]))
+			a.Data[i] = f.Dequantize(int64(raw))
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,210 @@
+package energy
+
+import (
+	"fmt"
+
+	"cdl/internal/core"
+)
+
+// Link models the edge→cloud transmission cost of a split deployment: a
+// per-byte energy plus a fixed per-offload overhead (packetization, radio
+// wake-up). Like the 45 nm compute table it is a calibrated model knob, not
+// a measurement — the defaults are chosen so link and displaced-compute
+// energy land in the same band, which is the regime where the split-point
+// choice is a real trade-off (cf. Long et al. 2020).
+type Link struct {
+	// PJPerByte is the transmission energy per payload byte. The default,
+	// 400 pJ/byte (50 pJ/bit), is representative of ultra-low-power
+	// short-range transceivers of the 45 nm generation; a WiFi-class radio
+	// is orders of magnitude costlier and makes offloading always lose.
+	PJPerByte float64
+	// PerOffloadPJ is the fixed cost of one transfer regardless of size.
+	PerOffloadPJ float64
+}
+
+// DefaultLink returns the reference link model.
+func DefaultLink() Link { return Link{PJPerByte: 400, PerOffloadPJ: 20000} }
+
+// Validate checks the link model.
+func (l Link) Validate() error {
+	if l.PJPerByte < 0 || l.PerOffloadPJ < 0 {
+		return fmt.Errorf("energy: negative link cost %+v", l)
+	}
+	return nil
+}
+
+// TransferPJ returns the energy of shipping one payload of the given size.
+func (l Link) TransferPJ(bytes int) float64 {
+	return l.PerOffloadPJ + l.PJPerByte*float64(bytes)
+}
+
+// TierCosts precomputes the per-exit energy split of an edge–cloud
+// deployment cut after SplitStage cascade stages: an input exiting at exit
+// i consumed Edge[i] pJ on the edge tier and Cloud[i] pJ on the cloud tier
+// (link energy is per-transfer, charged separately from actual wire bytes).
+// Edge[i]+Cloud[i] always equals the monolithic exit energy, so tiered
+// accounting never invents or loses compute energy — the split only moves
+// it and adds the link.
+type TierCosts struct {
+	// SplitStage is the number of cascade stages the edge owns.
+	SplitStage int
+	// Edge[i] is the edge-tier pJ of an input exiting at exit i: the full
+	// exit energy for local exits (i < SplitStage), the prefix energy for
+	// offloaded ones.
+	Edge []float64
+	// Cloud[i] is the cloud-tier pJ of an input exiting at exit i; zero
+	// for local exits.
+	Cloud []float64
+	// PrefixPJ is the edge-side cost of an offloaded input: the whole
+	// prefix ran (including the last edge stage's classifier, whose
+	// activation module declined to exit).
+	PrefixPJ float64
+	// BaselinePJ is one unconditioned full forward pass, for
+	// normalization.
+	BaselinePJ float64
+	// Link is the transmission model used by accumulators built from
+	// these costs.
+	Link Link
+}
+
+// TierCosts derives the per-exit tier split for a cascade cut after
+// splitStage stages (0 ships raw inputs, len(Stages) runs the whole
+// cascade locally and offloads only FC-bound residues).
+func (e Evaluator) TierCosts(c *core.CDLN, splitStage int, link Link) (*TierCosts, error) {
+	if err := e.Acc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if splitStage < 0 || splitStage > len(c.Stages) {
+		return nil, fmt.Errorf("energy: split stage %d outside [0,%d]", splitStage, len(c.Stages))
+	}
+	exits := e.ExitEnergies(c)
+	tc := &TierCosts{
+		SplitStage: splitStage,
+		Edge:       make([]float64, len(exits)),
+		Cloud:      make([]float64, len(exits)),
+		BaselinePJ: e.BaselineEnergy(c),
+		Link:       link,
+	}
+	if splitStage > 0 {
+		// An offloading input ran the prefix through stage splitStage−1,
+		// classifier included — exactly the cost of exiting there.
+		tc.PrefixPJ = exits[splitStage-1]
+	}
+	for i, pj := range exits {
+		if i < splitStage {
+			tc.Edge[i] = pj
+		} else {
+			tc.Edge[i] = tc.PrefixPJ
+			tc.Cloud[i] = pj - tc.PrefixPJ
+		}
+	}
+	return tc, nil
+}
+
+// Offloaded reports whether an exit at index i implies the input crossed
+// the link: the edge owns exits [0, SplitStage), everything deeper ran on
+// the cloud.
+func (tc *TierCosts) Offloaded(exitIndex int) bool { return exitIndex >= tc.SplitStage }
+
+// TieredSummary is a snapshot of tiered energy accounting.
+type TieredSummary struct {
+	SplitStage int
+	// Count is the number of inputs charged; Offloaded of them crossed
+	// the link.
+	Count     int64
+	Offloaded int64
+	// OffloadFraction is Offloaded/Count.
+	OffloadFraction float64
+	// WireBytes is the total payload shipped.
+	WireBytes int64
+	// EdgePJ/LinkPJ/CloudPJ/TotalPJ are summed over all inputs.
+	EdgePJ  float64
+	LinkPJ  float64
+	CloudPJ float64
+	TotalPJ float64
+	// MeanEdgePJ/MeanLinkPJ/MeanCloudPJ/MeanTotalPJ are per input.
+	MeanEdgePJ  float64
+	MeanLinkPJ  float64
+	MeanCloudPJ float64
+	MeanTotalPJ float64
+	// BaselinePJ is one unconditioned full pass; NormalizedTotal is
+	// MeanTotalPJ over it (the monolithic CDLN's normalized energy plus
+	// the link surcharge).
+	BaselinePJ      float64
+	NormalizedTotal float64
+}
+
+// TieredAccumulator aggregates per-tier energy one ExitRecord at a time —
+// the split-deployment counterpart of Accumulator. Whether a record crossed
+// the link is implied by its exit index (TierCosts.Offloaded); wire bytes
+// are charged at the link model's rate. Not safe for concurrent use; guard
+// with a lock or shard and sum snapshots.
+type TieredAccumulator struct {
+	costs *TierCosts
+
+	count     int64
+	offloaded int64
+	wireBytes int64
+	edgePJ    float64
+	linkPJ    float64
+	cloudPJ   float64
+}
+
+// NewAccumulator returns an empty accumulator over these tier costs.
+func (tc *TierCosts) NewAccumulator() *TieredAccumulator {
+	return &TieredAccumulator{costs: tc}
+}
+
+// Add charges one classified input: its exit's edge/cloud compute, and —
+// when the exit lies past the split — one transfer of wireBytes payload.
+// wireBytes is ignored for local exits (nothing was shipped).
+func (a *TieredAccumulator) Add(rec core.ExitRecord, wireBytes int) error {
+	if rec.StageIndex < 0 || rec.StageIndex >= len(a.costs.Edge) {
+		return fmt.Errorf("energy: exit index %d outside [0,%d)", rec.StageIndex, len(a.costs.Edge))
+	}
+	if wireBytes < 0 {
+		return fmt.Errorf("energy: negative wire bytes %d", wireBytes)
+	}
+	a.count++
+	a.edgePJ += a.costs.Edge[rec.StageIndex]
+	a.cloudPJ += a.costs.Cloud[rec.StageIndex]
+	if a.costs.Offloaded(rec.StageIndex) {
+		a.offloaded++
+		a.wireBytes += int64(wireBytes)
+		a.linkPJ += a.costs.Link.TransferPJ(wireBytes)
+	}
+	return nil
+}
+
+// Summary snapshots the counters.
+func (a *TieredAccumulator) Summary() TieredSummary {
+	s := TieredSummary{
+		SplitStage: a.costs.SplitStage,
+		Count:      a.count,
+		Offloaded:  a.offloaded,
+		WireBytes:  a.wireBytes,
+		EdgePJ:     a.edgePJ,
+		LinkPJ:     a.linkPJ,
+		CloudPJ:    a.cloudPJ,
+		TotalPJ:    a.edgePJ + a.linkPJ + a.cloudPJ,
+		BaselinePJ: a.costs.BaselinePJ,
+	}
+	if a.count > 0 {
+		n := float64(a.count)
+		s.OffloadFraction = float64(a.offloaded) / n
+		s.MeanEdgePJ = a.edgePJ / n
+		s.MeanLinkPJ = a.linkPJ / n
+		s.MeanCloudPJ = a.cloudPJ / n
+		s.MeanTotalPJ = s.TotalPJ / n
+		if s.BaselinePJ > 0 {
+			s.NormalizedTotal = s.MeanTotalPJ / s.BaselinePJ
+		}
+	}
+	return s
+}

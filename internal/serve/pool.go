@@ -16,14 +16,17 @@ var ErrOverloaded = errors.New("serve: work queue full")
 // ErrClosed is returned when work arrives after Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// job is one image to classify. A multi-image request fans out into one job
-// per image sharing a WaitGroup; each job writes its record in place, so
-// the handler reassembles results in request order for free.
+// job is one classification unit: either a raw image (fromStage 0) or an
+// edge-offloaded intermediate activation resuming the cascade at fromStage.
+// A multi-image request fans out into one job per image sharing a
+// WaitGroup; each job writes its record in place, so the handler
+// reassembles results in request order for free.
 type job struct {
-	x     *tensor.T
-	delta float64 // <0 keeps the model's trained thresholds
-	rec   *core.ExitRecord
-	wg    *sync.WaitGroup
+	x         *tensor.T
+	fromStage int     // 0 = classify from the input layer (Session.Resume semantics)
+	delta     float64 // <0 keeps the model's trained thresholds
+	rec       *core.ExitRecord
+	wg        *sync.WaitGroup
 }
 
 // pool is the replica fan-out: a bounded job queue drained by one goroutine
@@ -106,7 +109,9 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 		batch = append(batch[:0], first)
 		p.collect(&batch)
 		for _, j := range batch {
-			*j.rec = sess.ClassifyDelta(j.x, j.delta)
+			// Resume(x, 0, δ) is exactly ClassifyDelta(x, δ), so one call
+			// covers both fresh classifications and split-resume jobs.
+			*j.rec = sess.Resume(j.x, j.fromStage, j.delta)
 			j.wg.Done()
 		}
 		if done != nil {

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"cdl/internal/core"
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/fixed"
+)
+
+func postResume(t testing.TB, url string, req ResumeRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/resume", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestResumeMatchesMonolithic is the cross-tier identity check over real
+// HTTP: for every split stage (and both trained and overridden δ), inputs
+// that the edge prefix defers must come back from /v1/resume with records
+// bit-identical to the monolithic result. δ=0.9 forces a deep-exit mix even
+// when the trained thresholds exit everything at O1.
+func TestResumeMatchesMonolithic(t *testing.T) {
+	cdln, data := testCDLN(t, 41)
+	_, ts := startServer(t, cdln, Config{Workers: 2})
+
+	mono, err := core.NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{-1, 0.9} {
+		for split := 0; split <= len(cdln.Stages); split++ {
+			edge, err := core.NewSession(cdln)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var payloads []string
+			var want []core.ExitRecord
+			for i, s := range data[:80] {
+				ref := mono.ClassifyDelta(s.X, delta)
+				pre := edge.ClassifyPrefix(s.X, split, delta)
+				if pre.Exited {
+					if pre.Record.Label != ref.Label || pre.Record.StageIndex != ref.StageIndex ||
+						pre.Record.Confidence != ref.Confidence {
+						t.Fatalf("split %d sample %d: edge exit %+v != monolithic %+v", split, i, pre.Record, ref)
+					}
+					continue
+				}
+				b, err := wire.Encode(wire.Activation{
+					FromStage: split,
+					Pos:       pre.Pos,
+					Shape:     pre.Activation.Shape(),
+					Data:      pre.Activation.Data,
+				}, wire.EncodingFloat64, fixed.Format{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				payloads = append(payloads, base64.StdEncoding.EncodeToString(b))
+				want = append(want, ref)
+			}
+			if len(payloads) == 0 {
+				if split == 0 || delta == 0.9 {
+					t.Fatalf("split %d δ=%v: no offloads; fixture degenerate", split, delta)
+				}
+				continue
+			}
+			req := ResumeRequest{Payloads: payloads}
+			if delta >= 0 {
+				d := delta
+				req.Delta = &d
+			}
+			status, body := postResume(t, ts.URL, req)
+			if status != http.StatusOK {
+				t.Fatalf("split %d: HTTP %d: %s", split, status, body)
+			}
+			var out ClassifyResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Count != len(payloads) {
+				t.Fatalf("split %d: count %d, want %d", split, out.Count, len(payloads))
+			}
+			for k, got := range out.Results {
+				w := want[k]
+				if got.Label != w.Label || got.Exit != w.StageName ||
+					got.ExitIndex != w.StageIndex ||
+					got.Confidence != w.Confidence || got.Ops != w.Ops {
+					t.Fatalf("split %d δ=%v payload %d: resume %+v != monolithic %+v", split, delta, k, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestResumeBadRequests covers the defensive 4xx paths of /v1/resume.
+func TestResumeBadRequests(t *testing.T) {
+	cdln, data := testCDLN(t, 42)
+	srv, ts := startServer(t, cdln, Config{Workers: 1, MaxRequestImages: 2})
+
+	edge, err := core.NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build one offloaded activation to mutate (δ=1 so the prefix never
+	// exits locally, whatever the trained thresholds do on this fixture).
+	var good string
+	for _, s := range data {
+		pre := edge.ClassifyPrefix(s.X, 1, 1)
+		if pre.Exited {
+			continue
+		}
+		b, err := wire.Encode(wire.Activation{
+			FromStage: 1, Pos: pre.Pos, Shape: pre.Activation.Shape(), Data: pre.Activation.Data,
+		}, wire.EncodingFloat64, fixed.Format{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		good = base64.StdEncoding.EncodeToString(b)
+		break
+	}
+	if good == "" {
+		t.Fatal("no offloaded input in fixture")
+	}
+
+	reencode := func(mutate func(*wire.Activation)) string {
+		raw, _ := base64.StdEncoding.DecodeString(good)
+		act, err := wire.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(&act)
+		b, err := wire.Encode(act, wire.EncodingFloat64, fixed.Format{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base64.StdEncoding.EncodeToString(b)
+	}
+	bad := 1.5
+	cases := []struct {
+		name string
+		req  ResumeRequest
+	}{
+		{"empty", ResumeRequest{}},
+		{"both forms", ResumeRequest{Payload: good, Payloads: []string{good}}},
+		{"bad base64", ResumeRequest{Payload: "!!!not-base64!!!"}},
+		{"not wire", ResumeRequest{Payload: base64.StdEncoding.EncodeToString([]byte("junk-bytes"))}},
+		{"stage too deep", ResumeRequest{Payload: reencode(func(a *wire.Activation) { a.FromStage = 9 })}},
+		{"wrong pos", ResumeRequest{Payload: reencode(func(a *wire.Activation) { a.Pos = 1 })}},
+		{"wrong shape", ResumeRequest{Payload: reencode(func(a *wire.Activation) {
+			a.Shape = []int{len(a.Data)}
+		})}},
+		{"out-of-range delta", ResumeRequest{Payload: good, Delta: &bad}},
+		{"too many payloads", ResumeRequest{Payloads: []string{good, good, good}}},
+	}
+	for _, tc := range cases {
+		if status, body := postResume(t, ts.URL, tc.req); status != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d (%s), want 400", tc.name, status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET resume: HTTP %d, want 405", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Invalid == 0 {
+		t.Error("invalid-request counter not incremented")
+	}
+
+	// A valid resume is counted in both requests and resume_requests.
+	if status, body := postResume(t, ts.URL, ResumeRequest{Payload: good}); status != http.StatusOK {
+		t.Fatalf("good payload: HTTP %d (%s)", status, body)
+	}
+	st := srv.Stats()
+	if st.ResumeRequests != 1 {
+		t.Errorf("resume_requests %d, want 1", st.ResumeRequests)
+	}
+	if st.Requests != 1 {
+		t.Errorf("requests %d, want 1", st.Requests)
+	}
+}
+
+// TestParseDeltaRejectsNonFinite pins the satellite fix: NaN and ±Inf δ
+// overrides must be rejected before they reach the exit rule (NaN compares
+// false against every score and would silently disable early exit). JSON
+// itself cannot carry NaN, so the guard is exercised directly — it protects
+// any future non-JSON transport and programmatic callers.
+func TestParseDeltaRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.1} {
+		v := bad
+		if _, err := ParseDeltaOverride(&v); err == nil {
+			t.Errorf("delta %v accepted", bad)
+		}
+	}
+	if d, err := ParseDeltaOverride(nil); err != nil || d != -1 {
+		t.Errorf("nil delta: (%v, %v), want (-1, nil)", d, err)
+	}
+	half := 0.5
+	if d, err := ParseDeltaOverride(&half); err != nil || d != 0.5 {
+		t.Errorf("0.5 delta: (%v, %v), want (0.5, nil)", d, err)
+	}
+}
+
+// TestClassifyRejectsOutOfRangeDelta exercises the same guard end-to-end
+// over HTTP for the values JSON can express.
+func TestClassifyRejectsOutOfRangeDelta(t *testing.T) {
+	cdln, data := testCDLN(t, 43)
+	srv, ts := startServer(t, cdln, Config{Workers: 1})
+	for _, bad := range []float64{-0.1, 1.1} {
+		v := bad
+		status, body := postClassify(t, ts.URL, ClassifyRequest{Image: data[0].X.Flatten().Data, Delta: &v})
+		if status != http.StatusBadRequest {
+			t.Errorf("delta %v: HTTP %d (%s), want 400", bad, status, body)
+		}
+	}
+	if st := srv.Stats(); st.Invalid != 2 {
+		t.Errorf("invalid counter %d, want 2", st.Invalid)
+	}
+}

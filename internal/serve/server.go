@@ -10,21 +10,29 @@
 // Endpoints:
 //
 //	POST /v1/classify  one image or a batch, optional per-request δ
+//	POST /v1/resume    resume an edge-offloaded cascade past its split stage
 //	GET  /healthz      liveness and model identity
 //	GET  /statsz       live exit distribution, normalized OPS, 45 nm energy
+//
+// /v1/resume is the cloud half of the edge–cloud split (internal/edgecloud):
+// an edge node runs the cascade prefix, exits easy inputs locally, and ships
+// only the hard residue here as wire-encoded intermediate activations.
 package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"cdl/internal/core"
+	"cdl/internal/edgecloud/wire"
 	"cdl/internal/energy"
 	"cdl/internal/tensor"
 )
@@ -48,6 +56,17 @@ type Config struct {
 	MaxRequestImages int
 	// ModelName is reported by /healthz (e.g. the model file path).
 	ModelName string
+
+	// ReadHeaderTimeout bounds how long ListenAndServe waits for a
+	// client's request headers — without it a slowloris client can pin
+	// connections forever on a server whose whole point is shedding load
+	// deliberately. Default 5s.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle this long. Default
+	// 60s.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request header size. Default 64 KiB.
+	MaxHeaderBytes int
 }
 
 // withDefaults fills unset fields.
@@ -72,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestImages > c.QueueDepth {
 		c.MaxRequestImages = c.QueueDepth
 	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 64 << 10
+	}
 	return c
 }
 
@@ -84,9 +112,13 @@ type Server struct {
 	cfg     Config
 	model   *core.CDLN
 	inWidth int
-	pool    *pool
-	metrics *metrics
-	mux     *http.ServeMux
+	// maxResumeWire is the largest wire-encoded activation any valid
+	// /v1/resume payload can carry (the lossless encoding of the widest
+	// split point), used to bound request bodies before decoding.
+	maxResumeWire int
+	pool          *pool
+	metrics       *metrics
+	mux           *http.ServeMux
 }
 
 // New validates the model, pre-clones cfg.Workers warm sessions and starts
@@ -110,15 +142,31 @@ func New(model *core.CDLN, cfg Config) (*Server, error) {
 	for _, d := range model.Arch.Net.InShape {
 		inWidth *= d
 	}
+	maxNumel, maxRank := inWidth, len(model.Arch.Net.InShape)
+	for split := 1; split <= len(model.Stages); split++ {
+		shape := model.Arch.Net.ShapeAt(model.SplitPos(split))
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		if n > maxNumel {
+			maxNumel = n
+		}
+		if len(shape) > maxRank {
+			maxRank = len(shape)
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		model:   model,
-		inWidth: inWidth,
-		metrics: newMetrics(model, acc),
+		cfg:           cfg,
+		model:         model,
+		inWidth:       inWidth,
+		maxResumeWire: wire.EncodedSize(maxRank, maxNumel, wire.EncodingFloat64),
+		metrics:       newMetrics(model, acc),
 	}
 	s.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.metrics.observeBatch)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/resume", s.handleResume)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
@@ -135,23 +183,65 @@ func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool.depth(), s.cfg
 // racing Close receive 503.
 func (s *Server) Close() { s.pool.close() }
 
-// ListenAndServe runs the server on addr until stop is closed, then shuts
-// down gracefully: stop accepting, wait for in-flight requests, drain the
-// pool.
-func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
-	httpSrv := &http.Server{Addr: addr, Handler: s.mux}
+// HTTPHardening bundles the slow-client listener limits shared by the
+// cloud server and the edge front (internal/edgecloud): a server built to
+// shed load deliberately must not let a slowloris client pin its
+// connections for free.
+type HTTPHardening struct {
+	// ReadHeaderTimeout bounds how long a client may take to send its
+	// request headers. Default 5s.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle this long. Default
+	// 60s.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request header size. Default 64 KiB.
+	MaxHeaderBytes int
+}
+
+// WithDefaults fills unset fields.
+func (h HTTPHardening) WithDefaults() HTTPHardening {
+	if h.ReadHeaderTimeout == 0 {
+		h.ReadHeaderTimeout = 5 * time.Second
+	}
+	if h.IdleTimeout == 0 {
+		h.IdleTimeout = 60 * time.Second
+	}
+	if h.MaxHeaderBytes <= 0 {
+		h.MaxHeaderBytes = 64 << 10
+	}
+	return h
+}
+
+// ListenHardened runs handler on addr with the hardening limits until stop
+// is closed, then shuts down gracefully (drain HTTP, then run afterStop if
+// non-nil — the hook both tiers use to drain their worker pools). Body
+// reads are the handlers' responsibility (MaxBytesReader).
+func ListenHardened(addr string, handler http.Handler, stop <-chan struct{}, hard HTTPHardening, afterStop func()) error {
+	hard = hard.WithDefaults()
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: hard.ReadHeaderTimeout,
+		IdleTimeout:       hard.IdleTimeout,
+		MaxHeaderBytes:    hard.MaxHeaderBytes,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	stopped := func() {
+		if afterStop != nil {
+			afterStop()
+		}
+	}
 	select {
 	case err := <-errCh:
-		s.Close()
+		stopped()
 		return err
 	case <-stop:
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := httpSrv.Shutdown(ctx)
-	s.Close()
+	stopped()
 	if err != nil {
 		return err
 	}
@@ -161,15 +251,32 @@ func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
 	return nil
 }
 
+// ListenAndServe runs the server on addr until stop is closed, then shuts
+// down gracefully: stop accepting, wait for in-flight requests, drain the
+// pool. The listener is hardened against slow clients via the Config's
+// ReadHeaderTimeout/IdleTimeout/MaxHeaderBytes (body reads are already
+// bounded per handler with MaxBytesReader).
+func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
+	hard := HTTPHardening{
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
+	}
+	return ListenHardened(addr, s.mux, stop, hard, s.Close)
+}
+
 // ClassifyRequest is the /v1/classify payload: exactly one of Image (a
 // single flattened image) or Images (a batch) must be set. Pixel counts
 // must match the model's input shape. Delta, when non-nil, overrides the
 // model's confidence threshold δ for every image in the request — the
-// paper's §III.B runtime knob. δ=1 disables early exit entirely (maximum
-// accuracy of the baseline, baseline-like cost); moderate δ trades depth
-// for cost. Note the default threshold rule (exit iff exactly one score
-// clears δ) is not monotone at the low end: δ near 0 makes every class
-// "confident" and so forces full depth too.
+// paper's §III.B runtime knob. It must be a finite number in [0,1]; NaN
+// and ±Inf are rejected with 400 rather than passed into the exit rule
+// (NaN compares false against every score, which would silently disable
+// early exit). δ=1 disables early exit entirely (maximum accuracy of the
+// baseline, baseline-like cost); moderate δ trades depth for cost. Note
+// the default threshold rule (exit iff exactly one score clears δ) is not
+// monotone at the low end: δ near 0 makes every class "confident" and so
+// forces full depth too.
 type ClassifyRequest struct {
 	Image  []float64   `json:"image,omitempty"`
 	Images [][]float64 `json:"images,omitempty"`
@@ -204,10 +311,26 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ParseDeltaOverride validates an optional per-request δ override (shared
+// by this server and the edge front in internal/edgecloud). nil keeps the
+// model's trained thresholds (reported as −1, the Session sentinel);
+// otherwise the value must be a finite number in [0,1] — NaN in particular
+// would flow into every score comparison and silently disable early exit.
+func ParseDeltaOverride(d *float64) (float64, error) {
+	if d == nil {
+		return -1, nil
+	}
+	v := *d
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+		return 0, fmt.Errorf("delta %v must be a finite value in [0,1]", v)
+	}
+	return v, nil
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.metrics.observeInvalid()
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		WriteJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
 	}
 	// Bound the body before decoding: the per-request image cap is useless
@@ -220,27 +343,24 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.metrics.observeInvalid()
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	images, err := s.requestImages(&req)
+	images, err := req.NormalizeImages(s.inWidth, s.cfg.MaxRequestImages, s.model.Arch.Net.InShape)
 	if err != nil {
 		s.metrics.observeInvalid()
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	delta := -1.0
-	if req.Delta != nil {
-		delta = *req.Delta
-		if delta < 0 || delta > 1 {
-			s.metrics.observeInvalid()
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("delta %v outside [0,1]", delta)})
-			return
-		}
+	delta, err := ParseDeltaOverride(req.Delta)
+	if err != nil {
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
 	}
 
-	records := make([]core.ExitRecord, len(images))
 	jobs := make([]*job, len(images))
+	records := make([]core.ExitRecord, len(images))
 	var wg sync.WaitGroup
 	for i, img := range images {
 		jobs[i] = &job{
@@ -250,10 +370,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			wg:    &wg,
 		}
 	}
+	s.runJobs(w, jobs, records, &wg)
+}
+
+// runJobs submits a prepared batch, waits for the pool, and writes the
+// shared ClassifyResponse — the common tail of /v1/classify and /v1/resume.
+// It reports whether the batch was admitted.
+func (s *Server) runJobs(w http.ResponseWriter, jobs []*job, records []core.ExitRecord, wg *sync.WaitGroup) bool {
 	if err := s.pool.submit(jobs); err != nil {
 		s.metrics.observeRejected()
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
-		return
+		WriteJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		return false
 	}
 	wg.Wait()
 	s.metrics.observeRequest()
@@ -274,12 +401,109 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = res
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
+	return true
 }
 
-// requestImages normalizes the single/batch request forms into validated
-// pixel slices.
-func (s *Server) requestImages(req *ClassifyRequest) ([][]float64, error) {
+// ResumeRequest is the /v1/resume payload: exactly one of Payload (a
+// single activation) or Payloads (a batch) must be set, each a base64
+// (standard encoding) wire-format activation produced by an edge node's
+// ClassifyPrefix (see internal/edgecloud/wire). The activation's split
+// stage, layer position and shape must match this server's model. Delta
+// follows the same rules as ClassifyRequest.Delta and must be the δ the
+// edge used for its prefix if the pair is to behave like one monolithic
+// cascade.
+type ResumeRequest struct {
+	Payload  string   `json:"payload,omitempty"`
+	Payloads []string `json:"payloads,omitempty"`
+	Delta    *float64 `json:"delta,omitempty"`
+}
+
+// resumeActivation decodes and validates one base64 wire payload against
+// the server's model, returning the ready-to-submit tensor and stage.
+func (s *Server) resumeActivation(p string) (*tensor.T, int, error) {
+	raw, err := base64.StdEncoding.DecodeString(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad base64 payload: %v", err)
+	}
+	act, err := wire.Decode(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.model.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
+		return nil, 0, err
+	}
+	return tensor.FromSlice(act.Data, act.Shape...), act.FromStage, nil
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	// Bound the body by the largest activation the model can legitimately
+	// receive (lossless encoding, base64-inflated) times the batch cap.
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(base64.StdEncoding.EncodedLen(s.maxResumeWire)+4) + 4096
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req ResumeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	var payloads []string
+	switch {
+	case req.Payload != "" && req.Payloads != nil:
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{`set "payload" or "payloads", not both`})
+		return
+	case req.Payload != "":
+		payloads = []string{req.Payload}
+	case len(req.Payloads) > 0:
+		payloads = req.Payloads
+	default:
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{`missing "payload" or "payloads"`})
+		return
+	}
+	if len(payloads) > s.cfg.MaxRequestImages {
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("%d payloads exceed the per-request cap %d", len(payloads), s.cfg.MaxRequestImages)})
+		return
+	}
+	delta, err := ParseDeltaOverride(req.Delta)
+	if err != nil {
+		s.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+
+	jobs := make([]*job, len(payloads))
+	records := make([]core.ExitRecord, len(payloads))
+	var wg sync.WaitGroup
+	for i, p := range payloads {
+		x, fromStage, err := s.resumeActivation(p)
+		if err != nil {
+			s.metrics.observeInvalid()
+			WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("payload %d: %v", i, err)})
+			return
+		}
+		jobs[i] = &job{x: x, fromStage: fromStage, delta: delta, rec: &records[i], wg: &wg}
+	}
+	if s.runJobs(w, jobs, records, &wg) {
+		s.metrics.observeResume()
+	}
+}
+
+// NormalizeImages validates the request's single/batch forms against the
+// model's input width and the per-request cap, returning the pixel slices.
+// Shared by the cloud server and the edge front, so both tiers accept and
+// reject exactly the same requests.
+func (req *ClassifyRequest) NormalizeImages(inWidth, maxImages int, inShape []int) ([][]float64, error) {
 	var images [][]float64
 	switch {
 	case req.Image != nil && req.Images != nil:
@@ -291,13 +515,13 @@ func (s *Server) requestImages(req *ClassifyRequest) ([][]float64, error) {
 	default:
 		return nil, errors.New(`missing "image" or "images"`)
 	}
-	if len(images) > s.cfg.MaxRequestImages {
-		return nil, fmt.Errorf("%d images exceed the per-request cap %d", len(images), s.cfg.MaxRequestImages)
+	if len(images) > maxImages {
+		return nil, fmt.Errorf("%d images exceed the per-request cap %d", len(images), maxImages)
 	}
 	for i, img := range images {
-		if len(img) != s.inWidth {
+		if len(img) != inWidth {
 			return nil, fmt.Errorf("image %d has %d pixels, model wants %d (shape %v)",
-				i, len(img), s.inWidth, s.model.Arch.Net.InShape)
+				i, len(img), inWidth, inShape)
 		}
 	}
 	return images, nil
@@ -315,7 +539,7 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	WriteJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		Model:         s.cfg.ModelName,
 		Arch:          s.model.Arch.Name,
@@ -327,11 +551,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	WriteJSON(w, http.StatusOK, s.Stats())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response with the given status — the one
+// response writer shared by every endpoint on both tiers.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the shared {"error": msg} body.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, errorResponse{msg})
 }

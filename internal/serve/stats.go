@@ -15,9 +15,10 @@ import (
 type metrics struct {
 	mu       sync.Mutex
 	started  time.Time
-	requests int64 // /v1/classify requests admitted
+	requests int64 // classify + resume requests admitted
+	resumes  int64 // /v1/resume requests admitted (edge offloads)
 	rejected int64 // 503s (queue full / shutting down)
-	invalid  int64 // 4xx classify requests
+	invalid  int64 // 4xx classify/resume requests
 	images   int64
 
 	exitNames   []string
@@ -44,6 +45,12 @@ func newMetrics(c *core.CDLN, acc *energy.Accumulator) *metrics {
 func (m *metrics) observeRequest() {
 	m.mu.Lock()
 	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeResume() {
+	m.mu.Lock()
+	m.resumes++
 	m.mu.Unlock()
 }
 
@@ -86,11 +93,15 @@ type ExitStat struct {
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Requests      int64   `json:"requests"`
-	Rejected      int64   `json:"rejected"`
-	Invalid       int64   `json:"invalid"`
-	Images        int64   `json:"images"`
-	QueueDepth    int     `json:"queue_depth"`
-	Workers       int     `json:"workers"`
+	// ResumeRequests counts the admitted /v1/resume requests — traffic
+	// arriving as edge-offloaded intermediate activations rather than raw
+	// images (already included in Requests).
+	ResumeRequests int64 `json:"resume_requests"`
+	Rejected       int64 `json:"rejected"`
+	Invalid        int64 `json:"invalid"`
+	Images         int64 `json:"images"`
+	QueueDepth     int   `json:"queue_depth"`
+	Workers        int   `json:"workers"`
 
 	Exits []ExitStat `json:"exits"`
 
@@ -111,15 +122,16 @@ func (m *metrics) snapshot(queueDepth, workers int) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		UptimeSeconds: time.Since(m.started).Seconds(),
-		Requests:      m.requests,
-		Rejected:      m.rejected,
-		Invalid:       m.invalid,
-		Images:        m.images,
-		QueueDepth:    queueDepth,
-		Workers:       workers,
-		BaselineOps:   m.baselineOps,
-		Exits:         make([]ExitStat, len(m.exitNames)),
+		UptimeSeconds:  time.Since(m.started).Seconds(),
+		Requests:       m.requests,
+		ResumeRequests: m.resumes,
+		Rejected:       m.rejected,
+		Invalid:        m.invalid,
+		Images:         m.images,
+		QueueDepth:     queueDepth,
+		Workers:        workers,
+		BaselineOps:    m.baselineOps,
+		Exits:          make([]ExitStat, len(m.exitNames)),
 	}
 	for e := range s.Exits {
 		s.Exits[e] = ExitStat{
