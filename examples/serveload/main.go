@@ -84,6 +84,10 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 	latencies := make([]time.Duration, len(chunks))
 	correct := make([]int, concurrency)
 	sumNorm := make([]float64, concurrency)
+	exits := make([]map[string]int, concurrency) // per-worker exit tallies, merged after the join
+	for w := range exits {
+		exits[w] = make(map[string]int)
+	}
 	var firstErr error
 	var errOnce sync.Once
 	var wg sync.WaitGroup
@@ -135,6 +139,7 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 						correct[w]++
 					}
 					sumNorm[w] += r.NormalizedOps
+					exits[w][r.Exit]++
 				}
 			}
 		}(w)
@@ -150,9 +155,13 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 	}
 
 	totalCorrect, totalNorm := 0, 0.0
+	exitTotals := make(map[string]int)
 	for w := 0; w < concurrency; w++ {
 		totalCorrect += correct[w]
 		totalNorm += sumNorm[w]
+		for e, c := range exits[w] {
+			exitTotals[e] += c
+		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
@@ -164,6 +173,21 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Printf("accuracy vs generated labels: %.4f\n", float64(totalCorrect)/float64(n))
 	fmt.Printf("mean normalized OPS: %.3f\n", totalNorm/float64(n))
+	// The exit distribution is the early-exit thesis made visible — and
+	// since the server classifies each micro-batch in one batched cascade
+	// pass (compacting exited images between stages), it is also the
+	// batch fast path's workload profile: the O1 fraction pays one
+	// shallow GEMM, only the FC fraction pays the whole pipeline.
+	var names []string
+	for e := range exitTotals {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	fmt.Printf("exit distribution:")
+	for _, e := range names {
+		fmt.Printf("  %s %.1f%%", e, 100*float64(exitTotals[e])/float64(n))
+	}
+	fmt.Println()
 
 	stats, err := client.Get(addr + "/statsz")
 	if err != nil {

@@ -1,0 +1,204 @@
+package core
+
+// batch.go is the batched fast path for Algorithm 2: ClassifyBatch (and its
+// tier-split relatives ResumeBatch and ClassifyPrefixBatch) run the cascade
+// over a whole micro-batch at once. Between taps the baseline advances with
+// nn's batched GEMM pipeline (one im2col+GEMM per conv layer for every
+// still-active sample), each stage's classifier scores the whole batch in
+// one call, the δ exit rule is applied per sample, and survivors are
+// compacted to the front of the activation buffer so exited samples stop
+// paying for deeper layers — the batch equivalent of Algorithm 2's "deeper
+// layers of a terminated input are never executed".
+//
+// Every per-sample float is produced by the same operations in the same
+// order as the reference path (see nn/gemm.go and linclass.ScoresBatchInto
+// for the order pins), so for each input the batched ExitRecord — exit
+// stage, label, confidence, op count — equals the per-sample Classify
+// result exactly. The differential harness in batch_test.go enforces this
+// across randomized batches; DESIGN.md §2 documents the 1e-9 contract the
+// harness over-delivers on.
+
+import (
+	"fmt"
+
+	"cdl/internal/tensor"
+)
+
+// ClassifyBatch runs Algorithm 2 over a micro-batch in one batched pass.
+// delta ≥ 0 overrides the model's trained thresholds for every input
+// (ClassifyDelta semantics); negative keeps them. Records are in input
+// order, each identical to what Classify/ClassifyDelta returns for that
+// input alone. Inputs must match the model's input shape (the layers panic
+// on a mismatch, as in Classify).
+func (s *Session) ClassifyBatch(xs []*tensor.T, delta float64) []ExitRecord {
+	return s.ResumeBatch(xs, 0, delta)
+}
+
+// ResumeBatch continues Algorithm 2 past a tier split for a whole batch of
+// deferred activations: each act sits after CDLN.SplitPos(fromStage)
+// baseline layers, and stages [fromStage, len(Stages)) plus the FC tail run
+// here. ResumeBatch(xs, 0, delta) is exactly ClassifyBatch(xs, delta); each
+// record equals the per-sample Resume result. Like Resume, it panics when
+// an activation's shape does not match the model at the split position —
+// network-facing callers validate first with CDLN.ValidateResume.
+func (s *Session) ResumeBatch(acts []*tensor.T, fromStage int, delta float64) []ExitRecord {
+	pos := s.model.SplitPos(fromStage) // validates fromStage
+	if len(acts) == 0 {
+		return nil
+	}
+	for i, a := range acts {
+		if err := s.model.ValidateResume(fromStage, pos, a.Shape()); err != nil {
+			panic(fmt.Sprintf("core: ResumeBatch activation %d: %v", i, err))
+		}
+	}
+	recs := make([]ExitRecord, len(acts))
+	act, idx := s.stackBatch(acts, pos)
+	act, pos, idx = s.runStagesBatch(act, pos, fromStage, len(s.model.Stages), delta, idx, recs)
+	s.finalExitBatch(act, pos, idx, recs)
+	return recs
+}
+
+// ClassifyPrefixBatch runs the first splitStage cascade stages over a batch
+// — the edge tier's share of Algorithm 2 — returning one PrefixResult per
+// input in input order, each matching the per-sample ClassifyPrefix result.
+// Unlike ClassifyPrefix, a deferred result's Activation is a private copy
+// (survivor compaction reuses the batch buffers), so callers may hold all
+// of a batch's activations at once without serializing between samples.
+func (s *Session) ClassifyPrefixBatch(xs []*tensor.T, splitStage int, delta float64) []PrefixResult {
+	s.model.SplitPos(splitStage) // validates splitStage
+	if len(xs) == 0 {
+		return nil
+	}
+	recs := make([]ExitRecord, len(xs))
+	act, idx := s.stackBatch(xs, 0)
+	act, pos, idx := s.runStagesBatch(act, 0, 0, splitStage, delta, idx, recs)
+	exited := make([]bool, len(xs))
+	for i := range exited {
+		exited[i] = true
+	}
+	for _, orig := range idx {
+		exited[orig] = false
+	}
+	results := make([]PrefixResult, len(xs))
+	for i := range xs {
+		if exited[i] {
+			results[i] = PrefixResult{Record: recs[i], Exited: true}
+		}
+	}
+	if len(idx) > 0 {
+		sshape := act.Shape()[1:]
+		ssz := act.Numel() / len(idx)
+		for r, orig := range idx {
+			private := tensor.New(sshape...)
+			copy(private.Data, act.Data[r*ssz:(r+1)*ssz])
+			results[orig] = PrefixResult{Activation: private, Pos: pos}
+		}
+	}
+	return results
+}
+
+// stackBatch copies the per-sample activations into one contiguous batched
+// tensor [B, ...] and returns it with the identity row→input index map.
+func (s *Session) stackBatch(xs []*tensor.T, pos int) (*tensor.T, []int) {
+	sshape := s.model.Arch.Net.ShapeAt(pos)
+	ssz := 1
+	for _, d := range sshape {
+		ssz *= d
+	}
+	act := tensor.New(append([]int{len(xs)}, sshape...)...)
+	for i, x := range xs {
+		if x.Numel() != ssz {
+			panic(fmt.Sprintf("core: batch input %d numel %d, want %d (shape %v)", i, x.Numel(), ssz, sshape))
+		}
+		copy(act.Data[i*ssz:(i+1)*ssz], x.Data)
+	}
+	if cap(s.bidx) < len(xs) {
+		s.bidx = make([]int, len(xs))
+	}
+	idx := s.bidx[:len(xs)]
+	for i := range idx {
+		idx[i] = i
+	}
+	return act, idx
+}
+
+// runStagesBatch evaluates cascade stages [from, to) over the active rows
+// of act (position pos in the baseline), writing an ExitRecord into
+// recs[idx[r]] for every row whose activation module fires and compacting
+// the survivors in place. It returns the surviving rows' activation, the
+// baseline position reached, and the surviving index map — the batch
+// counterpart of runStages, applying the same per-stage δ resolution and
+// the same exit rule to each sample's scores.
+func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, delta float64, idx []int, recs []ExitRecord) (*tensor.T, int, []int) {
+	c := s.model
+	for i := from; i < to && len(idx) > 0; i++ {
+		st := c.Stages[i]
+		act = c.Arch.Net.ForwardBatchRange(act, pos, st.Tap)
+		pos = st.Tap
+		nAct := len(idx)
+		ssz := act.Numel() / nAct
+		feat := act.Reshape(nAct, ssz)
+		if cap(s.bscores) < nAct*st.LC.Out {
+			s.bscores = make([]float64, nAct*st.LC.Out)
+		}
+		scores := tensor.FromSlice(s.bscores[:nAct*st.LC.Out], nAct, st.LC.Out)
+		st.LC.ScoresBatchInto(feat, scores)
+		d := c.Delta
+		if c.StageDeltas != nil {
+			d = c.StageDeltas[i]
+		}
+		if delta >= 0 {
+			d = delta
+		}
+		row := s.scores[i] // per-stage scratch, same buffer the serial path uses
+		w := 0
+		for r := 0; r < nAct; r++ {
+			copy(row.Data, scores.Data[r*st.LC.Out:(r+1)*st.LC.Out])
+			if c.Rule.ShouldExit(row, d) {
+				conf, label := row.Max()
+				recs[idx[r]] = ExitRecord{
+					StageIndex: i,
+					StageName:  st.Name,
+					Label:      label,
+					Confidence: conf,
+					Ops:        s.exitOps[i],
+				}
+				continue
+			}
+			if w != r {
+				copy(act.Data[w*ssz:(w+1)*ssz], act.Data[r*ssz:(r+1)*ssz])
+			}
+			idx[w] = idx[r]
+			w++
+		}
+		idx = idx[:w]
+		if w < nAct {
+			sshape := c.Arch.Net.ShapeAt(pos)
+			act = tensor.FromSlice(act.Data[:w*ssz], append([]int{w}, sshape...)...)
+		}
+	}
+	return act, pos, idx
+}
+
+// finalExitBatch runs the remaining baseline layers for the surviving rows
+// and records their unconditional FC exits — the batch counterpart of
+// finalExit.
+func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitRecord) {
+	if len(idx) == 0 {
+		return
+	}
+	c := s.model
+	act = c.Arch.Net.ForwardBatchRange(act, pos, len(c.Arch.Net.Layers))
+	osz := act.Numel() / len(idx)
+	for r, orig := range idx {
+		row := tensor.FromSlice(act.Data[r*osz:(r+1)*osz], osz)
+		conf, label := row.Max()
+		recs[orig] = ExitRecord{
+			StageIndex: len(c.Stages),
+			StageName:  "FC",
+			Label:      label,
+			Confidence: conf,
+			Ops:        s.exitOps[len(c.Stages)],
+		}
+	}
+}

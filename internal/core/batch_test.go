@@ -1,0 +1,312 @@
+package core
+
+// batch_test.go is the cascade-level half of the fast-path differential
+// harness (the layer-level half is internal/nn's equiv_test.go): across
+// randomized weights, inputs and batch sizes 1..64 — over 2000 inputs per
+// sweep — ClassifyBatch must reproduce the per-sample Classify ExitRecord
+// field for field: exit stage, exit name, predicted label, confidence and
+// dynamic op count. Degenerate batches (everything exits at stage 1,
+// nothing exits before FC, the empty batch) and the tier-split entry points
+// (ClassifyPrefixBatch/ResumeBatch) are covered explicitly.
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+// batchCDLN builds a trained two-stage CDLN with every stage admitted, so
+// the batch path exercises multi-stage compaction.
+func batchCDLN(t *testing.T, seed int64) *CDLN {
+	t.Helper()
+	arch, data := trainedArch(t, seed)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdln.Stages) != 2 {
+		t.Fatalf("built %d stages, want 2", len(cdln.Stages))
+	}
+	return cdln
+}
+
+// mixedInputs returns a difficulty-spread input set: trained-distribution
+// blobs (most exit early) plus pure noise (most reach FC).
+func mixedInputs(n int, seed int64) []*tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	samples := blobData(n, seed)
+	xs := make([]*tensor.T, n)
+	for i, s := range samples {
+		xs[i] = s.X
+		if i%5 == 4 { // every 5th input is noise: the hard tail
+			for j := range xs[i].Data {
+				xs[i].Data[j] = rng.Float64()
+			}
+		}
+	}
+	return xs
+}
+
+// assertRecordsMatch compares a batched record against the per-sample
+// reference, field for field.
+func assertRecordsMatch(t *testing.T, label string, i int, got, want ExitRecord) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("%s: input %d: batch record %+v != per-sample record %+v", label, i, got, want)
+	}
+}
+
+// TestClassifyBatchMatchesClassify is the headline differential sweep:
+// every batch size 1..64 (2080 randomized inputs in total), batched vs
+// per-sample, exact record equality.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	cdln := batchCDLN(t, 21)
+	sess, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(100)
+	total := 0
+	exitsSeen := make(map[int]int)
+	for bsz := 1; bsz <= 64; bsz++ {
+		xs := mixedInputs(bsz, seed)
+		seed++
+		recs := sess.ClassifyBatch(xs, -1)
+		if len(recs) != bsz {
+			t.Fatalf("batch %d returned %d records", bsz, len(recs))
+		}
+		for i, x := range xs {
+			assertRecordsMatch(t, "classify", i, recs[i], ref.Classify(x))
+			exitsSeen[recs[i].StageIndex]++
+			total++
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("sweep covered only %d inputs, want ≥ 1000", total)
+	}
+	// The sweep is only meaningful if it exercises both early exits and the
+	// FC tail (i.e. real compaction happened).
+	if exitsSeen[0] == 0 || exitsSeen[len(cdln.Stages)] == 0 {
+		t.Fatalf("degenerate exit distribution %v: sweep did not exercise compaction", exitsSeen)
+	}
+}
+
+// TestClassifyBatchDeltaOverride checks the per-call δ override against
+// ClassifyDelta across the knob's range.
+func TestClassifyBatchDeltaOverride(t *testing.T) {
+	cdln := batchCDLN(t, 22)
+	sess, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(40, 7)
+	for _, delta := range []float64{0, 0.3, 0.6, 0.9, 1} {
+		recs := sess.ClassifyBatch(xs, delta)
+		for i, x := range xs {
+			assertRecordsMatch(t, "delta-override", i, recs[i], sess.ClassifyDelta(x, delta))
+		}
+	}
+}
+
+// alwaysExitRule fires at every stage — the all-exit-at-stage-1 degenerate
+// batch, where compaction empties the batch immediately.
+type alwaysExitRule struct{}
+
+func (alwaysExitRule) Name() string                       { return "always" }
+func (alwaysExitRule) ShouldExit(*tensor.T, float64) bool { return true }
+
+// TestClassifyBatchDegenerate covers the batches where compaction does no
+// work: everything exits at stage 1, nothing exits before FC, and the
+// empty batch.
+func TestClassifyBatchDegenerate(t *testing.T) {
+	cdln := batchCDLN(t, 23)
+
+	// All exit at stage 1.
+	all := cdln.Clone()
+	all.Rule = alwaysExitRule{}
+	sess, err := NewSession(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(32, 9)
+	recs := sess.ClassifyBatch(xs, -1)
+	for i, x := range xs {
+		if recs[i].StageIndex != 0 {
+			t.Fatalf("always-exit input %d exited at %d, want 0", i, recs[i].StageIndex)
+		}
+		assertRecordsMatch(t, "all-exit", i, recs[i], sess.Classify(x))
+	}
+
+	// No early exit: δ=1 forces the whole batch to FC (no sigmoid score
+	// reaches 1), so every stage forwards the full batch.
+	sess2, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = sess2.ClassifyBatch(xs, 1)
+	for i, x := range xs {
+		if recs[i].StageName != "FC" {
+			t.Fatalf("δ=1 input %d exited at %s, want FC", i, recs[i].StageName)
+		}
+		assertRecordsMatch(t, "no-exit", i, recs[i], sess2.ClassifyDelta(x, 1))
+	}
+
+	// Empty batch.
+	if recs := sess2.ClassifyBatch(nil, -1); len(recs) != 0 {
+		t.Fatalf("empty batch returned %d records", len(recs))
+	}
+}
+
+// TestClassifyPrefixBatchMatchesClassifyPrefix compares the batched edge
+// prefix against the per-sample one for every split stage: identical exit
+// records, positions and activation bytes.
+func TestClassifyPrefixBatchMatchesClassifyPrefix(t *testing.T) {
+	cdln := batchCDLN(t, 24)
+	sess, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(48, 11)
+	for split := 0; split <= len(cdln.Stages); split++ {
+		pres := sess.ClassifyPrefixBatch(xs, split, -1)
+		for i, x := range xs {
+			want := ref.ClassifyPrefix(x, split, -1)
+			got := pres[i]
+			if got.Exited != want.Exited {
+				t.Fatalf("split %d input %d: batch exited=%v, per-sample %v", split, i, got.Exited, want.Exited)
+			}
+			if want.Exited {
+				assertRecordsMatch(t, "prefix", i, got.Record, want.Record)
+				continue
+			}
+			if got.Pos != want.Pos {
+				t.Fatalf("split %d input %d: pos %d, want %d", split, i, got.Pos, want.Pos)
+			}
+			if !tensor.Equal(got.Activation, want.Activation) {
+				t.Fatalf("split %d input %d: deferred activations diverge", split, i)
+			}
+			// The batched activation must be a private copy: consuming it
+			// later (after further session use) must be safe.
+			if &got.Activation.Data[0] == &want.Activation.Data[0] {
+				t.Fatalf("split %d input %d: batched activation aliases session caches", split, i)
+			}
+		}
+	}
+}
+
+// TestResumeBatchMatchesResume feeds every split's deferred activations
+// through both resume paths.
+func TestResumeBatchMatchesResume(t *testing.T) {
+	cdln := batchCDLN(t, 25)
+	sess, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(64, 13)
+	for split := 0; split <= len(cdln.Stages); split++ {
+		var acts []*tensor.T
+		for _, pre := range sess.ClassifyPrefixBatch(xs, split, -1) {
+			if !pre.Exited {
+				acts = append(acts, pre.Activation)
+			}
+		}
+		if len(acts) == 0 {
+			continue
+		}
+		recs := sess.ResumeBatch(acts, split, -1)
+		for i, a := range acts {
+			assertRecordsMatch(t, "resume", i, recs[i], ref.Resume(a, split, -1))
+		}
+	}
+	// ResumeBatch(xs, 0, δ) is exactly ClassifyBatch(xs, δ).
+	recs0 := sess.ResumeBatch(xs, 0, 0.5)
+	for i, x := range xs {
+		assertRecordsMatch(t, "resume-0", i, recs0[i], ref.ClassifyDelta(x, 0.5))
+	}
+}
+
+// TestResumeBatchRejectsBadShape mirrors Resume's panic contract.
+func TestResumeBatchRejectsBadShape(t *testing.T) {
+	cdln := batchCDLN(t, 26)
+	sess, err := NewSession(cdln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResumeBatch accepted a wrong-shape activation")
+		}
+	}()
+	sess.ResumeBatch([]*tensor.T{tensor.New(3, 3)}, 1, -1)
+}
+
+// TestClassifyBatchStageDeltas checks per-stage thresholds resolve the
+// same way on both paths.
+func TestClassifyBatchStageDeltas(t *testing.T) {
+	cdln := batchCDLN(t, 27)
+	tuned := cdln.Clone()
+	tuned.StageDeltas = []float64{0.9, 0.4}
+	sess, err := NewSession(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(50, 15)
+	recs := sess.ClassifyBatch(xs, -1)
+	for i, x := range xs {
+		assertRecordsMatch(t, "stage-deltas", i, recs[i], sess.Classify(x))
+	}
+}
+
+// BenchmarkSessionClassifyLoop32 is the reference path: 32 per-sample
+// Classify calls per iteration.
+func BenchmarkSessionClassifyLoop32(b *testing.B) {
+	benchClassify(b, false)
+}
+
+// BenchmarkSessionClassifyBatch32 is the fast path: one ClassifyBatch of
+// 32 per iteration.
+func BenchmarkSessionClassifyBatch32(b *testing.B) {
+	benchClassify(b, true)
+}
+
+func benchClassify(b *testing.B, batched bool) {
+	arch := twoStageArch(1, 3)
+	data := blobData(180, 2)
+	cfg := DefaultBuildConfig()
+	cfg.ForceAllStages = true
+	cdln, _, err := Build(arch, data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := NewSession(cdln)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := mixedInputs(32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			sess.ClassifyBatch(xs, -1)
+		} else {
+			for _, x := range xs {
+				sess.Classify(x)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+}

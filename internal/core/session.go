@@ -23,6 +23,12 @@ type Session struct {
 	model   *CDLN
 	exitOps []float64
 	scores  []*tensor.T
+
+	// batch-path scratch (batch.go): the stacked-scores buffer and the
+	// active-row index map, grown on demand and reused across
+	// ClassifyBatch/ResumeBatch calls.
+	bscores []float64
+	bidx    []int
 }
 
 // NewSession validates the model and returns a warm session over a private

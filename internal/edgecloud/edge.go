@@ -174,18 +174,18 @@ func (e *Edge) ClassifyDelta(x *tensor.T, delta float64) (Result, error) {
 	return e.offloadResult(rec, len(payload))
 }
 
-// ClassifyBatch runs the split pipeline over a batch: every input's prefix
-// runs locally first (encoding offload payloads as it goes — the prefix
-// activation aliases session caches, so it is serialized before the next
-// input reuses them), then all offloads travel together when the transport
-// supports batching (one round trip) and one by one otherwise. Results are
-// in input order.
+// ClassifyBatch runs the split pipeline over a batch: the whole batch's
+// prefix runs locally in one batched cascade pass (ClassifyPrefixBatch —
+// one GEMM per conv layer for every still-active input, exited inputs
+// compacted away between stages), then all offloads travel together when
+// the transport supports batching (one round trip) and one by one
+// otherwise. Results are in input order and identical to per-sample
+// Classify calls.
 func (e *Edge) ClassifyBatch(xs []*tensor.T, delta float64) ([]Result, error) {
 	results := make([]Result, len(xs))
 	var payloads [][]byte
 	var deferred []int // index into xs of each offloaded input
-	for i, x := range xs {
-		pre := e.sess.ClassifyPrefix(x, e.cfg.SplitStage, delta)
+	for i, pre := range e.sess.ClassifyPrefixBatch(xs, e.cfg.SplitStage, delta) {
 		if pre.Exited {
 			results[i] = e.localResult(pre.Record)
 			continue

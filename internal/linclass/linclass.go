@@ -62,6 +62,36 @@ func (c *Classifier) ScoresInto(x, y *tensor.T) {
 	}
 }
 
+// ScoresBatchInto computes sigmoid class scores for a whole batch of
+// feature rows: x is [B, In] (rows contiguous, e.g. a batched tap
+// activation reshaped flat) and y is [B, Out]. Each row is computed with
+// exactly ScoresInto's operations in ScoresInto's order — the same running
+// dot product per class followed by the same sigmoid — so the batched fast
+// path (core.Session.ClassifyBatch) reproduces per-sample scores bit for
+// bit.
+func (c *Classifier) ScoresBatchInto(x, y *tensor.T) {
+	if x.Rank() != 2 || x.Dim(1) != c.In {
+		panic(fmt.Sprintf("linclass: batch feature shape %v, want [B %d]", x.Shape(), c.In))
+	}
+	bsz := x.Dim(0)
+	if y.Rank() != 2 || y.Dim(0) != bsz || y.Dim(1) != c.Out {
+		panic(fmt.Sprintf("linclass: batch score shape %v, want [%d %d]", y.Shape(), bsz, c.Out))
+	}
+	wd, bd := c.W.Data, c.B.Data
+	for bi := 0; bi < bsz; bi++ {
+		xr := x.Data[bi*c.In : (bi+1)*c.In]
+		yr := y.Data[bi*c.Out : (bi+1)*c.Out]
+		for o := 0; o < c.Out; o++ {
+			row := wd[o*c.In : (o+1)*c.In][:len(xr)]
+			s := 0.0
+			for i, v := range row {
+				s += v * xr[i]
+			}
+			yr[o] = 1 / (1 + math.Exp(-(s + bd[o])))
+		}
+	}
+}
+
 // Predict returns the argmax class and its confidence (the max sigmoid
 // score).
 func (c *Classifier) Predict(x *tensor.T) (label int, confidence float64) {

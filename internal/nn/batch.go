@@ -1,0 +1,285 @@
+package nn
+
+// batch.go is the batched inference fast path: every built-in layer gains a
+// ForwardBatch that processes a whole micro-batch per call, with the
+// convolutions lowered to im2col + GEMM (im2col.go, gemm.go) instead of the
+// per-sample nested loops of Forward.
+//
+// The contract — enforced by the differential harness in equiv_test.go and
+// internal/core's batch_test.go — is that ForwardBatch applied to a stack
+// of samples produces, for each sample, floats identical to Forward on that
+// sample alone (same operations in the same order; see gemm.go for how the
+// convolution preserves the reference summation). ForwardBatch is
+// inference-only: it does not populate the Backward caches.
+//
+// A batched activation is a single tensor whose leading dimension is the
+// batch: [B, ...sample shape...], rows contiguous, so per-sample views and
+// survivor compaction (internal/core's ClassifyBatch) are cheap slices.
+
+import (
+	"fmt"
+	"math"
+
+	"cdl/internal/tensor"
+)
+
+// BatchLayer is the optional fast-path extension of Layer: ForwardBatch
+// maps a batched activation [B, ...in] to [B, ...out], reproducing Forward
+// exactly on every row. Layers that do not implement it still work in
+// batched pipelines via the per-sample fallback in ForwardBatchRange.
+type BatchLayer interface {
+	Layer
+	ForwardBatch(in *tensor.T) *tensor.T
+}
+
+// ForwardBatch runs a full batched forward pass (layers [0, len)).
+func (n *Network) ForwardBatch(x *tensor.T) *tensor.T {
+	return n.ForwardBatchRange(x, 0, len(n.Layers))
+}
+
+// ForwardBatchRange runs layers [from, to) on the batched activation x
+// (leading dimension = batch). It is the batched counterpart of
+// ForwardRange — the primitive internal/core's ClassifyBatch resumes the
+// baseline with between cascade taps — and uses each layer's ForwardBatch
+// when implemented, falling back to a per-sample loop otherwise, so the
+// fast path never constrains which layers a network may contain.
+func (n *Network) ForwardBatchRange(x *tensor.T, from, to int) *tensor.T {
+	if from < 0 || to > len(n.Layers) || from > to {
+		panic(fmt.Sprintf("nn: ForwardBatchRange[%d,%d) out of range [0,%d]", from, to, len(n.Layers)))
+	}
+	if x.Rank() < 1 {
+		panic("nn: ForwardBatchRange input has no batch dimension")
+	}
+	for _, l := range n.Layers[from:to] {
+		if bl, ok := l.(BatchLayer); ok {
+			x = bl.ForwardBatch(x)
+		} else {
+			x = forwardBatchFallback(l, x)
+		}
+	}
+	return x
+}
+
+// forwardBatchFallback runs a plain Layer sample by sample over the batch,
+// restacking the outputs. It keeps batched pipelines total over layers that
+// have no native ForwardBatch (custom layers, Dropout in training mode).
+func forwardBatchFallback(l Layer, in *tensor.T) *tensor.T {
+	bsz, sshape := batchDims(in)
+	oshape := l.OutShape(sshape)
+	osz := 1
+	for _, d := range oshape {
+		osz *= d
+	}
+	out := tensor.New(append([]int{bsz}, oshape...)...)
+	ssz := sampleSize(in, bsz)
+	for bi := 0; bi < bsz; bi++ {
+		view := tensor.FromSlice(in.Data[bi*ssz:(bi+1)*ssz], sshape...)
+		y := l.Forward(view)
+		copy(out.Data[bi*osz:(bi+1)*osz], y.Data)
+	}
+	return out
+}
+
+// batchDims splits a batched activation's shape into (batch, sample shape).
+func batchDims(in *tensor.T) (int, []int) {
+	shape := in.Shape()
+	return shape[0], shape[1:]
+}
+
+// sampleSize returns the per-sample element count of a batched activation.
+func sampleSize(in *tensor.T, bsz int) int {
+	if bsz == 0 {
+		return 0
+	}
+	return in.Numel() / bsz
+}
+
+// growScratch returns a buffer of at least n elements, reusing buf when it
+// is already big enough.
+func growScratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// ForwardBatch implements BatchLayer: one im2col + one grouped GEMM for the
+// whole batch, then a scatter from the GEMM's [outC, B·oh·ow] layout into
+// the batched [B, outC, oh, ow] activation with the bias folded in. The
+// grouped accumulation (groupK = k·k) reproduces Forward's per-channel
+// summation order exactly.
+func (c *Conv2D) ForwardBatch(in *tensor.T) *tensor.T {
+	shape := in.Shape()
+	if len(shape) != 4 || shape[1] != c.inC {
+		panic(fmt.Sprintf("nn: %s batch input shape %v, want [B %d H W]", c.name, shape, c.inC))
+	}
+	bsz, h, w := shape[0], shape[2], shape[3]
+	oh, ow := h-c.k+1, w-c.k+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s kernel %d too large for input %v", c.name, c.k, shape))
+	}
+	out := tensor.New(bsz, c.outC, oh, ow)
+	kk := c.k * c.k
+	kcols := c.inC * kk
+	planeOut := oh * ow
+	ncols := bsz * planeOut
+	c.bcols = growScratch(c.bcols, kcols*ncols)
+	c.bgemm = growScratch(c.bgemm, c.outC*ncols)
+	im2colInto(in.Data, bsz, c.inC, h, w, c.k, c.bcols)
+	gemmGrouped(c.weight.W.Data, c.outC, kcols, c.bcols, ncols, c.bgemm, kk)
+	for oc := 0; oc < c.outC; oc++ {
+		b := c.bias.W.Data[oc]
+		grow := c.bgemm[oc*ncols : (oc+1)*ncols]
+		for bi := 0; bi < bsz; bi++ {
+			dst := out.Data[(bi*c.outC+oc)*planeOut : (bi*c.outC+oc+1)*planeOut]
+			src := grow[bi*planeOut : (bi+1)*planeOut][:len(dst)]
+			for i := range dst {
+				dst[i] = src[i] + b
+			}
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer: per-row W·x + b with the same running
+// dot order as MatVecInto, the bias added after the dot as in Forward.
+func (d *Dense) ForwardBatch(in *tensor.T) *tensor.T {
+	bsz, _ := batchDims(in)
+	ssz := sampleSize(in, bsz)
+	if ssz != d.in {
+		panic(fmt.Sprintf("nn: %s batch sample numel %d, want %d", d.name, ssz, d.in))
+	}
+	out := tensor.New(bsz, d.out)
+	wd, bd := d.weight.W.Data, d.bias.W.Data
+	for bi := 0; bi < bsz; bi++ {
+		x := in.Data[bi*ssz : (bi+1)*ssz]
+		y := out.Data[bi*d.out : (bi+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			row := wd[o*d.in : (o+1)*d.in][:len(x)]
+			s := 0.0
+			for i, v := range row {
+				s += v * x[i]
+			}
+			y[o] = s + bd[o]
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer: a flat reshape to [B, n].
+func (f *Flatten) ForwardBatch(in *tensor.T) *tensor.T {
+	bsz, _ := batchDims(in)
+	return in.Reshape(bsz, sampleSize(in, bsz))
+}
+
+// ForwardBatch implements BatchLayer: element-wise, so batching is the
+// identity transformation on the math.
+func (s *Sigmoid) ForwardBatch(in *tensor.T) *tensor.T { return in.Map(sigmoid) }
+
+// ForwardBatch implements BatchLayer.
+func (t *Tanh) ForwardBatch(in *tensor.T) *tensor.T { return in.Map(math.Tanh) }
+
+// ForwardBatch implements BatchLayer.
+func (r *ReLU) ForwardBatch(in *tensor.T) *tensor.T {
+	return in.Map(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ForwardBatch implements BatchLayer: SoftmaxVec applied per row.
+func (s *Softmax) ForwardBatch(in *tensor.T) *tensor.T {
+	bsz, sshape := batchDims(in)
+	ssz := sampleSize(in, bsz)
+	out := tensor.New(append([]int{bsz}, sshape...)...)
+	for bi := 0; bi < bsz; bi++ {
+		row := tensor.FromSlice(in.Data[bi*ssz:(bi+1)*ssz], ssz)
+		copy(out.Data[bi*ssz:(bi+1)*ssz], SoftmaxVec(row).Data)
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer: the same window scan as Forward per
+// sample (identical comparison order, so ties break identically), without
+// recording argmax state.
+func (p *MaxPool2D) ForwardBatch(in *tensor.T) *tensor.T {
+	shape := in.Shape()
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("nn: %s batch input shape %v, want [B C H W]", p.name, shape))
+	}
+	bsz, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	oh, ow := h/p.win, w/p.win
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d too large for input %v", p.name, p.win, shape))
+	}
+	out := tensor.New(bsz, c, oh, ow)
+	for bi := 0; bi < bsz; bi++ {
+		ind := in.Data[bi*c*h*w:]
+		outd := out.Data[bi*c*oh*ow:]
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					baseY, baseX := oy*p.win, ox*p.win
+					best := ind[ch*h*w+baseY*w+baseX]
+					for dy := 0; dy < p.win; dy++ {
+						rowOff := ch*h*w + (baseY+dy)*w + baseX
+						for dx := 0; dx < p.win; dx++ {
+							if v := ind[rowOff+dx]; v > best {
+								best = v
+							}
+						}
+					}
+					outd[ch*oh*ow+oy*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer: Forward's window sums per sample.
+func (p *MeanPool2D) ForwardBatch(in *tensor.T) *tensor.T {
+	shape := in.Shape()
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("nn: %s batch input shape %v, want [B C H W]", p.name, shape))
+	}
+	bsz, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	oh, ow := h/p.win, w/p.win
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s window %d too large for input %v", p.name, p.win, shape))
+	}
+	out := tensor.New(bsz, c, oh, ow)
+	inv := 1.0 / float64(p.win*p.win)
+	for bi := 0; bi < bsz; bi++ {
+		ind := in.Data[bi*c*h*w:]
+		outd := out.Data[bi*c*oh*ow:]
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for dy := 0; dy < p.win; dy++ {
+						rowOff := ch*h*w + (oy*p.win+dy)*w + ox*p.win
+						for dx := 0; dx < p.win; dx++ {
+							s += ind[rowOff+dx]
+						}
+					}
+					outd[ch*oh*ow+oy*ow+ox] = s * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer for inference mode only: the layer is
+// the identity there, exactly as Forward. In training mode batched calls
+// fall back to the per-sample path so the mask stream stays per-sample
+// deterministic.
+func (d *Dropout) ForwardBatch(in *tensor.T) *tensor.T {
+	if !d.training || d.Rate == 0 {
+		return in
+	}
+	return forwardBatchFallback(d, in)
+}

@@ -56,3 +56,124 @@ func BenchmarkArch8ForwardToP1(b *testing.B) {
 		net.ForwardRange(x, 0, 3)
 	}
 }
+
+// --- core-kernel benchmarks (BENCH_core.json) -------------------------
+//
+// GEMM fast path vs naive per-sample conv at the paper's LeNet shapes
+// (Table I: C1 1→6 maps k5 on 28×28, C2 6→12 maps k5 on 12×12), plus the
+// whole-network batched forward. CI pipes these through cmd/cdlbench into
+// BENCH_core.json next to BENCH_serve.json, so the kernel's trajectory is
+// tracked per commit. Every benchmark reports images/s for direct
+// naive-vs-GEMM throughput comparison.
+
+// benchConvCase is one (conv layer, input shape) configuration.
+type benchConvCase struct {
+	name string
+	inC  int
+	outC int
+	k    int
+	h, w int
+}
+
+func lenetConvCases() []benchConvCase {
+	return []benchConvCase{
+		{"C1_1x28x28_to_6", 1, 6, 5, 28, 28},
+		{"C2_6x12x12_to_12", 6, 12, 5, 12, 12},
+	}
+}
+
+func benchBatch(rng *rand.Rand, bsz int, shape ...int) []*tensor.T {
+	xs := make([]*tensor.T, bsz)
+	for i := range xs {
+		xs[i] = tensor.New(shape...)
+		for j := range xs[i].Data {
+			xs[i].Data[j] = rng.Float64()
+		}
+	}
+	return xs
+}
+
+func stackBatch(xs []*tensor.T) *tensor.T {
+	sshape := xs[0].Shape()
+	ssz := xs[0].Numel()
+	out := tensor.New(append([]int{len(xs)}, sshape...)...)
+	for i, x := range xs {
+		copy(out.Data[i*ssz:(i+1)*ssz], x.Data)
+	}
+	return out
+}
+
+// BenchmarkConvNaive is the reference path: per-sample nested-loop conv,
+// batch of 32 per iteration.
+func BenchmarkConvNaive(b *testing.B) {
+	for _, tc := range lenetConvCases() {
+		b.Run(tc.name+"_b32", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			conv := NewConv2D("C", tc.inC, tc.outC, tc.k)
+			XavierConv(conv, rng)
+			xs := benchBatch(rng, 32, tc.inC, tc.h, tc.w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					conv.Forward(x)
+				}
+			}
+			b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+		})
+	}
+}
+
+// BenchmarkConvGemm is the fast path: one im2col+GEMM per batch of 32.
+func BenchmarkConvGemm(b *testing.B) {
+	for _, tc := range lenetConvCases() {
+		b.Run(tc.name+"_b32", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			conv := NewConv2D("C", tc.inC, tc.outC, tc.k)
+			XavierConv(conv, rng)
+			batch := stackBatch(benchBatch(rng, 32, tc.inC, tc.h, tc.w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.ForwardBatch(batch)
+			}
+			b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+		})
+	}
+}
+
+// BenchmarkForwardLoop32 runs the full 6-layer LeNet baseline per sample —
+// the pre-fast-path serving cost of a 32-image micro-batch.
+func BenchmarkForwardLoop32(b *testing.B) {
+	net := Arch6Layer(rand.New(rand.NewSource(1))).Net
+	xs := benchBatch(rand.New(rand.NewSource(2)), 32, 1, 28, 28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			net.Forward(x)
+		}
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+}
+
+// BenchmarkForwardBatch32 runs the same baseline through the batched GEMM
+// pipeline.
+func BenchmarkForwardBatch32(b *testing.B) {
+	net := Arch6Layer(rand.New(rand.NewSource(1))).Net
+	batch := stackBatch(benchBatch(rand.New(rand.NewSource(2)), 32, 1, 28, 28))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(batch)
+	}
+	b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+}
+
+// BenchmarkForwardBatch1 pins the batch-of-one overhead: the fast path
+// must not regress a lone request.
+func BenchmarkForwardBatch1(b *testing.B) {
+	net := Arch6Layer(rand.New(rand.NewSource(1))).Net
+	batch := stackBatch(benchBatch(rand.New(rand.NewSource(2)), 1, 1, 28, 28))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(batch)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/s")
+}

@@ -23,6 +23,13 @@ type Conv2D struct {
 	// caches for Backward
 	in  *tensor.T
 	out *tensor.T
+
+	// scratch for the batched fast path (batch.go): the im2col column
+	// matrix and the GEMM output, grown on demand and reused across
+	// ForwardBatch calls. Clone starts replicas with nil scratch, so
+	// replicas never share these buffers.
+	bcols []float64
+	bgemm []float64
 }
 
 // NewConv2D constructs a conv layer with zeroed weights; call an

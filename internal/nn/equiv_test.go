@@ -1,0 +1,305 @@
+package nn
+
+// equiv_test.go is the layer-level half of the fast-path differential
+// harness (the cascade-level half is internal/core's batch_test.go): for
+// every layer kind and for whole networks, the batched GEMM pipeline must
+// reproduce the per-sample reference Forward on every row of the batch.
+// The design pins the summation order (gemm.go), so the tests demand exact
+// equality — stricter than the documented 1e-9 contract (DESIGN.md §2).
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+// randTensor fills a tensor of the given shape with values in [-1, 1).
+func randTensor(rng *rand.Rand, shape ...int) *tensor.T {
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// stack builds the batched [B, ...] tensor from per-sample tensors.
+func stack(xs []*tensor.T) *tensor.T {
+	sshape := xs[0].Shape()
+	ssz := xs[0].Numel()
+	out := tensor.New(append([]int{len(xs)}, sshape...)...)
+	for i, x := range xs {
+		copy(out.Data[i*ssz:(i+1)*ssz], x.Data)
+	}
+	return out
+}
+
+// assertRowsEqual checks that row bi of the batched output equals the
+// reference per-sample output exactly.
+func assertRowsEqual(t *testing.T, label string, bi int, got *tensor.T, want *tensor.T) {
+	t.Helper()
+	ssz := want.Numel()
+	row := got.Data[bi*ssz : (bi+1)*ssz]
+	for i, w := range want.Data {
+		if row[i] != w {
+			t.Fatalf("%s: batch row %d element %d = %v, reference %v (diff %g)",
+				label, bi, i, row[i], w, math.Abs(row[i]-w))
+		}
+	}
+}
+
+// layerCase builds one (layer, input shape) configuration for the
+// differential sweep.
+type layerCase struct {
+	name  string
+	layer BatchLayer
+	shape []int
+}
+
+// equivCases enumerates randomized layer configurations: convs across
+// kernel sizes and channel counts (including the paper's LeNet shapes),
+// both pools, dense, and every activation.
+func equivCases(rng *rand.Rand) []layerCase {
+	mkConv := func(name string, inC, outC, k int) *Conv2D {
+		c := NewConv2D(name, inC, outC, k)
+		XavierConv(c, rng)
+		return c
+	}
+	mkDense := func(name string, in, out int) *Dense {
+		d := NewDense(name, in, out)
+		XavierDense(d, rng)
+		return d
+	}
+	return []layerCase{
+		{"conv-C1-6layer", mkConv("C1", 1, 6, 5), []int{1, 28, 28}},
+		{"conv-C2-6layer", mkConv("C2", 6, 12, 5), []int{6, 12, 12}},
+		{"conv-C1-8layer", mkConv("C1", 1, 3, 3), []int{1, 28, 28}},
+		{"conv-C2-8layer", mkConv("C2", 3, 6, 4), []int{3, 13, 13}},
+		{"conv-C3-8layer", mkConv("C3", 6, 9, 3), []int{6, 5, 5}},
+		{"conv-wide", mkConv("CW", 4, 7, 2), []int{4, 9, 11}},
+		{"conv-1x1", mkConv("C11", 3, 5, 1), []int{3, 6, 6}},
+		{"maxpool-2", NewMaxPool2D("P", 2), []int{3, 12, 12}},
+		{"maxpool-3", NewMaxPool2D("P", 3), []int{2, 9, 10}},
+		{"maxpool-1", NewMaxPool2D("P", 1), []int{2, 3, 3}},
+		{"meanpool-2", NewMeanPool2D("P", 2), []int{3, 12, 12}},
+		{"meanpool-3", NewMeanPool2D("P", 3), []int{2, 9, 9}},
+		{"dense", mkDense("FC", 48, 10), []int{48}},
+		{"dense-from-map", mkDense("FC", 3*4*4, 10), []int{3, 4, 4}},
+		{"flatten", NewFlatten("flat"), []int{3, 5, 5}},
+		{"sigmoid", NewSigmoid("act"), []int{4, 6, 6}},
+		{"tanh", NewTanh("act"), []int{4, 6, 6}},
+		{"relu", NewReLU("act"), []int{4, 6, 6}},
+		{"softmax", NewSoftmax("sm"), []int{10}},
+	}
+}
+
+// TestForwardBatchMatchesForward sweeps every layer kind across batch
+// sizes, comparing each batched row against the per-sample reference.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range equivCases(rng) {
+		for _, bsz := range []int{1, 2, 5, 32} {
+			xs := make([]*tensor.T, bsz)
+			for i := range xs {
+				xs[i] = randTensor(rng, tc.shape...)
+			}
+			got := tc.layer.ForwardBatch(stack(xs))
+			if got.Dim(0) != bsz {
+				t.Fatalf("%s: batch dim %d, want %d", tc.name, got.Dim(0), bsz)
+			}
+			for bi, x := range xs {
+				want := tc.layer.Forward(x)
+				assertRowsEqual(t, tc.name, bi, got, want)
+			}
+		}
+	}
+}
+
+// TestForwardBatchRangeMatchesForwardRange runs randomized layer subranges
+// of the paper's 8-layer architecture — the exact resumption pattern the
+// cascade uses between taps.
+func TestForwardBatchRangeMatchesForwardRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := Arch8Layer(rand.New(rand.NewSource(1))).Net
+	ranges := [][2]int{{0, 3}, {3, 6}, {6, 9}, {0, len(net.Layers)}, {3, len(net.Layers)}, {5, 5}}
+	for _, r := range ranges {
+		from, to := r[0], r[1]
+		sshape := net.ShapeAt(from)
+		for _, bsz := range []int{1, 3, 16} {
+			xs := make([]*tensor.T, bsz)
+			for i := range xs {
+				xs[i] = randTensor(rng, sshape...)
+			}
+			got := net.ForwardBatchRange(stack(xs), from, to)
+			for bi, x := range xs {
+				want := net.ForwardRange(x, from, to)
+				assertRowsEqual(t, "arch8", bi, got, want)
+			}
+		}
+	}
+}
+
+// TestForwardBatchRandomizedShapes fuzzes conv/pool/dense dimensions and
+// weights beyond the fixed presets.
+func TestForwardBatchRandomizedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		inC := 1 + rng.Intn(4)
+		outC := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		h := k + rng.Intn(12)
+		w := k + rng.Intn(12)
+		conv := NewConv2D("C", inC, outC, k)
+		XavierConv(conv, rng)
+		bsz := 1 + rng.Intn(9)
+		xs := make([]*tensor.T, bsz)
+		for i := range xs {
+			xs[i] = randTensor(rng, inC, h, w)
+		}
+		got := conv.ForwardBatch(stack(xs))
+		for bi, x := range xs {
+			assertRowsEqual(t, "conv-fuzz", bi, got, conv.Forward(x))
+		}
+	}
+}
+
+// TestForwardBatchFallback routes a batched pass through a layer with no
+// native ForwardBatch (Dropout in training mode) and checks the network
+// still matches the per-sample path.
+func TestForwardBatchFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() *Network {
+		net := NewNetwork([]int{1, 8, 8},
+			NewConv2D("C1", 1, 2, 3),
+			NewSigmoid("act"),
+			NewDropout("drop", 0.4, 11),
+			NewFlatten("flat"),
+			NewDense("FC", 2*6*6, 4),
+		)
+		InitNetwork(net, rand.New(rand.NewSource(3)))
+		return net
+	}
+	xs := make([]*tensor.T, 6)
+	for i := range xs {
+		xs[i] = randTensor(rng, 1, 8, 8)
+	}
+	// Two identical networks: the dropout mask stream advances per Forward
+	// call, so the batched net and the reference net must each consume a
+	// fresh stream.
+	batched, ref := mk(), mk()
+	got := batched.ForwardBatch(stack(xs))
+	for bi, x := range xs {
+		assertRowsEqual(t, "dropout-fallback", bi, got, ref.Forward(x))
+	}
+	// In inference mode Dropout has a native identity ForwardBatch.
+	SetNetworkTraining(batched, false)
+	SetNetworkTraining(ref, false)
+	got = batched.ForwardBatch(stack(xs))
+	for bi, x := range xs {
+		assertRowsEqual(t, "dropout-inference", bi, got, ref.Forward(x))
+	}
+}
+
+// TestGemmGroupedMatchesReference compares the tiled kernel against a
+// naive triple loop that applies the same grouped accumulation, across
+// randomized dimensions (including N big enough to exercise multiple
+// column tiles and the parallel fan-out).
+func TestGemmGroupedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dims := [][4]int{ // m, k, n, groupK
+		{1, 1, 1, 1},
+		{3, 25, 40, 25},
+		{6, 25, 2 * gemmTileN, 25},
+		{12, 150, gemmTileN + 37, 25},
+		{5, 9, 777, 4}, // groupK not dividing k: short tail group
+		{4, 13, 600, 13},
+		{2, 7, 3, 7},
+	}
+	for _, d := range dims {
+		m, k, n, groupK := d[0], d[1], d[2], d[3]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		got := tensor.New(m, n)
+		GemmGrouped(a, b, got, groupK)
+		want := tensor.New(m, n)
+		for row := 0; row < m; row++ {
+			for col := 0; col < n; col++ {
+				acc := 0.0
+				for g0 := 0; g0 < k; g0 += groupK {
+					g1 := g0 + groupK
+					if g1 > k {
+						g1 = k
+					}
+					s := 0.0
+					for kk := g0; kk < g1; kk++ {
+						s += a.Data[row*k+kk] * b.Data[kk*n+col]
+					}
+					acc += s
+				}
+				want.Data[row*n+col] = acc
+			}
+		}
+		if !tensor.Equal(got, want) {
+			t.Fatalf("GemmGrouped(m=%d k=%d n=%d groupK=%d) diverges from reference", m, k, n, groupK)
+		}
+	}
+}
+
+// TestGemmGroupedParallel forces the goroutine fan-out path (a 1-CPU
+// machine would otherwise never take it) and checks the tiled chunks
+// reassemble into exactly the serial result.
+func TestGemmGroupedParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(31))
+	m, k, n := 8, 64, 5*gemmTileN+19
+	if 2*m*k*n < gemmParallelFlops {
+		t.Fatalf("test dims (%d MACs) no longer clear gemmParallelFlops (%d): the parallel path is not exercised",
+			m*k*n, gemmParallelFlops)
+	}
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	got := tensor.New(m, n)
+	GemmGrouped(a, b, got, 16)
+	want := tensor.New(m, n)
+	gemmTiles(a.Data, m, k, b.Data, n, want.Data, 16, 0, n)
+	if !tensor.Equal(got, want) {
+		t.Fatal("parallel GemmGrouped diverges from the serial kernel")
+	}
+}
+
+// TestIm2Col checks the expansion on a hand-checkable case: every column
+// must be the patch at its (sample, oy, ox) coordinate in (ic, ky, kx)
+// row order.
+func TestIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	bsz, c, h, w, k := 2, 3, 5, 4, 2
+	in := randTensor(rng, bsz, c, h, w)
+	cols := Im2Col(in, k)
+	oh, ow := h-k+1, w-k+1
+	if cols.Dim(0) != c*k*k || cols.Dim(1) != bsz*oh*ow {
+		t.Fatalf("cols shape %v, want [%d %d]", cols.Shape(), c*k*k, bsz*oh*ow)
+	}
+	for bi := 0; bi < bsz; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				col := (bi*oh+oy)*ow + ox
+				for ic := 0; ic < c; ic++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							row := (ic*k+ky)*k + kx
+							got := cols.At(row, col)
+							want := in.At(bi, ic, oy+ky, ox+kx)
+							if got != want {
+								t.Fatalf("cols[%d,%d] = %v, want in[%d,%d,%d,%d] = %v",
+									row, col, got, bi, ic, oy+ky, ox+kx, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -96,11 +96,23 @@ func (p *pool) close() {
 	p.wg.Wait()
 }
 
-// worker drains micro-batches with its private session. done is called once
-// per batch after every record is written and its waiters released.
+// worker drains micro-batches with its private session, dispatching each
+// batch through the batched GEMM fast path (Session.ResumeBatch) instead
+// of a per-sample loop. Jobs are grouped by (fromStage, δ) — a batched
+// cascade pass needs one split position and one threshold — and a
+// micro-batch usually is one group (multi-image requests fan out with a
+// single δ, resumes share a split), so the common case is a single batched
+// pass over the whole micro-batch. ResumeBatch(xs, 0, δ) is exactly a
+// batched ClassifyDelta, so one call covers both fresh classifications and
+// split-resume jobs; each job writes its record in place, so grouping
+// never disturbs response order. done is called once per batch after every
+// record is written and its waiters released.
 func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 	defer p.wg.Done()
 	batch := make([]*job, 0, p.maxBatch)
+	group := make([]*job, 0, p.maxBatch)
+	xs := make([]*tensor.T, 0, p.maxBatch)
+	claimed := make([]bool, 0, p.maxBatch)
 	for {
 		first, ok := <-p.jobs
 		if !ok {
@@ -108,11 +120,36 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 		}
 		batch = append(batch[:0], first)
 		p.collect(&batch)
-		for _, j := range batch {
-			// Resume(x, 0, δ) is exactly ClassifyDelta(x, δ), so one call
-			// covers both fresh classifications and split-resume jobs.
-			*j.rec = sess.Resume(j.x, j.fromStage, j.delta)
-			j.wg.Done()
+		claimed = claimed[:0]
+		for range batch {
+			claimed = append(claimed, false)
+		}
+		for remaining := len(batch); remaining > 0; {
+			group, xs = group[:0], xs[:0]
+			var lead *job
+			for i, j := range batch {
+				if claimed[i] {
+					continue
+				}
+				if lead == nil {
+					lead = j
+				}
+				// The lead claims itself by identity, not by δ equality:
+				// a NaN δ (unreachable through the HTTP handlers, which
+				// validate first, but cheap to harden against) compares
+				// unequal to itself and would otherwise leave the group
+				// empty and spin this loop forever.
+				if j == lead || (j.fromStage == lead.fromStage && j.delta == lead.delta) {
+					claimed[i] = true
+					group = append(group, j)
+					xs = append(xs, j.x)
+				}
+			}
+			for gi, rec := range sess.ResumeBatch(xs, lead.fromStage, lead.delta) {
+				*group[gi].rec = rec
+				group[gi].wg.Done()
+			}
+			remaining -= len(group)
 		}
 		if done != nil {
 			done(batch)

@@ -502,7 +502,11 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 // NormalizeImages validates the request's single/batch forms against the
 // model's input width and the per-request cap, returning the pixel slices.
 // Shared by the cloud server and the edge front, so both tiers accept and
-// reject exactly the same requests.
+// reject exactly the same requests. Pixels must be finite: standard JSON
+// cannot carry NaN/±Inf, but the type is also used by in-process callers,
+// and a NaN pixel would flow through every stage score and silently
+// disable the exit rule (NaN compares false against δ) — reject it here,
+// like ParseDeltaOverride does for δ.
 func (req *ClassifyRequest) NormalizeImages(inWidth, maxImages int, inShape []int) ([][]float64, error) {
 	var images [][]float64
 	switch {
@@ -522,6 +526,11 @@ func (req *ClassifyRequest) NormalizeImages(inWidth, maxImages int, inShape []in
 		if len(img) != inWidth {
 			return nil, fmt.Errorf("image %d has %d pixels, model wants %d (shape %v)",
 				i, len(img), inWidth, inShape)
+		}
+		for p, v := range img {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("image %d pixel %d is %v; pixels must be finite", i, p, v)
+			}
 		}
 	}
 	return images, nil

@@ -1,0 +1,140 @@
+package serve
+
+// validate_test.go pins the request-validation helpers shared by the cloud
+// server and the edge front — ParseDeltaOverride and
+// ClassifyRequest.NormalizeImages — with direct table-driven cases. Both
+// were previously covered only incidentally through the e2e HTTP tests;
+// these tables make the accept/reject boundary explicit, including inputs
+// JSON alone cannot produce (NaN/±Inf), which in-process callers can.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func TestParseDeltaOverride(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      *float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "nil keeps trained thresholds", in: nil, want: -1},
+		{name: "zero", in: fp(0), want: 0},
+		{name: "one", in: fp(1), want: 1},
+		{name: "interior", in: fp(0.35), want: 0.35},
+		{name: "negative", in: fp(-0.001), wantErr: true},
+		{name: "above one", in: fp(1.001), wantErr: true},
+		{name: "NaN", in: fp(math.NaN()), wantErr: true},
+		{name: "+Inf", in: fp(math.Inf(1)), wantErr: true},
+		{name: "-Inf", in: fp(math.Inf(-1)), wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseDeltaOverride(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseDeltaOverride(%v) accepted, want error", *tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseDeltaOverride: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("ParseDeltaOverride = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeImages(t *testing.T) {
+	const inWidth, maxImages = 4, 3
+	inShape := []int{1, 2, 2}
+	ok := []float64{0.1, 0.2, 0.3, 0.4}
+	cases := []struct {
+		name    string
+		req     ClassifyRequest
+		wantN   int
+		wantErr string
+	}{
+		{
+			name:  "single image",
+			req:   ClassifyRequest{Image: ok},
+			wantN: 1,
+		},
+		{
+			name:  "batch",
+			req:   ClassifyRequest{Images: [][]float64{ok, ok, ok}},
+			wantN: 3,
+		},
+		{
+			name:    "both set",
+			req:     ClassifyRequest{Image: ok, Images: [][]float64{ok}},
+			wantErr: "not both",
+		},
+		{
+			name:    "neither set",
+			req:     ClassifyRequest{},
+			wantErr: "missing",
+		},
+		{
+			name:    "empty batch",
+			req:     ClassifyRequest{Images: [][]float64{}},
+			wantErr: "missing",
+		},
+		{
+			name:    "over the cap",
+			req:     ClassifyRequest{Images: [][]float64{ok, ok, ok, ok}},
+			wantErr: "per-request cap",
+		},
+		{
+			name:    "wrong pixel count",
+			req:     ClassifyRequest{Image: []float64{1, 2, 3}},
+			wantErr: "model wants 4",
+		},
+		{
+			name:    "empty image",
+			req:     ClassifyRequest{Images: [][]float64{{}}},
+			wantErr: "model wants 4",
+		},
+		{
+			name:    "NaN pixel",
+			req:     ClassifyRequest{Image: []float64{0, math.NaN(), 0, 0}},
+			wantErr: "must be finite",
+		},
+		{
+			name:    "+Inf pixel",
+			req:     ClassifyRequest{Images: [][]float64{ok, {0, 0, math.Inf(1), 0}}},
+			wantErr: "must be finite",
+		},
+		{
+			name:    "-Inf pixel",
+			req:     ClassifyRequest{Image: []float64{math.Inf(-1), 0, 0, 0}},
+			wantErr: "must be finite",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			images, err := tc.req.NormalizeImages(inWidth, maxImages, inShape)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("NormalizeImages accepted, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("NormalizeImages error %q, want it to contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NormalizeImages: %v", err)
+			}
+			if len(images) != tc.wantN {
+				t.Fatalf("NormalizeImages returned %d images, want %d", len(images), tc.wantN)
+			}
+		})
+	}
+}
