@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"cdl/internal/core"
 	"cdl/internal/edgecloud"
@@ -80,6 +81,15 @@ type (
 	ServeConfig = serve.Config
 	// ServeStats is the server's live counter snapshot (/statsz payload).
 	ServeStats = serve.Stats
+	// Registry is the multi-model serving registry: named, versioned CDLN
+	// entries, each with its own warm replica pool, hot-swappable under
+	// load (internal/serve).
+	Registry = serve.Registry
+	// RegistryModel is one loaded, servable version of a registry entry.
+	RegistryModel = serve.Model
+	// ExitPolicy is the structured per-request exit shaping: global δ,
+	// per-stage deltas, depth/ops caps and record detail (internal/core).
+	ExitPolicy = core.ExitPolicy
 	// Edge is the edge-tier runtime of a split deployment: it owns the
 	// cascade prefix and offloads hard inputs to a cloud backend
 	// (internal/edgecloud).
@@ -216,12 +226,31 @@ func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
 
 // NewServer starts a batched inference server over a pool of pre-cloned
 // replicas of the cascade: POST /v1/classify (single image or batch, with
-// optional per-request δ override — the paper's §III.B runtime knob),
-// GET /healthz, GET /statsz. Serve its Handler() or call ListenAndServe;
-// Close drains the pool.
+// optional per-request δ override — the paper's §III.B runtime knob), the
+// /v2 multi-model surface, GET /healthz, GET /statsz. Serve its Handler()
+// or call ListenAndServe; Close drains the pool.
 func NewServer(c *CDLN, cfg ServeConfig) (*Server, error) {
 	return serve.New(c, cfg)
 }
+
+// NewRegistry returns an empty multi-model registry sized by cfg. Register
+// in-memory cascades with Register, load modelio files with Load, then
+// serve it with NewRegistryServer — each entry gets its own replica pool,
+// and re-registering a name hot-swaps it atomically (the old pool drains
+// after its in-flight batches complete).
+func NewRegistry(cfg ServeConfig) *Registry { return serve.NewRegistry(cfg) }
+
+// NewRegistryServer serves an existing registry (at least one model): the
+// /v2 surface dispatches by model name with structured ExitPolicy bodies,
+// /v1 aliases the registry's default entry bit-identically to the
+// single-model server. The server takes ownership of the registry.
+func NewRegistryServer(reg *Registry) (*Server, error) {
+	return serve.NewWithRegistry(reg)
+}
+
+// DefaultExitPolicy is the identity ExitPolicy: trained thresholds, full
+// cascade, no trace.
+func DefaultExitPolicy() ExitPolicy { return core.DefaultExitPolicy() }
 
 // DefaultEdgeConfig returns an edge configuration for the given split
 // stage: trained thresholds, lossless wire encoding, default link model.
@@ -248,6 +277,13 @@ func NewEdgeLoopback(c *CDLN) (EdgeTransport, error) { return edgecloud.NewLoopb
 // backend's /v1/resume at the given base URL.
 func NewEdgeHTTPTransport(baseURL string) EdgeTransport { return edgecloud.NewHTTPTransport(baseURL) }
 
+// NewEdgeHTTPModelTransport is NewEdgeHTTPTransport pinned to a named
+// model on the cloud registry (POST /v2/models/{model}/resume), so one
+// multi-model cloud tier can back heterogeneous edge splits.
+func NewEdgeHTTPModelTransport(baseURL, model string) EdgeTransport {
+	return edgecloud.NewHTTPModelTransport(baseURL, model)
+}
+
 // NewEdgeServer starts an edge HTTP front: same /v1/classify schema as
 // NewServer, but only the cascade prefix runs here — hard inputs are
 // forwarded to the cloud tier via transports from newTransport (one per
@@ -270,14 +306,56 @@ func Quantize(c *CDLN) (*CDLN, float64, error) {
 	return core.QuantizeCDLN(c, fixed.Q2x13)
 }
 
-// SaveCDLN writes a trained CDLN to path.
-func SaveCDLN(path string, c *CDLN) error {
-	f, err := os.Create(path)
-	if err != nil {
+// SaveCDLN writes a trained CDLN to path atomically: the bytes land in a
+// temp file in the same directory, are synced, and are renamed over path
+// only once complete. A reader (in particular a serving registry
+// hot-reloading the path, PUT /v2/models/{name}) therefore never observes
+// a torn or half-written model file — it sees either the old version or
+// the new one.
+func SaveCDLN(path string, c *CDLN) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage its temp file in the destination
+		// directory (CWD), not os.TempDir() — rename across filesystems
+		// fails, and same-directory staging is what makes the rename
+		// atomic.
+		dir = "."
+	}
+	// Hand-rolled temp creation rather than os.CreateTemp: O_EXCL with
+	// mode 0666 gets the kernel's umask applied, preserving exactly the
+	// permissions the old os.Create writer produced (CreateTemp would pin
+	// 0600 and a Chmod would bypass the umask).
+	var f *os.File
+	var tmp string
+	for i := 0; ; i++ {
+		tmp = filepath.Join(dir, fmt.Sprintf("%s.tmp-%d-%d", base, os.Getpid(), i))
+		f, err = os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) || i >= 10000 {
+			return fmt.Errorf("cdl: %w", err)
+		}
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = modelio.SaveCDLN(f, c); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
 		return fmt.Errorf("cdl: %w", err)
 	}
-	defer f.Close()
-	return modelio.SaveCDLN(f, c)
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("cdl: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cdl: %w", err)
+	}
+	return nil
 }
 
 // LoadCDLN reads a CDLN written by SaveCDLN.

@@ -63,7 +63,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		a := cdln.Classify(testS[i].X)
 		b := back.Classify(testS[i].X)
-		if a != b {
+		if !a.Equal(b) {
 			t.Fatalf("loaded model diverges on sample %d", i)
 		}
 	}
@@ -95,6 +95,53 @@ func TestFacadeArch8(t *testing.T) {
 func TestLoadCDLNMissingFile(t *testing.T) {
 	if _, err := LoadCDLN(filepath.Join(t.TempDir(), "nope.cdln")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestSaveCDLNAtomic pins the write-temp-then-rename contract: a save over
+// an existing model either fully replaces it or leaves it untouched, and
+// no temp files survive in either case — a registry hot-reloading the path
+// must never observe a torn file.
+func TestSaveCDLNAtomic(t *testing.T) {
+	trainS, _, err := GenerateMNIST(300, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := NewArch6(11)
+	if err := TrainBaseline(arch, trainS, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	cdln, _, err := BuildCDLN(arch, trainS, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.cdln")
+
+	// Save twice (create, then atomic replace) and reload after each.
+	for round := 0; round < 2; round++ {
+		if err := SaveCDLN(path, cdln); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCDLN(path); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// An invalid model must fail before touching path and clean its temp.
+	bad := cdln.Clone()
+	bad.Delta = 7 // outside [0,1]: Validate rejects at save time
+	if err := SaveCDLN(path, bad); err == nil {
+		t.Fatal("invalid model saved")
+	}
+	if _, err := LoadCDLN(path); err != nil {
+		t.Fatalf("failed save corrupted the existing file: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0] != path {
+		t.Fatalf("temp files left behind: %v", files)
 	}
 }
 

@@ -1,10 +1,12 @@
 // Command cdlbench turns `go test -bench` output into a machine-readable
 // JSON file, so the repo's performance trajectory can be tracked across
-// commits. CI uploads two artifacts built with it: BENCH_serve.json (the
-// end-to-end serving benchmarks) and BENCH_core.json (the core kernels —
-// GEMM fast path vs naive conv at the paper's LeNet shapes, and the
+// commits. CI uploads three artifacts built with it: BENCH_serve.json
+// (the end-to-end serving benchmarks), BENCH_core.json (the core kernels
+// — GEMM fast path vs naive conv at the paper's LeNet shapes, and the
 // batched vs per-sample session; the stream may concatenate several
-// packages' output, as the pkg: headers are tracked per section).
+// packages' output, as the pkg: headers are tracked per section) and
+// BENCH_registry.json (multi-model registry dispatch vs the single-model
+// baseline).
 //
 // It reads the benchmark stream from stdin (or -in), parses every
 // Benchmark line — standard metrics (ns/op, B/op, allocs/op) and custom

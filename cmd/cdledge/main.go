@@ -8,6 +8,11 @@
 //
 //	cdlserve -model model.cdln -addr :8080
 //	cdledge  -model model.cdln -addr :8081 -cloud http://localhost:8080 -split 1
+//
+// Against a multi-model cloud, -cloud-model names the registry entry this
+// edge's cascade belongs to (offloads then use /v2/models/{name}/resume),
+// so one cloud tier can back heterogeneous edge splits.
+//
 //	curl -s -X POST localhost:8081/v1/classify -d '{"images": [[...784 floats...]]}'
 //	curl -s localhost:8081/statsz   # offload fraction, edge/link/cloud pJ
 //
@@ -33,6 +38,7 @@ func main() {
 	model := flag.String("model", "model.cdln", "model path written by cdltrain")
 	addr := flag.String("addr", ":8081", "listen address")
 	cloud := flag.String("cloud", "http://localhost:8080", "cloud cdlserve base URL for offloads")
+	cloudModel := flag.String("cloud-model", "", "named model on the cloud registry to resume on (empty = the cloud's default model via /v1/resume)")
 	split := flag.Int("split", 1, "cascade stages owned by this edge node (0 = offload everything)")
 	delta := flag.Float64("delta", -1, "δ override for the local exit rule (-1 keeps the trained thresholds)")
 	workers := flag.Int("workers", 0, "edge runtime pool size (0 = GOMAXPROCS)")
@@ -41,13 +47,13 @@ func main() {
 	pjOffload := flag.Float64("pjoffload", energy.DefaultLink().PerOffloadPJ, "link energy model: fixed pJ per transfer")
 	flag.Parse()
 
-	if err := run(*model, *addr, *cloud, *encoding, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
+	if err := run(*model, *addr, *cloud, *cloudModel, *encoding, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
 		fmt.Fprintln(os.Stderr, "cdledge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, cloud, encoding string, split, workers int, delta, pjByte, pjOffload float64) error {
+func run(model, addr, cloud, cloudModel, encoding string, split, workers int, delta, pjByte, pjOffload float64) error {
 	cdln, err := cdl.LoadCDLN(model)
 	if err != nil {
 		return err
@@ -63,7 +69,12 @@ func run(model, addr, cloud, encoding string, split, workers int, delta, pjByte,
 	}
 
 	srv, err := edgecloud.NewServer(cdln,
-		func() (edgecloud.Transport, error) { return edgecloud.NewHTTPTransport(cloud), nil },
+		func() (edgecloud.Transport, error) {
+			if cloudModel != "" {
+				return edgecloud.NewHTTPModelTransport(cloud, cloudModel), nil
+			}
+			return edgecloud.NewHTTPTransport(cloud), nil
+		},
 		edgecloud.Config{
 			SplitStage: split,
 			Delta:      delta,
@@ -71,9 +82,10 @@ func run(model, addr, cloud, encoding string, split, workers int, delta, pjByte,
 			Link:       energy.Link{PJPerByte: pjByte, PerOffloadPJ: pjOffload},
 		},
 		edgecloud.ServerConfig{
-			Workers:   workers,
-			ModelName: model,
-			CloudURL:  cloud,
+			Workers:    workers,
+			ModelName:  model,
+			CloudURL:   cloud,
+			CloudModel: cloudModel,
 		})
 	if err != nil {
 		return err

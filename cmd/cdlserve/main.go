@@ -1,14 +1,20 @@
-// Command cdlserve serves a saved CDLN model over HTTP: batched
-// classification with per-request δ override, liveness, and live
-// exit/OPS/energy statistics. It is the runtime half of the paper's
-// pipeline — cdltrain builds the cascade, cdlserve exploits it: easy
-// inputs exit early and cost a fraction of a full forward pass.
+// Command cdlserve serves saved CDLN models over HTTP: batched
+// classification with per-request exit policies, multi-model dispatch with
+// hot-swap, liveness, and live exit/OPS/energy statistics. It is the
+// runtime half of the paper's pipeline — cdltrain builds the cascade,
+// cdlserve exploits it: easy inputs exit early and cost a fraction of a
+// full forward pass.
 //
 // Usage:
 //
-//	cdlserve -model model.cdln -addr :8080
+//	cdlserve -model model.cdln -addr :8080                 # single model
+//	cdlserve -model a=a.cdln -model b=b.cdln -addr :8080   # multi-model (a is the default)
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v2/models
 //	curl -s -X POST localhost:8080/v1/classify -d '{"images": [[...784 floats...]], "delta": 0.6}'
+//	curl -s -X POST localhost:8080/v2/models/b/classify \
+//	     -d '{"images": [[...]], "policy": {"delta": 0.6, "max_exit": 1, "detail": "trace"}}'
+//	curl -s -X PUT localhost:8080/v2/models/b -d '{"path": "b-v2.cdln"}'   # hot-swap
 //	curl -s localhost:8080/statsz
 package main
 
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,38 +31,96 @@ import (
 	"cdl/internal/serve"
 )
 
+// modelFlag collects repeatable -model values: either a bare path (entry
+// name "default") or name=path.
+type modelFlag struct {
+	entries []modelEntry
+}
+
+type modelEntry struct{ name, path string }
+
+func (f *modelFlag) String() string {
+	parts := make([]string, len(f.entries))
+	for i, e := range f.entries {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *modelFlag) Set(v string) error {
+	name, path := serve.DefaultModelName, v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if path == "" {
+		return fmt.Errorf("empty model path in %q", v)
+	}
+	for _, e := range f.entries {
+		if e.name == name {
+			return fmt.Errorf("duplicate model name %q", name)
+		}
+	}
+	f.entries = append(f.entries, modelEntry{name, path})
+	return nil
+}
+
 func main() {
-	model := flag.String("model", "model.cdln", "model path written by cdltrain")
+	var models modelFlag
+	flag.Var(&models, "model", "model file to serve: path or name=path (repeatable; first is the default entry)")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "replica pool size (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "work queue depth in images (0 = default 1024)")
+	workers := flag.Int("workers", 0, "replica pool size per model (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "work queue depth in images per model (0 = default 1024)")
 	batch := flag.Int("batch", 0, "micro-batch size B (0 = default 32)")
 	window := flag.Duration("window", 0, "micro-batch wait T (0 = default 200µs)")
-	delta := flag.Float64("delta", -1, "override the model's trained δ at load (-1 keeps it)")
+	delta := flag.Float64("delta", -1, "override every model's trained δ at load (-1 keeps them)")
+	defName := flag.String("default", "", "name of the default model entry (the /v1 alias target; default: first -model)")
 	flag.Parse()
 
-	if err := run(*model, *addr, *workers, *queue, *batch, *window, *delta); err != nil {
+	if len(models.entries) == 0 {
+		models.entries = []modelEntry{{serve.DefaultModelName, "model.cdln"}}
+	}
+	if err := run(models.entries, *addr, *workers, *queue, *batch, *window, *delta, *defName); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr string, workers, queue, batch int, window time.Duration, delta float64) error {
-	cdln, err := cdl.LoadCDLN(model)
-	if err != nil {
-		return err
-	}
-	if delta >= 0 {
-		cdln.Delta = delta
-		cdln.StageDeltas = nil
-	}
-	srv, err := serve.New(cdln, serve.Config{
+func run(models []modelEntry, addr string, workers, queue, batch int, window time.Duration, delta float64, defName string) error {
+	reg := serve.NewRegistry(serve.Config{
 		Workers:     workers,
 		QueueDepth:  queue,
 		MaxBatch:    batch,
 		BatchWindow: window,
-		ModelName:   model,
+		ModelName:   models[0].path,
 	})
+	for _, e := range models {
+		var m *serve.Model
+		var err error
+		if delta >= 0 {
+			// Apply the load-time δ override before registration, so the
+			// replica pool clones the mutated thresholds.
+			var cdln *cdl.CDLN
+			if cdln, err = cdl.LoadCDLN(e.path); err != nil {
+				return err
+			}
+			cdln.Delta = delta
+			cdln.StageDeltas = nil
+			m, err = reg.RegisterAt(e.name, e.path, cdln)
+		} else {
+			m, err = reg.Load(e.name, e.path)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cdlserve: loaded %s v%d from %s (%s, %d stages)\n",
+			e.name, m.Version(), e.path, m.CDLN().Arch.Name, len(m.CDLN().Stages))
+	}
+	if defName != "" {
+		if err := reg.SetDefault(defName); err != nil {
+			return err
+		}
+	}
+	srv, err := serve.NewWithRegistry(reg)
 	if err != nil {
 		return err
 	}
@@ -69,13 +134,13 @@ func run(model, addr string, workers, queue, batch int, window time.Duration, de
 		close(stop)
 	}()
 
-	fmt.Fprintf(os.Stderr, "cdlserve: %s on %s (δ=%.2f, %d stages)\n",
-		cdln.Arch.Name, addr, cdln.Delta, len(cdln.Stages))
+	fmt.Fprintf(os.Stderr, "cdlserve: %d model(s) on %s (default %q)\n",
+		len(models), addr, reg.DefaultName())
 	if err := srv.ListenAndServe(addr, stop); err != nil {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "cdlserve: served %d images in %d requests (%.2fx OPS, %.2fx energy improvement)\n",
+	fmt.Fprintf(os.Stderr, "cdlserve: default model served %d images in %d requests (%.2fx OPS, %.2fx energy improvement)\n",
 		st.Images, st.Requests, st.OpsSpeedup, st.EnergySpeedup)
 	return nil
 }

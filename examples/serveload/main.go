@@ -1,12 +1,17 @@
 // Command serveload is a load generator for cdlserve: it synthesizes a
 // deterministic MNIST-like test set, sprays it at a running server from
-// concurrent clients in batched /v1/classify requests, and reports
-// throughput, latency percentiles and the server's own /statsz counters.
+// concurrent clients in batched classify requests, and reports throughput,
+// latency percentiles and the server's own /statsz counters.
+//
+// With -model it targets named models on the v2 surface — a comma list
+// round-robins requests across entries (exercising multi-model dispatch in
+// one process) and the exit distribution is reported per model.
 //
 // Usage (against a server started as in README.md):
 //
 //	go run ./examples/serveload -addr http://localhost:8080 -n 2000 -c 8 -batch 16
 //	go run ./examples/serveload -addr http://localhost:8080 -delta 0.3   # cheaper, riskier
+//	go run ./examples/serveload -addr http://localhost:8080 -model fast,accurate
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +33,16 @@ import (
 type classifyRequest struct {
 	Images [][]float64 `json:"images"`
 	Delta  *float64    `json:"delta,omitempty"`
+}
+
+// v2 request/policy wire shapes (mirrors internal/serve's v2 schema).
+type v2Policy struct {
+	Delta *float64 `json:"delta,omitempty"`
+}
+
+type v2ClassifyRequest struct {
+	Images [][]float64 `json:"images"`
+	Policy *v2Policy   `json:"policy,omitempty"`
 }
 
 type classifyResponse struct {
@@ -44,16 +60,21 @@ func main() {
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	batch := flag.Int("batch", 16, "images per request")
 	delta := flag.Float64("delta", -1, "per-request δ override (-1 = server default)")
+	model := flag.String("model", "", "comma-separated model names to round-robin over the v2 surface (empty = /v1 on the default model)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	flag.Parse()
 
-	if err := run(*addr, *n, *concurrency, *batch, *delta, *seed); err != nil {
+	var models []string
+	if *model != "" {
+		models = strings.Split(*model, ",")
+	}
+	if err := run(*addr, *n, *concurrency, *batch, *delta, *seed, models); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, concurrency, batch int, delta float64, seed int64) error {
+func run(addr string, n, concurrency, batch int, delta float64, seed int64, models []string) error {
 	if batch < 1 || concurrency < 1 || n < 1 {
 		return fmt.Errorf("n, c and batch must be positive")
 	}
@@ -68,15 +89,43 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 		labels[i] = img.Label
 	}
 
-	// Carve the image stream into per-request batches up front.
-	type chunk struct{ lo, hi int }
+	// Carve the image stream into per-request batches up front; each chunk
+	// is pinned to a model (round-robin) so the per-model tallies are
+	// deterministic.
+	type chunk struct {
+		lo, hi int
+		model  string // "" = /v1
+	}
 	var chunks []chunk
 	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		chunks = append(chunks, chunk{lo, hi})
+		m := ""
+		if len(models) > 0 {
+			m = models[len(chunks)%len(models)]
+		}
+		chunks = append(chunks, chunk{lo, hi, m})
+	}
+
+	// encode renders a chunk's request body and URL for its surface.
+	encode := func(ck chunk) (string, []byte, error) {
+		imgs := pixels[ck.lo:ck.hi]
+		if ck.model == "" {
+			req := classifyRequest{Images: imgs}
+			if delta >= 0 {
+				req.Delta = &delta
+			}
+			b, err := json.Marshal(req)
+			return addr + "/v1/classify", b, err
+		}
+		req := v2ClassifyRequest{Images: imgs}
+		if delta >= 0 {
+			req.Policy = &v2Policy{Delta: &delta}
+		}
+		b, err := json.Marshal(req)
+		return addr + "/v2/models/" + ck.model + "/classify", b, err
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -84,9 +133,10 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 	latencies := make([]time.Duration, len(chunks))
 	correct := make([]int, concurrency)
 	sumNorm := make([]float64, concurrency)
-	exits := make([]map[string]int, concurrency) // per-worker exit tallies, merged after the join
+	// Per-worker (model → exit → count) tallies, merged after the join.
+	exits := make([]map[string]map[string]int, concurrency)
 	for w := range exits {
-		exits[w] = make(map[string]int)
+		exits[w] = make(map[string]map[string]int)
 	}
 	var firstErr error
 	var errOnce sync.Once
@@ -104,13 +154,14 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 				if failed {
 					continue
 				}
-				req := classifyRequest{Images: pixels[ck.lo:ck.hi]}
-				if delta >= 0 {
-					req.Delta = &delta
+				url, body, err := encode(ck)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed = true
+					continue
 				}
-				body, _ := json.Marshal(req)
 				t0 := time.Now()
-				resp, err := client.Post(addr+"/v1/classify", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed = true
@@ -134,12 +185,21 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 					continue
 				}
 				latencies[ck.lo/batch] = time.Since(t0)
+				key := ck.model
+				if key == "" {
+					key = "(default)"
+				}
+				tally := exits[w][key]
+				if tally == nil {
+					tally = make(map[string]int)
+					exits[w][key] = tally
+				}
 				for i, r := range out.Results {
 					if r.Label == labels[ck.lo+i] {
 						correct[w]++
 					}
 					sumNorm[w] += r.NormalizedOps
-					exits[w][r.Exit]++
+					tally[r.Exit]++
 				}
 			}
 		}(w)
@@ -155,12 +215,21 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 	}
 
 	totalCorrect, totalNorm := 0, 0.0
-	exitTotals := make(map[string]int)
+	exitTotals := make(map[string]map[string]int)
+	modelImages := make(map[string]int)
 	for w := 0; w < concurrency; w++ {
 		totalCorrect += correct[w]
 		totalNorm += sumNorm[w]
-		for e, c := range exits[w] {
-			exitTotals[e] += c
+		for m, tally := range exits[w] {
+			mt := exitTotals[m]
+			if mt == nil {
+				mt = make(map[string]int)
+				exitTotals[m] = mt
+			}
+			for e, c := range tally {
+				mt[e] += c
+				modelImages[m] += c
+			}
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -177,17 +246,26 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64) erro
 	// since the server classifies each micro-batch in one batched cascade
 	// pass (compacting exited images between stages), it is also the
 	// batch fast path's workload profile: the O1 fraction pays one
-	// shallow GEMM, only the FC fraction pays the whole pipeline.
-	var names []string
-	for e := range exitTotals {
-		names = append(names, e)
+	// shallow GEMM, only the FC fraction pays the whole pipeline. With
+	// multiple models it is reported per model: each cascade separates
+	// easy from hard inputs at its own thresholds.
+	var modelNames []string
+	for m := range exitTotals {
+		modelNames = append(modelNames, m)
 	}
-	sort.Strings(names)
-	fmt.Printf("exit distribution:")
-	for _, e := range names {
-		fmt.Printf("  %s %.1f%%", e, 100*float64(exitTotals[e])/float64(n))
+	sort.Strings(modelNames)
+	for _, m := range modelNames {
+		var names []string
+		for e := range exitTotals[m] {
+			names = append(names, e)
+		}
+		sort.Strings(names)
+		fmt.Printf("exit distribution %s:", m)
+		for _, e := range names {
+			fmt.Printf("  %s %.1f%%", e, 100*float64(exitTotals[m][e])/float64(modelImages[m]))
+		}
+		fmt.Println()
 	}
-	fmt.Println()
 
 	stats, err := client.Get(addr + "/statsz")
 	if err != nil {

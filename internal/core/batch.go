@@ -31,7 +31,14 @@ import (
 // input alone. Inputs must match the model's input shape (the layers panic
 // on a mismatch, as in Classify).
 func (s *Session) ClassifyBatch(xs []*tensor.T, delta float64) []ExitRecord {
-	return s.ResumeBatch(xs, 0, delta)
+	return s.ResumeBatchPolicy(xs, 0, deltaPolicy(delta))
+}
+
+// ClassifyBatchPolicy is ClassifyBatch under a full ExitPolicy: per-stage
+// thresholds, depth cap and trace detail (see ExitPolicy). With the
+// identity policy it is exactly ClassifyBatch with the trained thresholds.
+func (s *Session) ClassifyBatchPolicy(xs []*tensor.T, pol ExitPolicy) []ExitRecord {
+	return s.ResumeBatchPolicy(xs, 0, pol)
 }
 
 // ResumeBatch continues Algorithm 2 past a tier split for a whole batch of
@@ -42,19 +49,43 @@ func (s *Session) ClassifyBatch(xs []*tensor.T, delta float64) []ExitRecord {
 // an activation's shape does not match the model at the split position —
 // network-facing callers validate first with CDLN.ValidateResume.
 func (s *Session) ResumeBatch(acts []*tensor.T, fromStage int, delta float64) []ExitRecord {
-	pos := s.model.SplitPos(fromStage) // validates fromStage
+	return s.ResumeBatchPolicy(acts, fromStage, deltaPolicy(delta))
+}
+
+// ResumeBatchPolicy is ResumeBatch under a full ExitPolicy — the one
+// cascade entry point behind every serving path. A policy whose only
+// active field is Delta performs the identical floating-point operations
+// in the identical order as the legacy δ-override path, so policy-aware
+// dispatch keeps the /v1 surface bit-identical. A MaxExit cap below the
+// resume stage cannot be satisfied (those stages already ran on the other
+// tier) and panics; network-facing callers validate with ValidatePolicy
+// plus an explicit fromStage ≤ MaxExit check first.
+func (s *Session) ResumeBatchPolicy(acts []*tensor.T, fromStage int, pol ExitPolicy) []ExitRecord {
+	c := s.model
+	pos := c.SplitPos(fromStage) // validates fromStage
+	if pol.StageDeltas != nil && len(pol.StageDeltas) != len(c.Stages) {
+		panic(fmt.Sprintf("core: policy has %d stage deltas for %d stages", len(pol.StageDeltas), len(c.Stages)))
+	}
+	maxExit := c.maxExit(pol)
+	if maxExit < fromStage {
+		panic(fmt.Sprintf("core: policy max exit %d precedes resume stage %d", maxExit, fromStage))
+	}
 	if len(acts) == 0 {
 		return nil
 	}
 	for i, a := range acts {
-		if err := s.model.ValidateResume(fromStage, pos, a.Shape()); err != nil {
+		if err := c.ValidateResume(fromStage, pos, a.Shape()); err != nil {
 			panic(fmt.Sprintf("core: ResumeBatch activation %d: %v", i, err))
 		}
 	}
 	recs := make([]ExitRecord, len(acts))
 	act, idx := s.stackBatch(acts, pos)
-	act, pos, idx = s.runStagesBatch(act, pos, fromStage, len(s.model.Stages), delta, idx, recs)
-	s.finalExitBatch(act, pos, idx, recs)
+	act, pos, idx = s.runStagesBatch(act, pos, fromStage, maxExit, pol, idx, recs)
+	if maxExit == len(c.Stages) {
+		s.finalExitBatch(act, pos, idx, recs, pol.Trace)
+	} else {
+		s.forcedExitBatch(act, pos, maxExit, idx, recs, pol.Trace)
+	}
 	return recs
 }
 
@@ -71,7 +102,7 @@ func (s *Session) ClassifyPrefixBatch(xs []*tensor.T, splitStage int, delta floa
 	}
 	recs := make([]ExitRecord, len(xs))
 	act, idx := s.stackBatch(xs, 0)
-	act, pos, idx := s.runStagesBatch(act, 0, 0, splitStage, delta, idx, recs)
+	act, pos, idx := s.runStagesBatch(act, 0, 0, splitStage, deltaPolicy(delta), idx, recs)
 	exited := make([]bool, len(xs))
 	for i := range exited {
 		exited[i] = true
@@ -127,9 +158,11 @@ func (s *Session) stackBatch(xs []*tensor.T, pos int) (*tensor.T, []int) {
 // recs[idx[r]] for every row whose activation module fires and compacting
 // the survivors in place. It returns the surviving rows' activation, the
 // baseline position reached, and the surviving index map — the batch
-// counterpart of runStages, applying the same per-stage δ resolution and
-// the same exit rule to each sample's scores.
-func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, delta float64, idx []int, recs []ExitRecord) (*tensor.T, int, []int) {
+// counterpart of runStages, applying the same per-stage δ resolution
+// (CDLN.stageDelta over the policy) and the same exit rule to each
+// sample's scores. With pol.Trace it also appends each evaluated stage's
+// winning confidence to the sample's record.
+func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, pol ExitPolicy, idx []int, recs []ExitRecord) (*tensor.T, int, []int) {
 	c := s.model
 	for i := from; i < to && len(idx) > 0; i++ {
 		st := c.Stages[i]
@@ -143,32 +176,32 @@ func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, delta float64
 		}
 		scores := tensor.FromSlice(s.bscores[:nAct*st.LC.Out], nAct, st.LC.Out)
 		st.LC.ScoresBatchInto(feat, scores)
-		d := c.Delta
-		if c.StageDeltas != nil {
-			d = c.StageDeltas[i]
-		}
-		if delta >= 0 {
-			d = delta
-		}
+		d := c.stageDelta(i, pol)
 		row := s.scores[i] // per-stage scratch, same buffer the serial path uses
 		w := 0
 		for r := 0; r < nAct; r++ {
 			copy(row.Data, scores.Data[r*st.LC.Out:(r+1)*st.LC.Out])
+			orig := idx[r]
+			if pol.Trace {
+				conf, _ := row.Max()
+				recs[orig].Trace = append(recs[orig].Trace, conf)
+			}
 			if c.Rule.ShouldExit(row, d) {
 				conf, label := row.Max()
-				recs[idx[r]] = ExitRecord{
+				recs[orig] = ExitRecord{
 					StageIndex: i,
 					StageName:  st.Name,
 					Label:      label,
 					Confidence: conf,
 					Ops:        s.exitOps[i],
+					Trace:      recs[orig].Trace,
 				}
 				continue
 			}
 			if w != r {
 				copy(act.Data[w*ssz:(w+1)*ssz], act.Data[r*ssz:(r+1)*ssz])
 			}
-			idx[w] = idx[r]
+			idx[w] = orig
 			w++
 		}
 		idx = idx[:w]
@@ -183,7 +216,7 @@ func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, delta float64
 // finalExitBatch runs the remaining baseline layers for the surviving rows
 // and records their unconditional FC exits — the batch counterpart of
 // finalExit.
-func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitRecord) {
+func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitRecord, trace bool) {
 	if len(idx) == 0 {
 		return
 	}
@@ -193,12 +226,55 @@ func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitR
 	for r, orig := range idx {
 		row := tensor.FromSlice(act.Data[r*osz:(r+1)*osz], osz)
 		conf, label := row.Max()
-		recs[orig] = ExitRecord{
+		rec := ExitRecord{
 			StageIndex: len(c.Stages),
 			StageName:  "FC",
 			Label:      label,
 			Confidence: conf,
 			Ops:        s.exitOps[len(c.Stages)],
 		}
+		if trace {
+			rec.Trace = append(recs[orig].Trace, conf)
+		}
+		recs[orig] = rec
+	}
+}
+
+// forcedExitBatch terminates the surviving rows unconditionally at cascade
+// stage `stage` — the ExitPolicy.MaxExit depth cap. The baseline advances
+// only to the stage's tap and the stage classifier's verdict is taken
+// whatever its confidence, so the per-exit ops accounting (exitOps[stage])
+// stays exact: stages 0..stage−1 were evaluated conditionally, stage's LC
+// unconditionally, deeper layers never ran.
+func (s *Session) forcedExitBatch(act *tensor.T, pos, stage int, idx []int, recs []ExitRecord, trace bool) {
+	if len(idx) == 0 {
+		return
+	}
+	c := s.model
+	st := c.Stages[stage]
+	act = c.Arch.Net.ForwardBatchRange(act, pos, st.Tap)
+	nAct := len(idx)
+	ssz := act.Numel() / nAct
+	feat := act.Reshape(nAct, ssz)
+	if cap(s.bscores) < nAct*st.LC.Out {
+		s.bscores = make([]float64, nAct*st.LC.Out)
+	}
+	scores := tensor.FromSlice(s.bscores[:nAct*st.LC.Out], nAct, st.LC.Out)
+	st.LC.ScoresBatchInto(feat, scores)
+	row := s.scores[stage]
+	for r, orig := range idx {
+		copy(row.Data, scores.Data[r*st.LC.Out:(r+1)*st.LC.Out])
+		conf, label := row.Max()
+		rec := ExitRecord{
+			StageIndex: stage,
+			StageName:  st.Name,
+			Label:      label,
+			Confidence: conf,
+			Ops:        s.exitOps[stage],
+		}
+		if trace {
+			rec.Trace = append(recs[orig].Trace, conf)
+		}
+		recs[orig] = rec
 	}
 }

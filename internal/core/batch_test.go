@@ -54,7 +54,7 @@ func mixedInputs(n int, seed int64) []*tensor.T {
 // reference, field for field.
 func assertRecordsMatch(t *testing.T, label string, i int, got, want ExitRecord) {
 	t.Helper()
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("%s: input %d: batch record %+v != per-sample record %+v", label, i, got, want)
 	}
 }

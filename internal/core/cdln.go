@@ -62,6 +62,19 @@ type ExitRecord struct {
 	// Ops is the dynamic operation count spent on this input (baseline
 	// layers executed plus every linear classifier evaluated).
 	Ops float64
+	// Trace, populated only under an ExitPolicy with Trace set, holds the
+	// winning confidence at every exit point evaluated for this input (in
+	// cascade order, ending with the exit actually taken).
+	Trace []float64
+}
+
+// Equal reports whether two records describe the same classification:
+// every scalar field matches exactly (bit-identity, the contract the
+// differential harnesses assert). Traces are ignored — they are a detail
+// level, not part of the classification outcome.
+func (r ExitRecord) Equal(o ExitRecord) bool {
+	return r.StageIndex == o.StageIndex && r.StageName == o.StageName &&
+		r.Label == o.Label && r.Confidence == o.Confidence && r.Ops == o.Ops
 }
 
 // NumExits returns the number of possible exit points (stages plus FC).

@@ -258,7 +258,7 @@ func TestClassifyMatchesEvaluate(t *testing.T) {
 	// Serial classification must agree with the parallel evaluation.
 	for i := 0; i < 10; i++ {
 		rec := cdln.Classify(data[i].X)
-		if rec != res.Records[i] {
+		if !rec.Equal(res.Records[i]) {
 			t.Errorf("sample %d: serial %+v != parallel %+v", i, rec, res.Records[i])
 		}
 	}
@@ -336,7 +336,7 @@ func TestCloneConcurrentSafety(t *testing.T) {
 	clone := cdln.Clone()
 	for i := 0; i < 20; i++ {
 		a, b := cdln.Classify(data[i].X), clone.Classify(data[i].X)
-		if a != b {
+		if !a.Equal(b) {
 			t.Fatalf("clone diverges on sample %d: %+v vs %+v", i, a, b)
 		}
 	}

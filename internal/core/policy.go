@@ -1,0 +1,119 @@
+package core
+
+// policy.go generalizes the per-call δ override into a structured exit
+// policy — the request-shaped form of the paper's §III.B runtime knob. A
+// single δ trades accuracy for efficiency uniformly; an ExitPolicy lets a
+// caller shape the whole cascade per request: one δ, per-stage deltas, a
+// hard cap on how deep the cascade may run (directly or via an operation
+// budget), and how much detail the exit record should carry. The serving
+// layer validates a policy once per request (CDLN.ValidatePolicy) and
+// threads it unchanged through the replica pool into the batched cascade
+// (Session.ResumeBatchPolicy).
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExitPolicy shapes how Algorithm 2 terminates for one request. The zero
+// value is NOT the identity policy — use DefaultExitPolicy (negative Delta
+// and MaxExit mean "keep the model's behaviour").
+type ExitPolicy struct {
+	// Delta overrides the model's Delta/StageDeltas for every stage when in
+	// [0,1]; negative keeps the trained thresholds (ClassifyDelta
+	// semantics).
+	Delta float64
+	// StageDeltas, when non-nil, overrides the threshold per stage: entry i
+	// applies to stage i when in [0,1]; a negative entry falls back to
+	// Delta (if set) and then the trained thresholds. Its length must equal
+	// len(Stages).
+	StageDeltas []float64
+	// MaxExit caps the cascade depth: an input that has not exited by exit
+	// point MaxExit exits there unconditionally — at stage MaxExit's linear
+	// classifier when MaxExit < len(Stages), or at FC when MaxExit equals
+	// len(Stages). Negative means no cap (the FC terminator, the model's
+	// normal behaviour). This is the hard compute-budget knob: deeper
+	// layers are never executed, whatever the confidences say.
+	MaxExit int
+	// Trace records the winning confidence at every exit point evaluated
+	// for the input (ExitRecord.Trace), at the cost of one extra argmax per
+	// stage per input.
+	Trace bool
+}
+
+// DefaultExitPolicy is the identity policy: trained thresholds, full
+// cascade, no trace.
+func DefaultExitPolicy() ExitPolicy { return ExitPolicy{Delta: -1, MaxExit: -1} }
+
+// deltaPolicy is the internal bridge from the legacy single-δ entry points.
+func deltaPolicy(delta float64) ExitPolicy { return ExitPolicy{Delta: delta, MaxExit: -1} }
+
+// ValidatePolicy checks a policy against this model: thresholds must be
+// finite and, when active, in [0,1] (a NaN would compare false against
+// every score and silently disable early exit); StageDeltas must match the
+// stage count; MaxExit must name an existing exit point.
+func (c *CDLN) ValidatePolicy(p ExitPolicy) error {
+	if math.IsNaN(p.Delta) || math.IsInf(p.Delta, 0) || p.Delta > 1 {
+		return fmt.Errorf("core: policy delta %v must be negative (keep) or in [0,1]", p.Delta)
+	}
+	if p.StageDeltas != nil {
+		if len(p.StageDeltas) != len(c.Stages) {
+			return fmt.Errorf("core: policy has %d stage deltas for %d stages", len(p.StageDeltas), len(c.Stages))
+		}
+		for i, d := range p.StageDeltas {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1 {
+				return fmt.Errorf("core: policy stage %d delta %v must be negative (keep) or in [0,1]", i, d)
+			}
+		}
+	}
+	if p.MaxExit > len(c.Stages) {
+		return fmt.Errorf("core: policy max exit %d beyond last exit point %d", p.MaxExit, len(c.Stages))
+	}
+	return nil
+}
+
+// MaxExitForOps converts an operation budget into the deepest exit point
+// whose dynamic cost fits it — the ExitPolicy.MaxExit realization of a
+// per-request compute budget. It errors when even the cheapest exit
+// (stage 0) exceeds the budget.
+func (c *CDLN) MaxExitForOps(budget float64) (int, error) {
+	if math.IsNaN(budget) || budget <= 0 {
+		return 0, fmt.Errorf("core: ops budget %v must be a positive number", budget)
+	}
+	exitOps := c.ExitOps()
+	max := -1
+	for e, ops := range exitOps {
+		if ops <= budget {
+			max = e
+		}
+	}
+	if max < 0 {
+		return 0, fmt.Errorf("core: ops budget %v below the cheapest exit (stage 0 costs %v)", budget, exitOps[0])
+	}
+	return max, nil
+}
+
+// stageDelta resolves the effective threshold for stage i under a policy:
+// trained value, then the policy's global Delta, then its per-stage entry.
+func (c *CDLN) stageDelta(i int, p ExitPolicy) float64 {
+	d := c.Delta
+	if c.StageDeltas != nil {
+		d = c.StageDeltas[i]
+	}
+	if p.Delta >= 0 {
+		d = p.Delta
+	}
+	if p.StageDeltas != nil && p.StageDeltas[i] >= 0 {
+		d = p.StageDeltas[i]
+	}
+	return d
+}
+
+// maxExit normalizes MaxExit: any out-of-range or negative cap means the
+// full cascade.
+func (c *CDLN) maxExit(p ExitPolicy) int {
+	if p.MaxExit < 0 || p.MaxExit > len(c.Stages) {
+		return len(c.Stages)
+	}
+	return p.MaxExit
+}

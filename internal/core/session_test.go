@@ -22,7 +22,7 @@ func TestSessionMatchesClassify(t *testing.T) {
 	for i, s := range data {
 		want := cdln.Classify(s.X)
 		got := sess.Classify(s.X)
-		if got != want {
+		if !got.Equal(want) {
 			t.Fatalf("sample %d: session %+v != classify %+v", i, got, want)
 		}
 	}
@@ -49,7 +49,7 @@ func TestSessionDeltaOverride(t *testing.T) {
 		if rec := sess.ClassifyDelta(s.X, 1); rec.StageIndex != fc {
 			t.Fatalf("sample %d: δ=1 exited early at %s", i, rec.StageName)
 		}
-		if got, want := sess.ClassifyDelta(s.X, -1), cdln.Classify(s.X); got != want {
+		if got, want := sess.ClassifyDelta(s.X, -1), cdln.Classify(s.X); !got.Equal(want) {
 			t.Fatalf("sample %d: δ<0 diverges from trained thresholds", i)
 		}
 	}
@@ -70,7 +70,7 @@ func TestSessionRepeatable(t *testing.T) {
 	for _, s := range data[:20] {
 		a := sess.Classify(s.X)
 		b := sess.Classify(s.X)
-		if a != b {
+		if !a.Equal(b) {
 			t.Fatalf("session not repeatable: %+v then %+v", a, b)
 		}
 	}

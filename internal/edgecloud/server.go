@@ -27,6 +27,12 @@ type ServerConfig struct {
 	// CloudURL is reported by /healthz (informational; the transports
 	// decide where offloads actually go).
 	CloudURL string
+	// CloudModel is the named cloud registry entry offloads resume on
+	// (informational here, like CloudURL: build the transports with
+	// NewHTTPModelTransport to actually target it). Empty means the
+	// cloud's default model — one multi-model cloud tier can back many
+	// edge fronts, each split against its own named cascade.
+	CloudModel string
 	// AcquireTimeout is how long a request may wait for a free edge
 	// worker before being shed with 503 — with a slow cloud each offload
 	// can hold a worker for the transport's full timeout, and an edge
@@ -304,6 +310,7 @@ type healthResponse struct {
 	Delta         float64 `json:"delta"`
 	Encoding      string  `json:"encoding"`
 	Cloud         string  `json:"cloud,omitempty"`
+	CloudModel    string  `json:"cloud_model,omitempty"`
 	Workers       int     `json:"workers"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -323,6 +330,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Delta:         delta,
 		Encoding:      s.edgeCfg.Encoding.String(),
 		Cloud:         s.cfg.CloudURL,
+		CloudModel:    s.cfg.CloudModel,
 		Workers:       s.cfg.Workers,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})

@@ -16,21 +16,35 @@ import (
 	"cdl/internal/tensor"
 )
 
-// HTTPTransport offloads to a cdlserve backend's POST /v1/resume. It is
+// HTTPTransport offloads to a cdlserve backend: POST /v1/resume when Model
+// is empty (the backend's default model), or POST /v2/models/{Model}/resume
+// when set — one multi-model cloud tier can then back heterogeneous edge
+// splits, each edge naming the cascade its prefix belongs to. It is
 // stateless apart from the shared http.Client, so any number of Edges may
 // hold the same transport.
 type HTTPTransport struct {
 	// BaseURL is the cloud server's base, e.g. "http://cloud:8080".
 	BaseURL string
+	// Model names the cloud registry entry to resume on; empty targets the
+	// backend's default model over the /v1 surface. The named model must be
+	// the same cascade the edge runs its prefix on — the cloud validates
+	// every activation's stage/shape against it and rejects mismatches.
+	Model string
 	// Client is the HTTP client; nil uses a client with a 30s timeout
 	// (an offload must never hang an edge worker forever).
 	Client *http.Client
 }
 
 // NewHTTPTransport returns a transport for the given base URL with the
-// default client.
+// default client, targeting the backend's default model.
 func NewHTTPTransport(baseURL string) *HTTPTransport {
 	return &HTTPTransport{BaseURL: baseURL}
+}
+
+// NewHTTPModelTransport is NewHTTPTransport pinned to a named model on the
+// cloud registry (the /v2 resume surface).
+func NewHTTPModelTransport(baseURL, model string) *HTTPTransport {
+	return &HTTPTransport{BaseURL: baseURL, Model: model}
 }
 
 // Resume implements Transport over the serve JSON schema.
@@ -43,23 +57,38 @@ func (h *HTTPTransport) Resume(payload []byte, delta float64) (core.ExitRecord, 
 }
 
 // ResumeBatch implements BatchTransport: all payloads travel in one
-// /v1/resume request, so a hard batch costs one round trip instead of one
-// per image.
+// resume request, so a hard batch costs one round trip instead of one per
+// image.
 func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.ExitRecord, error) {
-	req := serve.ResumeRequest{}
-	if len(payloads) == 1 {
-		req.Payload = base64.StdEncoding.EncodeToString(payloads[0])
-	} else {
-		req.Payloads = make([]string, len(payloads))
-		for i, p := range payloads {
-			req.Payloads[i] = base64.StdEncoding.EncodeToString(p)
+	b64 := make([]string, len(payloads))
+	for i, p := range payloads {
+		b64[i] = base64.StdEncoding.EncodeToString(p)
+	}
+	var body []byte
+	var err error
+	var path string
+	if h.Model == "" {
+		path = "/v1/resume"
+		req := serve.ResumeRequest{}
+		if len(b64) == 1 {
+			req.Payload = b64[0]
+		} else {
+			req.Payloads = b64
 		}
+		if delta >= 0 {
+			d := delta
+			req.Delta = &d
+		}
+		body, err = json.Marshal(req)
+	} else {
+		path = "/v2/models/" + h.Model + "/resume"
+		req := serve.V2ResumeRequest{Payloads: b64}
+		if delta >= 0 {
+			d := delta
+			req.Policy = &serve.PolicyRequest{Delta: &d}
+		}
+		body, err = json.Marshal(req)
 	}
-	if delta >= 0 {
-		d := delta
-		req.Delta = &d
-	}
-	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +96,7 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	url := strings.TrimSuffix(h.BaseURL, "/") + "/v1/resume"
+	url := strings.TrimSuffix(h.BaseURL, "/") + path
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -86,6 +115,8 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 		}
 		return nil, fmt.Errorf("cloud HTTP %d", resp.StatusCode)
 	}
+	// The v1 and v2 result rows share field names, so one decode shape
+	// covers both surfaces.
 	var out serve.ClassifyResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
 		return nil, fmt.Errorf("cloud response: %w", err)

@@ -20,6 +20,36 @@ import (
 // formatVersion guards against decoding files from incompatible revisions.
 const formatVersion = 1
 
+// maxSpecElems bounds any single decoded weight tensor (and any layer's
+// implied allocation) to 4M elements (32 MB of float64) — orders of
+// magnitude above the paper's models, small enough that a hostile file
+// cannot make the loader allocate unbounded memory before validation
+// rejects it. maxSpecLayers likewise bounds the layer count, so the
+// cumulative allocation across a decode is capped too. The registry
+// (internal/serve) hot-loads operator-supplied paths at runtime, so
+// decode-time resource bounds are part of the format contract, not just
+// hygiene.
+const (
+	maxSpecElems  = 1 << 22
+	maxSpecLayers = 256
+)
+
+// checkDims rejects non-positive or overflow-prone dimensions before any
+// layer constructor allocates from them.
+func checkDims(kind, name string, dims ...int) error {
+	total := 1
+	for _, d := range dims {
+		if d <= 0 || d > maxSpecElems {
+			return fmt.Errorf("modelio: %s %q dimension %d outside [1,%d]", kind, name, d, maxSpecElems)
+		}
+		total *= d
+		if total > maxSpecElems {
+			return fmt.Errorf("modelio: %s %q implies more than %d elements", kind, name, maxSpecElems)
+		}
+	}
+	return nil
+}
+
 type layerSpec struct {
 	Kind    string // "conv", "maxpool", "meanpool", "dense", "sigmoid", "tanh", "relu", "flatten", "softmax"
 	Name    string
@@ -97,6 +127,9 @@ func specFromLayer(l nn.Layer) (layerSpec, error) {
 func layerFromSpec(s layerSpec) (nn.Layer, error) {
 	switch s.Kind {
 	case "conv":
+		if err := checkDims("conv", s.Name, s.Ints["inC"], s.Ints["outC"], s.Ints["k"], s.Ints["k"]); err != nil {
+			return nil, err
+		}
 		c := nn.NewConv2D(s.Name, s.Ints["inC"], s.Ints["outC"], s.Ints["k"])
 		if err := fill(c.Weight().W, s.Weights["w"]); err != nil {
 			return nil, fmt.Errorf("modelio: %s weights: %w", s.Name, err)
@@ -106,6 +139,9 @@ func layerFromSpec(s layerSpec) (nn.Layer, error) {
 		}
 		return c, nil
 	case "dense":
+		if err := checkDims("dense", s.Name, s.Ints["in"], s.Ints["out"]); err != nil {
+			return nil, err
+		}
 		d := nn.NewDense(s.Name, s.Ints["in"], s.Ints["out"])
 		if err := fill(d.Weight().W, s.Weights["w"]); err != nil {
 			return nil, fmt.Errorf("modelio: %s weights: %w", s.Name, err)
@@ -115,8 +151,14 @@ func layerFromSpec(s layerSpec) (nn.Layer, error) {
 		}
 		return d, nil
 	case "maxpool":
+		if err := checkDims("maxpool", s.Name, s.Ints["win"]); err != nil {
+			return nil, err
+		}
 		return nn.NewMaxPool2D(s.Name, s.Ints["win"]), nil
 	case "meanpool":
+		if err := checkDims("meanpool", s.Name, s.Ints["win"]); err != nil {
+			return nil, err
+		}
 		return nn.NewMeanPool2D(s.Name, s.Ints["win"]), nil
 	case "sigmoid":
 		return nn.NewSigmoid(s.Name), nil
@@ -170,6 +212,15 @@ func specFromArch(a *nn.Arch) (archSpec, error) {
 func archFromSpec(s archSpec) (*nn.Arch, error) {
 	if s.Version != formatVersion {
 		return nil, fmt.Errorf("modelio: format version %d, want %d", s.Version, formatVersion)
+	}
+	if len(s.InShape) == 0 || len(s.InShape) > 8 {
+		return nil, fmt.Errorf("modelio: input rank %d outside [1,8]", len(s.InShape))
+	}
+	if err := checkDims("input", s.Name, s.InShape...); err != nil {
+		return nil, err
+	}
+	if len(s.Layers) > maxSpecLayers {
+		return nil, fmt.Errorf("modelio: %d layers exceed the cap %d", len(s.Layers), maxSpecLayers)
 	}
 	layers := make([]nn.Layer, 0, len(s.Layers))
 	for _, ls := range s.Layers {
@@ -259,6 +310,9 @@ func LoadCDLN(r io.Reader) (*core.CDLN, error) {
 	}
 	c := &core.CDLN{Arch: arch, Delta: s.Delta, StageDeltas: s.StageDeltas, Rule: rule, Ops: opcount.Default()}
 	for _, st := range s.Stages {
+		if err := checkDims("stage", st.Name, st.In, st.Out); err != nil {
+			return nil, err
+		}
 		lc := &linclass.Classifier{
 			In: st.In, Out: st.Out,
 			W: tensor.New(st.Out, st.In), B: tensor.New(st.Out),

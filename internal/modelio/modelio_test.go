@@ -88,7 +88,7 @@ func TestCDLNRoundTrip(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		a := cdln.Classify(data[i].X)
 		b := back.Classify(data[i].X)
-		if a != b {
+		if !a.Equal(b) {
 			t.Fatalf("classify mismatch on sample %d: %+v vs %+v", i, a, b)
 		}
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -13,20 +14,33 @@ import (
 // queue is full: the server sheds load instead of queueing unboundedly.
 var ErrOverloaded = errors.New("serve: work queue full")
 
-// ErrClosed is returned when work arrives after Close.
+// ErrClosed is returned when work arrives after Close (or, for a
+// registry-owned pool, after a hot-swap retired this model version —
+// handlers retry against the successor).
 var ErrClosed = errors.New("serve: server closed")
 
 // job is one classification unit: either a raw image (fromStage 0) or an
 // edge-offloaded intermediate activation resuming the cascade at fromStage.
-// A multi-image request fans out into one job per image sharing a
-// WaitGroup; each job writes its record in place, so the handler
-// reassembles results in request order for free.
+// A multi-image request fans out into one job per image sharing a request
+// context, exit policy and WaitGroup; each job writes its record in place,
+// so the handler reassembles results in request order for free.
 type job struct {
-	x         *tensor.T
-	fromStage int     // 0 = classify from the input layer (Session.Resume semantics)
-	delta     float64 // <0 keeps the model's trained thresholds
-	rec       *core.ExitRecord
-	wg        *sync.WaitGroup
+	// ctx is the request context: a job whose context is already cancelled
+	// or past deadline when a worker picks it up is dropped without
+	// touching a replica (cancelled is set and the waiter released).
+	ctx context.Context
+	x   *tensor.T
+	// fromStage 0 = classify from the input layer (Session.Resume
+	// semantics).
+	fromStage int
+	// pol is the request's validated exit policy, shared by every job the
+	// request fanned out into. Never nil.
+	pol *core.ExitPolicy
+	rec *core.ExitRecord
+	wg  *sync.WaitGroup
+	// cancelled is set (before wg.Done) when the job was dropped for a dead
+	// context; the handler discards the whole request and metrics skip it.
+	cancelled bool
 }
 
 // pool is the replica fan-out: a bounded job queue drained by one goroutine
@@ -64,8 +78,15 @@ func newPool(sessions []*core.Session, queueDepth, maxBatch int, window time.Dur
 // Admission is all-or-nothing: submits serialize on the mutex and check
 // free capacity up front, so a rejected request enqueues nothing and costs
 // the saturated server no worker time. The check cannot go stale mid-loop
-// — workers only ever drain the queue, so free space only grows.
-func (p *pool) submit(jobs []*job) error {
+// — workers only ever drain the queue, so free space only grows. A context
+// already dead at admission is rejected outright with its own error, so a
+// disconnected client never occupies queue space.
+func (p *pool) submit(ctx context.Context, jobs []*job) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -96,14 +117,30 @@ func (p *pool) close() {
 	p.wg.Wait()
 }
 
+// samePolicy reports whether two jobs' policies can share one batched
+// cascade pass. Identity covers the common case (one request's fan-out);
+// the value comparison additionally groups simple policies across requests
+// — exactly the cross-request δ batching the pre-policy pool had. Policies
+// with per-stage deltas only group by identity (slice comparison isn't
+// worth the nanoseconds on the hot path).
+func samePolicy(a, b *core.ExitPolicy) bool {
+	if a == b {
+		return true
+	}
+	return a.StageDeltas == nil && b.StageDeltas == nil &&
+		a.Delta == b.Delta && a.MaxExit == b.MaxExit && a.Trace == b.Trace
+}
+
 // worker drains micro-batches with its private session, dispatching each
-// batch through the batched GEMM fast path (Session.ResumeBatch) instead
-// of a per-sample loop. Jobs are grouped by (fromStage, δ) — a batched
-// cascade pass needs one split position and one threshold — and a
-// micro-batch usually is one group (multi-image requests fan out with a
-// single δ, resumes share a split), so the common case is a single batched
-// pass over the whole micro-batch. ResumeBatch(xs, 0, δ) is exactly a
-// batched ClassifyDelta, so one call covers both fresh classifications and
+// batch through the batched GEMM fast path (Session.ResumeBatchPolicy)
+// instead of a per-sample loop. Jobs whose request context died in the
+// queue are dropped first — a cancelled client costs no replica time.
+// Live jobs are grouped by (fromStage, policy) — a batched cascade pass
+// needs one split position and one policy — and a micro-batch usually is
+// one group (multi-image requests fan out sharing a policy, resumes share
+// a split), so the common case is a single batched pass over the whole
+// micro-batch. ResumeBatchPolicy(xs, 0, pol) is exactly a batched
+// policy-aware classify, so one call covers both fresh classifications and
 // split-resume jobs; each job writes its record in place, so grouping
 // never disturbs response order. done is called once per batch after every
 // record is written and its waiters released.
@@ -121,10 +158,19 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 		batch = append(batch[:0], first)
 		p.collect(&batch)
 		claimed = claimed[:0]
-		for range batch {
+		remaining := 0
+		for _, j := range batch {
+			if j.ctx != nil && j.ctx.Err() != nil {
+				// Dead before compute: release the waiter, never classify.
+				j.cancelled = true
+				j.wg.Done()
+				claimed = append(claimed, true)
+				continue
+			}
 			claimed = append(claimed, false)
+			remaining++
 		}
-		for remaining := len(batch); remaining > 0; {
+		for remaining > 0 {
 			group, xs = group[:0], xs[:0]
 			var lead *job
 			for i, j := range batch {
@@ -134,18 +180,18 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 				if lead == nil {
 					lead = j
 				}
-				// The lead claims itself by identity, not by δ equality:
-				// a NaN δ (unreachable through the HTTP handlers, which
-				// validate first, but cheap to harden against) compares
-				// unequal to itself and would otherwise leave the group
-				// empty and spin this loop forever.
-				if j == lead || (j.fromStage == lead.fromStage && j.delta == lead.delta) {
+				// The lead claims itself by identity, not by policy
+				// equality: a NaN δ (unreachable through the HTTP handlers,
+				// which validate first, but cheap to harden against)
+				// compares unequal to itself and would otherwise leave the
+				// group empty and spin this loop forever.
+				if j == lead || (j.fromStage == lead.fromStage && samePolicy(j.pol, lead.pol)) {
 					claimed[i] = true
 					group = append(group, j)
 					xs = append(xs, j.x)
 				}
 			}
-			for gi, rec := range sess.ResumeBatch(xs, lead.fromStage, lead.delta) {
+			for gi, rec := range sess.ResumeBatchPolicy(xs, lead.fromStage, *lead.pol) {
 				*group[gi].rec = rec
 				group[gi].wg.Done()
 			}

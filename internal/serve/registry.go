@@ -1,0 +1,306 @@
+// registry.go is the multi-model core of the serving layer: a Registry of
+// named, versioned CDLN entries, each owning its own warm replica pool and
+// live metrics. Models are registered in-memory or loaded from modelio
+// files, and can be hot-swapped atomically while traffic flows: the new
+// version's pool is fully built and warmed before publication, the swap
+// itself is one map write, and the old version's pool is drained only
+// after its in-flight micro-batches complete. Handlers that lose the race
+// (submitted to a pool just closed by a swap) transparently retry against
+// the successor version, so a swap under sustained load drops zero
+// requests.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"cdl/internal/core"
+	"cdl/internal/energy"
+	"cdl/internal/modelio"
+)
+
+// DefaultModelName is the entry name used when a single-model Server is
+// built without one (the /v1 alias target).
+const DefaultModelName = "default"
+
+// Model is one loaded, servable version of a named registry entry: the
+// validated CDLN, its warm replica pool and its live metrics. A Model is
+// immutable after construction — a reload produces a new Model and retires
+// this one — so handlers can use it without holding registry locks.
+type Model struct {
+	name    string
+	version int
+	path    string
+	cdln    *core.CDLN
+	inWidth int
+	// maxResumeWire bounds /resume bodies: the largest wire-encoded
+	// activation any valid split point of this model can produce.
+	maxResumeWire int
+	exitOps       []float64
+	pool          *pool
+	metrics       *metrics
+	workers       int
+}
+
+// newModel validates the CDLN, pre-clones cfg.Workers warm sessions and
+// starts the replica pool — the per-model half of what serve.New did for
+// its single model.
+func newModel(name string, version int, path string, cdln *core.CDLN, cfg Config) (*Model, error) {
+	if err := cdln.Validate(); err != nil {
+		return nil, err
+	}
+	acc, err := energy.NewEvaluator().NewAccumulator(cdln)
+	if err != nil {
+		return nil, err
+	}
+	sessions := make([]*core.Session, cfg.Workers)
+	for i := range sessions {
+		if sessions[i], err = core.NewSession(cdln); err != nil {
+			return nil, err
+		}
+	}
+	m := &Model{
+		name:    name,
+		version: version,
+		path:    path,
+		cdln:    cdln,
+		inWidth: inputWidth(cdln),
+		exitOps: cdln.ExitOps(),
+		metrics: newMetrics(cdln, acc),
+		workers: cfg.Workers,
+	}
+	m.maxResumeWire = maxResumeWireSize(cdln)
+	m.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, m.metrics.observeBatch)
+	return m, nil
+}
+
+// Name returns the registry entry name.
+func (m *Model) Name() string { return m.name }
+
+// Version returns the entry's monotonically increasing version (1 for the
+// first load, +1 per hot-swap).
+func (m *Model) Version() int { return m.version }
+
+// Path returns the model file this version was loaded from ("" for
+// in-memory registrations).
+func (m *Model) Path() string { return m.path }
+
+// CDLN returns the served cascade. Treat it as read-only: replicas were
+// cloned from it at construction.
+func (m *Model) CDLN() *core.CDLN { return m.cdln }
+
+// Stats snapshots this model's live counters.
+func (m *Model) Stats() Stats { return m.metrics.snapshot(m.pool.depth(), m.workers) }
+
+// Registry is a concurrent map of named model entries sharing one pool
+// sizing. All methods are safe for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu          sync.RWMutex
+	models      map[string]*Model
+	versions    map[string]int // last assigned version per name, survives swaps
+	defaultName string
+	closed      bool
+}
+
+// NewRegistry returns an empty registry whose models will all be sized by
+// cfg (workers, queue depth, micro-batching).
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:      cfg.withDefaults(),
+		models:   make(map[string]*Model),
+		versions: make(map[string]int),
+	}
+}
+
+// Config returns the defaults-filled sizing every entry uses.
+func (r *Registry) Config() Config { return r.cfg }
+
+// validName keeps entry names URL- and log-safe: they appear verbatim in
+// /v2/models/{name}/... routes.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("serve: model name longer than 128 bytes")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("serve: model name %q may only contain [a-zA-Z0-9._-]", name)
+		}
+	}
+	return nil
+}
+
+// Register publishes an in-memory CDLN under name, hot-swapping any
+// existing version: the new pool is warmed before the swap, and the
+// retired version's pool is drained (in-flight batches complete) before
+// Register returns. The first registered entry becomes the default.
+func (r *Registry) Register(name string, cdln *core.CDLN) (*Model, error) {
+	return r.swapIn(name, "", cdln)
+}
+
+// RegisterAt is Register recording the file the CDLN originated from —
+// for callers that load a model themselves, mutate it (e.g. a load-time δ
+// override) and then publish it, so /healthz and /v2/models still
+// attribute the entry to its real source path.
+func (r *Registry) RegisterAt(name, path string, cdln *core.CDLN) (*Model, error) {
+	return r.swapIn(name, path, cdln)
+}
+
+// Load reads a modelio CDLN file and publishes it under name with
+// Register semantics — the hot-reload entry point behind PUT
+// /v2/models/{name}. The file is fully parsed and validated before the
+// swap, so a torn or hostile file never displaces a serving version.
+func (r *Registry) Load(name, path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load model %q: %w", name, err)
+	}
+	defer f.Close()
+	cdln, err := modelio.LoadCDLN(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load model %q: %w", name, err)
+	}
+	return r.swapIn(name, path, cdln)
+}
+
+// swapIn builds the new version outside the lock, publishes it atomically,
+// then drains the retired pool.
+func (r *Registry) swapIn(name, path string, cdln *core.CDLN) (*Model, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	// Reserve the version number first so concurrent swaps of one name
+	// publish distinguishable versions whatever order they land in.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	version := r.versions[name] + 1
+	r.versions[name] = version
+	r.mu.Unlock()
+
+	m, err := newModel(name, version, path, cdln, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		m.pool.close()
+		return nil, ErrClosed
+	}
+	old := r.models[name]
+	if old != nil && old.version > version {
+		// A concurrent swap already published a newer version; retire this
+		// build instead of regressing the entry.
+		r.mu.Unlock()
+		m.pool.close()
+		return old, nil
+	}
+	r.models[name] = m
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	r.mu.Unlock()
+
+	if old != nil {
+		// Drain after publication: requests that raced the swap and hit the
+		// closing pool observe ErrClosed and retry against m.
+		old.pool.close()
+	}
+	return m, nil
+}
+
+// Get resolves a name ("" means the default entry) to its current version.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.defaultName
+	}
+	if m := r.models[name]; m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("serve: unknown model %q", name)
+}
+
+// DefaultName returns the default entry's name ("" while empty).
+func (r *Registry) DefaultName() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultName
+}
+
+// SetDefault redirects the /v1 alias surface (and name-less lookups) to an
+// existing entry.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.models[name] == nil {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	r.defaultName = name
+	return nil
+}
+
+// Models returns the current version of every entry, sorted by name.
+func (r *Registry) Models() []*Model {
+	r.mu.RLock()
+	out := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Close retires every entry: pools are drained (queued work still
+// classifies) and later submissions shed with ErrClosed. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.Unlock()
+	for _, m := range models {
+		m.pool.close()
+	}
+}
+
+// inputWidth is the flattened pixel count of the model's input shape.
+func inputWidth(c *core.CDLN) int {
+	w := 1
+	for _, d := range c.Arch.Net.InShape {
+		w *= d
+	}
+	return w
+}
+
+// names renders the known entry names for error messages.
+func (r *Registry) names() string {
+	ms := r.Models()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.name
+	}
+	return strings.Join(out, ", ")
+}

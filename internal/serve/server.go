@@ -1,22 +1,39 @@
-// Package serve is the CDLN inference server: an HTTP JSON API over a pool
-// of pre-cloned per-worker model replicas (core.Session), a bounded work
-// queue with micro-batching, and live exit/OPS/energy statistics.
+// Package serve is the CDLN inference server: an HTTP JSON API over a
+// registry of named, versioned models, each backed by a pool of pre-cloned
+// per-worker replicas (core.Session), a bounded work queue with
+// micro-batching, and live exit/OPS/energy statistics.
 //
 // The serving design is the paper's thesis operationalized: easy inputs
 // exit the cascade early, so most requests cost a fraction of a full
-// forward pass, and the per-request δ override exposes §III.B's runtime
-// accuracy/efficiency knob to clients per call.
+// forward pass, and the per-request exit policy exposes §III.B's runtime
+// accuracy/efficiency knob to clients per call — as a single δ on /v1, and
+// as a structured ExitPolicy (per-stage deltas, depth caps, op budgets,
+// detail levels) on /v2.
 //
 // Endpoints:
 //
-//	POST /v1/classify  one image or a batch, optional per-request δ
-//	POST /v1/resume    resume an edge-offloaded cascade past its split stage
-//	GET  /healthz      liveness and model identity
-//	GET  /statsz       live exit distribution, normalized OPS, 45 nm energy
+//	POST /v1/classify                    one image or a batch, optional per-request δ
+//	POST /v1/resume                      resume an edge-offloaded cascade past its split stage
+//	GET  /v2/models                      list models + metadata (stages, δ, op costs)
+//	GET  /v2/models/{model}              one model's metadata
+//	PUT  /v2/models/{model}              load-from-path hot-swap (admin surface)
+//	POST /v2/models/{model}/classify     classify on a named model under an ExitPolicy
+//	POST /v2/models/{model}/resume       resume on a named model under an ExitPolicy
+//	GET  /healthz                        liveness and model identity
+//	GET  /statsz                         live exit distribution, normalized OPS, 45 nm energy
 //
-// /v1/resume is the cloud half of the edge–cloud split (internal/edgecloud):
-// an edge node runs the cascade prefix, exits easy inputs locally, and ships
-// only the hard residue here as wire-encoded intermediate activations.
+// The /v1 routes are aliases onto the registry's default model with
+// responses bit-identical to the pre-registry single-model server (pinned
+// by golden_test.go). Hot-swapping a model under load drops no requests:
+// a request that races the swap retries transparently against the
+// successor version. Request contexts are threaded through the pool into
+// the workers, so a cancelled or deadline-expired request is dropped
+// before it burns a replica.
+//
+// /v1/resume and /v2/models/{model}/resume are the cloud half of the
+// edge–cloud split (internal/edgecloud): an edge node runs the cascade
+// prefix, exits easy inputs locally, and ships only the hard residue here
+// as wire-encoded intermediate activations.
 package serve
 
 import (
@@ -33,17 +50,16 @@ import (
 
 	"cdl/internal/core"
 	"cdl/internal/edgecloud/wire"
-	"cdl/internal/energy"
 	"cdl/internal/tensor"
 )
 
-// Config sizes the server.
+// Config sizes the server (and every model pool in its registry).
 type Config struct {
-	// Workers is the replica-pool size: one core.Session (and one worker
-	// goroutine) each. Default GOMAXPROCS.
+	// Workers is the replica-pool size per model: one core.Session (and one
+	// worker goroutine) each. Default GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds the work queue in images; requests beyond it are
-	// rejected with 503. Default 1024.
+	// QueueDepth bounds each model's work queue in images; requests beyond
+	// it are rejected with 503. Default 1024.
 	QueueDepth int
 	// MaxBatch is the micro-batch size B: a worker drains up to B queued
 	// images before touching shared state. Default 32.
@@ -106,42 +122,11 @@ func (c Config) withDefaults() Config {
 // DefaultConfig returns the default sizing.
 func DefaultConfig() Config { return Config{}.withDefaults() }
 
-// Server serves classification over a CDLN replica pool. Create with New,
-// expose via Handler (or ListenAndServe) and stop with Close.
-type Server struct {
-	cfg     Config
-	model   *core.CDLN
-	inWidth int
-	// maxResumeWire is the largest wire-encoded activation any valid
-	// /v1/resume payload can carry (the lossless encoding of the widest
-	// split point), used to bound request bodies before decoding.
-	maxResumeWire int
-	pool          *pool
-	metrics       *metrics
-	mux           *http.ServeMux
-}
-
-// New validates the model, pre-clones cfg.Workers warm sessions and starts
-// the worker pool.
-func New(model *core.CDLN, cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	acc, err := energy.NewEvaluator().NewAccumulator(model)
-	if err != nil {
-		return nil, err
-	}
-	sessions := make([]*core.Session, cfg.Workers)
-	for i := range sessions {
-		if sessions[i], err = core.NewSession(model); err != nil {
-			return nil, err
-		}
-	}
-	inWidth := 1
-	for _, d := range model.Arch.Net.InShape {
-		inWidth *= d
-	}
+// maxResumeWireSize is the largest wire-encoded activation any valid
+// resume payload for this model can carry (the lossless encoding of the
+// widest split point), used to bound request bodies before decoding.
+func maxResumeWireSize(model *core.CDLN) int {
+	inWidth := inputWidth(model)
 	maxNumel, maxRank := inWidth, len(model.Arch.Net.InShape)
 	for split := 1; split <= len(model.Stages); split++ {
 		shape := model.Arch.Net.ShapeAt(model.SplitPos(split))
@@ -156,32 +141,71 @@ func New(model *core.CDLN, cfg Config) (*Server, error) {
 			maxRank = len(shape)
 		}
 	}
-	s := &Server{
-		cfg:           cfg,
-		model:         model,
-		inWidth:       inWidth,
-		maxResumeWire: wire.EncodedSize(maxRank, maxNumel, wire.EncodingFloat64),
-		metrics:       newMetrics(model, acc),
+	return wire.EncodedSize(maxRank, maxNumel, wire.EncodingFloat64)
+}
+
+// Server serves classification over a model registry. Create with New (one
+// in-memory model) or NewWithRegistry (multi-model), expose via Handler
+// (or ListenAndServe) and stop with Close.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a single-model server: the model is registered in-memory
+// under DefaultModelName in a fresh registry. Equivalent to the
+// pre-registry constructor — /v1 responses are bit-identical.
+func New(model *core.CDLN, cfg Config) (*Server, error) {
+	reg := NewRegistry(cfg)
+	if _, err := reg.Register(DefaultModelName, model); err != nil {
+		return nil, err
 	}
-	s.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.metrics.observeBatch)
+	return NewWithRegistry(reg)
+}
+
+// NewWithRegistry serves an existing registry (which must hold at least
+// one model) and takes ownership of it: Server.Close closes the registry.
+func NewWithRegistry(reg *Registry) (*Server, error) {
+	if len(reg.Models()) == 0 {
+		return nil, fmt.Errorf("serve: registry has no models")
+	}
+	s := &Server{cfg: reg.Config(), reg: reg, started: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v2/models", s.handleModelsList)
+	s.mux.HandleFunc("GET /v2/models/{model}", s.handleModelGet)
+	s.mux.HandleFunc("PUT /v2/models/{model}", s.handleModelPut)
+	s.mux.HandleFunc("POST /v2/models/{model}/classify", s.handleV2Classify)
+	s.mux.HandleFunc("POST /v2/models/{model}/resume", s.handleV2Resume)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
 }
 
+// Registry returns the server's model registry (for programmatic
+// registration and hot-swap alongside the HTTP admin surface).
+func (s *Server) Registry() *Registry { return s.reg }
+
 // Handler returns the HTTP handler (also what ListenAndServe mounts).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats snapshots the live counters.
-func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool.depth(), s.cfg.Workers) }
+// Stats snapshots the default model's live counters (the /statsz payload;
+// per-model views are on /v2/models).
+func (s *Server) Stats() Stats {
+	m, err := s.reg.Get("")
+	if err != nil {
+		return Stats{}
+	}
+	return m.Stats()
+}
 
-// Close drains the queue and stops the workers. Call after the HTTP layer
-// has stopped accepting requests (http.Server.Shutdown); classify requests
-// racing Close receive 503.
-func (s *Server) Close() { s.pool.close() }
+// Close drains every model's queue and stops the workers. Call after the
+// HTTP layer has stopped accepting requests (http.Server.Shutdown);
+// classify requests racing Close receive 503.
+func (s *Server) Close() { s.reg.Close() }
 
 // HTTPHardening bundles the slow-client listener limits shared by the
 // cloud server and the edge front (internal/edgecloud): a server built to
@@ -253,7 +277,7 @@ func ListenHardened(addr string, handler http.Handler, stop <-chan struct{}, har
 
 // ListenAndServe runs the server on addr until stop is closed, then shuts
 // down gracefully: stop accepting, wait for in-flight requests, drain the
-// pool. The listener is hardened against slow clients via the Config's
+// pools. The listener is hardened against slow clients via the Config's
 // ReadHeaderTimeout/IdleTimeout/MaxHeaderBytes (body reads are already
 // bounded per handler with MaxBytesReader).
 func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
@@ -327,66 +351,126 @@ func ParseDeltaOverride(d *float64) (float64, error) {
 	return v, nil
 }
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
-		return
-	}
-	// Bound the body before decoding: the per-request image cap is useless
-	// if a client can make the decoder buffer gigabytes first. ~32 bytes
-	// covers any float64 JSON rendering plus separators.
-	maxBody := int64(s.cfg.MaxRequestImages)*int64(s.inWidth)*32 + 4096
-	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	var req ClassifyRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
-		return
-	}
-	images, err := req.NormalizeImages(s.inWidth, s.cfg.MaxRequestImages, s.model.Arch.Net.InShape)
-	if err != nil {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-	delta, err := ParseDeltaOverride(req.Delta)
-	if err != nil {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-
-	jobs := make([]*job, len(images))
-	records := make([]core.ExitRecord, len(images))
-	var wg sync.WaitGroup
-	for i, img := range images {
-		jobs[i] = &job{
-			x:     tensor.FromSlice(img, s.model.Arch.Net.InShape...),
-			delta: delta,
-			rec:   &records[i],
-			wg:    &wg,
-		}
-	}
-	s.runJobs(w, jobs, records, &wg)
+// requestError is a handler-level rejection with its HTTP status.
+type requestError struct {
+	status int
+	msg    string
 }
 
-// runJobs submits a prepared batch, waits for the pool, and writes the
-// shared ClassifyResponse — the common tail of /v1/classify and /v1/resume.
-// It reports whether the batch was admitted.
-func (s *Server) runJobs(w http.ResponseWriter, jobs []*job, records []core.ExitRecord, wg *sync.WaitGroup) bool {
-	if err := s.pool.submit(jobs); err != nil {
-		s.metrics.observeRejected()
-		WriteJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
-		return false
-	}
-	wg.Wait()
-	s.metrics.observeRequest()
+func badRequest(format string, args ...any) *requestError {
+	return &requestError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
 
-	resp := ClassifyResponse{Results: make([]ClassifyResult, len(records)), Count: len(records)}
-	baseOps := s.metrics.baselineOps
+// jobBatch is one attempt's prepared work: jobs referencing records in
+// request order plus the WaitGroup the pool releases them through.
+type jobBatch struct {
+	jobs    []*job
+	records []core.ExitRecord
+	wg      *sync.WaitGroup
+}
+
+// newImageBatch fans a validated image set out into jobs under one shared
+// context and policy.
+func newImageBatch(ctx context.Context, m *Model, images [][]float64, pol *core.ExitPolicy) *jobBatch {
+	b := &jobBatch{
+		jobs:    make([]*job, len(images)),
+		records: make([]core.ExitRecord, len(images)),
+		wg:      &sync.WaitGroup{},
+	}
+	for i, img := range images {
+		b.jobs[i] = &job{
+			ctx: ctx,
+			x:   tensor.FromSlice(img, m.cdln.Arch.Net.InShape...),
+			pol: pol,
+			rec: &b.records[i],
+			wg:  b.wg,
+		}
+	}
+	return b
+}
+
+// maxDispatchAttempts bounds the hot-swap retry loop: each retry means a
+// swap landed between model resolution and submission, so more than a few
+// in one request means the registry is churning faster than it can serve —
+// shed the request instead of spinning.
+const maxDispatchAttempts = 4
+
+// dispatch resolves name, builds jobs via build, submits them and waits.
+// When a hot swap closes the resolved model's pool between resolution and
+// submission, it transparently retries against the successor version
+// (re-running build, so inputs are re-validated against the new model).
+// On success it returns the model that served the request and the filled
+// records; on failure it has already written the error response.
+//
+// build runs against a specific model version and returns the prepared
+// batch or a request-level rejection (counted on that model's invalid
+// counter).
+func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name string, build func(m *Model) (*jobBatch, *requestError)) (*Model, []core.ExitRecord, bool) {
+	var m *Model
+	for attempt := 0; attempt < maxDispatchAttempts; attempt++ {
+		var err error
+		m, err = s.reg.Get(name)
+		if err != nil {
+			WriteError(w, http.StatusNotFound,
+				fmt.Sprintf("unknown model %q (have: %s)", name, s.reg.names()))
+			return nil, nil, false
+		}
+		b, rerr := build(m)
+		if rerr != nil {
+			m.metrics.observeInvalid()
+			WriteError(w, rerr.status, rerr.msg)
+			return nil, nil, false
+		}
+		switch err := m.pool.submit(ctx, b.jobs); {
+		case err == nil:
+			b.wg.Wait()
+			if cerr := ctx.Err(); cerr != nil {
+				// The request died while queued or mid-batch; whatever
+				// subset was classified, the client is gone or out of time
+				// — never ship a partial response.
+				m.metrics.observeCancelled()
+				status := http.StatusServiceUnavailable
+				if errors.Is(cerr, context.DeadlineExceeded) {
+					status = http.StatusGatewayTimeout
+				}
+				WriteError(w, status, fmt.Sprintf("request abandoned: %v", cerr))
+				return nil, nil, false
+			}
+			m.metrics.observeRequest()
+			return m, b.records, true
+		case errors.Is(err, ErrOverloaded):
+			m.metrics.observeRejected()
+			WriteError(w, http.StatusServiceUnavailable, err.Error())
+			return nil, nil, false
+		case errors.Is(err, ErrClosed):
+			// Either a hot swap retired this version (a successor exists:
+			// retry against it) or the server is shutting down (shed).
+			if cur, gerr := s.reg.Get(name); gerr == nil && cur != m {
+				continue
+			}
+			m.metrics.observeRejected()
+			WriteError(w, http.StatusServiceUnavailable, err.Error())
+			return nil, nil, false
+		default:
+			// Context error at admission: nothing was enqueued.
+			m.metrics.observeCancelled()
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			WriteError(w, status, fmt.Sprintf("request abandoned: %v", err))
+			return nil, nil, false
+		}
+	}
+	m.metrics.observeRejected()
+	WriteError(w, http.StatusServiceUnavailable, "model reloading too fast; retry")
+	return nil, nil, false
+}
+
+// v1Results renders records into the /v1 (and v2 cost-detail) result rows.
+func v1Results(m *Model, records []core.ExitRecord) []ClassifyResult {
+	out := make([]ClassifyResult, len(records))
+	baseOps := m.metrics.baselineOps
 	for i, rec := range records {
 		res := ClassifyResult{
 			Label:      rec.Label,
@@ -394,15 +478,57 @@ func (s *Server) runJobs(w http.ResponseWriter, jobs []*job, records []core.Exit
 			ExitIndex:  rec.StageIndex,
 			Confidence: rec.Confidence,
 			Ops:        rec.Ops,
-			EnergyPJ:   s.metrics.acc.ExitEnergy(rec.StageIndex),
+			EnergyPJ:   m.metrics.acc.ExitEnergy(rec.StageIndex),
 		}
 		if baseOps > 0 {
 			res.NormalizedOps = rec.Ops / baseOps
 		}
-		resp.Results[i] = res
+		out[i] = res
 	}
-	WriteJSON(w, http.StatusOK, resp)
-	return true
+	return out
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	m0, err := s.reg.Get("")
+	if err != nil {
+		WriteError(w, http.StatusServiceUnavailable, "no models registered")
+		return
+	}
+	if r.Method != http.MethodPost {
+		m0.metrics.observeInvalid()
+		WriteJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	// Bound the body before decoding: the per-request image cap is useless
+	// if a client can make the decoder buffer gigabytes first. ~32 bytes
+	// covers any float64 JSON rendering plus separators.
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(m0.inWidth)*32 + 4096
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req ClassifyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		m0.metrics.observeInvalid()
+		WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	build := func(m *Model) (*jobBatch, *requestError) {
+		images, err := req.NormalizeImages(m.inWidth, s.cfg.MaxRequestImages, m.cdln.Arch.Net.InShape)
+		if err != nil {
+			return nil, badRequest("%s", err.Error())
+		}
+		delta, err := ParseDeltaOverride(req.Delta)
+		if err != nil {
+			return nil, badRequest("%s", err.Error())
+		}
+		pol := core.ExitPolicy{Delta: delta, MaxExit: -1}
+		return newImageBatch(r.Context(), m, images, &pol), nil
+	}
+	m, records, ok := s.dispatch(w, r.Context(), "", build)
+	if !ok {
+		return
+	}
+	WriteJSON(w, http.StatusOK, ClassifyResponse{Results: v1Results(m, records), Count: len(records)})
 }
 
 // ResumeRequest is the /v1/resume payload: exactly one of Payload (a
@@ -419,9 +545,29 @@ type ResumeRequest struct {
 	Delta    *float64 `json:"delta,omitempty"`
 }
 
+// normalizePayloads validates the single/batch forms against the
+// per-request cap.
+func (req *ResumeRequest) normalizePayloads(maxPayloads int) ([]string, *requestError) {
+	var payloads []string
+	switch {
+	case req.Payload != "" && req.Payloads != nil:
+		return nil, badRequest(`set "payload" or "payloads", not both`)
+	case req.Payload != "":
+		payloads = []string{req.Payload}
+	case len(req.Payloads) > 0:
+		payloads = req.Payloads
+	default:
+		return nil, badRequest(`missing "payload" or "payloads"`)
+	}
+	if len(payloads) > maxPayloads {
+		return nil, badRequest("%d payloads exceed the per-request cap %d", len(payloads), maxPayloads)
+	}
+	return payloads, nil
+}
+
 // resumeActivation decodes and validates one base64 wire payload against
-// the server's model, returning the ready-to-submit tensor and stage.
-func (s *Server) resumeActivation(p string) (*tensor.T, int, error) {
+// the model, returning the ready-to-submit tensor and stage.
+func (m *Model) resumeActivation(p string) (*tensor.T, int, error) {
 	raw, err := base64.StdEncoding.DecodeString(p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("bad base64 payload: %v", err)
@@ -430,73 +576,80 @@ func (s *Server) resumeActivation(p string) (*tensor.T, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := s.model.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
+	if err := m.cdln.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
 		return nil, 0, err
 	}
 	return tensor.FromSlice(act.Data, act.Shape...), act.FromStage, nil
 }
 
+// newResumeBatch decodes and validates payloads against m and fans them
+// out into jobs under one shared context and policy. A policy depth cap
+// shallower than a payload's resume stage is unsatisfiable (those stages
+// already ran on the edge tier) and rejected.
+func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.ExitPolicy) (*jobBatch, *requestError) {
+	b := &jobBatch{
+		jobs:    make([]*job, len(payloads)),
+		records: make([]core.ExitRecord, len(payloads)),
+		wg:      &sync.WaitGroup{},
+	}
+	maxExit := len(m.cdln.Stages)
+	if pol.MaxExit >= 0 {
+		maxExit = pol.MaxExit
+	}
+	for i, p := range payloads {
+		x, fromStage, err := m.resumeActivation(p)
+		if err != nil {
+			return nil, badRequest("payload %d: %v", i, err)
+		}
+		if fromStage > maxExit {
+			return nil, badRequest("payload %d: resume stage %d beyond the policy's max exit %d", i, fromStage, maxExit)
+		}
+		b.jobs[i] = &job{ctx: ctx, x: x, fromStage: fromStage, pol: pol, rec: &b.records[i], wg: b.wg}
+	}
+	return b, nil
+}
+
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	m0, err := s.reg.Get("")
+	if err != nil {
+		WriteError(w, http.StatusServiceUnavailable, "no models registered")
+		return
+	}
 	if r.Method != http.MethodPost {
-		s.metrics.observeInvalid()
+		m0.metrics.observeInvalid()
 		WriteJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
 	}
 	// Bound the body by the largest activation the model can legitimately
 	// receive (lossless encoding, base64-inflated) times the batch cap.
-	maxBody := int64(s.cfg.MaxRequestImages)*int64(base64.StdEncoding.EncodedLen(s.maxResumeWire)+4) + 4096
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(base64.StdEncoding.EncodedLen(m0.maxResumeWire)+4) + 4096
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	var req ResumeRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.metrics.observeInvalid()
+		m0.metrics.observeInvalid()
 		WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	var payloads []string
-	switch {
-	case req.Payload != "" && req.Payloads != nil:
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{`set "payload" or "payloads", not both`})
-		return
-	case req.Payload != "":
-		payloads = []string{req.Payload}
-	case len(req.Payloads) > 0:
-		payloads = req.Payloads
-	default:
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{`missing "payload" or "payloads"`})
-		return
-	}
-	if len(payloads) > s.cfg.MaxRequestImages {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{
-			fmt.Sprintf("%d payloads exceed the per-request cap %d", len(payloads), s.cfg.MaxRequestImages)})
-		return
-	}
-	delta, err := ParseDeltaOverride(req.Delta)
-	if err != nil {
-		s.metrics.observeInvalid()
-		WriteJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-
-	jobs := make([]*job, len(payloads))
-	records := make([]core.ExitRecord, len(payloads))
-	var wg sync.WaitGroup
-	for i, p := range payloads {
-		x, fromStage, err := s.resumeActivation(p)
-		if err != nil {
-			s.metrics.observeInvalid()
-			WriteJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("payload %d: %v", i, err)})
-			return
+	build := func(m *Model) (*jobBatch, *requestError) {
+		payloads, rerr := req.normalizePayloads(s.cfg.MaxRequestImages)
+		if rerr != nil {
+			return nil, rerr
 		}
-		jobs[i] = &job{x: x, fromStage: fromStage, delta: delta, rec: &records[i], wg: &wg}
+		delta, err := ParseDeltaOverride(req.Delta)
+		if err != nil {
+			return nil, badRequest("%s", err.Error())
+		}
+		pol := core.ExitPolicy{Delta: delta, MaxExit: -1}
+		return newResumeBatch(r.Context(), m, payloads, &pol)
 	}
-	if s.runJobs(w, jobs, records, &wg) {
-		s.metrics.observeResume()
+	m, records, ok := s.dispatch(w, r.Context(), "", build)
+	if !ok {
+		return
 	}
+	WriteJSON(w, http.StatusOK, ClassifyResponse{Results: v1Results(m, records), Count: len(records)})
+	m.metrics.observeResume()
 }
 
 // NormalizeImages validates the request's single/batch forms against the
@@ -544,19 +697,36 @@ type healthResponse struct {
 	Stages        int     `json:"stages"`
 	Delta         float64 `json:"delta"`
 	Workers       int     `json:"workers"`
+	Models        int     `json:"models"`
+	Default       string  `json:"default_model"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	WriteJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		Model:         s.cfg.ModelName,
-		Arch:          s.model.Arch.Name,
-		Stages:        len(s.model.Stages),
-		Delta:         s.model.Delta,
 		Workers:       s.cfg.Workers,
-		UptimeSeconds: time.Since(s.metrics.started).Seconds(),
-	})
+		Models:        len(s.reg.Models()),
+		Default:       s.reg.DefaultName(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if m, err := s.reg.Get(""); err == nil {
+		// The identity fields must all describe the same entry — the
+		// current default — or a monitor would attribute one model's δ and
+		// stage count to another's file. cfg.ModelName only labels
+		// in-memory defaults that carry no path of their own.
+		switch {
+		case m.path != "":
+			resp.Model = m.path
+		case resp.Model == "":
+			resp.Model = m.name
+		}
+		resp.Arch = m.cdln.Arch.Name
+		resp.Stages = len(m.cdln.Stages)
+		resp.Delta = m.cdln.Delta
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

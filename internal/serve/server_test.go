@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -394,16 +395,16 @@ func TestPoolAllOrNothingAdmission(t *testing.T) {
 		}
 		return out
 	}
-	if err := p.submit(mkJobs(3)); err != nil {
+	if err := p.submit(context.Background(), mkJobs(3)); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.submit(mkJobs(2)); err != ErrOverloaded {
+	if err := p.submit(context.Background(), mkJobs(2)); err != ErrOverloaded {
 		t.Fatalf("overflow submit: %v, want ErrOverloaded", err)
 	}
 	if d := p.depth(); d != 3 {
 		t.Fatalf("queue depth %d after rejected submit, want 3 (partial enqueue)", d)
 	}
-	if err := p.submit(mkJobs(1)); err != nil {
+	if err := p.submit(context.Background(), mkJobs(1)); err != nil {
 		t.Fatalf("exact-fit submit rejected: %v", err)
 	}
 }

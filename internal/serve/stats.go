@@ -13,13 +13,14 @@ import (
 // update it once per micro-batch (observeBatch), so the mutex is taken per
 // batch rather than per image.
 type metrics struct {
-	mu       sync.Mutex
-	started  time.Time
-	requests int64 // classify + resume requests admitted
-	resumes  int64 // /v1/resume requests admitted (edge offloads)
-	rejected int64 // 503s (queue full / shutting down)
-	invalid  int64 // 4xx classify/resume requests
-	images   int64
+	mu        sync.Mutex
+	started   time.Time
+	requests  int64 // classify + resume requests admitted
+	resumes   int64 // resume requests admitted (edge offloads)
+	rejected  int64 // 503s (queue full / shutting down)
+	invalid   int64 // 4xx classify/resume requests
+	cancelled int64 // requests whose context died before completion
+	images    int64
 
 	exitNames   []string
 	exitCounts  []int64
@@ -66,11 +67,21 @@ func (m *metrics) observeInvalid() {
 	m.mu.Unlock()
 }
 
-// observeBatch charges one classified micro-batch to the counters.
+func (m *metrics) observeCancelled() {
+	m.mu.Lock()
+	m.cancelled++
+	m.mu.Unlock()
+}
+
+// observeBatch charges one classified micro-batch to the counters. Jobs
+// dropped for a dead context carry no record and are skipped.
 func (m *metrics) observeBatch(batch []*job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, j := range batch {
+		if j.cancelled {
+			continue
+		}
 		rec := *j.rec
 		m.images++
 		m.exitCounts[rec.StageIndex]++
@@ -99,9 +110,13 @@ type Stats struct {
 	ResumeRequests int64 `json:"resume_requests"`
 	Rejected       int64 `json:"rejected"`
 	Invalid        int64 `json:"invalid"`
-	Images         int64 `json:"images"`
-	QueueDepth     int   `json:"queue_depth"`
-	Workers        int   `json:"workers"`
+	// Cancelled counts requests whose context was cancelled or timed out
+	// before classification completed (dropped before burning a replica
+	// when the cancellation beat the worker to the job).
+	Cancelled  int64 `json:"cancelled"`
+	Images     int64 `json:"images"`
+	QueueDepth int   `json:"queue_depth"`
+	Workers    int   `json:"workers"`
 
 	Exits []ExitStat `json:"exits"`
 
@@ -127,6 +142,7 @@ func (m *metrics) snapshot(queueDepth, workers int) Stats {
 		ResumeRequests: m.resumes,
 		Rejected:       m.rejected,
 		Invalid:        m.invalid,
+		Cancelled:      m.cancelled,
 		Images:         m.images,
 		QueueDepth:     queueDepth,
 		Workers:        workers,

@@ -1,0 +1,432 @@
+// v2.go is the multi-model request surface: every route names its model,
+// the request body carries a structured ExitPolicy instead of a lone δ,
+// and PUT hot-swaps a model version without dropping traffic. The /v1
+// routes remain as aliases onto the registry's default model; /v2 is the
+// surface that exposes what the registry actually supports.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"cdl/internal/core"
+)
+
+// PolicyRequest is the wire form of a per-request exit policy (v2 bodies,
+// "policy" field). All fields are optional; the zero value keeps the
+// model's trained behaviour.
+type PolicyRequest struct {
+	// Delta overrides the confidence threshold for every stage; finite, in
+	// [0,1].
+	Delta *float64 `json:"delta,omitempty"`
+	// StageDeltas overrides the threshold per stage; its length must equal
+	// the model's stage count, and each entry must be in [0,1] or negative
+	// (negative = keep Delta / the trained value for that stage).
+	StageDeltas []float64 `json:"stage_deltas,omitempty"`
+	// MaxExit caps cascade depth: inputs still active at this exit point
+	// exit there unconditionally (0-based stage index; the stage count
+	// means the FC terminator, i.e. no cap).
+	MaxExit *int `json:"max_exit,omitempty"`
+	// OpsBudget caps the per-input dynamic operation count: the cascade is
+	// truncated at the deepest exit whose cost fits the budget. Combines
+	// with MaxExit by taking the shallower cap.
+	OpsBudget *float64 `json:"ops_budget,omitempty"`
+	// Detail selects the record detail level: "label" (prediction only),
+	// "cost" (default: ops + energy accounting, the /v1 shape) or "trace"
+	// (cost plus the winning confidence at every evaluated exit).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Detail levels for PolicyRequest.Detail.
+const (
+	DetailLabel = "label"
+	DetailCost  = "cost"
+	DetailTrace = "trace"
+)
+
+// resolve validates the wire policy against a model once, returning the
+// core policy the pool threads through to Session.ClassifyBatch and the
+// normalized detail level.
+func (p *PolicyRequest) resolve(m *Model) (core.ExitPolicy, string, *requestError) {
+	pol := core.DefaultExitPolicy()
+	detail := DetailCost
+	if p == nil {
+		return pol, detail, nil
+	}
+	delta, err := ParseDeltaOverride(p.Delta)
+	if err != nil {
+		return pol, "", badRequest("policy: %s", err.Error())
+	}
+	pol.Delta = delta
+	if p.StageDeltas != nil {
+		if len(p.StageDeltas) != len(m.cdln.Stages) {
+			return pol, "", badRequest("policy: %d stage deltas for %d stages", len(p.StageDeltas), len(m.cdln.Stages))
+		}
+		sd := make([]float64, len(p.StageDeltas))
+		for i, d := range p.StageDeltas {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1 {
+				return pol, "", badRequest("policy: stage %d delta %v must be negative (keep) or in [0,1]", i, d)
+			}
+			sd[i] = d
+		}
+		pol.StageDeltas = sd
+	}
+	if p.MaxExit != nil {
+		me := *p.MaxExit
+		if me < 0 || me > len(m.cdln.Stages) {
+			return pol, "", badRequest("policy: max_exit %d outside [0,%d]", me, len(m.cdln.Stages))
+		}
+		pol.MaxExit = me
+	}
+	if p.OpsBudget != nil {
+		me, err := m.cdln.MaxExitForOps(*p.OpsBudget)
+		if err != nil {
+			return pol, "", badRequest("policy: %v", err)
+		}
+		if pol.MaxExit < 0 || me < pol.MaxExit {
+			pol.MaxExit = me
+		}
+	}
+	switch p.Detail {
+	case "", DetailCost:
+	case DetailLabel:
+		detail = DetailLabel
+	case DetailTrace:
+		detail = DetailTrace
+		pol.Trace = true
+	default:
+		return pol, "", badRequest("policy: unknown detail %q (want %q, %q or %q)",
+			p.Detail, DetailLabel, DetailCost, DetailTrace)
+	}
+	// The field checks above are the full CDLN.ValidatePolicy contract
+	// phrased as per-field 400s (core/policy_test.go pins the core side);
+	// no second validation pass — one source of truth per rule.
+	return pol, detail, nil
+}
+
+// V2ClassifyRequest is the POST /v2/models/{model}/classify payload:
+// images as in /v1, a structured exit policy, and an optional per-request
+// deadline after which the request is abandoned wherever it is (queued
+// requests are dropped before touching a replica).
+type V2ClassifyRequest struct {
+	Image     []float64      `json:"image,omitempty"`
+	Images    [][]float64    `json:"images,omitempty"`
+	Policy    *PolicyRequest `json:"policy,omitempty"`
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+}
+
+// V2ResumeRequest is the POST /v2/models/{model}/resume payload.
+type V2ResumeRequest struct {
+	Payload   string         `json:"payload,omitempty"`
+	Payloads  []string       `json:"payloads,omitempty"`
+	Policy    *PolicyRequest `json:"policy,omitempty"`
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+}
+
+// V2Result is one image's outcome on the v2 surface. The cost fields are
+// omitted at detail level "label"; StageConfidences is present only at
+// detail level "trace".
+type V2Result struct {
+	Label            int       `json:"label"`
+	Exit             string    `json:"exit"`
+	ExitIndex        int       `json:"exit_index"`
+	Confidence       float64   `json:"confidence"`
+	Ops              float64   `json:"ops,omitempty"`
+	NormalizedOps    float64   `json:"normalized_ops,omitempty"`
+	EnergyPJ         float64   `json:"energy_pj,omitempty"`
+	StageConfidences []float64 `json:"stage_confidences,omitempty"`
+}
+
+// V2ClassifyResponse is the v2 classify/resume response: the /v1 result
+// shape plus the model identity that served it (name and version matter
+// once hot-swap exists).
+type V2ClassifyResponse struct {
+	Model   string     `json:"model"`
+	Version int        `json:"version"`
+	Results []V2Result `json:"results"`
+	Count   int        `json:"count"`
+}
+
+// v2Results renders records at the requested detail level.
+func v2Results(m *Model, records []core.ExitRecord, detail string) []V2Result {
+	out := make([]V2Result, len(records))
+	baseOps := m.metrics.baselineOps
+	for i, rec := range records {
+		res := V2Result{
+			Label:      rec.Label,
+			Exit:       rec.StageName,
+			ExitIndex:  rec.StageIndex,
+			Confidence: rec.Confidence,
+		}
+		if detail != DetailLabel {
+			res.Ops = rec.Ops
+			res.EnergyPJ = m.metrics.acc.ExitEnergy(rec.StageIndex)
+			if baseOps > 0 {
+				res.NormalizedOps = rec.Ops / baseOps
+			}
+		}
+		if detail == DetailTrace {
+			res.StageConfidences = rec.Trace
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// requestContext applies an optional client deadline to the request
+// context. Zero keeps the connection-scoped context (cancelled when the
+// client disconnects); positive values additionally bound queue + compute
+// time.
+func requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc, *requestError) {
+	if timeoutMS < 0 {
+		return nil, nil, badRequest("timeout_ms %d must be ≥ 0", timeoutMS)
+	}
+	if timeoutMS == 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+func (s *Server) handleV2Classify(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	m0, err := s.reg.Get(name)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)", name, s.reg.names()))
+		return
+	}
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(m0.inWidth)*32 + 16384
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req V2ClassifyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		m0.metrics.observeInvalid()
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	ctx, cancel, rerr := requestContext(r, req.TimeoutMS)
+	if rerr != nil {
+		m0.metrics.observeInvalid()
+		WriteError(w, rerr.status, rerr.msg)
+		return
+	}
+	defer cancel()
+
+	detail := DetailCost
+	creq := ClassifyRequest{Image: req.Image, Images: req.Images}
+	build := func(m *Model) (*jobBatch, *requestError) {
+		images, err := creq.NormalizeImages(m.inWidth, s.cfg.MaxRequestImages, m.cdln.Arch.Net.InShape)
+		if err != nil {
+			return nil, badRequest("%s", err.Error())
+		}
+		pol, d, rerr := req.Policy.resolve(m)
+		if rerr != nil {
+			return nil, rerr
+		}
+		detail = d
+		return newImageBatch(ctx, m, images, &pol), nil
+	}
+	m, records, ok := s.dispatch(w, ctx, name, build)
+	if !ok {
+		return
+	}
+	WriteJSON(w, http.StatusOK, V2ClassifyResponse{
+		Model: m.name, Version: m.version,
+		Results: v2Results(m, records, detail), Count: len(records),
+	})
+}
+
+func (s *Server) handleV2Resume(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	m0, err := s.reg.Get(name)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)", name, s.reg.names()))
+		return
+	}
+	maxBody := int64(s.cfg.MaxRequestImages)*int64(base64.StdEncoding.EncodedLen(m0.maxResumeWire)+4) + 16384
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req V2ResumeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		m0.metrics.observeInvalid()
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	ctx, cancel, rerr := requestContext(r, req.TimeoutMS)
+	if rerr != nil {
+		m0.metrics.observeInvalid()
+		WriteError(w, rerr.status, rerr.msg)
+		return
+	}
+	defer cancel()
+
+	detail := DetailCost
+	rreq := ResumeRequest{Payload: req.Payload, Payloads: req.Payloads}
+	build := func(m *Model) (*jobBatch, *requestError) {
+		payloads, rerr := rreq.normalizePayloads(s.cfg.MaxRequestImages)
+		if rerr != nil {
+			return nil, rerr
+		}
+		pol, d, rerr := req.Policy.resolve(m)
+		if rerr != nil {
+			return nil, rerr
+		}
+		detail = d
+		return newResumeBatch(ctx, m, payloads, &pol)
+	}
+	m, records, ok := s.dispatch(w, ctx, name, build)
+	if !ok {
+		return
+	}
+	WriteJSON(w, http.StatusOK, V2ClassifyResponse{
+		Model: m.name, Version: m.version,
+		Results: v2Results(m, records, detail), Count: len(records),
+	})
+	m.metrics.observeResume()
+}
+
+// ModelInfo is one registry entry's metadata on GET /v2/models: identity,
+// cascade structure, thresholds and per-exit op costs — what a client
+// needs to shape an ExitPolicy (max_exit indices, ops_budget scale).
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Path    string `json:"path,omitempty"`
+	Default bool   `json:"default"`
+	Arch    string `json:"arch"`
+	Stages  int    `json:"stages"`
+	// Delta and StageDeltas are the model's trained thresholds (the values
+	// a request policy overrides).
+	Delta       float64   `json:"delta"`
+	StageDeltas []float64 `json:"stage_deltas,omitempty"`
+	// ExitNames and ExitOps describe the exit points in cascade order
+	// (stages then FC); BaselineOps is one full forward pass.
+	ExitNames   []string  `json:"exit_names"`
+	ExitOps     []float64 `json:"exit_ops"`
+	BaselineOps float64   `json:"baseline_ops"`
+	Workers     int       `json:"workers"`
+	// Images is the number of images this version has classified.
+	Images int64 `json:"images"`
+}
+
+// V2ModelsResponse is the GET /v2/models payload.
+type V2ModelsResponse struct {
+	Default string      `json:"default"`
+	Models  []ModelInfo `json:"models"`
+}
+
+// info assembles a ModelInfo snapshot.
+func (m *Model) info(isDefault bool) ModelInfo {
+	c := m.cdln
+	names := make([]string, c.NumExits())
+	for i := range names {
+		names[i] = c.ExitName(i)
+	}
+	var stageDeltas []float64
+	if c.StageDeltas != nil {
+		stageDeltas = append([]float64(nil), c.StageDeltas...)
+	}
+	return ModelInfo{
+		Name:        m.name,
+		Version:     m.version,
+		Path:        m.path,
+		Default:     isDefault,
+		Arch:        c.Arch.Name,
+		Stages:      len(c.Stages),
+		Delta:       c.Delta,
+		StageDeltas: stageDeltas,
+		ExitNames:   names,
+		ExitOps:     append([]float64(nil), m.exitOps...),
+		BaselineOps: c.BaselineOps(),
+		Workers:     m.workers,
+		Images:      m.Stats().Images,
+	}
+}
+
+func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	def := s.reg.DefaultName()
+	models := s.reg.Models()
+	resp := V2ModelsResponse{Default: def, Models: make([]ModelInfo, len(models))}
+	for i, m := range models {
+		resp.Models[i] = m.info(m.name == def)
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	m, err := s.reg.Get(name)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)", name, s.reg.names()))
+		return
+	}
+	WriteJSON(w, http.StatusOK, m.info(m.name == s.reg.DefaultName()))
+}
+
+// V2PutModelRequest is the PUT /v2/models/{model} payload: the modelio
+// file to load. The file is fully parsed, validated and warmed before the
+// swap, so a bad path never displaces the serving version. This is an
+// admin surface — deploy it behind the same trust boundary as the process
+// itself (the path is read from the server's filesystem).
+type V2PutModelRequest struct {
+	Path string `json:"path"`
+	// Default, when true, also makes this entry the registry default (the
+	// /v1 alias target).
+	Default bool `json:"default,omitempty"`
+}
+
+// V2PutModelResponse reports the published version.
+type V2PutModelResponse struct {
+	Model   string  `json:"model"`
+	Version int     `json:"version"`
+	Arch    string  `json:"arch"`
+	Stages  int     `json:"stages"`
+	Delta   float64 `json:"delta"`
+}
+
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if err := validName(name); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req V2PutModelRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Path == "" {
+		WriteError(w, http.StatusBadRequest, `missing "path"`)
+		return
+	}
+	m, err := s.reg.Load(name, req.Path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		WriteError(w, status, err.Error())
+		return
+	}
+	if req.Default {
+		if err := s.reg.SetDefault(name); err != nil {
+			WriteError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	WriteJSON(w, http.StatusOK, V2PutModelResponse{
+		Model: m.name, Version: m.version,
+		Arch: m.cdln.Arch.Name, Stages: len(m.cdln.Stages), Delta: m.cdln.Delta,
+	})
+}
