@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cdl/internal/control"
 	"cdl/internal/core"
 	"cdl/internal/edgecloud"
 	"cdl/internal/edgecloud/wire"
@@ -90,6 +91,10 @@ type (
 	// ExitPolicy is the structured per-request exit shaping: global δ,
 	// per-stage deltas, depth/ops caps and record detail (internal/core).
 	ExitPolicy = core.ExitPolicy
+	// SLO declares per-model serving targets (p99 latency, queue
+	// occupancy, energy budget, accuracy floor) for the adaptive
+	// exit-policy controller (internal/control).
+	SLO = control.SLO
 	// Edge is the edge-tier runtime of a split deployment: it owns the
 	// cascade prefix and offloads hard inputs to a cloud backend
 	// (internal/edgecloud).
@@ -247,6 +252,12 @@ func NewRegistry(cfg ServeConfig) *Registry { return serve.NewRegistry(cfg) }
 func NewRegistryServer(reg *Registry) (*Server, error) {
 	return serve.NewWithRegistry(reg)
 }
+
+// ParseSLO parses the `-slo` flag syntax ("p99=15ms,queue=0.8,
+// energy=2.5e9,floor=0.5") into an SLO; attach it to a registry entry
+// with Registry.SetSLO to let the adaptive controller trade cascade
+// depth for the declared targets under load.
+func ParseSLO(s string) (SLO, error) { return control.ParseSLO(s) }
 
 // DefaultExitPolicy is the identity ExitPolicy: trained thresholds, full
 // cascade, no trace.

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"cdl"
+	"cdl/internal/control"
 	"cdl/internal/edgecloud"
 	"cdl/internal/edgecloud/wire"
 	"cdl/internal/energy"
@@ -45,18 +46,25 @@ func main() {
 	encoding := flag.String("encoding", "float64", `offload payload encoding: "float64" (lossless) or "fixed" (Q2.13, 4x smaller)`)
 	pjByte := flag.Float64("pjbyte", energy.DefaultLink().PJPerByte, "link energy model: pJ per transmitted byte")
 	pjOffload := flag.Float64("pjoffload", energy.DefaultLink().PerOffloadPJ, "link energy model: fixed pJ per transfer")
+	slo := flag.String("slo", "", `adapt the offload split to an SLO: "p99=20ms,queue=0.8,energy=2.5e9" — under pressure the controller resolves inputs locally at the last edge stage instead of queueing on the cloud (requests with an explicit δ bypass it)`)
 	flag.Parse()
 
-	if err := run(*model, *addr, *cloud, *cloudModel, *encoding, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
+	if err := run(*model, *addr, *cloud, *cloudModel, *encoding, *slo, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
 		fmt.Fprintln(os.Stderr, "cdledge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, cloud, cloudModel, encoding string, split, workers int, delta, pjByte, pjOffload float64) error {
+func run(model, addr, cloud, cloudModel, encoding, slo string, split, workers int, delta, pjByte, pjOffload float64) error {
 	cdln, err := cdl.LoadCDLN(model)
 	if err != nil {
 		return err
+	}
+	var target control.SLO
+	if slo != "" {
+		if target, err = control.ParseSLO(slo); err != nil {
+			return err
+		}
 	}
 	var enc wire.Encoding
 	switch encoding {
@@ -86,6 +94,7 @@ func run(model, addr, cloud, cloudModel, encoding string, split, workers int, de
 			ModelName:  model,
 			CloudURL:   cloud,
 			CloudModel: cloudModel,
+			SLO:        target,
 		})
 	if err != nil {
 		return err

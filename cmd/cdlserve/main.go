@@ -16,6 +16,15 @@
 //	     -d '{"images": [[...]], "policy": {"delta": 0.6, "max_exit": 1, "detail": "trace"}}'
 //	curl -s -X PUT localhost:8080/v2/models/b -d '{"path": "b-v2.cdln"}'   # hot-swap
 //	curl -s localhost:8080/statsz
+//
+// With -slo the server closes the loop between live load and the paper's
+// δ knob: a feedback controller watches windowed p99 latency, queue
+// occupancy and pJ/image and degrades requests without an explicit
+// policy to shallower exits under load instead of shedding them:
+//
+//	cdlserve -model model.cdln -slo p99=15ms,queue=0.8
+//	curl -s localhost:8080/v2/models/default/slo            # controller state
+//	curl -s -X PUT localhost:8080/v2/models/default/slo -d '{"energy_budget_pj": 2.5e9}'
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"cdl"
+	"cdl/internal/control"
 	"cdl/internal/serve"
 )
 
@@ -74,24 +84,27 @@ func main() {
 	window := flag.Duration("window", 0, "micro-batch wait T (0 = default 200µs)")
 	delta := flag.Float64("delta", -1, "override every model's trained δ at load (-1 keeps them)")
 	defName := flag.String("default", "", "name of the default model entry (the /v1 alias target; default: first -model)")
+	slo := flag.String("slo", "", `attach an SLO controller to every model: "p99=15ms,queue=0.8,energy=2.5e9,floor=0.5" (see internal/control.ParseSLO); requests without an explicit δ/policy degrade to shallower exits under load instead of shedding`)
+	sloInterval := flag.Duration("slo-interval", 0, "SLO controller tick period (0 = default 200ms)")
 	flag.Parse()
 
 	if len(models.entries) == 0 {
 		models.entries = []modelEntry{{serve.DefaultModelName, "model.cdln"}}
 	}
-	if err := run(models.entries, *addr, *workers, *queue, *batch, *window, *delta, *defName); err != nil {
+	if err := run(models.entries, *addr, *workers, *queue, *batch, *window, *delta, *defName, *slo, *sloInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(models []modelEntry, addr string, workers, queue, batch int, window time.Duration, delta float64, defName string) error {
+func run(models []modelEntry, addr string, workers, queue, batch int, window time.Duration, delta float64, defName, slo string, sloInterval time.Duration) error {
 	reg := serve.NewRegistry(serve.Config{
-		Workers:     workers,
-		QueueDepth:  queue,
-		MaxBatch:    batch,
-		BatchWindow: window,
-		ModelName:   models[0].path,
+		Workers:         workers,
+		QueueDepth:      queue,
+		MaxBatch:        batch,
+		BatchWindow:     window,
+		ModelName:       models[0].path,
+		ControlInterval: sloInterval,
 	})
 	for _, e := range models {
 		var m *serve.Model
@@ -119,6 +132,18 @@ func run(models []modelEntry, addr string, workers, queue, batch int, window tim
 		if err := reg.SetDefault(defName); err != nil {
 			return err
 		}
+	}
+	if slo != "" {
+		target, err := control.ParseSLO(slo)
+		if err != nil {
+			return err
+		}
+		for _, m := range reg.Models() {
+			if err := reg.SetSLO(m.Name(), target); err != nil {
+				return fmt.Errorf("attach SLO to %q: %w", m.Name(), err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cdlserve: SLO %s attached to %d model(s)\n", target, len(reg.Models()))
 	}
 	srv, err := serve.NewWithRegistry(reg)
 	if err != nil {

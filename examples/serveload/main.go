@@ -12,6 +12,14 @@
 //	go run ./examples/serveload -addr http://localhost:8080 -n 2000 -c 8 -batch 16
 //	go run ./examples/serveload -addr http://localhost:8080 -delta 0.3   # cheaper, riskier
 //	go run ./examples/serveload -addr http://localhost:8080 -model fast,accurate
+//
+// With -ramp the generator switches to open loop — it offers traffic at a
+// scripted rate profile (step, spike or sine between -rate and -peak)
+// whatever the server's backlog, which is exactly the regime the SLO
+// controller (cdlserve -slo) is built for — and prints the controller's
+// trajectory (rung, max_exit, windowed p99, sheds) every 500ms:
+//
+//	go run ./examples/serveload -addr http://localhost:8080 -ramp step -rate 300 -peak 1500 -duration 30s
 package main
 
 import (
@@ -20,11 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cdl"
@@ -49,6 +59,7 @@ type classifyResponse struct {
 	Results []struct {
 		Label         int     `json:"label"`
 		Exit          string  `json:"exit"`
+		ExitIndex     int     `json:"exit_index"`
 		NormalizedOps float64 `json:"normalized_ops"`
 	} `json:"results"`
 	Count int `json:"count"`
@@ -62,16 +73,225 @@ func main() {
 	delta := flag.Float64("delta", -1, "per-request δ override (-1 = server default)")
 	model := flag.String("model", "", "comma-separated model names to round-robin over the v2 surface (empty = /v1 on the default model)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	ramp := flag.String("ramp", "", `open-loop traffic profile: "step", "spike" or "sine" (empty = the closed-loop -n/-c mode)`)
+	rate := flag.Float64("rate", 300, "open-loop base offered rate, images/sec")
+	peak := flag.Float64("peak", 0, "open-loop peak offered rate, images/sec (0 = 5x -rate)")
+	duration := flag.Duration("duration", 30*time.Second, "open-loop run length")
 	flag.Parse()
 
 	var models []string
 	if *model != "" {
 		models = strings.Split(*model, ",")
 	}
-	if err := run(*addr, *n, *concurrency, *batch, *delta, *seed, models); err != nil {
+	var err error
+	if *ramp != "" {
+		p := *peak
+		if p <= 0 {
+			p = 5 * *rate
+		}
+		first := ""
+		if len(models) > 0 {
+			first = models[0]
+		}
+		err = runRamp(*addr, *ramp, first, *rate, p, *duration, *batch, *seed)
+	} else {
+		err = run(*addr, *n, *concurrency, *batch, *delta, *seed, models)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
+}
+
+// profileRate is λ(t): the offered rate at time t into the run.
+func profileRate(profile string, base, peak float64, t, dur time.Duration) float64 {
+	frac := float64(t) / float64(dur)
+	switch profile {
+	case "step": // base, then a sustained step to peak, then base
+		if frac >= 0.25 && frac < 0.75 {
+			return peak
+		}
+		return base
+	case "spike": // a short burst at the midpoint
+		if frac >= 0.5 && frac < 0.6 {
+			return peak
+		}
+		return base
+	case "sine": // one smooth period between base and peak
+		return base + (peak-base)*(1-math.Cos(2*math.Pi*frac))/2
+	default:
+		return base
+	}
+}
+
+// sloTrajectory is the slice of /v2/models/{name}/slo the trajectory
+// printer reads.
+type sloTrajectory struct {
+	Control *struct {
+		Rung       int    `json:"rung"`
+		MaxRung    int    `json:"max_rung"`
+		MaxExit    int    `json:"max_exit"`
+		LastAction string `json:"last_action"`
+		Window     struct {
+			P99LatencyMS  float64 `json:"p99_latency_ms"`
+			MeanExitDepth float64 `json:"mean_exit_depth"`
+			Sheds         int64   `json:"sheds"`
+		} `json:"window"`
+	} `json:"control"`
+}
+
+// runRamp offers traffic open-loop along a scripted profile and prints
+// the server-side controller trajectory alongside the client's view.
+func runRamp(addr, profile, model string, base, peak float64, dur time.Duration, batch int, seed int64) error {
+	switch profile {
+	case "step", "spike", "sine":
+	default:
+		return fmt.Errorf("unknown -ramp profile %q (want step, spike or sine)", profile)
+	}
+	if batch < 1 {
+		return fmt.Errorf("batch must be positive")
+	}
+	const datasetN = 2048
+	if batch > datasetN {
+		return fmt.Errorf("batch %d exceeds the ramp dataset size %d", batch, datasetN)
+	}
+	_, testImgs, err := cdl.GenerateMNISTImages(1, datasetN, seed)
+	if err != nil {
+		return err
+	}
+	pixels := make([][]float64, len(testImgs))
+	for i, img := range testImgs {
+		pixels[i] = img.Pixels
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Traffic and the printed trajectory must watch the same entry: an
+	// explicit -model drives that entry's v2 surface; otherwise /v1 hits
+	// the default entry, resolved here so its /slo can be polled.
+	url := addr + "/v1/classify"
+	if model != "" {
+		url = addr + "/v2/models/" + model + "/classify"
+	} else {
+		resp, err := client.Get(addr + "/v2/models")
+		if err != nil {
+			return err
+		}
+		var list struct {
+			Default string `json:"default"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		model = list.Default
+	}
+
+	var sent, ok, shed, failed, exitSum, okImgs atomic.Int64
+	fire := func(lo int) {
+		body, err := json.Marshal(classifyRequest{Images: pixels[lo : lo+batch]})
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		payload, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			shed.Add(1)
+		case resp.StatusCode != http.StatusOK || rerr != nil:
+			failed.Add(1)
+		default:
+			var out classifyResponse
+			if json.Unmarshal(payload, &out) != nil {
+				failed.Add(1)
+				return
+			}
+			ok.Add(1)
+			okImgs.Add(int64(out.Count))
+			for _, r := range out.Results {
+				exitSum.Add(int64(r.ExitIndex))
+			}
+		}
+	}
+
+	fmt.Printf("ramp %s: %s for %v, %.0f → %.0f images/s, batch %d, model %q\n",
+		profile, addr, dur, base, peak, batch, model)
+	fmt.Printf("%8s %9s %9s %7s %6s %6s %9s %6s %9s %8s %s\n",
+		"t", "offered/s", "okreq", "shed", "fail", "rung", "max_exit", "depth", "srv_p99", "srv_shed", "action")
+
+	start := time.Now()
+	tick := 10 * time.Millisecond
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	report := time.NewTicker(500 * time.Millisecond)
+	defer report.Stop()
+	// Bound in-flight requests so an overloaded server degrades the
+	// generator gracefully instead of exhausting client sockets.
+	sem := make(chan struct{}, 512)
+	var wg sync.WaitGroup
+	owed := 0.0
+	next := 0
+	for {
+		now := time.Since(start)
+		if now >= dur {
+			break
+		}
+		select {
+		case <-ticker.C:
+			owed += profileRate(profile, base, peak, now, dur) * tick.Seconds()
+			for owed >= float64(batch) {
+				owed -= float64(batch)
+				lo := next % (len(pixels) - batch + 1)
+				next += batch
+				sent.Add(1)
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func(lo int) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						fire(lo)
+					}(lo)
+				default:
+					// Client-side backpressure: count it as a shed — the
+					// server is so far behind that 512 requests are in
+					// flight.
+					shed.Add(1)
+				}
+			}
+		case <-report.C:
+			var traj sloTrajectory
+			srvP99, srvShed, rung, maxExit, action, depth := 0.0, int64(0), -1, -1, "-", 0.0
+			if resp, err := client.Get(addr + "/v2/models/" + model + "/slo"); err == nil {
+				if json.NewDecoder(resp.Body).Decode(&traj) == nil && traj.Control != nil {
+					srvP99 = traj.Control.Window.P99LatencyMS
+					srvShed = traj.Control.Window.Sheds
+					rung = traj.Control.Rung
+					maxExit = traj.Control.MaxExit
+					action = traj.Control.LastAction
+					depth = traj.Control.Window.MeanExitDepth
+				}
+				resp.Body.Close()
+			}
+			fmt.Printf("%8s %9.0f %9d %7d %6d %6d %9d %6.2f %8.1fms %8d %s\n",
+				now.Round(100*time.Millisecond), profileRate(profile, base, peak, now, dur),
+				ok.Load(), shed.Load(), failed.Load(), rung, maxExit, depth, srvP99, srvShed, action)
+		}
+	}
+	wg.Wait()
+	images := okImgs.Load()
+	fmt.Printf("\noffered %d requests; %d ok, %d shed, %d failed\n",
+		sent.Load(), ok.Load(), shed.Load(), failed.Load())
+	if images > 0 {
+		fmt.Printf("client-observed mean exit depth: %.3f over %d images\n",
+			float64(exitSum.Load())/float64(images), images)
+	}
+	return nil
 }
 
 func run(addr string, n, concurrency, batch int, delta float64, seed int64, models []string) error {

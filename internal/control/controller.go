@@ -1,0 +1,321 @@
+package control
+
+// controller.go is the decision half of the feedback loop: a clock-free,
+// single-owner state machine stepped once per tick with a telemetry
+// Sample. The loop is AIMD-shaped with hysteresis:
+//
+//   - any violated target shallows the policy immediately (bounded by
+//     MaxStep rungs per tick), because overload compounds — queue growth
+//     is integral, so reaction must be prompt;
+//   - recovery is deliberate: every active target must sit below
+//     RecoverMargin of its threshold for RecoverHold consecutive ticks
+//     before the policy deepens one step, so a load hovering at the
+//     target parks at a stable rung instead of oscillating around it;
+//   - every deepening step opens a probation window: if it provokes a
+//     violation within ProbationTicks, the next recovery attempt must
+//     wait exponentially longer (doubling up to MaxRecoverHold). A load
+//     that sits exactly between two rungs' capacities — where margin
+//     hysteresis alone would limit-cycle, because the shallow rung looks
+//     entirely comfortable — decays into an occasional probe instead of
+//     an oscillation. A probation survived cleanly resets the backoff.
+//
+// The constants are defaults, not magic: sim_test.go drives the loop
+// against scripted arrival traces and pins convergence, hysteresis and
+// bounded-step safety for exactly these values.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cdl/internal/core"
+)
+
+// Action is what a controller tick did to the policy.
+type Action string
+
+const (
+	// ActionHold left the policy unchanged.
+	ActionHold Action = "hold"
+	// ActionShallow stepped the policy toward cheaper, shallower exits.
+	ActionShallow Action = "shallow"
+	// ActionDeepen stepped the policy back toward the trained cascade.
+	ActionDeepen Action = "deepen"
+)
+
+// Sample is one tick's telemetry input, usually assembled from a
+// Window.Snapshot plus the live queue occupancy.
+type Sample struct {
+	// P99LatencyMS is the windowed p99 queue+service latency.
+	P99LatencyMS float64
+	// QueueFrac is the current work-queue occupancy in [0,1].
+	QueueFrac float64
+	// MeanEnergyPJ is the windowed mean dynamic energy per image.
+	MeanEnergyPJ float64
+	// Images is how many classified inputs back the latency/energy
+	// numbers — below Config.MinSamples those signals are ignored.
+	Images int64
+	// Arrivals is the offered load in the same window (admitted or
+	// not). It distinguishes a starved system (demand arriving, nothing
+	// completing — the latency signal is silent exactly because the
+	// overload is total) from an idle one when the windowed signals are
+	// too thin to evaluate.
+	Arrivals int64
+}
+
+// Config shapes the controller dynamics. The zero value selects the
+// sim-tested defaults.
+type Config struct {
+	// Interval is the owner's tick period (the controller itself is
+	// clock-free; serve's loop and the flag surface read this). Default
+	// 200ms.
+	Interval time.Duration
+	// MaxStep bounds how many rungs one tick may move in either
+	// direction. Default 1.
+	MaxStep int
+	// RecoverMargin is the fraction of a target a signal must stay under
+	// to count as headroom (hysteresis band). Default 0.85.
+	RecoverMargin float64
+	// RecoverHold is how many consecutive headroom ticks precede one
+	// deepening step. Default 3.
+	RecoverHold int
+	// ProbationTicks is how long after a deepening step a violation is
+	// blamed on that step (and doubles the next recovery wait). Default 5.
+	ProbationTicks int
+	// MaxRecoverHold caps the exponential recovery backoff. Default 60.
+	MaxRecoverHold int
+	// MinSamples is the minimum windowed image count for the latency and
+	// energy signals to be trusted (queue occupancy is always live).
+	// Default 8.
+	MinSamples int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 1
+	}
+	if c.RecoverMargin <= 0 || c.RecoverMargin >= 1 {
+		c.RecoverMargin = 0.85
+	}
+	if c.RecoverHold <= 0 {
+		c.RecoverHold = 3
+	}
+	if c.ProbationTicks <= 0 {
+		c.ProbationTicks = 5
+	}
+	if c.MaxRecoverHold <= 0 {
+		c.MaxRecoverHold = 60
+	}
+	if c.MaxRecoverHold < c.RecoverHold {
+		c.MaxRecoverHold = c.RecoverHold
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	return c
+}
+
+// Ladder builds the monotone actuation axis for a cascade with numStages
+// stages: rung 0 is the identity policy (trained δ, full depth); rung k
+// caps the cascade at exit point numStages−k, so each step up strictly
+// reduces the worst-case work per input. floor is
+// SLO.AccuracyFloorDelta: the fraction of exit points that must stay
+// reachable — it truncates the ladder's deep end.
+func Ladder(numStages int, floor float64) []core.ExitPolicy {
+	if numStages < 1 {
+		return []core.ExitPolicy{core.DefaultExitPolicy()}
+	}
+	if floor < 0 {
+		floor = 0
+	} else if floor > 1 {
+		floor = 1
+	}
+	minExit := int(math.Ceil(floor * float64(numStages)))
+	rungs := []core.ExitPolicy{core.DefaultExitPolicy()}
+	for me := numStages - 1; me >= minExit; me-- {
+		rungs = append(rungs, core.DepthCapped(me))
+	}
+	return rungs
+}
+
+// Decision is one tick's outcome.
+type Decision struct {
+	Action Action
+	// Rung is the post-tick ladder position.
+	Rung int
+	// Policy is the post-tick effective exit policy.
+	Policy core.ExitPolicy
+}
+
+// State is an observability snapshot of the controller.
+type State struct {
+	SLO        SLO             `json:"slo"`
+	Rung       int             `json:"rung"`
+	MaxRung    int             `json:"max_rung"`
+	Policy     core.ExitPolicy `json:"-"`
+	LastAction Action          `json:"last_action"`
+	Ticks      int64           `json:"ticks"`
+	Violations int64           `json:"violations"`
+	// RecoverHold is the current (possibly backed-off) number of
+	// headroom ticks the next deepening step requires.
+	RecoverHold int `json:"recover_hold"`
+}
+
+// Controller is the per-entry feedback loop state. It is clock-free and
+// NOT safe for concurrent use — the owner (serve's control loop, the sim
+// harness) serializes Step/State calls.
+type Controller struct {
+	cfg    Config
+	slo    SLO
+	ladder []core.ExitPolicy
+
+	rung       int
+	holdGood   int
+	holdNeeded int
+	probation  int
+	lastAction Action
+	ticks      int64
+	violations int64
+}
+
+// New validates the SLO against the ladder and returns a controller at
+// rung 0 (identity policy).
+func New(slo SLO, ladder []core.ExitPolicy, cfg Config) (*Controller, error) {
+	if err := slo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ladder) < 2 {
+		return nil, fmt.Errorf("control: ladder has %d rung(s); the accuracy floor leaves the controller nothing to actuate", len(ladder))
+	}
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:        cfg,
+		slo:        slo,
+		ladder:     append([]core.ExitPolicy(nil), ladder...),
+		holdNeeded: cfg.RecoverHold,
+		lastAction: ActionHold,
+	}, nil
+}
+
+// Config returns the defaults-filled dynamics configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SLO returns the controller's targets.
+func (c *Controller) SLO() SLO { return c.slo }
+
+// Policy returns the current effective exit policy.
+func (c *Controller) Policy() core.ExitPolicy { return c.ladder[c.rung] }
+
+// MaxRung returns the deepest reachable rung index.
+func (c *Controller) MaxRung() int { return len(c.ladder) - 1 }
+
+// State snapshots the controller for /statsz and the /slo endpoint.
+func (c *Controller) State() State {
+	return State{
+		SLO:         c.slo,
+		Rung:        c.rung,
+		MaxRung:     c.MaxRung(),
+		Policy:      c.ladder[c.rung],
+		LastAction:  c.lastAction,
+		Ticks:       c.ticks,
+		Violations:  c.violations,
+		RecoverHold: c.holdNeeded,
+	}
+}
+
+// evaluate classifies a sample against the targets: violated means some
+// target is exceeded; comfortable means every active target sits below
+// its hysteresis margin (the only state that ever deepens the policy).
+func (c *Controller) evaluate(s Sample) (violated, comfortable bool) {
+	comfortable = true
+	checked := false
+	check := func(val, target float64) {
+		if target <= 0 {
+			return
+		}
+		checked = true
+		if val > target {
+			violated = true
+		}
+		if val > c.cfg.RecoverMargin*target {
+			comfortable = false
+		}
+	}
+	// Latency and energy are windowed statistics: on a near-empty window
+	// they are noise, so they are only consulted above MinSamples. Queue
+	// occupancy is an instantaneous reading and always counts — it is
+	// also the signal that still works when the window is empty because
+	// the queue is too backed up to complete anything.
+	if s.Images >= c.cfg.MinSamples {
+		check(s.P99LatencyMS, c.slo.P99LatencyMs)
+		check(s.MeanEnergyPJ, c.slo.EnergyBudgetPJ)
+	}
+	check(s.QueueFrac, c.slo.MaxQueueFrac)
+	if !checked {
+		// Every configured target was skipped for thin samples (a
+		// latency/energy-only SLO with a starved window). Demand with no
+		// completions IS the overload signal — the window is empty
+		// precisely because nothing finishes — so deepening here would
+		// undo the mitigation at the worst moment. No demand means
+		// genuinely idle: recover.
+		if s.Arrivals >= c.cfg.MinSamples {
+			return true, false
+		}
+	}
+	return violated, comfortable
+}
+
+// Step advances the loop one tick. Rung movement is bounded by
+// cfg.MaxStep in both directions.
+func (c *Controller) Step(s Sample) Decision {
+	c.ticks++
+	violated, comfortable := c.evaluate(s)
+	if c.probation > 0 {
+		c.probation--
+		switch {
+		case violated:
+			// The last deepening step didn't hold: back off the next
+			// recovery attempt exponentially, so a load sitting between
+			// two rungs' capacities decays into an occasional probe
+			// instead of a limit cycle.
+			c.holdNeeded = min(c.holdNeeded*2, c.cfg.MaxRecoverHold)
+			c.probation = 0
+		case c.probation == 0:
+			// Probation survived cleanly: the deeper rung is genuinely
+			// affordable again.
+			c.holdNeeded = c.cfg.RecoverHold
+		}
+	}
+	action := ActionHold
+	switch {
+	case violated:
+		c.violations++
+		c.holdGood = 0
+		if step := min(c.cfg.MaxStep, c.MaxRung()-c.rung); step > 0 {
+			c.rung += step
+			action = ActionShallow
+		}
+	case comfortable:
+		if c.rung == 0 {
+			c.holdGood = 0
+			break
+		}
+		c.holdGood++
+		if c.holdGood >= c.holdNeeded {
+			c.holdGood = 0
+			c.rung -= min(c.cfg.MaxStep, c.rung)
+			c.probation = c.cfg.ProbationTicks
+			action = ActionDeepen
+		}
+	default:
+		// Inside the hysteresis band: neither violating nor comfortable.
+		// Hold, and restart the recovery count — deepening from here
+		// would re-enter violation immediately.
+		c.holdGood = 0
+	}
+	c.lastAction = action
+	return Decision{Action: action, Rung: c.rung, Policy: c.ladder[c.rung]}
+}

@@ -1,0 +1,149 @@
+package control
+
+// slo.go declares what the operator wants the serving system to hold and
+// how far it may bend the model to hold it. An SLO is attached to a
+// registry entry (serve.Registry.SetSLO, PUT /v2/models/{name}/slo or
+// `cdlserve -slo ...`); the Controller then trades cascade depth for the
+// declared targets.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO declares per-entry serving targets. Zero-valued fields are inactive
+// ("no target"); at least one of the three targets must be set for a
+// controller to attach.
+type SLO struct {
+	// P99LatencyMs is the p99 queue+service latency target in
+	// milliseconds, measured over the telemetry window.
+	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
+	// MaxQueueFrac is the maximum tolerated work-queue occupancy in
+	// [0,1] — the early-warning signal that fires before latency does.
+	MaxQueueFrac float64 `json:"max_queue_frac,omitempty"`
+	// EnergyBudgetPJ is the mean dynamic energy budget per image in pJ
+	// over the telemetry window — the edge deployment's battery knob.
+	EnergyBudgetPJ float64 `json:"energy_budget_pj,omitempty"`
+	// AccuracyFloorDelta bounds how much accuracy the controller may
+	// trade away, expressed on the actuation axis: the fraction of the
+	// cascade's exit points that must stay reachable. 0.5 on a 4-stage
+	// cascade keeps MaxExit ≥ 2; 0 (the default) lets overload push every
+	// input to the first exit. True accuracy is unobservable online (no
+	// labels), so the floor constrains the policy excursion — the paper's
+	// Fig. 10 maps depth to accuracy offline.
+	AccuracyFloorDelta float64 `json:"accuracy_floor_delta,omitempty"`
+}
+
+// Active reports whether any target is set.
+func (s SLO) Active() bool {
+	return s.P99LatencyMs > 0 || s.MaxQueueFrac > 0 || s.EnergyBudgetPJ > 0
+}
+
+// Validate rejects non-finite, negative and out-of-range fields, and an
+// SLO with no target at all.
+func (s SLO) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("control: %s %v must be a finite value ≥ 0", name, v)
+		}
+		return nil
+	}
+	if err := check("p99_latency_ms", s.P99LatencyMs); err != nil {
+		return err
+	}
+	if err := check("max_queue_frac", s.MaxQueueFrac); err != nil {
+		return err
+	}
+	if s.MaxQueueFrac > 1 {
+		return fmt.Errorf("control: max_queue_frac %v outside [0,1]", s.MaxQueueFrac)
+	}
+	if err := check("energy_budget_pj", s.EnergyBudgetPJ); err != nil {
+		return err
+	}
+	if err := check("accuracy_floor_delta", s.AccuracyFloorDelta); err != nil {
+		return err
+	}
+	if s.AccuracyFloorDelta > 1 {
+		return fmt.Errorf("control: accuracy_floor_delta %v outside [0,1]", s.AccuracyFloorDelta)
+	}
+	if !s.Active() {
+		return fmt.Errorf("control: SLO declares no target (set p99, queue or energy)")
+	}
+	return nil
+}
+
+// String renders the SLO in ParseSLO's flag syntax.
+func (s SLO) String() string {
+	var parts []string
+	if s.P99LatencyMs > 0 {
+		parts = append(parts, fmt.Sprintf("p99=%gms", s.P99LatencyMs))
+	}
+	if s.MaxQueueFrac > 0 {
+		parts = append(parts, fmt.Sprintf("queue=%g", s.MaxQueueFrac))
+	}
+	if s.EnergyBudgetPJ > 0 {
+		parts = append(parts, fmt.Sprintf("energy=%g", s.EnergyBudgetPJ))
+	}
+	if s.AccuracyFloorDelta > 0 {
+		parts = append(parts, fmt.Sprintf("floor=%g", s.AccuracyFloorDelta))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSLO parses the `-slo` flag syntax: comma-separated key=value pairs
+// with keys p99 (a duration like "15ms" or a bare millisecond count),
+// queue (occupancy fraction in (0,1]), energy (mean pJ/image) and floor
+// (reachable exit-point fraction in [0,1]).
+//
+//	cdlserve -slo p99=15ms,energy=2.5e9
+//	cdlserve -slo queue=0.8,floor=0.5
+func ParseSLO(s string) (SLO, error) {
+	var slo SLO
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return SLO{}, fmt.Errorf("control: SLO term %q is not key=value", part)
+		}
+		switch strings.TrimSpace(key) {
+		case "p99":
+			if d, err := time.ParseDuration(val); err == nil {
+				slo.P99LatencyMs = float64(d) / float64(time.Millisecond)
+			} else if ms, ferr := strconv.ParseFloat(val, 64); ferr == nil {
+				slo.P99LatencyMs = ms
+			} else {
+				return SLO{}, fmt.Errorf("control: p99 %q is neither a duration nor milliseconds", val)
+			}
+		case "queue":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return SLO{}, fmt.Errorf("control: queue %q: %v", val, err)
+			}
+			slo.MaxQueueFrac = f
+		case "energy":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return SLO{}, fmt.Errorf("control: energy %q: %v", val, err)
+			}
+			slo.EnergyBudgetPJ = f
+		case "floor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return SLO{}, fmt.Errorf("control: floor %q: %v", val, err)
+			}
+			slo.AccuracyFloorDelta = f
+		default:
+			return SLO{}, fmt.Errorf("control: unknown SLO key %q (want p99, queue, energy or floor)", key)
+		}
+	}
+	if err := slo.Validate(); err != nil {
+		return SLO{}, err
+	}
+	return slo, nil
+}

@@ -1,0 +1,82 @@
+package control
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SLO
+	}{
+		{"p99=15ms", SLO{P99LatencyMs: 15}},
+		{"p99=1.5s", SLO{P99LatencyMs: 1500}},
+		{"p99=25", SLO{P99LatencyMs: 25}},
+		{"queue=0.8", SLO{MaxQueueFrac: 0.8}},
+		{"energy=2.5e9", SLO{EnergyBudgetPJ: 2.5e9}},
+		{"p99=15ms, energy=2.5e9, queue=0.9, floor=0.5",
+			SLO{P99LatencyMs: 15, EnergyBudgetPJ: 2.5e9, MaxQueueFrac: 0.9, AccuracyFloorDelta: 0.5}},
+	} {
+		got, err := ParseSLO(tc.in)
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSLORejects(t *testing.T) {
+	for _, in := range []string{
+		"",                 // no targets
+		"floor=0.5",        // floor alone is no target
+		"p99",              // not key=value
+		"p99=banana",       // unparseable
+		"frogs=1",          // unknown key
+		"queue=1.5",        // out of range
+		"queue=-0.1",       // negative
+		"energy=-1",        // negative
+		"p99=-5ms",         // negative duration
+		"floor=2,p99=15ms", // floor out of range
+	} {
+		if _, err := ParseSLO(in); err == nil {
+			t.Errorf("ParseSLO(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestSLOValidate(t *testing.T) {
+	if err := (SLO{}).Validate(); err == nil {
+		t.Error("zero SLO validated, want 'no target' error")
+	}
+	if err := (SLO{P99LatencyMs: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN p99 validated, want error")
+	}
+	if err := (SLO{P99LatencyMs: math.Inf(1)}).Validate(); err == nil {
+		t.Error("Inf p99 validated, want error")
+	}
+	if err := (SLO{P99LatencyMs: 15, AccuracyFloorDelta: 0.5}).Validate(); err != nil {
+		t.Errorf("valid SLO rejected: %v", err)
+	}
+}
+
+func TestSLOStringRoundTrips(t *testing.T) {
+	slo := SLO{P99LatencyMs: 15, MaxQueueFrac: 0.8, EnergyBudgetPJ: 2.5e9, AccuracyFloorDelta: 0.25}
+	s := slo.String()
+	for _, want := range []string{"p99=15ms", "queue=0.8", "energy=2.5e+09", "floor=0.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	back, err := ParseSLO(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if back != slo {
+		t.Errorf("round trip %+v, want %+v", back, slo)
+	}
+}

@@ -96,13 +96,35 @@ func (s *Session) ResumeBatchPolicy(acts []*tensor.T, fromStage int, pol ExitPol
 // (survivor compaction reuses the batch buffers), so callers may hold all
 // of a batch's activations at once without serializing between samples.
 func (s *Session) ClassifyPrefixBatch(xs []*tensor.T, splitStage int, delta float64) []PrefixResult {
-	s.model.SplitPos(splitStage) // validates splitStage
+	return s.ClassifyPrefixBatchPolicy(xs, splitStage, deltaPolicy(delta))
+}
+
+// ClassifyPrefixBatchPolicy is ClassifyPrefixBatch under a full
+// ExitPolicy. A depth cap at or below the split stage resolves the whole
+// batch locally (every PrefixResult is Exited — nothing left to offload):
+// survivors of the conditional stages are forced out at the cap exactly
+// as ResumeBatchPolicy would, which is how an edge node sheds its offload
+// traffic under an SLO controller without touching the cloud tier.
+func (s *Session) ClassifyPrefixBatchPolicy(xs []*tensor.T, splitStage int, pol ExitPolicy) []PrefixResult {
+	c := s.model
+	c.SplitPos(splitStage) // validates splitStage
+	if pol.StageDeltas != nil && len(pol.StageDeltas) != len(c.Stages) {
+		panic(fmt.Sprintf("core: policy has %d stage deltas for %d stages", len(pol.StageDeltas), len(c.Stages)))
+	}
 	if len(xs) == 0 {
 		return nil
 	}
+	to, forcedAt := splitStage, -1
+	if maxExit := c.maxExit(pol); maxExit < splitStage {
+		to, forcedAt = maxExit, maxExit
+	}
 	recs := make([]ExitRecord, len(xs))
 	act, idx := s.stackBatch(xs, 0)
-	act, pos, idx := s.runStagesBatch(act, 0, 0, splitStage, deltaPolicy(delta), idx, recs)
+	act, pos, idx := s.runStagesBatch(act, 0, 0, to, pol, idx, recs)
+	if forcedAt >= 0 {
+		s.forcedExitBatch(act, pos, forcedAt, idx, recs, pol.Trace)
+		idx = idx[:0]
+	}
 	exited := make([]bool, len(xs))
 	for i := range exited {
 		exited[i] = true

@@ -48,6 +48,31 @@ func DefaultExitPolicy() ExitPolicy { return ExitPolicy{Delta: -1, MaxExit: -1} 
 // deltaPolicy is the internal bridge from the legacy single-δ entry points.
 func deltaPolicy(delta float64) ExitPolicy { return ExitPolicy{Delta: delta, MaxExit: -1} }
 
+// DepthCapped returns the policy that keeps the trained thresholds but
+// terminates the cascade at exit point maxExit unconditionally. This is
+// the monotone cost knob the SLO controller (internal/control) actuates:
+// under the exactly-one-score rule, cost is not monotone in δ (δ near 0
+// forces full depth just like δ=1), but removing exit points strictly
+// bounds the worst-case work per input.
+func DepthCapped(maxExit int) ExitPolicy { return ExitPolicy{Delta: -1, MaxExit: maxExit} }
+
+// Equal reports field-wise policy equality, including per-stage
+// thresholds.
+func (p ExitPolicy) Equal(o ExitPolicy) bool {
+	if p.Delta != o.Delta || p.MaxExit != o.MaxExit || p.Trace != o.Trace {
+		return false
+	}
+	if (p.StageDeltas == nil) != (o.StageDeltas == nil) || len(p.StageDeltas) != len(o.StageDeltas) {
+		return false
+	}
+	for i, d := range p.StageDeltas {
+		if d != o.StageDeltas[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ValidatePolicy checks a policy against this model: thresholds must be
 // finite and, when active, in [0,1] (a NaN would compare false against
 // every score and silently disable early exit); StageDeltas must match the

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPrefixPolicyDelegation pins that the policy-aware prefix with a
+// delta-only policy is exactly ClassifyPrefixBatch.
+func TestPrefixPolicyDelegation(t *testing.T) {
+	cdln, xs := splitCDLN(t, 61)
+	a, _ := NewSession(cdln)
+	b, _ := NewSession(cdln)
+	for split := 0; split <= len(cdln.Stages); split++ {
+		want := a.ClassifyPrefixBatch(xs, split, 0.55)
+		got := b.ClassifyPrefixBatchPolicy(xs, split, ExitPolicy{Delta: 0.55, MaxExit: -1})
+		for i := range want {
+			if want[i].Exited != got[i].Exited {
+				t.Fatalf("split %d sample %d: exited %v vs %v", split, i, got[i].Exited, want[i].Exited)
+			}
+			if want[i].Exited && !sameRecord(want[i].Record, got[i].Record) {
+				t.Fatalf("split %d sample %d: record %+v vs %+v", split, i, got[i].Record, want[i].Record)
+			}
+		}
+	}
+}
+
+// TestPrefixPolicyDepthCapBelowSplit is the edge tier's force-local
+// shed: a depth cap below the split stage must resolve every input
+// locally (all Exited, nothing to offload), with records identical to
+// the fully-local ResumeBatchPolicy under the same policy.
+func TestPrefixPolicyDepthCapBelowSplit(t *testing.T) {
+	cdln, xs := splitCDLN(t, 62)
+	if len(cdln.Stages) < 2 {
+		t.Fatalf("fixture has %d stages, want ≥ 2", len(cdln.Stages))
+	}
+	split := len(cdln.Stages) // edge owns the whole conditional cascade
+	for cap := 0; cap < split; cap++ {
+		pol := DepthCapped(cap)
+		a, _ := NewSession(cdln)
+		b, _ := NewSession(cdln)
+		want := a.ResumeBatchPolicy(xs, 0, pol)
+		got := b.ClassifyPrefixBatchPolicy(xs, split, pol)
+		for i := range got {
+			if !got[i].Exited {
+				t.Fatalf("cap %d sample %d: not exited — a capped prefix must resolve everything locally", cap, i)
+			}
+			if !sameRecord(got[i].Record, want[i]) {
+				t.Fatalf("cap %d sample %d: prefix record %+v != batched policy record %+v", cap, i, got[i].Record, want[i])
+			}
+			if got[i].Record.StageIndex > cap {
+				t.Fatalf("cap %d sample %d: exited at stage %d beyond the cap", cap, i, got[i].Record.StageIndex)
+			}
+		}
+	}
+}
+
+func TestDepthCappedAndEqual(t *testing.T) {
+	p := DepthCapped(2)
+	if p.Delta != -1 || p.MaxExit != 2 || p.Trace || p.StageDeltas != nil {
+		t.Fatalf("DepthCapped(2) = %+v", p)
+	}
+	if !p.Equal(DepthCapped(2)) {
+		t.Error("DepthCapped(2) != itself")
+	}
+	if p.Equal(DepthCapped(1)) || p.Equal(DefaultExitPolicy()) {
+		t.Error("distinct policies compare equal")
+	}
+	sd := ExitPolicy{Delta: -1, MaxExit: 2, StageDeltas: []float64{0.5, -1}}
+	if sd.Equal(p) || p.Equal(sd) {
+		t.Error("StageDeltas ignored by Equal")
+	}
+	sd2 := ExitPolicy{Delta: -1, MaxExit: 2, StageDeltas: []float64{0.5, -1}}
+	if !sd.Equal(sd2) {
+		t.Error("identical StageDeltas policies compare unequal")
+	}
+}

@@ -182,10 +182,29 @@ func (e *Edge) ClassifyDelta(x *tensor.T, delta float64) (Result, error) {
 // otherwise. Results are in input order and identical to per-sample
 // Classify calls.
 func (e *Edge) ClassifyBatch(xs []*tensor.T, delta float64) ([]Result, error) {
+	return e.ClassifyBatchPolicy(xs, core.ExitPolicy{Delta: delta, MaxExit: -1})
+}
+
+// ClassifyBatchPolicy is ClassifyBatch under an ExitPolicy, within what a
+// split deployment can honor: the offload wire carries only δ, so
+// per-stage thresholds and depth caps in the cloud's half of the cascade
+// cannot be forwarded and are rejected. A depth cap at or below the last
+// local stage resolves the whole batch on the edge (nothing offloads) —
+// the knob the SLO controller turns to shed the offload path under load.
+func (e *Edge) ClassifyBatchPolicy(xs []*tensor.T, pol core.ExitPolicy) ([]Result, error) {
+	if pol.StageDeltas != nil {
+		return nil, fmt.Errorf("edgecloud: per-stage deltas cannot be forwarded on the δ-only offload wire")
+	}
+	nStages := len(e.sess.Model().Stages)
+	if pol.MaxExit >= e.cfg.SplitStage && pol.MaxExit < nStages {
+		return nil, fmt.Errorf("edgecloud: policy depth cap %d lies in the cloud tier (split %d) and cannot be forwarded on the δ-only offload wire",
+			pol.MaxExit, e.cfg.SplitStage)
+	}
+	delta := pol.Delta
 	results := make([]Result, len(xs))
 	var payloads [][]byte
 	var deferred []int // index into xs of each offloaded input
-	for i, pre := range e.sess.ClassifyPrefixBatch(xs, e.cfg.SplitStage, delta) {
+	for i, pre := range e.sess.ClassifyPrefixBatchPolicy(xs, e.cfg.SplitStage, pol) {
 		if pre.Exited {
 			results[i] = e.localResult(pre.Record)
 			continue

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cdl/internal/control"
 	"cdl/internal/core"
 	"cdl/internal/energy"
 	"cdl/internal/serve"
@@ -40,6 +42,19 @@ type ServerConfig struct {
 	// same philosophy as serve's bounded queue). Default 1s.
 	AcquireTimeout time.Duration
 
+	// SLO, when active, attaches the same feedback controller the cloud
+	// registry runs (internal/control) to adapt the edge's offload
+	// split: under sustained pressure (busy workers, latency, energy)
+	// the controller caps the cascade below the split stage, resolving
+	// every input locally instead of queueing on a slow cloud, and
+	// restores the configured split when the pressure passes. Only
+	// requests without an explicit δ inherit the adapted policy.
+	SLO control.SLO
+	// ControlInterval is the controller tick period. Default 200ms.
+	ControlInterval time.Duration
+	// ControlWindow is the sliding telemetry span. Default 5s.
+	ControlWindow time.Duration
+
 	// ReadHeaderTimeout/IdleTimeout/MaxHeaderBytes harden ListenAndServe
 	// exactly as in serve.Config. Defaults 5s / 60s / 64 KiB.
 	ReadHeaderTimeout time.Duration
@@ -56,6 +71,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.AcquireTimeout == 0 {
 		c.AcquireTimeout = time.Second
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 200 * time.Millisecond
+	}
+	if c.ControlWindow <= 0 {
+		c.ControlWindow = 5 * time.Second
 	}
 	if c.ReadHeaderTimeout == 0 {
 		c.ReadHeaderTimeout = 5 * time.Second
@@ -97,6 +118,22 @@ type Server struct {
 	images   int64
 	local    int64
 	offload  int64
+	// lat is the cumulative whole-request latency histogram (local exits
+	// and cloud round trips alike), guarded by mu.
+	lat *control.Histogram
+
+	// The SLO control plane (nil/zero when no SLO is configured): the
+	// telemetry window, the controller behind ctrlMu, and the policy
+	// no-δ requests currently inherit.
+	window     *control.Window
+	ctrlMu     sync.Mutex
+	ctrl       *control.Controller
+	lastSample control.Sample
+	lastSnap   control.Snapshot
+	controlled atomic.Pointer[core.ExitPolicy]
+	stopCtrl   chan struct{}
+	ctrlDone   chan struct{}
+	closeOnce  sync.Once
 }
 
 // NewServer builds cfg.Workers Edge runtimes, each with its own transport
@@ -121,6 +158,7 @@ func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg
 		edges:   make(chan *Edge, cfg.Workers),
 		started: time.Now(),
 		acc:     costs.NewAccumulator(),
+		lat:     control.NewHistogram(),
 	}
 	s.inWidth = 1
 	for _, d := range model.Arch.Net.InShape {
@@ -137,6 +175,21 @@ func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg
 		}
 		s.edges <- e
 	}
+	if cfg.SLO.Active() {
+		ladder := edgeLadder(len(model.Stages), edgeCfg.SplitStage, cfg.SLO.AccuracyFloorDelta)
+		ctrl, err := control.New(cfg.SLO, ladder, control.Config{Interval: cfg.ControlInterval})
+		if err != nil {
+			return nil, fmt.Errorf("edgecloud: SLO on split %d: %w", edgeCfg.SplitStage, err)
+		}
+		buckets := 10
+		s.window = control.NewWindow(model.NumExits(), control.WindowConfig{
+			Buckets: buckets, BucketDur: cfg.ControlWindow / time.Duration(buckets),
+		})
+		s.ctrl = ctrl
+		s.stopCtrl = make(chan struct{})
+		s.ctrlDone = make(chan struct{})
+		go s.controlLoop()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -144,8 +197,105 @@ func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg
 	return s, nil
 }
 
+// edgeLadder restricts the control ladder to rungs an edge can actuate
+// alone: the identity policy plus depth caps strictly below the split
+// stage (a cap in the cloud's half cannot ride the δ-only offload wire).
+// Rung 1 therefore already resolves every input locally — the edge's
+// actuation is exactly its offload split.
+func edgeLadder(numStages, splitStage int, floor float64) []core.ExitPolicy {
+	full := control.Ladder(numStages, floor)
+	out := full[:1:1]
+	for _, p := range full[1:] {
+		if p.MaxExit < splitStage {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the SLO control loop (idempotent; the HTTP layer is the
+// caller's to stop, as with serve.Server).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopCtrl != nil {
+			close(s.stopCtrl)
+			<-s.ctrlDone
+		}
+	})
+}
+
+// controlLoop ticks the offload-split controller until Close.
+func (s *Server) controlLoop() {
+	defer close(s.ctrlDone)
+	t := time.NewTicker(s.cfg.ControlInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCtrl:
+			return
+		case <-t.C:
+			s.controlTick()
+		}
+	}
+}
+
+// controlTick runs one telemetry → decision → actuation pass. The edge's
+// queue-occupancy analogue is worker exhaustion: a slow cloud holds every
+// Edge for its transport timeout, so busy-worker fraction is the earliest
+// pressure signal.
+func (s *Server) controlTick() {
+	snap := s.window.Snapshot()
+	sample := control.Sample{
+		P99LatencyMS: snap.P99LatencyMS,
+		QueueFrac:    float64(s.cfg.Workers-len(s.edges)) / float64(s.cfg.Workers),
+		MeanEnergyPJ: snap.MeanEnergyPJ,
+		Images:       snap.Images,
+		Arrivals:     snap.Arrivals,
+	}
+	s.ctrlMu.Lock()
+	dec := s.ctrl.Step(sample)
+	s.lastSample, s.lastSnap = sample, snap
+	s.ctrlMu.Unlock()
+	cur := s.controlled.Load()
+	if cur == nil || !cur.Equal(dec.Policy) {
+		p := dec.Policy
+		s.controlled.Store(&p)
+	}
+}
+
+// controlStatus snapshots the controller (nil when no SLO is attached),
+// in the same wire shape as the cloud registry's.
+func (s *Server) controlStatus() *serve.ControlStatus {
+	if s.ctrl == nil {
+		return nil
+	}
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	st := s.ctrl.State()
+	delta := st.Policy.Delta
+	if delta < 0 {
+		if delta = s.edgeCfg.Delta; delta < 0 {
+			delta = s.model.Delta
+		}
+	}
+	return &serve.ControlStatus{
+		Model:       s.cfg.ModelName,
+		SLO:         st.SLO,
+		Rung:        st.Rung,
+		MaxRung:     st.MaxRung,
+		Delta:       delta,
+		MaxExit:     st.Policy.MaxExit,
+		LastAction:  string(st.LastAction),
+		Ticks:       st.Ticks,
+		Violations:  st.Violations,
+		RecoverHold: st.RecoverHold,
+		QueueFrac:   s.lastSample.QueueFrac,
+		Window:      s.lastSnap,
+	}
+}
 
 // Stats is the edge /statsz payload.
 type Stats struct {
@@ -165,13 +315,22 @@ type Stats struct {
 	SplitStage int    `json:"split_stage"`
 	Encoding   string `json:"encoding"`
 
+	// Latency is the whole-request per-image latency (local exits and
+	// cloud round trips alike) over the server's lifetime.
+	Latency serve.LatencyStats `json:"latency"`
+
 	// Tier is the tiered energy view: offload fraction, per-tier pJ,
 	// wire bytes.
 	Tier energy.TieredSummary `json:"tier"`
+
+	// Control is the offload-split controller's state (absent without an
+	// SLO).
+	Control *serve.ControlStatus `json:"control,omitempty"`
 }
 
 // Stats snapshots the live counters.
 func (s *Server) Stats() Stats {
+	ctrl := s.controlStatus()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -185,7 +344,9 @@ func (s *Server) Stats() Stats {
 		Offloads:      s.offload,
 		SplitStage:    s.edgeCfg.SplitStage,
 		Encoding:      s.edgeCfg.Encoding.String(),
+		Latency:       serve.SummarizeLatency(s.lat),
 		Tier:          s.acc.Summary(),
+		Control:       ctrl,
 	}
 }
 
@@ -223,9 +384,20 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if delta < 0 {
-		delta = s.edgeCfg.Delta
+	// Requests without an explicit δ inherit the offload-split
+	// controller's current policy (identity = the configured split);
+	// an explicit δ always bypasses the controller, as on the cloud
+	// tier.
+	pol := core.ExitPolicy{Delta: s.edgeCfg.Delta, MaxExit: -1}
+	if req.Delta != nil {
+		pol.Delta = delta
+	} else if p := s.controlled.Load(); p != nil {
+		pol.MaxExit = p.MaxExit
 	}
+	if s.window != nil {
+		s.window.Arrivals(len(images))
+	}
+	start := time.Now()
 
 	// Acquire a worker with a bounded wait: a slow cloud can hold every
 	// edge for its transport timeout, and the backlog must be shed, not
@@ -242,7 +414,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
-			serve.WriteError(w, http.StatusServiceUnavailable, "all edge workers busy")
+			if s.window != nil {
+				s.window.Sheds(len(images))
+			}
+			serve.WriteShed(w, "all edge workers busy")
 			return
 		}
 	}
@@ -254,7 +429,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	// One batched cloud round trip for all of this request's offloads
 	// (HTTPTransport implements BatchTransport).
-	results, err := edge.ClassifyBatch(xs, delta)
+	results, err := edge.ClassifyBatchPolicy(xs, pol)
 	if err != nil {
 		s.mu.Lock()
 		s.cloudErr++
@@ -262,6 +437,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	elapsedMS := float64(time.Since(start)) / float64(time.Millisecond)
 
 	s.mu.Lock()
 	s.requests++
@@ -272,10 +448,18 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.local++
 		}
+		s.lat.Observe(elapsedMS)
 		// Records validated by Edge.ClassifyDelta against the same model.
 		_ = s.acc.Add(res.Record, res.WireBytes)
 	}
 	s.mu.Unlock()
+	if s.window != nil {
+		obs := make([]control.Obs, len(results))
+		for i, res := range results {
+			obs[i] = control.Obs{LatencyMS: elapsedMS, ExitIndex: res.Record.StageIndex, EnergyPJ: res.TotalPJ()}
+		}
+		s.window.ObserveBatch(obs)
+	}
 
 	resp := serve.ClassifyResponse{Results: make([]serve.ClassifyResult, len(results)), Count: len(results)}
 	for i, res := range results {
@@ -312,6 +496,7 @@ type healthResponse struct {
 	Cloud         string  `json:"cloud,omitempty"`
 	CloudModel    string  `json:"cloud_model,omitempty"`
 	Workers       int     `json:"workers"`
+	SLO           string  `json:"slo,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -332,6 +517,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cloud:         s.cfg.CloudURL,
 		CloudModel:    s.cfg.CloudModel,
 		Workers:       s.cfg.Workers,
+		SLO:           s.cfg.SLO.String(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
@@ -342,12 +528,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 // ListenAndServe runs the edge front on addr until stop is closed, then
 // shuts down gracefully, with the same slow-client hardening as the cloud
-// server (serve.ListenHardened).
+// server (serve.ListenHardened). The SLO control loop (when configured)
+// stops with the HTTP layer.
 func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
 	hard := serve.HTTPHardening{
 		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
 		IdleTimeout:       s.cfg.IdleTimeout,
 		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
-	return serve.ListenHardened(addr, s.mux, stop, hard, nil)
+	return serve.ListenHardened(addr, s.mux, stop, hard, s.Close)
 }

@@ -95,6 +95,16 @@ func (a *Accumulator) Count() int64 { return a.count }
 // TotalEnergy returns the summed pJ over all inputs charged so far.
 func (a *Accumulator) TotalEnergy() float64 { return a.total }
 
+// MeanEnergy returns the mean pJ per charged input (0 before any Add) —
+// the windowless counterpart of the telemetry the SLO controller's energy
+// target is evaluated against.
+func (a *Accumulator) MeanEnergy() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.total / float64(a.count)
+}
+
 // BaselineEnergy returns the pJ cost of one unconditioned baseline pass.
 func (a *Accumulator) BaselineEnergy() float64 { return a.baseline }
 

@@ -49,6 +49,9 @@ func TestAccumulatorMatchesFromEval(t *testing.T) {
 	if math.Abs(got.MeanEnergy-want.MeanEnergy) > 1e-6 {
 		t.Errorf("mean %v != FromEval %v", got.MeanEnergy, want.MeanEnergy)
 	}
+	if math.Abs(acc.MeanEnergy()-got.MeanEnergy) > 1e-12 {
+		t.Errorf("MeanEnergy() %v != Summary().MeanEnergy %v", acc.MeanEnergy(), got.MeanEnergy)
+	}
 	if got.BaselineEnergy != want.BaselineEnergy {
 		t.Errorf("baseline %v != %v", got.BaselineEnergy, want.BaselineEnergy)
 	}

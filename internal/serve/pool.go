@@ -41,6 +41,13 @@ type job struct {
 	// cancelled is set (before wg.Done) when the job was dropped for a dead
 	// context; the handler discards the whole request and metrics skip it.
 	cancelled bool
+	// enqueued and started bound the job's queue wait: submit stamps
+	// enqueued (one clock read per request), the worker stamps started
+	// when its micro-batch begins. The per-batch done callback turns
+	// them into the queue/service latency histograms and the telemetry
+	// window the SLO controller reads.
+	enqueued time.Time
+	started  time.Time
 }
 
 // pool is the replica fan-out: a bounded job queue drained by one goroutine
@@ -95,7 +102,9 @@ func (p *pool) submit(ctx context.Context, jobs []*job) error {
 	if len(jobs) > cap(p.jobs)-len(p.jobs) {
 		return ErrOverloaded
 	}
+	now := time.Now()
 	for _, j := range jobs {
+		j.enqueued = now
 		j.wg.Add(1)
 		p.jobs <- j
 	}
@@ -157,9 +166,11 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 		}
 		batch = append(batch[:0], first)
 		p.collect(&batch)
+		started := time.Now()
 		claimed = claimed[:0]
 		remaining := 0
 		for _, j := range batch {
+			j.started = started
 			if j.ctx != nil && j.ctx.Err() != nil {
 				// Dead before compute: release the waiter, never classify.
 				j.cancelled = true

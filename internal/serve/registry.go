@@ -16,7 +16,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"cdl/internal/control"
 	"cdl/internal/core"
 	"cdl/internal/energy"
 	"cdl/internal/modelio"
@@ -43,6 +46,16 @@ type Model struct {
 	pool          *pool
 	metrics       *metrics
 	workers       int
+	// window is the sliding telemetry view the SLO controller reads
+	// (latency percentiles, exit depth, pJ/image over the last few
+	// seconds); it is fed per micro-batch alongside the cumulative
+	// metrics.
+	window *control.Window
+	// controlled is the exit policy inherited by requests that carry no
+	// explicit one: nil means the identity policy (trained behaviour),
+	// non-nil is the attached controller's current rung. Atomic because
+	// the control loop writes it while handlers read it.
+	controlled atomic.Pointer[core.ExitPolicy]
 }
 
 // newModel validates the CDLN, pre-clones cfg.Workers warm sessions and
@@ -73,8 +86,35 @@ func newModel(name string, version int, path string, cdln *core.CDLN, cfg Config
 		workers: cfg.Workers,
 	}
 	m.maxResumeWire = maxResumeWireSize(cdln)
-	m.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, m.metrics.observeBatch)
+	buckets := 10
+	m.window = control.NewWindow(cdln.NumExits(), control.WindowConfig{
+		Buckets:   buckets,
+		BucketDur: cfg.ControlWindow / time.Duration(buckets),
+	})
+	m.pool = newPool(sessions, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, m.onBatch)
 	return m, nil
+}
+
+// onBatch is the pool's per-micro-batch callback: it charges the
+// cumulative metrics and feeds the sliding telemetry window. One lock
+// acquisition each per batch, not per image.
+func (m *Model) onBatch(batch []*job) {
+	m.metrics.observeBatch(batch)
+	obs := make([]control.Obs, 0, len(batch))
+	now := time.Now()
+	for _, j := range batch {
+		if j.cancelled {
+			continue
+		}
+		obs = append(obs, control.Obs{
+			LatencyMS: float64(now.Sub(j.enqueued)) / float64(time.Millisecond),
+			ExitIndex: j.rec.StageIndex,
+			// ExitEnergy reads an immutable precomputed table — safe
+			// without the metrics lock.
+			EnergyPJ: m.metrics.acc.ExitEnergy(j.rec.StageIndex),
+		})
+	}
+	m.window.ObserveBatch(obs)
 }
 
 // Name returns the registry entry name.
@@ -105,6 +145,13 @@ type Registry struct {
 	versions    map[string]int // last assigned version per name, survives swaps
 	defaultName string
 	closed      bool
+
+	// ctrlMu guards the per-entry SLO controllers (control.go). Separate
+	// from mu: control ticks must never contend with the request path's
+	// model lookups.
+	ctrlMu     sync.Mutex
+	ctrls      map[string]*entryControl
+	closedCtrl bool
 }
 
 // NewRegistry returns an empty registry whose models will all be sized by
@@ -267,9 +314,11 @@ func (r *Registry) Models() []*Model {
 	return out
 }
 
-// Close retires every entry: pools are drained (queued work still
-// classifies) and later submissions shed with ErrClosed. Idempotent.
+// Close retires every entry: SLO control loops stop, pools are drained
+// (queued work still classifies) and later submissions shed with
+// ErrClosed. Idempotent.
 func (r *Registry) Close() {
+	r.closeControllers()
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()

@@ -19,8 +19,12 @@
 //	PUT  /v2/models/{model}              load-from-path hot-swap (admin surface)
 //	POST /v2/models/{model}/classify     classify on a named model under an ExitPolicy
 //	POST /v2/models/{model}/resume       resume on a named model under an ExitPolicy
+//	GET  /v2/models/{model}/slo          attached SLO + controller state (rung, δ, window)
+//	PUT  /v2/models/{model}/slo          attach/retarget the SLO feedback controller
+//	DELETE /v2/models/{model}/slo        detach the controller (restore trained behaviour)
 //	GET  /healthz                        liveness and model identity
-//	GET  /statsz                         live exit distribution, normalized OPS, 45 nm energy
+//	GET  /statsz                         live exit distribution, latency histograms, normalized
+//	                                     OPS, 45 nm energy, shed causes, controller state
 //
 // The /v1 routes are aliases onto the registry's default model with
 // responses bit-identical to the pre-registry single-model server (pinned
@@ -73,6 +77,14 @@ type Config struct {
 	// ModelName is reported by /healthz (e.g. the model file path).
 	ModelName string
 
+	// ControlInterval is the SLO controller tick period for entries with
+	// an attached SLO (Registry.SetSLO / PUT /v2/models/{name}/slo).
+	// Default 200ms.
+	ControlInterval time.Duration
+	// ControlWindow is the sliding telemetry span the controller's
+	// latency/energy signals are computed over. Default 5s.
+	ControlWindow time.Duration
+
 	// ReadHeaderTimeout bounds how long ListenAndServe waits for a
 	// client's request headers — without it a slowloris client can pin
 	// connections forever on a server whose whole point is shedding load
@@ -106,6 +118,12 @@ func (c Config) withDefaults() Config {
 	// than the queue could never be accepted.
 	if c.MaxRequestImages > c.QueueDepth {
 		c.MaxRequestImages = c.QueueDepth
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 200 * time.Millisecond
+	}
+	if c.ControlWindow <= 0 {
+		c.ControlWindow = 5 * time.Second
 	}
 	if c.ReadHeaderTimeout == 0 {
 		c.ReadHeaderTimeout = 5 * time.Second
@@ -180,6 +198,9 @@ func NewWithRegistry(reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("PUT /v2/models/{model}", s.handleModelPut)
 	s.mux.HandleFunc("POST /v2/models/{model}/classify", s.handleV2Classify)
 	s.mux.HandleFunc("POST /v2/models/{model}/resume", s.handleV2Resume)
+	s.mux.HandleFunc("GET /v2/models/{model}/slo", s.handleSLOGet)
+	s.mux.HandleFunc("PUT /v2/models/{model}/slo", s.handleSLOPut)
+	s.mux.HandleFunc("DELETE /v2/models/{model}/slo", s.handleSLODelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
@@ -193,13 +214,16 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats snapshots the default model's live counters (the /statsz payload;
-// per-model views are on /v2/models).
+// per-model views are on /v2/models), including the SLO controller state
+// when one is attached.
 func (s *Server) Stats() Stats {
 	m, err := s.reg.Get("")
 	if err != nil {
 		return Stats{}
 	}
-	return m.Stats()
+	st := m.Stats()
+	st.Control = s.reg.controlStatus(m.Name())
+	return st
 }
 
 // Close drains every model's queue and stops the workers. Call after the
@@ -395,6 +419,21 @@ func newImageBatch(ctx context.Context, m *Model, images [][]float64, pol *core.
 // shed the request instead of spinning.
 const maxDispatchAttempts = 4
 
+// shedRetryAfterSeconds is the Retry-After hint on every 503 shed: the
+// bounded queue drains in well under a second at any serviceable load, so
+// an immediate-but-not-instant retry is the right client behaviour for
+// all three shed causes.
+const shedRetryAfterSeconds = "1"
+
+// WriteShed writes a 503 with the Retry-After header — the contract that
+// lets load generators (and the SLO controller's telemetry) distinguish
+// deliberate load shedding from hard failure. Shared with the edge front,
+// whose worker-exhaustion sheds follow the same protocol.
+func WriteShed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", shedRetryAfterSeconds)
+	WriteError(w, http.StatusServiceUnavailable, msg)
+}
+
 // dispatch resolves name, builds jobs via build, submits them and waits.
 // When a hot swap closes the resolved model's pool between resolution and
 // submission, it transparently retries against the successor version
@@ -407,6 +446,7 @@ const maxDispatchAttempts = 4
 // counter).
 func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name string, build func(m *Model) (*jobBatch, *requestError)) (*Model, []core.ExitRecord, bool) {
 	var m *Model
+	lastJobs := 1
 	for attempt := 0; attempt < maxDispatchAttempts; attempt++ {
 		var err error
 		m, err = s.reg.Get(name)
@@ -420,6 +460,12 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 			m.metrics.observeInvalid()
 			WriteError(w, rerr.status, rerr.msg)
 			return nil, nil, false
+		}
+		lastJobs = len(b.jobs)
+		if attempt == 0 {
+			// Offered load (admitted or not) feeds the telemetry window
+			// once per request, whatever the dispatch outcome.
+			m.window.Arrivals(len(b.jobs))
 		}
 		switch err := m.pool.submit(ctx, b.jobs); {
 		case err == nil:
@@ -439,8 +485,9 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 			m.metrics.observeRequest()
 			return m, b.records, true
 		case errors.Is(err, ErrOverloaded):
-			m.metrics.observeRejected()
-			WriteError(w, http.StatusServiceUnavailable, err.Error())
+			m.metrics.observeRejected(shedQueueFull)
+			m.window.Sheds(len(b.jobs))
+			WriteShed(w, err.Error())
 			return nil, nil, false
 		case errors.Is(err, ErrClosed):
 			// Either a hot swap retired this version (a successor exists:
@@ -448,22 +495,24 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 			if cur, gerr := s.reg.Get(name); gerr == nil && cur != m {
 				continue
 			}
-			m.metrics.observeRejected()
-			WriteError(w, http.StatusServiceUnavailable, err.Error())
+			m.metrics.observeRejected(shedClosed)
+			m.window.Sheds(len(b.jobs))
+			WriteShed(w, err.Error())
 			return nil, nil, false
 		default:
 			// Context error at admission: nothing was enqueued.
 			m.metrics.observeCancelled()
-			status := http.StatusServiceUnavailable
 			if errors.Is(err, context.DeadlineExceeded) {
-				status = http.StatusGatewayTimeout
+				WriteError(w, http.StatusGatewayTimeout, fmt.Sprintf("request abandoned: %v", err))
+			} else {
+				WriteShed(w, fmt.Sprintf("request abandoned: %v", err))
 			}
-			WriteError(w, status, fmt.Sprintf("request abandoned: %v", err))
 			return nil, nil, false
 		}
 	}
-	m.metrics.observeRejected()
-	WriteError(w, http.StatusServiceUnavailable, "model reloading too fast; retry")
+	m.metrics.observeRejected(shedChurn)
+	m.window.Sheds(lastJobs)
+	WriteShed(w, "model reloading too fast; retry")
 	return nil, nil, false
 }
 
@@ -520,6 +569,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		delta, err := ParseDeltaOverride(req.Delta)
 		if err != nil {
 			return nil, badRequest("%s", err.Error())
+		}
+		if req.Delta == nil {
+			// No explicit δ: inherit the entry's current serve policy —
+			// identity unless an SLO controller is actuating. An explicit
+			// δ always wins (the controller never overrides a caller).
+			return newImageBatch(r.Context(), m, images, m.servePolicy()), nil
 		}
 		pol := core.ExitPolicy{Delta: delta, MaxExit: -1}
 		return newImageBatch(r.Context(), m, images, &pol), nil
@@ -585,26 +640,41 @@ func (m *Model) resumeActivation(p string) (*tensor.T, int, error) {
 // newResumeBatch decodes and validates payloads against m and fans them
 // out into jobs under one shared context and policy. A policy depth cap
 // shallower than a payload's resume stage is unsatisfiable (those stages
-// already ran on the edge tier) and rejected.
-func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.ExitPolicy) (*jobBatch, *requestError) {
+// already ran on the edge tier): an explicit policy is rejected, while an
+// inherited one (the SLO controller's current rung — the client never
+// asked for a cap) is relaxed to the deepest resume stage in the request,
+// so controller actuation can never 400 offloaded traffic.
+func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.ExitPolicy, inherited bool) (*jobBatch, *requestError) {
 	b := &jobBatch{
 		jobs:    make([]*job, len(payloads)),
 		records: make([]core.ExitRecord, len(payloads)),
 		wg:      &sync.WaitGroup{},
 	}
-	maxExit := len(m.cdln.Stages)
-	if pol.MaxExit >= 0 {
-		maxExit = pol.MaxExit
-	}
+	maxFrom := 0
 	for i, p := range payloads {
 		x, fromStage, err := m.resumeActivation(p)
 		if err != nil {
 			return nil, badRequest("payload %d: %v", i, err)
 		}
-		if fromStage > maxExit {
-			return nil, badRequest("payload %d: resume stage %d beyond the policy's max exit %d", i, fromStage, maxExit)
+		if fromStage > maxFrom {
+			maxFrom = fromStage
 		}
-		b.jobs[i] = &job{ctx: ctx, x: x, fromStage: fromStage, pol: pol, rec: &b.records[i], wg: b.wg}
+		b.jobs[i] = &job{ctx: ctx, x: x, fromStage: fromStage, rec: &b.records[i], wg: b.wg}
+	}
+	maxExit := len(m.cdln.Stages)
+	if pol.MaxExit >= 0 {
+		maxExit = pol.MaxExit
+	}
+	if maxFrom > maxExit {
+		if !inherited {
+			return nil, badRequest("resume stage %d beyond the policy's max exit %d", maxFrom, maxExit)
+		}
+		relaxed := *pol
+		relaxed.MaxExit = maxFrom
+		pol = &relaxed
+	}
+	for _, j := range b.jobs {
+		j.pol = pol
 	}
 	return b, nil
 }
@@ -641,8 +711,11 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, badRequest("%s", err.Error())
 		}
+		if req.Delta == nil {
+			return newResumeBatch(r.Context(), m, payloads, m.servePolicy(), true)
+		}
 		pol := core.ExitPolicy{Delta: delta, MaxExit: -1}
-		return newResumeBatch(r.Context(), m, payloads, &pol)
+		return newResumeBatch(r.Context(), m, payloads, &pol, false)
 	}
 	m, records, ok := s.dispatch(w, r.Context(), "", build)
 	if !ok {

@@ -4,20 +4,37 @@ import (
 	"sync"
 	"time"
 
+	"cdl/internal/control"
 	"cdl/internal/core"
 	"cdl/internal/energy"
 )
 
+// shedCause distinguishes why a request was rejected with 503 — load
+// generators and the SLO controller treat a full queue (back off and
+// retry) differently from a draining server (fail over) or reload churn
+// (transient).
+type shedCause int
+
+const (
+	shedQueueFull shedCause = iota
+	shedClosed
+	shedChurn
+)
+
 // metrics aggregates live serving statistics: request/image counters, the
-// exit distribution, dynamic OPS and the 45 nm energy counters. Workers
-// update it once per micro-batch (observeBatch), so the mutex is taken per
-// batch rather than per image.
+// exit distribution, dynamic OPS, the 45 nm energy counters and the
+// queue/service latency histograms. Workers update it once per
+// micro-batch (observeBatch), so the mutex is taken per batch rather than
+// per image.
 type metrics struct {
 	mu        sync.Mutex
 	started   time.Time
 	requests  int64 // classify + resume requests admitted
 	resumes   int64 // resume requests admitted (edge offloads)
-	rejected  int64 // 503s (queue full / shutting down)
+	rejected  int64 // 503s (queue full / shutting down / reload churn)
+	rejFull   int64 // 503s from a full work queue
+	rejClosed int64 // 503s from a draining/closed pool
+	rejChurn  int64 // 503s from hot-swap churn outrunning dispatch retries
 	invalid   int64 // 4xx classify/resume requests
 	cancelled int64 // requests whose context died before completion
 	images    int64
@@ -27,6 +44,14 @@ type metrics struct {
 	totalOps    float64
 	baselineOps float64
 	acc         *energy.Accumulator
+
+	// Cumulative latency histograms over every classified image: queue
+	// wait (enqueue → micro-batch start), service (batch start → batch
+	// done) and their sum. The controller reads the *windowed*
+	// counterparts (Model.window); these are the lifetime /statsz view.
+	queueLat   *control.Histogram
+	serviceLat *control.Histogram
+	totalLat   *control.Histogram
 }
 
 func newMetrics(c *core.CDLN, acc *energy.Accumulator) *metrics {
@@ -36,6 +61,9 @@ func newMetrics(c *core.CDLN, acc *energy.Accumulator) *metrics {
 		exitCounts:  make([]int64, c.NumExits()),
 		baselineOps: c.BaselineOps(),
 		acc:         acc,
+		queueLat:    control.NewHistogram(),
+		serviceLat:  control.NewHistogram(),
+		totalLat:    control.NewHistogram(),
 	}
 	for e := range m.exitNames {
 		m.exitNames[e] = c.ExitName(e)
@@ -55,9 +83,17 @@ func (m *metrics) observeResume() {
 	m.mu.Unlock()
 }
 
-func (m *metrics) observeRejected() {
+func (m *metrics) observeRejected(cause shedCause) {
 	m.mu.Lock()
 	m.rejected++
+	switch cause {
+	case shedQueueFull:
+		m.rejFull++
+	case shedClosed:
+		m.rejClosed++
+	case shedChurn:
+		m.rejChurn++
+	}
 	m.mu.Unlock()
 }
 
@@ -76,6 +112,7 @@ func (m *metrics) observeCancelled() {
 // observeBatch charges one classified micro-batch to the counters. Jobs
 // dropped for a dead context carry no record and are skipped.
 func (m *metrics) observeBatch(batch []*job) {
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, j := range batch {
@@ -86,6 +123,11 @@ func (m *metrics) observeBatch(batch []*job) {
 		m.images++
 		m.exitCounts[rec.StageIndex]++
 		m.totalOps += rec.Ops
+		queueMS := float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
+		totalMS := float64(now.Sub(j.enqueued)) / float64(time.Millisecond)
+		m.queueLat.Observe(queueMS)
+		m.serviceLat.Observe(totalMS - queueMS)
+		m.totalLat.Observe(totalMS)
 		// Records come from a validated session; Add can only fail on a
 		// model/accumulator mismatch, which construction rules out.
 		_ = m.acc.Add(rec)
@@ -100,6 +142,28 @@ type ExitStat struct {
 	EnergyPJ float64 `json:"energy_pj"`
 }
 
+// LatencyStats summarizes one latency histogram in milliseconds.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// SummarizeLatency folds a latency histogram into the wire shape — shared
+// with the edge front, which keeps its own histogram over the split
+// pipeline (local exits and cloud round trips alike).
+func SummarizeLatency(h *control.Histogram) LatencyStats {
+	return LatencyStats{
+		Count:  h.Count(),
+		MeanMS: h.Mean(),
+		P50MS:  h.Quantile(0.50),
+		P95MS:  h.Quantile(0.95),
+		P99MS:  h.Quantile(0.99),
+	}
+}
+
 // Stats is the /statsz payload: a consistent snapshot of the counters.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -109,7 +173,13 @@ type Stats struct {
 	// images (already included in Requests).
 	ResumeRequests int64 `json:"resume_requests"`
 	Rejected       int64 `json:"rejected"`
-	Invalid        int64 `json:"invalid"`
+	// The per-cause breakdown of Rejected: a full work queue (back off
+	// and retry), a draining server (fail over), hot-swap churn
+	// (transient). All three ship a Retry-After header.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedClosed    int64 `json:"rejected_closed"`
+	RejectedChurn     int64 `json:"rejected_churn"`
+	Invalid           int64 `json:"invalid"`
 	// Cancelled counts requests whose context was cancelled or timed out
 	// before classification completed (dropped before burning a replica
 	// when the cancellation beat the worker to the job).
@@ -117,6 +187,13 @@ type Stats struct {
 	Images     int64 `json:"images"`
 	QueueDepth int   `json:"queue_depth"`
 	Workers    int   `json:"workers"`
+
+	// Per-image latency over the server's lifetime, split into queue
+	// wait and micro-batch service time (TotalLatency is their sum as
+	// observed end to end inside the pool).
+	QueueLatency   LatencyStats `json:"queue_latency"`
+	ServiceLatency LatencyStats `json:"service_latency"`
+	TotalLatency   LatencyStats `json:"total_latency"`
 
 	Exits []ExitStat `json:"exits"`
 
@@ -130,6 +207,10 @@ type Stats struct {
 	BaselineEnergyPJ float64 `json:"baseline_energy_pj"`
 	NormalizedEnergy float64 `json:"normalized_energy"`
 	EnergySpeedup    float64 `json:"energy_improvement_x"`
+
+	// Control is the attached SLO controller's state (absent when the
+	// entry has no SLO).
+	Control *ControlStatus `json:"control,omitempty"`
 }
 
 // snapshot assembles a Stats under the lock.
@@ -137,17 +218,23 @@ func (m *metrics) snapshot(queueDepth, workers int) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		UptimeSeconds:  time.Since(m.started).Seconds(),
-		Requests:       m.requests,
-		ResumeRequests: m.resumes,
-		Rejected:       m.rejected,
-		Invalid:        m.invalid,
-		Cancelled:      m.cancelled,
-		Images:         m.images,
-		QueueDepth:     queueDepth,
-		Workers:        workers,
-		BaselineOps:    m.baselineOps,
-		Exits:          make([]ExitStat, len(m.exitNames)),
+		UptimeSeconds:     time.Since(m.started).Seconds(),
+		Requests:          m.requests,
+		ResumeRequests:    m.resumes,
+		Rejected:          m.rejected,
+		RejectedQueueFull: m.rejFull,
+		RejectedClosed:    m.rejClosed,
+		RejectedChurn:     m.rejChurn,
+		Invalid:           m.invalid,
+		Cancelled:         m.cancelled,
+		Images:            m.images,
+		QueueDepth:        queueDepth,
+		Workers:           workers,
+		QueueLatency:      SummarizeLatency(m.queueLat),
+		ServiceLatency:    SummarizeLatency(m.serviceLat),
+		TotalLatency:      SummarizeLatency(m.totalLat),
+		BaselineOps:       m.baselineOps,
+		Exits:             make([]ExitStat, len(m.exitNames)),
 	}
 	for e := range s.Exits {
 		s.Exits[e] = ExitStat{
@@ -164,7 +251,7 @@ func (m *metrics) snapshot(queueDepth, workers int) Stats {
 	s.BaselineEnergyPJ = sum.BaselineEnergy
 	if m.images > 0 {
 		s.MeanOps = m.totalOps / float64(m.images)
-		s.MeanEnergyPJ = sum.MeanEnergy
+		s.MeanEnergyPJ = m.acc.MeanEnergy()
 		if m.baselineOps > 0 {
 			s.NormalizedOps = s.MeanOps / m.baselineOps
 		}

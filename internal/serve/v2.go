@@ -145,12 +145,16 @@ type V2Result struct {
 
 // V2ClassifyResponse is the v2 classify/resume response: the /v1 result
 // shape plus the model identity that served it (name and version matter
-// once hot-swap exists).
+// once hot-swap exists). At detail level "trace" with a timeout_ms set,
+// DeadlineUnixMS surfaces the resolved absolute deadline the request ran
+// under (Unix milliseconds) — the observability hook for debugging
+// client-side timeout budgets against server clocks.
 type V2ClassifyResponse struct {
-	Model   string     `json:"model"`
-	Version int        `json:"version"`
-	Results []V2Result `json:"results"`
-	Count   int        `json:"count"`
+	Model          string     `json:"model"`
+	Version        int        `json:"version"`
+	Results        []V2Result `json:"results"`
+	Count          int        `json:"count"`
+	DeadlineUnixMS int64      `json:"deadline_unix_ms,omitempty"`
 }
 
 // v2Results renders records at the requested detail level.
@@ -179,13 +183,22 @@ func v2Results(m *Model, records []core.ExitRecord, detail string) []V2Result {
 	return out
 }
 
+// MaxTimeoutMS caps the per-request timeout_ms at 10 minutes: a larger
+// value cannot mean anything on a path whose queue drains in seconds, so
+// it is almost certainly a unit confusion (seconds or nanoseconds pasted
+// into a millisecond field) and is rejected rather than silently honored.
+const MaxTimeoutMS = 600_000
+
 // requestContext applies an optional client deadline to the request
 // context. Zero keeps the connection-scoped context (cancelled when the
 // client disconnects); positive values additionally bound queue + compute
-// time.
+// time. Values outside [0, MaxTimeoutMS] are rejected with 400.
 func requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc, *requestError) {
 	if timeoutMS < 0 {
 		return nil, nil, badRequest("timeout_ms %d must be ≥ 0", timeoutMS)
+	}
+	if timeoutMS > MaxTimeoutMS {
+		return nil, nil, badRequest("timeout_ms %d beyond the maximum %d (10 minutes) — check the unit", timeoutMS, MaxTimeoutMS)
 	}
 	if timeoutMS == 0 {
 		return r.Context(), func() {}, nil
@@ -226,6 +239,13 @@ func (s *Server) handleV2Classify(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, badRequest("%s", err.Error())
 		}
+		if req.Policy == nil {
+			// No explicit policy: inherit the entry's current serve
+			// policy (identity unless an SLO controller is actuating). A
+			// present "policy" object — even an empty one — is explicit
+			// and pins the trained behaviour.
+			return newImageBatch(ctx, m, images, m.servePolicy()), nil
+		}
 		pol, d, rerr := req.Policy.resolve(m)
 		if rerr != nil {
 			return nil, rerr
@@ -237,10 +257,16 @@ func (s *Server) handleV2Classify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	WriteJSON(w, http.StatusOK, V2ClassifyResponse{
+	resp := V2ClassifyResponse{
 		Model: m.name, Version: m.version,
 		Results: v2Results(m, records, detail), Count: len(records),
-	})
+	}
+	if detail == DetailTrace {
+		if dl, ok := ctx.Deadline(); ok {
+			resp.DeadlineUnixMS = dl.UnixMilli()
+		}
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleV2Resume(w http.ResponseWriter, r *http.Request) {
@@ -275,21 +301,30 @@ func (s *Server) handleV2Resume(w http.ResponseWriter, r *http.Request) {
 		if rerr != nil {
 			return nil, rerr
 		}
+		if req.Policy == nil {
+			return newResumeBatch(ctx, m, payloads, m.servePolicy(), true)
+		}
 		pol, d, rerr := req.Policy.resolve(m)
 		if rerr != nil {
 			return nil, rerr
 		}
 		detail = d
-		return newResumeBatch(ctx, m, payloads, &pol)
+		return newResumeBatch(ctx, m, payloads, &pol, false)
 	}
 	m, records, ok := s.dispatch(w, ctx, name, build)
 	if !ok {
 		return
 	}
-	WriteJSON(w, http.StatusOK, V2ClassifyResponse{
+	resp := V2ClassifyResponse{
 		Model: m.name, Version: m.version,
 		Results: v2Results(m, records, detail), Count: len(records),
-	})
+	}
+	if detail == DetailTrace {
+		if dl, ok := ctx.Deadline(); ok {
+			resp.DeadlineUnixMS = dl.UnixMilli()
+		}
+	}
+	WriteJSON(w, http.StatusOK, resp)
 	m.metrics.observeResume()
 }
 
