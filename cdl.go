@@ -54,6 +54,18 @@ type (
 	CDLN = core.CDLN
 	// Stage is one early-exit point of a CDLN.
 	Stage = core.Stage
+	// Graph is a tree-structured routing graph: a trunk cascade whose
+	// router stages can hand inputs off to class-group branch subnetworks.
+	// LinearGraph(c) wraps a plain cascade as the degenerate one-node
+	// graph, bit-identical to classifying c directly.
+	Graph = core.Graph
+	// GraphNode is one subnetwork of a routing graph (the trunk or a
+	// branch), a CDLN plus its outgoing routes.
+	GraphNode = core.Node
+	// Route is one conditional edge of a routing graph: at a router
+	// stage's non-exit, inputs whose argmax lands in Classes continue in
+	// the named branch.
+	Route = core.Route
 	// ExitRecord describes how one input was classified.
 	ExitRecord = core.ExitRecord
 	// EvalResult aggregates accuracy, exit and OPS statistics.
@@ -140,6 +152,44 @@ func NewArch6(seed int64) *Arch { return nn.Arch6Layer(rand.New(rand.NewSource(s
 // NewArch8 builds the paper's Table II 8-layer baseline (MNIST_3C host).
 func NewArch8(seed int64) *Arch { return nn.Arch8Layer(rand.New(rand.NewSource(seed))) }
 
+// NewBranchArch builds a compact specialist subnetwork for a routing-graph
+// branch: a conv→pool block over a trunk tap shape [channels, h, w]
+// followed by a dense classifier over `classes` outputs, with one early
+// exit tapped after the pool. The input shape must equal the parent
+// network's shape at the routing stage's tap (Graph.Validate enforces
+// this), and `classes` is the branch's local class count — pair it with
+// GraphNode.Labels to map local classes back to trunk classes.
+func NewBranchArch(name string, inShape []int, classes int, seed int64) (*Arch, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("cdl: branch input shape %v is not [channels, h, w]", inShape)
+	}
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	const k, pool, maps = 3, 2, 8
+	hp, wp := (h-k+1)/pool, (w-k+1)/pool
+	if c < 1 || hp < 1 || wp < 1 {
+		return nil, fmt.Errorf("cdl: branch input shape %v too small for a %dx%d conv + %dx%d pool", inShape, k, k, pool, pool)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork(append([]int(nil), inShape...),
+		nn.NewConv2D(name+".C1", c, maps, k),
+		nn.NewSigmoid(name+".C1.act"),
+		nn.NewMaxPool2D(name+".P1", pool),
+		nn.NewFlatten(name+".flat"),
+		nn.NewDense(name+".FC", maps*hp*wp, classes),
+		nn.NewSigmoid(name+".FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	a := &Arch{
+		Name: name, Net: net,
+		Taps: []int{3}, TapNames: []string{name + ".P1"},
+		NumClasses: classes,
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("cdl: branch arch: %w", err)
+	}
+	return a, nil
+}
+
 // GenerateMNIST synthesizes a deterministic MNIST-like split (see
 // internal/mnist for the substitution rationale) and returns it as training
 // samples.
@@ -157,8 +207,28 @@ func GenerateMNISTImages(trainN, testN int, seed int64) (trainImgs, testImgs []I
 	return mnist.GenerateSplit(trainN, testN, seed)
 }
 
+// ParseDigitGroups parses a digit-group spec like "even,odd" or
+// "0-4,5-9" into explicit class groups (see internal/mnist.ParseGroups
+// for the token grammar). Groups feed GenerateMNISTGrouped and define
+// the class partition a routed cascade's branches specialize on.
+func ParseDigitGroups(spec string) ([][]int, error) { return mnist.ParseGroups(spec) }
+
+// GenerateMNISTGrouped synthesizes n images whose labels are drawn from
+// the given digit groups — group by weight (uniform when weights is
+// nil), then digit uniformly within the group. This is the
+// class-skewed workload that exercises branch routing: traffic heavy in
+// one group exits predominantly through that group's branch.
+func GenerateMNISTGrouped(n int, seed int64, groups [][]int, weights []float64) ([]Image, error) {
+	return mnist.Generate(mnist.GenConfig{N: n, Seed: seed, Groups: groups, GroupWeights: weights})
+}
+
 // RenderImage draws a digit as ASCII art.
 func RenderImage(im Image) string { return mnist.Render(im) }
+
+// ImagesToSamples converts images to training samples (sharing pixel
+// storage) — the bridge from GenerateMNISTGrouped to TrainBaseline,
+// BuildCDLN and Evaluate.
+func ImagesToSamples(imgs []Image) []Sample { return mnist.ToSamples(imgs) }
 
 // DefaultTrainConfig returns baseline SGD settings for the given class
 // count (MSE loss, lr 1.0, momentum 0.5 — the regime where these sigmoid
@@ -284,6 +354,20 @@ func NewEdge(c *CDLN, t EdgeTransport, cfg EdgeConfig) (*Edge, error) {
 // private session) — the transport for tests, demos and single-node runs.
 func NewEdgeLoopback(c *CDLN) (EdgeTransport, error) { return edgecloud.NewLoopback(c) }
 
+// NewGraphEdge is NewEdge for a routing graph: the edge runs the trunk
+// prefix locally; inputs that exit neither early nor into a branch
+// before the split — and every input a router hands to a branch — are
+// offloaded to the cloud tier, which owns the branches.
+func NewGraphEdge(g *Graph, t EdgeTransport, cfg EdgeConfig) (*Edge, error) {
+	return edgecloud.NewGraph(g, t, cfg)
+}
+
+// NewGraphEdgeLoopback is NewEdgeLoopback over a routing graph: branch
+// handoffs resume at the named node exactly as a real backend would.
+func NewGraphEdgeLoopback(g *Graph) (EdgeTransport, error) {
+	return edgecloud.NewGraphLoopback(g)
+}
+
 // NewEdgeHTTPTransport returns a transport that offloads to a cdlserve
 // backend's /v1/resume at the given base URL.
 func NewEdgeHTTPTransport(baseURL string) EdgeTransport { return edgecloud.NewHTTPTransport(baseURL) }
@@ -323,7 +407,13 @@ func Quantize(c *CDLN) (*CDLN, float64, error) {
 // hot-reloading the path, PUT /v2/models/{name}) therefore never observes
 // a torn or half-written model file — it sees either the old version or
 // the new one.
-func SaveCDLN(path string, c *CDLN) (err error) {
+func SaveCDLN(path string, c *CDLN) error {
+	return saveAtomic(path, func(f *os.File) error { return modelio.SaveCDLN(f, c) })
+}
+
+// saveAtomic writes a model file via the temp-and-rename protocol shared
+// by SaveCDLN and SaveGraph.
+func saveAtomic(path string, write func(*os.File) error) (err error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		// A bare filename must stage its temp file in the destination
@@ -354,7 +444,7 @@ func SaveCDLN(path string, c *CDLN) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	if err = modelio.SaveCDLN(f, c); err != nil {
+	if err = write(f); err != nil {
 		return err
 	}
 	if err = f.Sync(); err != nil {
@@ -377,4 +467,36 @@ func LoadCDLN(path string) (*CDLN, error) {
 	}
 	defer f.Close()
 	return modelio.LoadCDLN(f)
+}
+
+// LinearGraph wraps a plain cascade in the degenerate one-node routing
+// graph. Classifying through it is bit-identical to classifying the
+// CDLN directly — ExitRecords match byte for byte — so linear and
+// routed models share every downstream surface (sessions, serving,
+// edge/cloud splits, energy accounting).
+func LinearGraph(c *CDLN) *Graph { return core.LinearGraph(c) }
+
+// NewGraphSession returns a warm classifier over a routing graph —
+// NewSession generalized to tree-structured conditional routing. At
+// each router stage's non-exit the stage classifier's argmax picks the
+// branch the input continues in.
+func NewGraphSession(g *Graph) (*Session, error) { return core.NewGraphSession(g) }
+
+// SaveGraph writes a routing graph to path with the same atomic
+// temp-and-rename protocol as SaveCDLN. A one-node linear graph is
+// written in the v1 single-cascade format, so SaveCDLN and SaveGraph
+// produce identical bytes for linear models and LoadCDLN can read them.
+func SaveGraph(path string, g *Graph) error {
+	return saveAtomic(path, func(f *os.File) error { return modelio.SaveGraph(f, g) })
+}
+
+// LoadGraph reads a routing graph written by SaveGraph — or any v1
+// single-cascade file, which loads as its one-node linear graph.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cdl: %w", err)
+	}
+	defer f.Close()
+	return modelio.LoadGraph(f)
 }

@@ -6,6 +6,7 @@
 //
 //	mnistgen -n 60000 -test 10000 -dir ./data     # write IDX files
 //	mnistgen -show 5                               # preview 5 digits
+//	mnistgen -groups even,odd -group-weights 3,1  # skew toward even digits
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"cdl/internal/mnist"
 )
@@ -23,16 +26,66 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dir := flag.String("dir", "", "write IDX files into this directory")
 	show := flag.Int("show", 0, "render this many sample digits as ASCII art")
+	groups := flag.String("groups", "", "draw labels from these digit groups (e.g. even,odd or 0-4,5-9) instead of a balanced cycle")
+	weights := flag.String("group-weights", "", "comma-separated positive weights biasing the -groups draw (default uniform)")
 	flag.Parse()
 
-	if err := run(*n, *testN, *seed, *dir, *show); err != nil {
+	if err := run(*n, *testN, *seed, *dir, *show, *groups, *weights); err != nil {
 		fmt.Fprintln(os.Stderr, "mnistgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, testN int, seed int64, dir string, show int) error {
-	trainImgs, testImgs, err := mnist.GenerateSplit(n, testN, seed)
+// parseWeights parses a comma-separated float list ("3,1" → [3 1]).
+func parseWeights(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	ws := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %v", p, err)
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// generate produces the train/test split: the default balanced path for
+// empty groupSpec (byte-identical to mnist.GenerateSplit), or the
+// group-skewed sampler otherwise.
+func generate(n, testN int, seed int64, groupSpec, weightSpec string) (trainImgs, testImgs []mnist.Image, err error) {
+	if groupSpec == "" {
+		if weightSpec != "" {
+			return nil, nil, fmt.Errorf("-group-weights requires -groups")
+		}
+		return mnist.GenerateSplit(n, testN, seed)
+	}
+	gs, err := mnist.ParseGroups(groupSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := parseWeights(weightSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	trainImgs, err = mnist.Generate(mnist.GenConfig{N: n, Seed: seed, Groups: gs, GroupWeights: ws})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Same derived test seed as GenerateSplit, so grouped and balanced
+	// datasets from one -seed stay disjoint in the same way.
+	testImgs, err = mnist.Generate(mnist.GenConfig{N: testN, Seed: seed + 7919, Groups: gs, GroupWeights: ws})
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainImgs, testImgs, nil
+}
+
+func run(n, testN int, seed int64, dir string, show int, groupSpec, weightSpec string) error {
+	trainImgs, testImgs, err := generate(n, testN, seed, groupSpec, weightSpec)
 	if err != nil {
 		return err
 	}

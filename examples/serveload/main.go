@@ -13,6 +13,14 @@
 //	go run ./examples/serveload -addr http://localhost:8080 -delta 0.3   # cheaper, riskier
 //	go run ./examples/serveload -addr http://localhost:8080 -model fast,accurate
 //
+// With -groups the generated traffic is skewed toward digit groups
+// ("even,odd" with -group-weights "3,1" sends three even digits per odd
+// one) and the report adds a per-branch exit breakdown — against a
+// routed model (see examples/routing) this shows the class-group load
+// landing on the matching branch subnetwork:
+//
+//	go run ./examples/serveload -addr http://localhost:8080 -groups even,odd -group-weights 3,1
+//
 // With -ramp the generator switches to open loop — it offers traffic at a
 // scripted rate profile (step, spike or sine between -rate and -peak)
 // whatever the server's backlog, which is exactly the regime the SLO
@@ -32,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,9 +69,22 @@ type classifyResponse struct {
 		Label         int     `json:"label"`
 		Exit          string  `json:"exit"`
 		ExitIndex     int     `json:"exit_index"`
+		Node          int     `json:"node"` // 0 = trunk; routed models report the branch node
 		NormalizedOps float64 `json:"normalized_ops"`
 	} `json:"results"`
 	Count int `json:"count"`
+}
+
+// branchOf maps a result to its display branch: the qualified exit-name
+// prefix for branch exits ("even/O1" → "even"), "trunk" otherwise.
+func branchOf(exit string, node int) string {
+	if i := strings.IndexByte(exit, '/'); i >= 0 {
+		return exit[:i]
+	}
+	if node > 0 {
+		return fmt.Sprintf("node%d", node)
+	}
+	return "trunk"
 }
 
 func main() {
@@ -73,6 +95,8 @@ func main() {
 	delta := flag.Float64("delta", -1, "per-request δ override (-1 = server default)")
 	model := flag.String("model", "", "comma-separated model names to round-robin over the v2 surface (empty = /v1 on the default model)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	groups := flag.String("groups", "", `skew traffic toward digit groups (e.g. "even,odd"); reported exit distributions split per branch`)
+	groupWeights := flag.String("group-weights", "", "comma-separated positive weights biasing the -groups draw (default uniform)")
 	ramp := flag.String("ramp", "", `open-loop traffic profile: "step", "spike" or "sine" (empty = the closed-loop -n/-c mode)`)
 	rate := flag.Float64("rate", 300, "open-loop base offered rate, images/sec")
 	peak := flag.Float64("peak", 0, "open-loop peak offered rate, images/sec (0 = 5x -rate)")
@@ -93,14 +117,44 @@ func main() {
 		if len(models) > 0 {
 			first = models[0]
 		}
-		err = runRamp(*addr, *ramp, first, *rate, p, *duration, *batch, *seed)
+		err = runRamp(*addr, *ramp, first, *rate, p, *duration, *batch, *seed, *groups, *groupWeights)
 	} else {
-		err = run(*addr, *n, *concurrency, *batch, *delta, *seed, models)
+		err = run(*addr, *n, *concurrency, *batch, *delta, *seed, models, *groups, *groupWeights)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
+}
+
+// dataset synthesizes the n-image test stream: the default balanced set,
+// or the group-skewed sampler when groupSpec is set (e.g. "even,odd"
+// with weights "3,1" sends three even digits for every odd one — the
+// traffic shape that concentrates load on one branch of a routed
+// cascade).
+func dataset(n int, seed int64, groupSpec, weightSpec string) ([]cdl.Image, error) {
+	if groupSpec == "" {
+		if strings.TrimSpace(weightSpec) != "" {
+			return nil, fmt.Errorf("-group-weights requires -groups")
+		}
+		_, testImgs, err := cdl.GenerateMNISTImages(1, n, seed)
+		return testImgs, err
+	}
+	gs, err := cdl.ParseDigitGroups(groupSpec)
+	if err != nil {
+		return nil, err
+	}
+	var ws []float64
+	if strings.TrimSpace(weightSpec) != "" {
+		for _, p := range strings.Split(weightSpec, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -group-weights %q: %v", p, err)
+			}
+			ws = append(ws, w)
+		}
+	}
+	return cdl.GenerateMNISTGrouped(n, seed, gs, ws)
 }
 
 // profileRate is λ(t): the offered rate at time t into the run.
@@ -142,7 +196,7 @@ type sloTrajectory struct {
 
 // runRamp offers traffic open-loop along a scripted profile and prints
 // the server-side controller trajectory alongside the client's view.
-func runRamp(addr, profile, model string, base, peak float64, dur time.Duration, batch int, seed int64) error {
+func runRamp(addr, profile, model string, base, peak float64, dur time.Duration, batch int, seed int64, groupSpec, weightSpec string) error {
 	switch profile {
 	case "step", "spike", "sine":
 	default:
@@ -155,7 +209,7 @@ func runRamp(addr, profile, model string, base, peak float64, dur time.Duration,
 	if batch > datasetN {
 		return fmt.Errorf("batch %d exceeds the ramp dataset size %d", batch, datasetN)
 	}
-	_, testImgs, err := cdl.GenerateMNISTImages(1, datasetN, seed)
+	testImgs, err := dataset(datasetN, seed, groupSpec, weightSpec)
 	if err != nil {
 		return err
 	}
@@ -294,11 +348,11 @@ func runRamp(addr, profile, model string, base, peak float64, dur time.Duration,
 	return nil
 }
 
-func run(addr string, n, concurrency, batch int, delta float64, seed int64, models []string) error {
+func run(addr string, n, concurrency, batch int, delta float64, seed int64, models []string, groupSpec, weightSpec string) error {
 	if batch < 1 || concurrency < 1 || n < 1 {
 		return fmt.Errorf("n, c and batch must be positive")
 	}
-	_, testImgs, err := cdl.GenerateMNISTImages(1, n, seed)
+	testImgs, err := dataset(n, seed, groupSpec, weightSpec)
 	if err != nil {
 		return err
 	}
@@ -353,10 +407,13 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64, mode
 	latencies := make([]time.Duration, len(chunks))
 	correct := make([]int, concurrency)
 	sumNorm := make([]float64, concurrency)
-	// Per-worker (model → exit → count) tallies, merged after the join.
+	// Per-worker (model → exit → count) and (model → branch → count)
+	// tallies, merged after the join.
 	exits := make([]map[string]map[string]int, concurrency)
+	branches := make([]map[string]map[string]int, concurrency)
 	for w := range exits {
 		exits[w] = make(map[string]map[string]int)
+		branches[w] = make(map[string]map[string]int)
 	}
 	var firstErr error
 	var errOnce sync.Once
@@ -414,12 +471,18 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64, mode
 					tally = make(map[string]int)
 					exits[w][key] = tally
 				}
+				btally := branches[w][key]
+				if btally == nil {
+					btally = make(map[string]int)
+					branches[w][key] = btally
+				}
 				for i, r := range out.Results {
 					if r.Label == labels[ck.lo+i] {
 						correct[w]++
 					}
 					sumNorm[w] += r.NormalizedOps
 					tally[r.Exit]++
+					btally[branchOf(r.Exit, r.Node)]++
 				}
 			}
 		}(w)
@@ -436,6 +499,7 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64, mode
 
 	totalCorrect, totalNorm := 0, 0.0
 	exitTotals := make(map[string]map[string]int)
+	branchTotals := make(map[string]map[string]int)
 	modelImages := make(map[string]int)
 	for w := 0; w < concurrency; w++ {
 		totalCorrect += correct[w]
@@ -449,6 +513,16 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64, mode
 			for e, c := range tally {
 				mt[e] += c
 				modelImages[m] += c
+			}
+		}
+		for m, tally := range branches[w] {
+			mt := branchTotals[m]
+			if mt == nil {
+				mt = make(map[string]int)
+				branchTotals[m] = mt
+			}
+			for b, c := range tally {
+				mt[b] += c
 			}
 		}
 	}
@@ -485,6 +559,22 @@ func run(addr string, n, concurrency, batch int, delta float64, seed int64, mode
 			fmt.Printf("  %s %.1f%%", e, 100*float64(exitTotals[m][e])/float64(modelImages[m]))
 		}
 		fmt.Println()
+		// A routed model exits through branch nodes; report how traffic
+		// split across them (the trunk row is everything that exited
+		// before any router fired). Linear models are all-trunk, so the
+		// row is omitted unless -groups asked for the breakdown.
+		if bt := branchTotals[m]; groupSpec != "" || len(bt) > 1 {
+			var bnames []string
+			for b := range bt {
+				bnames = append(bnames, b)
+			}
+			sort.Strings(bnames)
+			fmt.Printf("branch distribution %s:", m)
+			for _, b := range bnames {
+				fmt.Printf("  %s %.1f%%", b, 100*float64(bt[b])/float64(modelImages[m]))
+			}
+			fmt.Println()
+		}
 	}
 
 	stats, err := client.Get(addr + "/statsz")

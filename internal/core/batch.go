@@ -1,28 +1,44 @@
 package core
 
-// batch.go is the batched fast path for Algorithm 2: ClassifyBatch (and its
-// tier-split relatives ResumeBatch and ClassifyPrefixBatch) run the cascade
-// over a whole micro-batch at once. Between taps the baseline advances with
-// nn's batched GEMM pipeline (one im2col+GEMM per conv layer for every
-// still-active sample), each stage's classifier scores the whole batch in
-// one call, the δ exit rule is applied per sample, and survivors are
-// compacted to the front of the activation buffer so exited samples stop
-// paying for deeper layers — the batch equivalent of Algorithm 2's "deeper
-// layers of a terminated input are never executed".
+// batch.go is the batched fast path for Algorithm 2 over a routing graph:
+// ClassifyBatch (and its tier-split relatives ResumeBatch and
+// ClassifyPrefixBatch) run the cascade over a whole micro-batch at once.
+// Between taps the baseline advances with nn's batched GEMM pipeline (one
+// im2col+GEMM per conv layer for every still-active sample), each stage's
+// classifier scores the whole batch in one call, the δ exit rule is
+// applied per sample, and survivors are compacted to the front of the
+// activation buffer so exited samples stop paying for deeper layers — the
+// batch equivalent of Algorithm 2's "deeper layers of a terminated input
+// are never executed".
 //
-// Every per-sample float is produced by the same operations in the same
-// order as the reference path (see nn/gemm.go and linclass.ScoresBatchInto
-// for the order pins), so for each input the batched ExitRecord — exit
-// stage, label, confidence, op count — equals the per-sample Classify
-// result exactly. The differential harness in batch_test.go enforces this
-// across randomized batches; DESIGN.md §2 documents the 1e-9 contract the
-// harness over-delivers on.
+// Routing generalizes the compaction three-ways: a row either exits
+// (record written), continues on the current node (compacted forward), or
+// is handed to a branch node (gathered into a fresh per-branch batch,
+// queued behind the current node's walk). A node with no routes performs
+// the identical two-way loop the linear cascade always ran, and every
+// per-sample float is produced by the same operations in the same order
+// as the reference path (see nn/gemm.go and linclass.ScoresBatchInto for
+// the order pins), so for each input the batched ExitRecord — exit stage,
+// label, confidence, op count — equals the per-sample Classify result
+// exactly. The differential harnesses in batch_test.go and
+// linear_equiv_test.go enforce this across randomized batches; DESIGN.md
+// §2 documents the 1e-9 contract the harness over-delivers on.
 
 import (
 	"fmt"
 
 	"cdl/internal/tensor"
 )
+
+// batchGroup is one node's share of an in-flight batch: the stacked
+// activations of the rows currently walking that node, their position in
+// the node's baseline, the stage to continue from, and the row→input
+// index map.
+type batchGroup struct {
+	node, from, pos int
+	act             *tensor.T
+	idx             []int
+}
 
 // ClassifyBatch runs Algorithm 2 over a micro-batch in one batched pass.
 // delta ≥ 0 overrides the model's trained thresholds for every input
@@ -43,68 +59,104 @@ func (s *Session) ClassifyBatchPolicy(xs []*tensor.T, pol ExitPolicy) []ExitReco
 
 // ResumeBatch continues Algorithm 2 past a tier split for a whole batch of
 // deferred activations: each act sits after CDLN.SplitPos(fromStage)
-// baseline layers, and stages [fromStage, len(Stages)) plus the FC tail run
-// here. ResumeBatch(xs, 0, delta) is exactly ClassifyBatch(xs, delta); each
-// record equals the per-sample Resume result. Like Resume, it panics when
-// an activation's shape does not match the model at the split position —
-// network-facing callers validate first with CDLN.ValidateResume.
+// baseline layers of the trunk, and the remaining cascade — trunk stages,
+// routed branches, FC tails — runs here. ResumeBatch(xs, 0, delta) is
+// exactly ClassifyBatch(xs, delta); each record equals the per-sample
+// Resume result. Like Resume, it panics when an activation's shape does
+// not match the model at the split position — network-facing callers
+// validate first with CDLN.ValidateResume.
 func (s *Session) ResumeBatch(acts []*tensor.T, fromStage int, delta float64) []ExitRecord {
 	return s.ResumeBatchPolicy(acts, fromStage, deltaPolicy(delta))
 }
 
-// ResumeBatchPolicy is ResumeBatch under a full ExitPolicy — the one
-// cascade entry point behind every serving path. A policy whose only
-// active field is Delta performs the identical floating-point operations
-// in the identical order as the legacy δ-override path, so policy-aware
-// dispatch keeps the /v1 surface bit-identical. A MaxExit cap below the
-// resume stage cannot be satisfied (those stages already ran on the other
-// tier) and panics; network-facing callers validate with ValidatePolicy
-// plus an explicit fromStage ≤ MaxExit check first.
+// ResumeBatchPolicy is ResumeBatch under a full ExitPolicy — the trunk
+// special case of ResumeBatchPolicyAt, and the historical one cascade
+// entry point behind every serving path.
 func (s *Session) ResumeBatchPolicy(acts []*tensor.T, fromStage int, pol ExitPolicy) []ExitRecord {
-	c := s.model
-	pos := c.SplitPos(fromStage) // validates fromStage
-	if pol.StageDeltas != nil && len(pol.StageDeltas) != len(c.Stages) {
-		panic(fmt.Sprintf("core: policy has %d stage deltas for %d stages", len(pol.StageDeltas), len(c.Stages)))
+	return s.ResumeBatchPolicyAt(acts, 0, fromStage, pol)
+}
+
+// ResumeBatchPolicyAt continues Algorithm 2 past a tier split at any graph
+// node for a whole batch of deferred activations: each act sits after
+// Graph.SplitPosOf(node, fromStage) baseline layers of the node's cascade
+// (a branch-entry handoff is (node, 0)). A policy whose only active field
+// is Delta performs the identical floating-point operations in the
+// identical order as the legacy δ-override path, so policy-aware dispatch
+// keeps the /v1 surface bit-identical. A MaxExit depth cap below the
+// resume point's path depth cannot be satisfied (those exit points already
+// ran on the other tier) and panics; network-facing callers validate with
+// ValidatePolicy plus an explicit depth check first.
+func (s *Session) ResumeBatchPolicyAt(acts []*tensor.T, node, fromStage int, pol ExitPolicy) []ExitRecord {
+	g := s.graph
+	if node < 0 || node >= len(g.Nodes) {
+		panic(fmt.Sprintf("core: ResumeBatch node %d outside [0,%d)", node, len(g.Nodes)))
 	}
-	maxExit := c.maxExit(pol)
-	if maxExit < fromStage {
-		panic(fmt.Sprintf("core: policy max exit %d precedes resume stage %d", maxExit, fromStage))
+	c := g.Nodes[node].Model
+	pos := c.SplitPos(fromStage) // validates fromStage
+	if pol.StageDeltas != nil && len(pol.StageDeltas) != len(s.model.Stages) {
+		panic(fmt.Sprintf("core: policy has %d stage deltas for %d stages", len(pol.StageDeltas), len(s.model.Stages)))
+	}
+	capG := g.maxExit(pol)
+	if depth := g.EntryDepth(node) + fromStage; capG < depth {
+		panic(fmt.Sprintf("core: policy max exit %d precedes resume depth %d", capG, depth))
 	}
 	if len(acts) == 0 {
 		return nil
 	}
 	for i, a := range acts {
-		if err := c.ValidateResume(fromStage, pos, a.Shape()); err != nil {
+		if err := g.ValidateResume(node, fromStage, pos, a.Shape()); err != nil {
 			panic(fmt.Sprintf("core: ResumeBatch activation %d: %v", i, err))
 		}
 	}
 	recs := make([]ExitRecord, len(acts))
-	act, idx := s.stackBatch(acts, pos)
-	act, pos, idx = s.runStagesBatch(act, pos, fromStage, maxExit, pol, idx, recs)
-	if maxExit == len(c.Stages) {
-		s.finalExitBatch(act, pos, idx, recs, pol.Trace)
-	} else {
-		s.forcedExitBatch(act, pos, maxExit, idx, recs, pol.Trace)
+	act, idx := s.stackBatchAt(node, acts, pos)
+	queue := []batchGroup{{node: node, from: fromStage, pos: pos, act: act, idx: idx}}
+	for len(queue) > 0 {
+		grp := queue[0]
+		queue = queue[1:]
+		s.runGroup(grp, capG, pol, recs, &queue)
 	}
 	return recs
 }
 
-// ClassifyPrefixBatch runs the first splitStage cascade stages over a batch
-// — the edge tier's share of Algorithm 2 — returning one PrefixResult per
-// input in input order, each matching the per-sample ClassifyPrefix result.
-// Unlike ClassifyPrefix, a deferred result's Activation is a private copy
-// (survivor compaction reuses the batch buffers), so callers may hold all
-// of a batch's activations at once without serializing between samples.
+// runGroup walks one node's rows to completion: conditional stages up to
+// the node's share of the path-depth cap, then the FC tail or the forced
+// exit at the cap. Rows routed off the node are appended to the queue.
+func (s *Session) runGroup(grp batchGroup, capG int, pol ExitPolicy, recs []ExitRecord, queue *[]batchGroup) {
+	nStages := len(s.graph.Nodes[grp.node].Model.Stages)
+	localTo := capG - s.graph.EntryDepth(grp.node)
+	if localTo > nStages {
+		localTo = nStages
+	}
+	act, pos, idx := s.runStagesBatch(grp.node, grp.act, grp.pos, grp.from, localTo, pol, grp.idx, recs, queue)
+	if localTo == nStages {
+		s.finalExitBatch(grp.node, act, pos, idx, recs, pol.Trace)
+	} else {
+		s.forcedExitBatch(grp.node, act, pos, localTo, idx, recs, pol.Trace)
+	}
+}
+
+// ClassifyPrefixBatch runs the first splitStage trunk cascade stages over a
+// batch — the edge tier's share of Algorithm 2 — returning one
+// PrefixResult per input in input order, each matching the per-sample
+// ClassifyPrefix result. Unlike ClassifyPrefix, a deferred result's
+// Activation is a private copy (survivor compaction reuses the batch
+// buffers), so callers may hold all of a batch's activations at once
+// without serializing between samples.
 func (s *Session) ClassifyPrefixBatch(xs []*tensor.T, splitStage int, delta float64) []PrefixResult {
 	return s.ClassifyPrefixBatchPolicy(xs, splitStage, deltaPolicy(delta))
 }
 
 // ClassifyPrefixBatchPolicy is ClassifyPrefixBatch under a full
-// ExitPolicy. A depth cap at or below the split stage resolves the whole
-// batch locally (every PrefixResult is Exited — nothing left to offload):
-// survivors of the conditional stages are forced out at the cap exactly
-// as ResumeBatchPolicy would, which is how an edge node sheds its offload
-// traffic under an SLO controller without touching the cloud tier.
+// ExitPolicy. A depth cap at or below the split stage resolves the
+// unrouted share of the batch locally (those PrefixResults are Exited —
+// nothing left to offload): survivors of the conditional stages are forced
+// out at the cap exactly as ResumeBatchPolicy would, which is how an edge
+// node sheds its offload traffic under an SLO controller without touching
+// the cloud tier. Rows a trunk route dispatches to a branch always defer
+// — the edge owns only the trunk prefix, and the branch's share of the
+// cap is the cloud's to enforce — so prefix+resume stays bit-identical to
+// the monolithic walk under every policy.
 func (s *Session) ClassifyPrefixBatchPolicy(xs []*tensor.T, splitStage int, pol ExitPolicy) []PrefixResult {
 	c := s.model
 	c.SplitPos(splitStage) // validates splitStage
@@ -115,14 +167,15 @@ func (s *Session) ClassifyPrefixBatchPolicy(xs []*tensor.T, splitStage int, pol 
 		return nil
 	}
 	to, forcedAt := splitStage, -1
-	if maxExit := c.maxExit(pol); maxExit < splitStage {
-		to, forcedAt = maxExit, maxExit
+	if capG := s.graph.maxExit(pol); capG < splitStage {
+		to, forcedAt = capG, capG
 	}
 	recs := make([]ExitRecord, len(xs))
-	act, idx := s.stackBatch(xs, 0)
-	act, pos, idx := s.runStagesBatch(act, 0, 0, to, pol, idx, recs)
+	act, idx := s.stackBatchAt(0, xs, 0)
+	var routed []batchGroup
+	act, pos, idx := s.runStagesBatch(0, act, 0, 0, to, pol, idx, recs, &routed)
 	if forcedAt >= 0 {
-		s.forcedExitBatch(act, pos, forcedAt, idx, recs, pol.Trace)
+		s.forcedExitBatch(0, act, pos, forcedAt, idx, recs, pol.Trace)
 		idx = idx[:0]
 	}
 	exited := make([]bool, len(xs))
@@ -131,6 +184,11 @@ func (s *Session) ClassifyPrefixBatchPolicy(xs []*tensor.T, splitStage int, pol 
 	}
 	for _, orig := range idx {
 		exited[orig] = false
+	}
+	for _, grp := range routed {
+		for _, orig := range grp.idx {
+			exited[orig] = false
+		}
 	}
 	results := make([]PrefixResult, len(xs))
 	for i := range xs {
@@ -144,16 +202,27 @@ func (s *Session) ClassifyPrefixBatchPolicy(xs []*tensor.T, splitStage int, pol 
 		for r, orig := range idx {
 			private := tensor.New(sshape...)
 			copy(private.Data, act.Data[r*ssz:(r+1)*ssz])
-			results[orig] = PrefixResult{Activation: private, Pos: pos}
+			results[orig] = PrefixResult{Activation: private, Node: 0, FromStage: splitStage, Pos: pos}
+		}
+	}
+	for _, grp := range routed {
+		// Routed rows were gathered into fresh buffers, so disjoint views
+		// are already private.
+		sshape := grp.act.Shape()[1:]
+		ssz := grp.act.Numel() / len(grp.idx)
+		for r, orig := range grp.idx {
+			view := tensor.FromSlice(grp.act.Data[r*ssz:(r+1)*ssz], sshape...)
+			results[orig] = PrefixResult{Activation: view, Node: grp.node, FromStage: 0, Pos: 0}
 		}
 	}
 	return results
 }
 
-// stackBatch copies the per-sample activations into one contiguous batched
-// tensor [B, ...] and returns it with the identity row→input index map.
-func (s *Session) stackBatch(xs []*tensor.T, pos int) (*tensor.T, []int) {
-	sshape := s.model.Arch.Net.ShapeAt(pos)
+// stackBatchAt copies the per-sample activations into one contiguous
+// batched tensor [B, ...] shaped for position pos of the node's baseline,
+// and returns it with the identity row→input index map.
+func (s *Session) stackBatchAt(node int, xs []*tensor.T, pos int) (*tensor.T, []int) {
+	sshape := s.graph.Nodes[node].Model.Arch.Net.ShapeAt(pos)
 	ssz := 1
 	for _, d := range sshape {
 		ssz *= d
@@ -175,17 +244,20 @@ func (s *Session) stackBatch(xs []*tensor.T, pos int) (*tensor.T, []int) {
 	return act, idx
 }
 
-// runStagesBatch evaluates cascade stages [from, to) over the active rows
-// of act (position pos in the baseline), writing an ExitRecord into
-// recs[idx[r]] for every row whose activation module fires and compacting
-// the survivors in place. It returns the surviving rows' activation, the
-// baseline position reached, and the surviving index map — the batch
-// counterpart of runStages, applying the same per-stage δ resolution
-// (CDLN.stageDelta over the policy) and the same exit rule to each
+// runStagesBatch evaluates a node's cascade stages [from, to) over the
+// active rows of act (position pos in the node's baseline), writing an
+// ExitRecord into recs[idx[r]] for every row whose activation module
+// fires, gathering rows a route dispatches into per-branch groups
+// appended to routed, and compacting the remaining survivors in place. It
+// returns the surviving rows' activation, the baseline position reached,
+// and the surviving index map — the batch counterpart of the serial
+// classifyFrom walk, applying the same per-stage δ resolution
+// (Session.stageDeltaAt over the policy) and the same exit rule to each
 // sample's scores. With pol.Trace it also appends each evaluated stage's
-// winning confidence to the sample's record.
-func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, pol ExitPolicy, idx []int, recs []ExitRecord) (*tensor.T, int, []int) {
-	c := s.model
+// winning confidence to the sample's record; a routed sample's trace
+// keeps accumulating in its branch group.
+func (s *Session) runStagesBatch(node int, act *tensor.T, pos, from, to int, pol ExitPolicy, idx []int, recs []ExitRecord, routed *[]batchGroup) (*tensor.T, int, []int) {
+	c := s.graph.Nodes[node].Model
 	for i := from; i < to && len(idx) > 0; i++ {
 		st := c.Stages[i]
 		act = c.Arch.Net.ForwardBatchRange(act, pos, st.Tap)
@@ -198,8 +270,18 @@ func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, pol ExitPolic
 		}
 		scores := tensor.FromSlice(s.bscores[:nAct*st.LC.Out], nAct, st.LC.Out)
 		st.LC.ScoresBatchInto(feat, scores)
-		d := c.stageDelta(i, pol)
-		row := s.scores[i] // per-stage scratch, same buffer the serial path uses
+		d := s.stageDeltaAt(node, i, pol)
+		route := s.graph.routeFor(node, i)
+		// Per-branch gathers for this stage's routed rows: rows with the
+		// same target accumulate into one fresh buffer, flushed into routed
+		// as a batchGroup once the stage's row loop completes.
+		type pending struct {
+			node int
+			data []float64
+			idx  []int
+		}
+		var hand []pending
+		row := s.scores[node][i] // per-stage scratch, same buffer the serial path uses
 		w := 0
 		for r := 0; r < nAct; r++ {
 			copy(row.Data, scores.Data[r*st.LC.Out:(r+1)*st.LC.Out])
@@ -210,21 +292,52 @@ func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, pol ExitPolic
 			}
 			if c.Rule.ShouldExit(row, d) {
 				conf, label := row.Max()
+				gi := s.graph.ExitIndex(node, i)
 				recs[orig] = ExitRecord{
-					StageIndex: i,
-					StageName:  st.Name,
-					Label:      label,
+					Node:       node,
+					StageIndex: gi,
+					StageName:  s.graph.ExitName(gi),
+					Label:      s.graph.mapLabel(node, label),
 					Confidence: conf,
-					Ops:        s.exitOps[i],
+					Ops:        s.exitOps[gi],
 					Trace:      recs[orig].Trace,
 				}
 				continue
+			}
+			if route != nil {
+				_, label := row.Max()
+				if t := route.Branch[label]; t >= 0 {
+					// Copy the row out now — compaction may overwrite it
+					// before the stage's row loop completes.
+					hi := -1
+					for h := range hand {
+						if hand[h].node == t {
+							hi = h
+							break
+						}
+					}
+					if hi < 0 {
+						hand = append(hand, pending{node: t})
+						hi = len(hand) - 1
+					}
+					hand[hi].data = append(hand[hi].data, act.Data[r*ssz:(r+1)*ssz]...)
+					hand[hi].idx = append(hand[hi].idx, orig)
+					continue
+				}
 			}
 			if w != r {
 				copy(act.Data[w*ssz:(w+1)*ssz], act.Data[r*ssz:(r+1)*ssz])
 			}
 			idx[w] = orig
 			w++
+		}
+		for _, h := range hand {
+			shape := s.graph.Nodes[h.node].Model.Arch.Net.InShape
+			*routed = append(*routed, batchGroup{
+				node: h.node,
+				act:  tensor.FromSlice(h.data, append([]int{len(h.idx)}, shape...)...),
+				idx:  h.idx,
+			})
 		}
 		idx = idx[:w]
 		if w < nAct {
@@ -235,25 +348,48 @@ func (s *Session) runStagesBatch(act *tensor.T, pos, from, to int, pol ExitPolic
 	return act, pos, idx
 }
 
-// finalExitBatch runs the remaining baseline layers for the surviving rows
-// and records their unconditional FC exits — the batch counterpart of
-// finalExit.
-func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitRecord, trace bool) {
+// stageDeltaAt resolves the effective threshold for a node's stage i under
+// a policy: the node's trained value, then the policy's global Delta, then
+// — for trunk stages only — the policy's per-stage entry (per-stage
+// overrides name trunk stages; branch stages keep their own trained
+// thresholds under the global override). On the trunk this is exactly
+// CDLN.stageDelta.
+func (s *Session) stageDeltaAt(node, i int, p ExitPolicy) float64 {
+	c := s.graph.Nodes[node].Model
+	d := c.Delta
+	if c.StageDeltas != nil {
+		d = c.StageDeltas[i]
+	}
+	if p.Delta >= 0 {
+		d = p.Delta
+	}
+	if node == 0 && p.StageDeltas != nil && p.StageDeltas[i] >= 0 {
+		d = p.StageDeltas[i]
+	}
+	return d
+}
+
+// finalExitBatch runs the remaining baseline layers of the node for the
+// surviving rows and records their unconditional FC exits — the batch
+// counterpart of the serial walk's FC tail.
+func (s *Session) finalExitBatch(node int, act *tensor.T, pos int, idx []int, recs []ExitRecord, trace bool) {
 	if len(idx) == 0 {
 		return
 	}
-	c := s.model
+	c := s.graph.Nodes[node].Model
 	act = c.Arch.Net.ForwardBatchRange(act, pos, len(c.Arch.Net.Layers))
 	osz := act.Numel() / len(idx)
+	gi := s.graph.ExitIndex(node, len(c.Stages))
 	for r, orig := range idx {
 		row := tensor.FromSlice(act.Data[r*osz:(r+1)*osz], osz)
 		conf, label := row.Max()
 		rec := ExitRecord{
-			StageIndex: len(c.Stages),
-			StageName:  "FC",
-			Label:      label,
+			Node:       node,
+			StageIndex: gi,
+			StageName:  s.graph.ExitName(gi),
+			Label:      s.graph.mapLabel(node, label),
 			Confidence: conf,
-			Ops:        s.exitOps[len(c.Stages)],
+			Ops:        s.exitOps[gi],
 		}
 		if trace {
 			rec.Trace = append(recs[orig].Trace, conf)
@@ -262,17 +398,18 @@ func (s *Session) finalExitBatch(act *tensor.T, pos int, idx []int, recs []ExitR
 	}
 }
 
-// forcedExitBatch terminates the surviving rows unconditionally at cascade
-// stage `stage` — the ExitPolicy.MaxExit depth cap. The baseline advances
-// only to the stage's tap and the stage classifier's verdict is taken
-// whatever its confidence, so the per-exit ops accounting (exitOps[stage])
-// stays exact: stages 0..stage−1 were evaluated conditionally, stage's LC
-// unconditionally, deeper layers never ran.
-func (s *Session) forcedExitBatch(act *tensor.T, pos, stage int, idx []int, recs []ExitRecord, trace bool) {
+// forcedExitBatch terminates the surviving rows unconditionally at the
+// node's cascade stage `stage` — the node's share of the
+// ExitPolicy.MaxExit path-depth cap. The baseline advances only to the
+// stage's tap and the stage classifier's verdict is taken whatever its
+// confidence, so the per-exit ops accounting (the global exit's path cost)
+// stays exact: earlier exit points on the path were evaluated
+// conditionally, this stage's LC unconditionally, deeper layers never ran.
+func (s *Session) forcedExitBatch(node int, act *tensor.T, pos, stage int, idx []int, recs []ExitRecord, trace bool) {
 	if len(idx) == 0 {
 		return
 	}
-	c := s.model
+	c := s.graph.Nodes[node].Model
 	st := c.Stages[stage]
 	act = c.Arch.Net.ForwardBatchRange(act, pos, st.Tap)
 	nAct := len(idx)
@@ -283,16 +420,18 @@ func (s *Session) forcedExitBatch(act *tensor.T, pos, stage int, idx []int, recs
 	}
 	scores := tensor.FromSlice(s.bscores[:nAct*st.LC.Out], nAct, st.LC.Out)
 	st.LC.ScoresBatchInto(feat, scores)
-	row := s.scores[stage]
+	row := s.scores[node][stage]
+	gi := s.graph.ExitIndex(node, stage)
 	for r, orig := range idx {
 		copy(row.Data, scores.Data[r*st.LC.Out:(r+1)*st.LC.Out])
 		conf, label := row.Max()
 		rec := ExitRecord{
-			StageIndex: stage,
-			StageName:  st.Name,
-			Label:      label,
+			Node:       node,
+			StageIndex: gi,
+			StageName:  s.graph.ExitName(gi),
+			Label:      s.graph.mapLabel(node, label),
 			Confidence: conf,
-			Ops:        s.exitOps[stage],
+			Ops:        s.exitOps[gi],
 		}
 		if trace {
 			rec.Trace = append(recs[orig].Trace, conf)

@@ -18,7 +18,7 @@ import (
 
 // batchCDLN builds a trained two-stage CDLN with every stage admitted, so
 // the batch path exercises multi-stage compaction.
-func batchCDLN(t *testing.T, seed int64) *CDLN {
+func batchCDLN(t testing.TB, seed int64) *CDLN {
 	t.Helper()
 	arch, data := trainedArch(t, seed)
 	cfg := DefaultBuildConfig()

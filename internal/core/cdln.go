@@ -50,10 +50,18 @@ type CDLN struct {
 
 // ExitRecord describes how one input was classified.
 type ExitRecord struct {
-	// StageIndex is the index into Stages of the exit point, or
-	// len(Stages) when the input reached the final FC layer.
+	// Node is the routing-graph node the exit was taken in: 0 for the
+	// trunk (always 0 for a linear cascade), a branch index when a Route
+	// dispatched the input to a branch subnetwork.
+	Node int
+	// StageIndex is the global exit index: for a linear cascade, the index
+	// into Stages of the exit point, or len(Stages) when the input reached
+	// the final FC layer. For a routing graph, exits are numbered node by
+	// node (Graph.ExitIndex), which coincides with the linear numbering on
+	// the trunk.
 	StageIndex int
-	// StageName is "O1".."On" or "FC".
+	// StageName is "O1".."On" or "FC", qualified with the branch name
+	// ("even/O1") for branch exits.
 	StageName string
 	// Label is the predicted class.
 	Label int
@@ -73,15 +81,22 @@ type ExitRecord struct {
 // differential harnesses assert). Traces are ignored — they are a detail
 // level, not part of the classification outcome.
 func (r ExitRecord) Equal(o ExitRecord) bool {
-	return r.StageIndex == o.StageIndex && r.StageName == o.StageName &&
+	return r.Node == o.Node && r.StageIndex == o.StageIndex && r.StageName == o.StageName &&
 		r.Label == o.Label && r.Confidence == o.Confidence && r.Ops == o.Ops
 }
 
 // NumExits returns the number of possible exit points (stages plus FC).
+//
+// This is a LINEAR-cascade count: it assumes every exit lives on the one
+// trunk. Callers sizing per-exit tables for a served model must use
+// Graph.NumExits, which degenerates to this for a one-node graph —
+// indexing a graph model's records by a CDLN's count is a bounds bug (the
+// energy Accumulator and serve metrics are graph-sized for this reason).
 func (c *CDLN) NumExits() int { return len(c.Stages) + 1 }
 
 // ExitName returns the display name of exit point i (StageIndex
-// semantics).
+// semantics). Linear-cascade naming; Graph.ExitName qualifies branch
+// exits.
 func (c *CDLN) ExitName(i int) string {
 	if i < len(c.Stages) {
 		return c.Stages[i].Name
@@ -254,6 +269,11 @@ func (c *CDLN) SplitPos(splitStage int) int {
 // panics on failure), the serve /v1/resume handler and the edgecloud
 // Loopback transport (which map it to request errors) — so a payload the
 // loopback accepts is exactly a payload a real backend accepts.
+//
+// Like NumExits, this is linear-cascade validation: fromStage names a
+// trunk stage. Handoffs into a routing graph (a (node, fromStage) pair)
+// go through Graph.ValidateResume, which applies this check against the
+// named node's cascade.
 func (c *CDLN) ValidateResume(fromStage, pos int, shape []int) error {
 	if fromStage < 0 || fromStage > len(c.Stages) {
 		return fmt.Errorf("core: resume stage %d outside [0,%d]", fromStage, len(c.Stages))

@@ -71,7 +71,7 @@ func blobData(n int, seed int64) []train.Sample {
 }
 
 // trainedArch returns a two-stage arch trained on blobs.
-func trainedArch(t *testing.T, seed int64) (*nn.Arch, []train.Sample) {
+func trainedArch(t testing.TB, seed int64) (*nn.Arch, []train.Sample) {
 	t.Helper()
 	arch := twoStageArch(seed, 3)
 	data := blobData(180, seed+1)

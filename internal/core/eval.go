@@ -68,7 +68,7 @@ func Evaluate(c *CDLN, data []train.Sample, workers int, keepRecords bool) (*Eva
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sess := newSession(c.Clone())
+			sess := newGraphSession(LinearGraph(c.Clone()))
 			for i := w; i < len(data); i += workers {
 				records[i] = sess.Classify(data[i].X)
 			}

@@ -1,0 +1,140 @@
+package core
+
+// linear_equiv_test.go is the linear-equivalence golden harness for the
+// routing-graph refactor: a linear cascade wrapped as the one-node graph
+// (LinearGraph) must be byte-identical to the pre-graph execution paths —
+// not approximately equal, identical, ExitRecord field for field including
+// the per-stage confidence Trace — across the serial walk, the batched
+// fast path, and every tier-split stage. The pre-refactor reference is
+// CDLN.Classify itself (that code path did not change), so these tests ARE
+// the pre-refactor goldens; CI runs them under -race alongside the batch
+// differential suite.
+
+import (
+	"slices"
+	"testing"
+
+	"cdl/internal/tensor"
+)
+
+// assertRecordsIdentical is ExitRecord.Equal plus the Trace slice — the
+// full byte-identity the linear-equivalence contract promises.
+func assertRecordsIdentical(t *testing.T, label string, i int, got, want ExitRecord) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("%s: input %d: record %+v != reference %+v", label, i, got, want)
+	}
+	if !slices.Equal(got.Trace, want.Trace) {
+		t.Fatalf("%s: input %d: trace %v != reference trace %v", label, i, got.Trace, want.Trace)
+	}
+}
+
+// TestLinearGraphMatchesCDLNClassify pins the serial walk: a session over
+// LinearGraph(c) produces exactly the record CDLN.Classify produces — the
+// unchanged pre-graph reference path — for every input.
+func TestLinearGraphMatchesCDLNClassify(t *testing.T) {
+	cdln := batchCDLN(t, 31)
+	sess, err := NewGraphSession(LinearGraph(cdln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(120, 5)
+	exitsSeen := make(map[int]int)
+	for i, x := range xs {
+		ref := cdln.Classify(x)
+		got := sess.Classify(x)
+		assertRecordsIdentical(t, "serial", i, got, ref)
+		if got.Node != 0 {
+			t.Fatalf("input %d: linear record in node %d", i, got.Node)
+		}
+		exitsSeen[got.StageIndex]++
+	}
+	// The sweep must exercise early exits and the FC tail, or the identity
+	// is vacuous.
+	if exitsSeen[0] == 0 || exitsSeen[len(cdln.Stages)] == 0 {
+		t.Fatalf("degenerate exit distribution %v", exitsSeen)
+	}
+}
+
+// TestLinearGraphBatchMatchesSerial pins the batched fast path on the
+// one-node graph, with Trace enabled so the per-stage confidences are part
+// of the identity: every batch size, batched record == single-input record.
+func TestLinearGraphBatchMatchesSerial(t *testing.T) {
+	cdln := batchCDLN(t, 32)
+	sess, err := NewGraphSession(LinearGraph(cdln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewGraphSession(LinearGraph(cdln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultExitPolicy()
+	pol.Trace = true
+	for _, bsz := range []int{1, 2, 7, 16, 33} {
+		xs := mixedInputs(bsz, int64(200+bsz))
+		recs := sess.ClassifyBatchPolicy(xs, pol)
+		for i, x := range xs {
+			want := ref.ClassifyBatchPolicy([]*tensor.T{x}, pol)[0]
+			assertRecordsIdentical(t, "batch-trace", i, recs[i], want)
+			if len(want.Trace) == 0 {
+				t.Fatalf("input %d: policy trace empty", i)
+			}
+			// The non-trace fields must also equal the serial walk.
+			serial := ref.Classify(x)
+			if !recs[i].Equal(serial) {
+				t.Fatalf("input %d: batch record %+v != serial %+v", i, recs[i], serial)
+			}
+		}
+	}
+}
+
+// TestLinearGraphSplitEquivalence pins the tier-split identity on the
+// one-node graph at every split stage: prefix+resume — serial and batched —
+// equals the monolithic classification exactly.
+func TestLinearGraphSplitEquivalence(t *testing.T) {
+	cdln := batchCDLN(t, 33)
+	sess, err := NewGraphSession(LinearGraph(cdln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := NewGraphSession(LinearGraph(cdln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := mixedInputs(48, 9)
+	for split := 0; split <= len(cdln.Stages); split++ {
+		// Serial: ClassifyPrefix + ResumeAt.
+		for i, x := range xs {
+			want := sess.Classify(x)
+			pre := sess.ClassifyPrefix(x, split, -1)
+			got := pre.Record
+			if !pre.Exited {
+				if pre.Node != 0 || pre.FromStage != split {
+					t.Fatalf("split %d input %d: linear handoff at (node %d, stage %d)", split, i, pre.Node, pre.FromStage)
+				}
+				got = cloud.ResumeAt(pre.Activation, pre.Node, pre.FromStage, -1)
+			}
+			assertRecordsIdentical(t, "split-serial", i, got, want)
+		}
+		// Batched: ClassifyPrefixBatch + ResumeBatch.
+		wantRecs := sess.ClassifyBatch(xs, -1)
+		pres := sess.ClassifyPrefixBatch(xs, split, -1)
+		var deferredX []*tensor.T
+		var deferredIdx []int
+		for i, pre := range pres {
+			if pre.Exited {
+				assertRecordsIdentical(t, "split-batch-local", i, pre.Record, wantRecs[i])
+				continue
+			}
+			deferredX = append(deferredX, pre.Activation)
+			deferredIdx = append(deferredIdx, i)
+		}
+		if len(deferredX) > 0 {
+			resumed := cloud.ResumeBatch(deferredX, split, -1)
+			for j, i := range deferredIdx {
+				assertRecordsIdentical(t, "split-batch-resumed", i, resumed[j], wantRecs[i])
+			}
+		}
+	}
+}

@@ -102,8 +102,8 @@ func (c *CDLN) ValidatePolicy(p ExitPolicy) error {
 // per-request compute budget. It errors when even the cheapest exit
 // (stage 0) exceeds the budget.
 func (c *CDLN) MaxExitForOps(budget float64) (int, error) {
-	if math.IsNaN(budget) || budget <= 0 {
-		return 0, fmt.Errorf("core: ops budget %v must be a positive number", budget)
+	if err := validateOpsBudget(budget); err != nil {
+		return 0, err
 	}
 	exitOps := c.ExitOps()
 	max := -1
@@ -116,6 +116,15 @@ func (c *CDLN) MaxExitForOps(budget float64) (int, error) {
 		return 0, fmt.Errorf("core: ops budget %v below the cheapest exit (stage 0 costs %v)", budget, exitOps[0])
 	}
 	return max, nil
+}
+
+// validateOpsBudget is the budget check shared by CDLN.MaxExitForOps and
+// Graph.MaxExitForOps.
+func validateOpsBudget(budget float64) error {
+	if math.IsNaN(budget) || budget <= 0 {
+		return fmt.Errorf("core: ops budget %v must be a positive number", budget)
+	}
+	return nil
 }
 
 // stageDelta resolves the effective threshold for stage i under a policy:

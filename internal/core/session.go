@@ -6,23 +6,24 @@ import (
 	"cdl/internal/tensor"
 )
 
-// Session is a reusable single-goroutine classifier over a CDLN. It owns a
-// private replica of the cascade (weights shared with the source model,
-// caches private) plus all scratch state Algorithm 2 needs — the per-exit
-// cost vector and one score buffer per stage — so repeated Classify calls
-// perform no cascade-level allocation and no re-derivation of exit costs.
+// Session is a reusable single-goroutine classifier over a routing graph.
+// It owns a private replica of every node's cascade (weights shared with
+// the source model, caches private) plus all scratch state Algorithm 2
+// needs — the global per-exit cost vector and one score buffer per stage
+// per node — so repeated Classify calls perform no cascade-level
+// allocation and no re-derivation of exit costs.
 //
-// This is the serving-path counterpart of CDLN.Classify: Classify clones
-// nothing but recomputes ExitOps and allocates score tensors on every call,
-// while Evaluate historically paid one Clone per goroutine per evaluation.
-// A Session front-loads both costs once, which is what lets a server keep a
-// pool of warm replicas instead of cloning per request.
+// A Session over LinearGraph(c) (what NewSession builds) behaves exactly
+// as the pre-graph session over c did: a routeless trunk walks the
+// identical stage loop, so every record is bit-identical to CDLN.Classify.
+// The graph walk only diverges where a Route actually fires.
 //
 // A Session is not safe for concurrent use; create one per worker.
 type Session struct {
-	model   *CDLN
+	graph   *Graph
+	model   *CDLN // trunk replica, the entry cascade
 	exitOps []float64
-	scores  []*tensor.T
+	scores  [][]*tensor.T // scores[node][stage], same buffers serial and batched
 
 	// batch-path scratch (batch.go): the stacked-scores buffer and the
 	// active-row index map, grown on demand and reused across
@@ -32,106 +33,233 @@ type Session struct {
 }
 
 // NewSession validates the model and returns a warm session over a private
-// replica of it. As with Clone, the baseline network's weight storage is
-// shared with the source model, but the stage classifiers are deep-copied:
-// later updates to the source's LC weights, thresholds or structure are NOT
-// visible to the session — build new sessions after retraining.
+// replica of it, as the trunk of the trivial linear graph. As with Clone,
+// the baseline network's weight storage is shared with the source model,
+// but the stage classifiers are deep-copied: later updates to the source's
+// LC weights, thresholds or structure are NOT visible to the session —
+// build new sessions after retraining.
 func NewSession(c *CDLN) (*Session, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return newSession(c.Clone()), nil
+	return newGraphSession(LinearGraph(c.Clone())), nil
 }
 
-// newSession wraps an already-private, already-validated replica.
-func newSession(replica *CDLN) *Session {
-	s := &Session{
-		model:   replica,
-		exitOps: replica.ExitOps(),
-		scores:  make([]*tensor.T, len(replica.Stages)),
+// NewGraphSession validates the routing graph and returns a warm session
+// over a private replica of it. Session sharing rules are as for
+// NewSession, applied to every node.
+func NewGraphSession(g *Graph) (*Session, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
-	for i, st := range replica.Stages {
-		s.scores[i] = tensor.New(st.LC.Out)
+	return newGraphSession(g.Clone()), nil
+}
+
+// newGraphSession wraps an already-private replica, validating it to build
+// the derived routing tables on the replica.
+func newGraphSession(g *Graph) *Session {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("core: session over invalid graph: %v", err))
+	}
+	s := &Session{
+		graph:   g,
+		model:   g.Trunk(),
+		exitOps: g.ExitOps(),
+		scores:  make([][]*tensor.T, len(g.Nodes)),
+	}
+	for ni, n := range g.Nodes {
+		s.scores[ni] = make([]*tensor.T, len(n.Model.Stages))
+		for i, st := range n.Model.Stages {
+			s.scores[ni][i] = tensor.New(st.LC.Out)
+		}
 	}
 	return s
 }
 
-// Model returns the session's private CDLN replica. Mutating its Delta or
-// StageDeltas between calls is allowed (thresholds are read per call);
-// structural mutation invalidates the session.
+// Model returns the session's private trunk CDLN replica. Mutating its
+// Delta or StageDeltas between calls is allowed (thresholds are read per
+// call); structural mutation invalidates the session.
 func (s *Session) Model() *CDLN { return s.model }
 
+// Graph returns the session's private routing graph replica (a one-node
+// linear graph for NewSession-built sessions). Treat it as read-only.
+func (s *Session) Graph() *Graph { return s.graph }
+
 // Classify runs Algorithm 2 on one input with the model's trained
-// thresholds, reusing the session's scratch buffers. Results are
-// bit-identical to CDLN.Classify on the same weights.
+// thresholds, reusing the session's scratch buffers. On a linear graph
+// results are bit-identical to CDLN.Classify on the same weights; on a
+// routed graph undecided inputs may descend into branch cascades.
 func (s *Session) Classify(x *tensor.T) ExitRecord {
-	return s.model.classify(x, s.exitOps, s.scores, -1)
+	return s.classifyFrom(x, 0, 0, 0, -1)
 }
 
 // ClassifyDelta is Classify with a per-call confidence threshold: delta in
-// [0,1] overrides the model's Delta and StageDeltas for this input only
+// [0,1] overrides every node's Delta and StageDeltas for this input only
 // (the paper's §III.B runtime accuracy/efficiency knob, exposed per request
 // by the serving layer); a negative delta keeps the trained thresholds.
 func (s *Session) ClassifyDelta(x *tensor.T, delta float64) ExitRecord {
-	return s.model.classify(x, s.exitOps, s.scores, delta)
+	return s.classifyFrom(x, 0, 0, 0, delta)
+}
+
+// classifyFrom is the serial graph walk: evaluate node's cascade from
+// stage `from` (activation act after the node's first pos baseline
+// layers), exiting where the activation module fires, descending into a
+// branch where a route fires, and terminating at the node's FC otherwise.
+// It performs, stage for stage, the identical floating-point operations in
+// the identical order as CDLN.runStages/finalExit — routing adds no
+// arithmetic, only an argmax read of scores already computed — which is
+// what keeps the one-node graph bit-identical to the linear cascade.
+func (s *Session) classifyFrom(act *tensor.T, node, from, pos int, delta float64) ExitRecord {
+	n := s.graph.Nodes[node]
+	c := n.Model
+	for i := from; i < len(c.Stages); i++ {
+		st := c.Stages[i]
+		act = c.Arch.Net.ForwardRange(act, pos, st.Tap)
+		pos = st.Tap
+		scores := s.scores[node][i]
+		st.LC.ScoresInto(act, scores)
+		d := c.Delta
+		if c.StageDeltas != nil {
+			d = c.StageDeltas[i]
+		}
+		if delta >= 0 {
+			d = delta
+		}
+		if c.Rule.ShouldExit(scores, d) {
+			conf, label := scores.Max()
+			gi := s.graph.ExitIndex(node, i)
+			return ExitRecord{
+				Node:       node,
+				StageIndex: gi,
+				StageName:  s.graph.ExitName(gi),
+				Label:      s.graph.mapLabel(node, label),
+				Confidence: conf,
+				Ops:        s.exitOps[gi],
+			}
+		}
+		if r := s.graph.routeFor(node, i); r != nil {
+			_, label := scores.Max()
+			if t := r.Branch[label]; t >= 0 {
+				return s.classifyFrom(act, t, 0, 0, delta)
+			}
+		}
+	}
+	act = c.Arch.Net.ForwardRange(act, pos, len(c.Arch.Net.Layers))
+	conf, label := act.Max()
+	gi := s.graph.ExitIndex(node, len(c.Stages))
+	return ExitRecord{
+		Node:       node,
+		StageIndex: gi,
+		StageName:  s.graph.ExitName(gi),
+		Label:      s.graph.mapLabel(node, label),
+		Confidence: conf,
+		Ops:        s.exitOps[gi],
+	}
 }
 
 // PrefixResult is the outcome of the edge-side half of a tier-split
 // classification (ClassifyPrefix): either the input exited locally and
 // Record is final, or the cascade must continue past the split and
-// Activation/Pos describe what to hand to Resume on the other tier.
+// (Node, FromStage, Pos, Activation) describe what to hand to ResumeAt on
+// the other tier.
 type PrefixResult struct {
 	// Record is the final classification; valid only when Exited.
 	Record ExitRecord
 	// Exited reports whether a prefix stage's activation module fired.
 	Exited bool
-	// Activation is the intermediate activation at the split point; valid
+	// Activation is the intermediate activation at the handoff point; valid
 	// only when !Exited. It aliases the session's layer forward caches, so
 	// it must be consumed (serialized or copied) before the session's next
 	// classification.
 	Activation *tensor.T
-	// Pos is the number of baseline layers composing Activation — the
-	// CDLN.SplitPos of the split stage, recorded here so transports need
-	// not re-derive it.
+	// Node is the graph node the other tier must resume in: 0 when the
+	// input reached the trunk split stage undecided, or a branch index when
+	// a trunk route fired before the split (the edge owns only the trunk
+	// prefix, so a routed input is handed off at the branch's entry).
+	Node int
+	// FromStage is the node-local stage to resume from: the split stage
+	// for an unrouted handoff, 0 for a branch-entry handoff.
+	FromStage int
+	// Pos is the number of the node's baseline layers composing Activation
+	// — Graph.SplitPosOf(Node, FromStage), recorded here so transports
+	// need not re-derive it.
 	Pos int
 }
 
-// ClassifyPrefix runs only the first splitStage cascade stages — the edge
-// tier's share of Algorithm 2. If any of those stages' activation modules
-// fires, the result carries the final ExitRecord (bit-identical to what the
-// monolithic Classify would produce, including full-pipeline Ops
+// ClassifyPrefix runs only the first splitStage trunk cascade stages — the
+// edge tier's share of Algorithm 2. If any of those stages' activation
+// modules fires, the result carries the final ExitRecord (bit-identical to
+// what the monolithic Classify would produce, including full-pipeline Ops
 // accounting); otherwise it carries the intermediate activation to resume
-// from. splitStage must be in [0, len(Stages)] — 0 owns no stages and
-// always defers, len(Stages) owns the whole cascade and defers only the FC
-// tail. delta ≥ 0 overrides the trained thresholds as in ClassifyDelta.
+// from — at (trunk, splitStage) normally, or at a branch's entry when a
+// trunk route fired before the split. splitStage must be in
+// [0, len(trunk.Stages)] — 0 owns no stages and always defers,
+// len(Stages) owns the whole trunk and defers only the FC tail (plus any
+// routed branches). delta ≥ 0 overrides the trained thresholds as in
+// ClassifyDelta.
 func (s *Session) ClassifyPrefix(x *tensor.T, splitStage int, delta float64) PrefixResult {
-	pos := s.model.SplitPos(splitStage) // validates splitStage
-	rec, exited, act, pos := s.model.runStages(x, 0, 0, splitStage, s.exitOps, s.scores, delta)
-	if exited {
-		return PrefixResult{Record: rec, Exited: true}
+	c := s.model
+	c.SplitPos(splitStage) // validates splitStage
+	act, pos := x, 0
+	for i := 0; i < splitStage; i++ {
+		st := c.Stages[i]
+		act = c.Arch.Net.ForwardRange(act, pos, st.Tap)
+		pos = st.Tap
+		scores := s.scores[0][i]
+		st.LC.ScoresInto(act, scores)
+		d := c.Delta
+		if c.StageDeltas != nil {
+			d = c.StageDeltas[i]
+		}
+		if delta >= 0 {
+			d = delta
+		}
+		if c.Rule.ShouldExit(scores, d) {
+			conf, label := scores.Max()
+			return PrefixResult{Record: ExitRecord{
+				StageIndex: i,
+				StageName:  s.graph.ExitName(i),
+				Label:      s.graph.mapLabel(0, label),
+				Confidence: conf,
+				Ops:        s.exitOps[i],
+			}, Exited: true}
+		}
+		if r := s.graph.routeFor(0, i); r != nil {
+			_, label := scores.Max()
+			if t := r.Branch[label]; t >= 0 {
+				return PrefixResult{Activation: act, Node: t, FromStage: 0, Pos: 0}
+			}
+		}
 	}
-	return PrefixResult{Activation: act, Pos: pos}
+	return PrefixResult{Activation: act, Node: 0, FromStage: splitStage, Pos: s.model.SplitPos(splitStage)}
 }
 
-// Resume continues Algorithm 2 past a tier split: act is the activation a
-// ClassifyPrefix(…, fromStage, …) deferred (sitting after
-// CDLN.SplitPos(fromStage) baseline layers), and the remaining stages
-// [fromStage, len(Stages)) plus the FC tail run here. Resume(x, 0, delta)
-// is exactly ClassifyDelta(x, delta), and for any split the pair
-// ClassifyPrefix+Resume performs the same floating-point operations in the
-// same order as the monolithic call — tier-split results are bit-identical.
+// Resume continues Algorithm 2 past a tier split on the trunk: act is the
+// activation a ClassifyPrefix(…, fromStage, …) deferred at (trunk,
+// fromStage), and the remaining trunk stages plus any routed branches and
+// the FC tail run here. Resume(x, 0, delta) is exactly
+// ClassifyDelta(x, delta), and for any split the pair
+// ClassifyPrefix+ResumeAt performs the same floating-point operations in
+// the same order as the monolithic call — tier-split results are
+// bit-identical.
 //
 // The activation's shape must match the model at that position; Resume
 // panics on a mismatch (callers decoding activations from the network must
-// validate first with CDLN.ValidateResume).
+// validate first with CDLN.ValidateResume or Graph.ValidateResume).
 func (s *Session) Resume(act *tensor.T, fromStage int, delta float64) ExitRecord {
-	pos := s.model.SplitPos(fromStage) // validates fromStage
-	if err := s.model.ValidateResume(fromStage, pos, act.Shape()); err != nil {
+	return s.ResumeAt(act, 0, fromStage, delta)
+}
+
+// ResumeAt continues Algorithm 2 past a tier split at any graph node —
+// the graph form of Resume, accepting the (Node, FromStage) pair a
+// PrefixResult carries (branch-entry handoffs resume at (branch, 0)).
+func (s *Session) ResumeAt(act *tensor.T, node, fromStage int, delta float64) ExitRecord {
+	if node < 0 || node >= len(s.graph.Nodes) {
+		panic(fmt.Sprintf("core: ResumeAt node %d outside [0,%d)", node, len(s.graph.Nodes)))
+	}
+	pos := s.graph.SplitPosOf(node, fromStage) // validates fromStage
+	if err := s.graph.ValidateResume(node, fromStage, pos, act.Shape()); err != nil {
 		panic(fmt.Sprintf("core: Resume: %v", err))
 	}
-	rec, exited, act, pos := s.model.runStages(act, pos, fromStage, len(s.model.Stages), s.exitOps, s.scores, delta)
-	if exited {
-		return rec
-	}
-	return s.model.finalExit(act, pos, s.exitOps)
+	return s.classifyFrom(act, node, fromStage, pos, delta)
 }

@@ -99,14 +99,29 @@ type Edge struct {
 	costs     *energy.TierCosts
 }
 
-// New validates the model and config and returns a warm edge runtime.
+// New validates the model and config and returns a warm edge runtime over a
+// linear cascade.
 func New(model *core.CDLN, t Transport, cfg Config) (*Edge, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return NewGraph(core.LinearGraph(model), t, cfg)
+}
+
+// NewGraph is New for a routing graph. The split always cuts the trunk;
+// routed inputs defer to the cloud like any other hard residue (the edge
+// owns only the trunk prefix), carrying their branch handoff on the wire.
+func NewGraph(g *core.Graph, t Transport, cfg Config) (*Edge, error) {
 	cfg = cfg.withDefaults()
 	if t == nil {
 		return nil, fmt.Errorf("edgecloud: nil transport")
 	}
-	if cfg.SplitStage < 0 || cfg.SplitStage > len(model.Stages) {
-		return nil, fmt.Errorf("edgecloud: split stage %d outside [0,%d]", cfg.SplitStage, len(model.Stages))
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	trunkStages := len(g.Trunk().Stages)
+	if cfg.SplitStage < 0 || cfg.SplitStage > trunkStages {
+		return nil, fmt.Errorf("edgecloud: split stage %d outside [0,%d]", cfg.SplitStage, trunkStages)
 	}
 	if cfg.Delta > 1 {
 		return nil, fmt.Errorf("edgecloud: delta %v outside [0,1]", cfg.Delta)
@@ -114,11 +129,11 @@ func New(model *core.CDLN, t Transport, cfg Config) (*Edge, error) {
 	if cfg.Encoding != wire.EncodingFloat64 && cfg.Encoding != wire.EncodingFixed {
 		return nil, fmt.Errorf("edgecloud: unknown encoding %d", cfg.Encoding)
 	}
-	costs, err := energy.NewEvaluator().TierCosts(model, cfg.SplitStage, cfg.Link)
+	costs, err := energy.NewEvaluator().GraphTierCosts(g, cfg.SplitStage, cfg.Link)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := core.NewSession(model)
+	sess, err := core.NewGraphSession(g)
 	if err != nil {
 		return nil, err
 	}
@@ -195,8 +210,8 @@ func (e *Edge) ClassifyBatchPolicy(xs []*tensor.T, pol core.ExitPolicy) ([]Resul
 	if pol.StageDeltas != nil {
 		return nil, fmt.Errorf("edgecloud: per-stage deltas cannot be forwarded on the δ-only offload wire")
 	}
-	nStages := len(e.sess.Model().Stages)
-	if pol.MaxExit >= e.cfg.SplitStage && pol.MaxExit < nStages {
+	maxDepth := e.sess.Graph().MaxDepth()
+	if pol.MaxExit >= e.cfg.SplitStage && pol.MaxExit < maxDepth {
 		return nil, fmt.Errorf("edgecloud: policy depth cap %d lies in the cloud tier (split %d) and cannot be forwarded on the δ-only offload wire",
 			pol.MaxExit, e.cfg.SplitStage)
 	}
@@ -253,10 +268,13 @@ func (e *Edge) localResult(rec core.ExitRecord) Result {
 	return Result{Record: rec, EdgePJ: e.costs.Edge[rec.StageIndex]}
 }
 
-// encodePrefix serializes a deferred prefix for the wire.
+// encodePrefix serializes a deferred prefix for the wire: a trunk residue
+// resumes at the split stage, a routed input hands off at its branch entry
+// (node, stage 0, pos 0).
 func (e *Edge) encodePrefix(pre core.PrefixResult) ([]byte, error) {
 	payload, err := wire.Encode(wire.Activation{
-		FromStage: e.cfg.SplitStage,
+		Node:      pre.Node,
+		FromStage: pre.FromStage,
 		Pos:       pre.Pos,
 		Shape:     pre.Activation.Shape(),
 		Data:      pre.Activation.Data,

@@ -101,8 +101,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 //	GET  /healthz      liveness, model identity, split point, cloud target
 //	GET  /statsz       offload fraction and tiered (edge/link/cloud) energy
 type Server struct {
-	cfg      ServerConfig
-	edgeCfg  Config
+	cfg     ServerConfig
+	edgeCfg Config
+	// graph is the served routing graph; model is its trunk (the whole
+	// cascade for linear deployments) — the request surface's input
+	// validation is trunk-shaped.
+	graph    *core.Graph
 	model    *core.CDLN
 	inWidth  int
 	baseOps  float64
@@ -141,18 +145,30 @@ type Server struct {
 // shared across workers; an HTTPTransport may simply be returned
 // repeatedly).
 func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg Config, cfg ServerConfig) (*Server, error) {
-	cfg = cfg.withDefaults()
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	return NewGraphServer(core.LinearGraph(model), newTransport, edgeCfg, cfg)
+}
+
+// NewGraphServer is NewServer for a routing graph: the split cuts the
+// trunk, routed inputs offload at their branch handoff, and the tiered
+// accounting charges branch paths as cloud compute.
+func NewGraphServer(g *core.Graph, newTransport func() (Transport, error), edgeCfg Config, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
 	edgeCfg = edgeCfg.withDefaults()
-	costs, err := energy.NewEvaluator().TierCosts(model, edgeCfg.SplitStage, edgeCfg.Link)
+	costs, err := energy.NewEvaluator().GraphTierCosts(g, edgeCfg.SplitStage, edgeCfg.Link)
 	if err != nil {
 		return nil, err
 	}
+	model := g.Trunk()
 	s := &Server{
 		cfg:     cfg,
 		edgeCfg: edgeCfg,
+		graph:   g,
 		model:   model,
 		baseOps: model.BaselineOps(),
 		edges:   make(chan *Edge, cfg.Workers),
@@ -169,20 +185,20 @@ func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg
 		if err != nil {
 			return nil, err
 		}
-		e, err := New(model, t, edgeCfg)
+		e, err := NewGraph(g, t, edgeCfg)
 		if err != nil {
 			return nil, err
 		}
 		s.edges <- e
 	}
 	if cfg.SLO.Active() {
-		ladder := edgeLadder(len(model.Stages), edgeCfg.SplitStage, cfg.SLO.AccuracyFloorDelta)
+		ladder := edgeLadder(g.MaxDepth(), edgeCfg.SplitStage, cfg.SLO.AccuracyFloorDelta)
 		ctrl, err := control.New(cfg.SLO, ladder, control.Config{Interval: cfg.ControlInterval})
 		if err != nil {
 			return nil, fmt.Errorf("edgecloud: SLO on split %d: %w", edgeCfg.SplitStage, err)
 		}
 		buckets := 10
-		s.window = control.NewWindow(model.NumExits(), control.WindowConfig{
+		s.window = control.NewWindow(g.NumExits(), control.WindowConfig{
 			Buckets: buckets, BucketDur: cfg.ControlWindow / time.Duration(buckets),
 		})
 		s.ctrl = ctrl
@@ -202,8 +218,8 @@ func NewServer(model *core.CDLN, newTransport func() (Transport, error), edgeCfg
 // stage (a cap in the cloud's half cannot ride the δ-only offload wire).
 // Rung 1 therefore already resolves every input locally — the edge's
 // actuation is exactly its offload split.
-func edgeLadder(numStages, splitStage int, floor float64) []core.ExitPolicy {
-	full := control.Ladder(numStages, floor)
+func edgeLadder(maxDepth, splitStage int, floor float64) []core.ExitPolicy {
+	full := control.Ladder(maxDepth, floor)
 	out := full[:1:1]
 	for _, p := range full[1:] {
 		if p.MaxExit < splitStage {

@@ -127,6 +127,7 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 	recs := make([]core.ExitRecord, len(out.Results))
 	for i, r := range out.Results {
 		recs[i] = core.ExitRecord{
+			Node:       r.Node,
 			StageIndex: r.ExitIndex,
 			StageName:  r.Exit,
 			Label:      r.Label,
@@ -143,30 +144,39 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 // round-trip a real backend would. Single-goroutine, like the Edge that
 // owns it.
 type Loopback struct {
-	model *core.CDLN
+	graph *core.Graph
 	sess  *core.Session
 }
 
 // NewLoopback builds an in-process cloud over a private replica of the
 // model.
 func NewLoopback(model *core.CDLN) (*Loopback, error) {
-	sess, err := core.NewSession(model)
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return NewGraphLoopback(core.LinearGraph(model))
+}
+
+// NewGraphLoopback is NewLoopback for a routing graph: branch handoffs
+// resume at the named node exactly as a real graph-serving backend would.
+func NewGraphLoopback(g *core.Graph) (*Loopback, error) {
+	sess, err := core.NewGraphSession(g)
 	if err != nil {
 		return nil, err
 	}
-	return &Loopback{model: model, sess: sess}, nil
+	return &Loopback{graph: sess.Graph(), sess: sess}, nil
 }
 
 // Resume implements Transport. Payload validation is the same
-// core.CDLN.ValidateResume a real backend applies, so the loopback accepts
+// core.Graph.ValidateResume a real backend applies, so the loopback accepts
 // exactly what /v1/resume would.
 func (l *Loopback) Resume(payload []byte, delta float64) (core.ExitRecord, error) {
 	act, err := wire.Decode(payload)
 	if err != nil {
 		return core.ExitRecord{}, err
 	}
-	if err := l.model.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
+	if err := l.graph.ValidateResume(act.Node, act.FromStage, act.Pos, act.Shape); err != nil {
 		return core.ExitRecord{}, err
 	}
-	return l.sess.Resume(tensor.FromSlice(act.Data, act.Shape...), act.FromStage, delta), nil
+	return l.sess.ResumeAt(tensor.FromSlice(act.Data, act.Shape...), act.Node, act.FromStage, delta), nil
 }

@@ -10,15 +10,24 @@ package wire
 // encoding, hostile dims) so even the plain `go test` run replays them.
 
 import (
+	"flag"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"cdl/internal/fixed"
 )
 
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false, "rewrite testdata/fuzz/FuzzDecode seed files")
+
 // fuzzSeeds returns handcrafted seed inputs spanning the header's decision
-// points. It panics on the (impossible) encode failures so it can also
-// drive the corpus generator without a *testing.F.
+// points — both header versions, truncations in both layouts, bad
+// magic/version/encoding, hostile dims. It panics on the (impossible)
+// encode failures so it can also drive the corpus generator without a
+// *testing.F.
 func fuzzSeeds() [][]byte {
 	must := func(b []byte, err error) []byte {
 		if err != nil {
@@ -37,6 +46,17 @@ func fuzzSeeds() [][]byte {
 		Data:  []float64{0.5, -0.5, 1.25, -1.25, 0, 3.999, -4, 0.0001220703125, 1, -1, 2, -2},
 	}, EncodingFixed, fixed.Q2x13))
 	scalarish := must(Encode(Activation{Shape: []int{1}, Data: []float64{math.Pi}}, EncodingFloat64, fixed.Format{}))
+	// A branch-entry handoff: Node > 0 forces the version-2 routed header.
+	routed := must(Encode(Activation{
+		Node: 2, FromStage: 0, Pos: 0,
+		Shape: []int{2, 5, 5},
+		Data:  make([]float64, 50),
+	}, EncodingFloat64, fixed.Format{}))
+	routedFixed := must(Encode(Activation{
+		Node: 1, FromStage: 0, Pos: 0,
+		Shape: []int{4},
+		Data:  []float64{0.5, -0.5, 1, -1},
+	}, EncodingFixed, fixed.Q2x13))
 	return [][]byte{
 		valid,
 		fixedEnc,
@@ -46,10 +66,15 @@ func fuzzSeeds() [][]byte {
 		valid[:headerBase-1], // shorter than the fixed header
 		{},                   // empty
 		[]byte("XDLA\x01\x00\x00\x00\x00\x00\x00\x00\x00"),                                 // bad magic
-		[]byte("CDLA\x02\x00\x00\x00\x00\x00\x00\x00\x00"),                                 // wrong version
+		[]byte("CDLA\x03\x00\x00\x00\x00\x00\x00\x00\x00"),                                 // unknown version
 		[]byte("CDLA\x01\x07\x00\x00\x00\x00\x00\x00\x00"),                                 // unknown encoding
 		[]byte("CDLA\x01\x01\x20\x20\x00\x00\x00\x00\x00"),                                 // fixed format too wide
 		[]byte("CDLA\x01\x00\x00\x00\x00\x00\x00\x00\x02\xff\xff\xff\xff\xff\xff\xff\xff"), // hostile dims
+		routed,
+		routedFixed,
+		routed[:headerBaseRouted-1], // version-2 byte, header cut before the node field
+		routed[:headerBaseRouted],   // routed header only, dims missing
+		routed[:len(routed)-1],      // truncated routed payload
 	}
 }
 
@@ -82,6 +107,12 @@ func FuzzDecode(f *testing.F) {
 		if a.Pos < 0 || a.Pos > math.MaxUint16 {
 			t.Fatalf("decoded pos %d outside uint16", a.Pos)
 		}
+		if a.Node < 0 || a.Node > math.MaxUint16 {
+			t.Fatalf("decoded node %d outside uint16", a.Node)
+		}
+		if a.Node != 0 && b[4] == versionLinear {
+			t.Fatalf("version-1 input decoded to node %d", a.Node)
+		}
 	})
 }
 
@@ -93,13 +124,36 @@ func TestDecodeMalformedSeedsError(t *testing.T) {
 		"empty":            {},
 		"magic-only":       []byte("CDLA"),
 		"bad-magic":        []byte("XDLA\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
-		"wrong-version":    []byte("CDLA\x02\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"unknown-version":  []byte("CDLA\x03\x00\x00\x00\x00\x00\x00\x00\x00"),
 		"unknown-encoding": []byte("CDLA\x01\x07\x00\x00\x00\x00\x00\x00\x00"),
 		"hostile-dims":     []byte("CDLA\x01\x00\x00\x00\x00\x00\x00\x00\x02\xff\xff\xff\xff\xff\xff\xff\xff"),
+		// A version-2 byte with only the 13-byte linear header: the routed
+		// layout needs two more bytes for the node field.
+		"routed-header-truncated": []byte("CDLA\x02\x00\x00\x00\x00\x00\x00\x00\x00"),
 	}
 	for name, s := range seeds {
 		if _, err := Decode(s); err == nil {
 			t.Errorf("%s: malformed input decoded without error", name)
+		}
+	}
+}
+
+// TestWriteFuzzCorpus materializes the seed corpus under testdata so the
+// fuzz engine (and plain `go test`) replays it from disk; run with
+// -update-fuzz-corpus to regenerate after a format change.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*updateFuzzCorpus {
+		t.Skip("run with -update-fuzz-corpus to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -16,17 +16,24 @@
 //
 //	offset size  field
 //	0      4     magic "CDLA"
-//	4      1     version (currently 1)
+//	4      1     version (1 = linear, 2 = routed)
 //	5      1     encoding (0 = float64, 1 = fixed)
 //	6      1     fixed-point integer bits (0 for float64)
 //	7      1     fixed-point fraction bits (0 for float64)
 //	8      2     fromStage: first cascade stage the receiver evaluates
 //	10     2     pos: number of baseline layers composing the activation
-//	12     1     rank, then rank × uint32 dims
+//	12     2     node: routing-graph node to resume in (version 2 only)
+//	12|14  1     rank, then rank × uint32 dims
 //	...          payload: numel × 8 bytes (float64) or × 2 bytes (fixed)
 //
-// Decoders reject unknown magic, versions and encodings, so the format can
-// evolve without silently misreading old peers.
+// Version 2 adds the routing-graph node the receiver must resume in, so a
+// split/resume position names a (node, fromStage, pos) triple. Encoders
+// emit version 1 whenever the node is the trunk (node 0) — a linear
+// deployment's bytes are unchanged, and a routed edge talking only trunk
+// handoffs interoperates with a version-1 peer. Decoders accept both
+// versions (a version-1 activation resumes in the trunk) and reject
+// unknown magic, versions and encodings, so the format can evolve without
+// silently misreading old peers.
 package wire
 
 import (
@@ -59,10 +66,15 @@ func (e Encoding) String() string {
 }
 
 const (
-	magic   = "CDLA"
-	version = 1
-	// headerBase is the fixed part of the header before the dims.
-	headerBase = 13
+	magic = "CDLA"
+	// versionLinear is the original trunk-only header; versionRouted adds
+	// the uint16 routing-graph node.
+	versionLinear = 1
+	versionRouted = 2
+	// headerBase is the fixed part of the version-1 header before the
+	// dims; the version-2 header is two bytes longer.
+	headerBase       = 13
+	headerBaseRouted = 15
 	// maxDim bounds each dimension and the total element count a decoder
 	// will accept, so a hostile header cannot make it allocate unboundedly.
 	maxElems = 1 << 24
@@ -70,8 +82,13 @@ const (
 
 // Activation is the decoded form of a split-point handoff.
 type Activation struct {
-	// FromStage is the first cascade stage the receiving tier evaluates
-	// (the split stage of the sender's prefix).
+	// Node is the routing-graph node the receiving tier resumes in: 0 for
+	// the trunk (the only value a linear deployment produces), a branch
+	// index when the sender's trunk prefix routed the input (the handoff
+	// is then the branch entry: FromStage 0, Pos 0).
+	Node int
+	// FromStage is the first cascade stage of the node the receiving tier
+	// evaluates (the split stage of the sender's prefix).
 	FromStage int
 	// Pos is the number of leading baseline layers composing Data — the
 	// CDLN.SplitPos of FromStage, carried explicitly so the receiver can
@@ -93,15 +110,26 @@ func (a Activation) Numel() int {
 	return n
 }
 
-// EncodedSize returns the wire size in bytes of an activation with the
-// given rank and element count under an encoding — the quantity the tiered
-// energy model charges at pJ/byte.
+// EncodedSize returns the wire size in bytes of a trunk (node 0)
+// activation with the given rank and element count under an encoding —
+// the quantity the tiered energy model charges at pJ/byte.
 func EncodedSize(rank, numel int, enc Encoding) int {
+	return EncodedSizeAt(0, rank, numel, enc)
+}
+
+// EncodedSizeAt is EncodedSize for a handoff into an arbitrary
+// routing-graph node: branch handoffs (node > 0) pay the two extra
+// version-2 header bytes.
+func EncodedSizeAt(node, rank, numel int, enc Encoding) int {
 	per := 8
 	if enc == EncodingFixed {
 		per = 2
 	}
-	return headerBase + 4*rank + per*numel
+	base := headerBase
+	if node != 0 {
+		base = headerBaseRouted
+	}
+	return base + 4*rank + per*numel
 }
 
 // Encode serializes the activation. For EncodingFixed, f must be a valid
@@ -111,6 +139,9 @@ func EncodedSize(rank, numel int, enc Encoding) int {
 func Encode(a Activation, enc Encoding, f fixed.Format) ([]byte, error) {
 	if len(a.Data) != a.Numel() {
 		return nil, fmt.Errorf("wire: %d values for shape %v (%d elements)", len(a.Data), a.Shape, a.Numel())
+	}
+	if a.Node < 0 || a.Node > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: node %d outside uint16", a.Node)
 	}
 	if a.FromStage < 0 || a.FromStage > math.MaxUint16 {
 		return nil, fmt.Errorf("wire: fromStage %d outside uint16", a.FromStage)
@@ -136,11 +167,20 @@ func Encode(a Activation, enc Encoding, f fixed.Format) ([]byte, error) {
 		return nil, fmt.Errorf("wire: unknown encoding %d", enc)
 	}
 
-	b := make([]byte, 0, EncodedSize(len(a.Shape), len(a.Data), enc))
+	// Trunk handoffs stay on the version-1 layout byte for byte; only a
+	// routed handoff needs the node field, and hence version 2.
+	ver := uint8(versionLinear)
+	if a.Node != 0 {
+		ver = versionRouted
+	}
+	b := make([]byte, 0, EncodedSizeAt(a.Node, len(a.Shape), len(a.Data), enc))
 	b = append(b, magic...)
-	b = append(b, version, uint8(enc), intBits, fracBits)
+	b = append(b, ver, uint8(enc), intBits, fracBits)
 	b = binary.LittleEndian.AppendUint16(b, uint16(a.FromStage))
 	b = binary.LittleEndian.AppendUint16(b, uint16(a.Pos))
+	if a.Node != 0 {
+		b = binary.LittleEndian.AppendUint16(b, uint16(a.Node))
+	}
 	b = append(b, uint8(len(a.Shape)))
 	for _, d := range a.Shape {
 		if d < 0 || d > maxElems {
@@ -172,8 +212,8 @@ func Decode(b []byte) (Activation, error) {
 	if string(b[:4]) != magic {
 		return a, fmt.Errorf("wire: bad magic %q", b[:4])
 	}
-	if b[4] != version {
-		return a, fmt.Errorf("wire: version %d, want %d", b[4], version)
+	if b[4] != versionLinear && b[4] != versionRouted {
+		return a, fmt.Errorf("wire: version %d, want %d or %d", b[4], versionLinear, versionRouted)
 	}
 	enc := Encoding(b[5])
 	f := fixed.Format{IntBits: int(b[6]), FracBits: int(b[7])}
@@ -191,21 +231,29 @@ func Decode(b []byte) (Activation, error) {
 	}
 	a.FromStage = int(binary.LittleEndian.Uint16(b[8:10]))
 	a.Pos = int(binary.LittleEndian.Uint16(b[10:12]))
-	rank := int(b[12])
-	if len(b) < headerBase+4*rank {
+	base := headerBase
+	if b[4] == versionRouted {
+		if len(b) < headerBaseRouted {
+			return a, fmt.Errorf("wire: %d bytes, shorter than the %d-byte routed header", len(b), headerBaseRouted)
+		}
+		a.Node = int(binary.LittleEndian.Uint16(b[12:14]))
+		base = headerBaseRouted
+	}
+	rank := int(b[base-1])
+	if len(b) < base+4*rank {
 		return a, fmt.Errorf("wire: truncated dims (rank %d, %d bytes)", rank, len(b))
 	}
 	a.Shape = make([]int, rank)
 	numel := 1
 	for i := 0; i < rank; i++ {
-		d := int(binary.LittleEndian.Uint32(b[headerBase+4*i:]))
+		d := int(binary.LittleEndian.Uint32(b[base+4*i:]))
 		if d > maxElems || numel > maxElems/max(d, 1) {
 			return a, fmt.Errorf("wire: dimension %d of %d exceeds the %d-element decode bound", d, rank, maxElems)
 		}
 		a.Shape[i] = d
 		numel *= d
 	}
-	payload := b[headerBase+4*rank:]
+	payload := b[base+4*rank:]
 	switch enc {
 	case EncodingFloat64:
 		if len(payload) != 8*numel {

@@ -55,6 +55,79 @@ func TestGoldenEncoding(t *testing.T) {
 	}
 }
 
+// TestGoldenEncodingRouted pins the version-2 layout: a branch handoff
+// (Node > 0) inserts the uint16 node after pos, and nothing else moves.
+func TestGoldenEncodingRouted(t *testing.T) {
+	a := testActivation()
+	a.Node = 2
+	a.FromStage, a.Pos = 0, 0   // branch-entry handoff
+	const golden = "43444c41" + // magic "CDLA"
+		"02" + "00" + "00" + "00" + // version 2, float64
+		"0000" + "0000" + // fromStage 0, pos 0
+		"0200" + // node 2
+		"02" + "02000000" + "02000000" + // rank 2, dims 2×2
+		"0000000000000000" + "000000000000e03f" +
+		"000000000000d0bf" + "000000000000f03f"
+	b, err := Encode(a, EncodingFloat64, fixed.Format{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(b); got != golden {
+		t.Errorf("routed encoding drifted:\n got  %s\n want %s", got, golden)
+	}
+	if len(b) != EncodedSizeAt(2, 2, 4, EncodingFloat64) {
+		t.Errorf("%d bytes, EncodedSizeAt says %d", len(b), EncodedSizeAt(2, 2, 4, EncodingFloat64))
+	}
+	if len(b) != EncodedSize(2, 4, EncodingFloat64)+2 {
+		t.Errorf("routed header is %d bytes over linear, want 2", len(b)-EncodedSize(2, 4, EncodingFloat64))
+	}
+}
+
+// TestRoundTripRouted checks the node field survives both encodings, and
+// that trunk handoffs keep emitting version-1 bytes (a linear deployment's
+// wire format is unchanged by the routing extension).
+func TestRoundTripRouted(t *testing.T) {
+	for _, enc := range []Encoding{EncodingFloat64, EncodingFixed} {
+		a := testActivation()
+		a.Node = 7
+		b, err := Encode(a, enc, fixed.Q2x13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[4] != versionRouted {
+			t.Fatalf("%s: routed activation encoded as version %d", enc, b[4])
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Node != 7 || got.FromStage != a.FromStage || got.Pos != a.Pos {
+			t.Fatalf("%s: decoded (node %d, stage %d, pos %d), want (7, %d, %d)",
+				enc, got.Node, got.FromStage, got.Pos, a.FromStage, a.Pos)
+		}
+	}
+	trunk, err := Encode(testActivation(), EncodingFloat64, fixed.Format{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunk[4] != versionLinear {
+		t.Fatalf("trunk activation encoded as version %d, want %d", trunk[4], versionLinear)
+	}
+	got, err := Decode(trunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 0 {
+		t.Fatalf("trunk decode node %d, want 0", got.Node)
+	}
+	// The node field is range-checked at encode time like the others.
+	bad := testActivation()
+	bad.Node = math.MaxUint16 + 1
+	if _, err := Encode(bad, EncodingFloat64, fixed.Format{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
 // TestRoundTripLossless checks float64 survives exactly, including values a
 // fixed format would clip.
 func TestRoundTripLossless(t *testing.T) {

@@ -34,18 +34,31 @@ type Accumulator struct {
 // NewAccumulator validates the accelerator and precomputes the CDLN's exit
 // energies so Add is O(1) per record.
 func (e Evaluator) NewAccumulator(c *core.CDLN) (*Accumulator, error) {
-	if err := e.Acc.Validate(); err != nil {
-		return nil, err
-	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	classes := c.Arch.NumClasses
+	return e.NewGraphAccumulator(core.LinearGraph(c))
+}
+
+// NewGraphAccumulator is NewAccumulator for a routing graph: per-exit
+// tables are sized and costed by the graph's global exit numbering
+// (Graph.NumExits / GraphExitEnergies), so branch exits accumulate their
+// whole-path energy. Labels are in the trunk's class space (branch records
+// carry mapped labels), and the baseline is the trunk's unconditioned
+// pass — the same normalization denominator the linear accounting uses.
+func (e Evaluator) NewGraphAccumulator(g *core.Graph) (*Accumulator, error) {
+	if err := e.Acc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	classes := g.Trunk().Arch.NumClasses
 	return &Accumulator{
-		exits:     e.ExitEnergies(c),
-		baseline:  e.BaselineEnergy(c),
+		exits:     e.GraphExitEnergies(g),
+		baseline:  e.BaselineEnergy(g.Trunk()),
 		classes:   classes,
-		perExit:   make([]int64, c.NumExits()),
+		perExit:   make([]int64, g.NumExits()),
 		perClass:  make([]float64, classes),
 		perClassN: make([]int64, classes),
 	}, nil

@@ -44,6 +44,19 @@ func (e Evaluator) BaselineEnergy(c *core.CDLN) float64 {
 	return e.Acc.NetworkEnergy(acts).Total()
 }
 
+// GraphExitEnergies returns the energy (pJ) of each global exit point of a
+// routing graph, mirroring core.Graph.ExitOps: the whole root-to-exit
+// path's baseline layers and classifiers — the parent path through the
+// router stage plus the branch's own cascade. For a linear graph this is
+// exactly ExitEnergies of the trunk.
+func (e Evaluator) GraphExitEnergies(g *core.Graph) []float64 {
+	local := make([][]float64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		local[i] = e.ExitEnergies(n.Model)
+	}
+	return g.FoldExitCosts(local)
+}
+
 // Summary reports the energy aggregation of one evaluation run.
 type Summary struct {
 	// MeanEnergy is the average pJ per input under early exit.

@@ -71,24 +71,42 @@ type TierCosts struct {
 // splitStage stages (0 ships raw inputs, len(Stages) runs the whole
 // cascade locally and offloads only FC-bound residues).
 func (e Evaluator) TierCosts(c *core.CDLN, splitStage int, link Link) (*TierCosts, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return e.GraphTierCosts(core.LinearGraph(c), splitStage, link)
+}
+
+// GraphTierCosts is TierCosts for a routing graph split on the trunk after
+// splitStage trunk stages. Trunk exits split exactly as in the linear
+// case. A branch exit always implies an offload (routed inputs leave the
+// trunk before the edge's share is done, and the branch runs on the
+// cloud): its edge-side cost is the trunk prefix actually evaluated
+// before departure — the trunk exit energy at the router stage when the
+// route fired on the edge, the standard PrefixPJ when the input offloaded
+// at the split before reaching the router — and the rest of the path is
+// cloud compute. Edge[i]+Cloud[i] still equals the monolithic path energy
+// for every exit, so the graph split moves compute without inventing it.
+func (e Evaluator) GraphTierCosts(g *core.Graph, splitStage int, link Link) (*TierCosts, error) {
 	if err := e.Acc.Validate(); err != nil {
 		return nil, err
 	}
-	if err := c.Validate(); err != nil {
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if err := link.Validate(); err != nil {
 		return nil, err
 	}
-	if splitStage < 0 || splitStage > len(c.Stages) {
-		return nil, fmt.Errorf("energy: split stage %d outside [0,%d]", splitStage, len(c.Stages))
+	trunk := g.Trunk()
+	if splitStage < 0 || splitStage > len(trunk.Stages) {
+		return nil, fmt.Errorf("energy: split stage %d outside [0,%d]", splitStage, len(trunk.Stages))
 	}
-	exits := e.ExitEnergies(c)
+	exits := e.GraphExitEnergies(g)
 	tc := &TierCosts{
 		SplitStage: splitStage,
 		Edge:       make([]float64, len(exits)),
 		Cloud:      make([]float64, len(exits)),
-		BaselinePJ: e.BaselineEnergy(c),
+		BaselinePJ: e.BaselineEnergy(trunk),
 		Link:       link,
 	}
 	if splitStage > 0 {
@@ -96,10 +114,32 @@ func (e Evaluator) TierCosts(c *core.CDLN, splitStage int, link Link) (*TierCost
 		// classifier included — exactly the cost of exiting there.
 		tc.PrefixPJ = exits[splitStage-1]
 	}
+	// departure[n] is the trunk stage at which inputs bound for node n
+	// leave the trunk: the router stage of n's trunk-level ancestor.
+	departure := make([]int, len(g.Nodes))
+	for ni := 1; ni < len(g.Nodes); ni++ {
+		anc, stage := g.ParentOf(ni)
+		for anc != 0 {
+			anc, stage = g.ParentOf(anc)
+		}
+		departure[ni] = stage
+	}
 	for i, pj := range exits {
-		if i < splitStage {
-			tc.Edge[i] = pj
-		} else {
+		node, local := g.NodeOfExit(i)
+		switch {
+		case node == 0 && local < splitStage:
+			tc.Edge[i] = pj // local trunk exit
+		case node == 0:
+			tc.Edge[i] = tc.PrefixPJ // offloaded at the split
+			tc.Cloud[i] = pj - tc.PrefixPJ
+		case departure[node] < splitStage:
+			// The route fired on the edge: the edge paid the trunk prefix
+			// through the router stage, then shipped the branch entry.
+			tc.Edge[i] = exits[departure[node]]
+			tc.Cloud[i] = pj - tc.Edge[i]
+		default:
+			// The input offloaded at the split before reaching the router;
+			// the whole route and branch ran on the cloud.
 			tc.Edge[i] = tc.PrefixPJ
 			tc.Cloud[i] = pj - tc.PrefixPJ
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 )
 
 // GenConfig controls the synthetic digit generator. Zero values take the
@@ -27,6 +29,16 @@ type GenConfig struct {
 	// BalanceClasses makes the label sequence a repeating 0..9 cycle
 	// instead of uniform draws.
 	BalanceClasses bool
+	// Groups, when non-empty, draws each label from one of these digit
+	// groups instead of the full class set: first a group is chosen (by
+	// GroupWeights, or uniformly), then a digit uniformly within it. This
+	// skews traffic toward class subsets — the workload shape that
+	// exercises branch routing in a class-grouped cascade. Takes
+	// precedence over BalanceClasses.
+	Groups [][]int
+	// GroupWeights biases the group draw; len must equal len(Groups) and
+	// every weight must be positive. Empty means uniform.
+	GroupWeights []float64
 }
 
 // Normalize fills zero fields with defaults and validates the rest.
@@ -49,7 +61,102 @@ func (c *GenConfig) Normalize() error {
 	if c.DifficultyExponent < 0 {
 		return fmt.Errorf("mnist: DifficultyExponent=%v", c.DifficultyExponent)
 	}
+	for gi, g := range c.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("mnist: Groups[%d] is empty", gi)
+		}
+		for _, d := range g {
+			if d < 0 || d >= Classes {
+				return fmt.Errorf("mnist: Groups[%d] digit %d out of range [0,%d)", gi, d, Classes)
+			}
+		}
+	}
+	if len(c.GroupWeights) > 0 {
+		if len(c.GroupWeights) != len(c.Groups) {
+			return fmt.Errorf("mnist: %d GroupWeights for %d Groups", len(c.GroupWeights), len(c.Groups))
+		}
+		for wi, w := range c.GroupWeights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("mnist: GroupWeights[%d]=%v (must be finite and positive)", wi, w)
+			}
+		}
+	}
 	return nil
+}
+
+// ParseGroups parses a digit-group spec like "even,odd" or "0-4,567,89"
+// into explicit digit groups. Groups are comma-separated; each token is
+// "even", "odd", "all", an inclusive range "a-b", or a run of digits
+// ("013" → {0,1,3}).
+func ParseGroups(spec string) ([][]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("mnist: empty group spec")
+	}
+	var groups [][]int
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		var g []int
+		switch {
+		case tok == "even":
+			for d := 0; d < Classes; d += 2 {
+				g = append(g, d)
+			}
+		case tok == "odd":
+			for d := 1; d < Classes; d += 2 {
+				g = append(g, d)
+			}
+		case tok == "all":
+			for d := 0; d < Classes; d++ {
+				g = append(g, d)
+			}
+		case strings.Contains(tok, "-"):
+			parts := strings.SplitN(tok, "-", 2)
+			lo, err1 := strconv.Atoi(parts[0])
+			hi, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || lo > hi || lo < 0 || hi >= Classes {
+				return nil, fmt.Errorf("mnist: bad digit range %q", tok)
+			}
+			for d := lo; d <= hi; d++ {
+				g = append(g, d)
+			}
+		default:
+			if tok == "" {
+				return nil, fmt.Errorf("mnist: empty group token in %q", spec)
+			}
+			for _, r := range tok {
+				if r < '0' || r > '9' {
+					return nil, fmt.Errorf("mnist: bad group token %q (want even, odd, all, a-b or digits)", tok)
+				}
+				g = append(g, int(r-'0'))
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// pickLabel draws a label from the configured groups: group by weight
+// (uniform when unweighted), then digit uniformly within the group.
+func (c *GenConfig) pickLabel(rng *rand.Rand) int {
+	gi := 0
+	if len(c.GroupWeights) > 0 {
+		total := 0.0
+		for _, w := range c.GroupWeights {
+			total += w
+		}
+		u := rng.Float64() * total
+		for i, w := range c.GroupWeights {
+			if u < w || i == len(c.GroupWeights)-1 {
+				gi = i
+				break
+			}
+			u -= w
+		}
+	} else {
+		gi = rng.Intn(len(c.Groups))
+	}
+	g := c.Groups[gi]
+	return g[rng.Intn(len(g))]
 }
 
 // Generate synthesizes cfg.N labelled digit images. It is deterministic
@@ -65,6 +172,9 @@ func Generate(cfg GenConfig) ([]Image, error) {
 		label := rng.Intn(Classes)
 		if cfg.BalanceClasses {
 			label = i % Classes
+		}
+		if len(cfg.Groups) > 0 {
+			label = cfg.pickLabel(rng)
 		}
 		imgs[i] = renderDigit(label, variants[label], rng, &cfg)
 	}

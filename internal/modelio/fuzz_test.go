@@ -81,6 +81,10 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		}
 		return c
 	}
+	var routed bytes.Buffer
+	if err := SaveGraph(&routed, fuzzGraph()); err != nil {
+		t.Fatal(err)
+	}
 	seeds := [][]byte{
 		valid,
 		valid[:len(valid)/2],       // truncated mid-weights
@@ -91,6 +95,10 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		corrupt(len(valid)/2, 0x55),
 		corrupt(len(valid)-2, 0xaa),
 		append(append([]byte(nil), valid...), valid[:32]...), // trailing junk
+		// A routed-graph (version 2) file: LoadCDLN must reject it cleanly
+		// (branch topology is LoadGraph's domain), never misread the trunk.
+		routed.Bytes(),
+		routed.Bytes()[:routed.Len()/2], // truncated routed file
 	}
 	return seeds
 }
@@ -138,22 +146,28 @@ func TestLoadCDLNMalformedSeedsError(t *testing.T) {
 	}
 }
 
-// TestWriteFuzzCorpus materializes the seed corpus under testdata so the
-// fuzz engine (and plain `go test`) replays it from disk; run with
-// -update-fuzz-corpus to regenerate after a format change.
+// TestWriteFuzzCorpus materializes the seed corpora (FuzzLoadCDLN and
+// FuzzLoadGraph) under testdata so the fuzz engine (and plain `go test`)
+// replays them from disk; run with -update-fuzz-corpus to regenerate after
+// a format change.
 func TestWriteFuzzCorpus(t *testing.T) {
 	if !*updateFuzzCorpus {
 		t.Skip("run with -update-fuzz-corpus to regenerate")
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzLoadCDLN")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	for i, s := range fuzzSeeds(t) {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
-		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+	for target, seeds := range map[string][][]byte{
+		"FuzzLoadCDLN":  fuzzSeeds(t),
+		"FuzzLoadGraph": graphFuzzSeeds(t),
+	} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

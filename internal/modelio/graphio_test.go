@@ -1,0 +1,324 @@
+package modelio
+
+// graphio_test.go covers the routed-graph half of the format: version-2
+// round trips, the linear-degeneracy guarantee (a one-node graph saves as
+// a byte-identical version-1 file), LoadCDLN's refusal to silently drop
+// branches, and LoadGraph's bounded-allocation and topology rejections —
+// including hand-encoded hostile graphSpec gobs no public API can produce.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cdl/internal/core"
+	"cdl/internal/linclass"
+	"cdl/internal/nn"
+	"cdl/internal/opcount"
+	"cdl/internal/tensor"
+)
+
+// fuzzBranch builds a tiny branch cascade over fuzzCDLN's P1 tap shape
+// [2,3,3]: a leading sigmoid stage (tap reproduces the input shape) then a
+// dense head over the given class count. Deterministic per seed.
+func fuzzBranch(seed int64, classes int) *core.CDLN {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{2, 3, 3},
+		nn.NewSigmoid("B.act"),
+		nn.NewFlatten("B.flat"),
+		nn.NewDense("BFC", 2*3*3, classes),
+		nn.NewSigmoid("BFC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{
+		Name: "fuzz-branch", Net: net,
+		Taps: []int{1}, TapNames: []string{"B"},
+		NumClasses: classes,
+	}
+	lc := &linclass.Classifier{In: 2 * 3 * 3, Out: classes, W: tensor.New(classes, 2*3*3), B: tensor.New(classes)}
+	for i := range lc.W.Data {
+		lc.W.Data[i] = rng.NormFloat64() * 0.1
+	}
+	rule, err := core.RuleByName("threshold")
+	if err != nil {
+		panic(err)
+	}
+	return &core.CDLN{
+		Arch:   arch,
+		Stages: []*core.Stage{{Name: "O1", Tap: 1, LC: lc, Gain: 1}},
+		Delta:  0.5,
+		Rule:   rule,
+		Ops:    opcount.Default(),
+	}
+}
+
+// fuzzGraph builds the deterministic two-branch tree over fuzzCDLN: the
+// trunk router at stage 0 dispatches class 0 to "lo" (labels {0,1}) and
+// class 2 to "hi" (label {2}).
+func fuzzGraph() *core.Graph {
+	return &core.Graph{Nodes: []*core.Node{
+		{Name: "trunk", Model: fuzzCDLN(), Routes: []core.Route{{Stage: 0, Branch: []int{1, -1, 2}}}},
+		{Name: "lo", Model: fuzzBranch(11, 2), Labels: []int{0, 1}},
+		{Name: "hi", Model: fuzzBranch(12, 1), Labels: []int{2}},
+	}}
+}
+
+// fuzzInputs returns deterministic random inputs in the trunk's shape.
+func fuzzInputs(n int, seed int64) []*tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]*tensor.T, n)
+	for i := range xs {
+		xs[i] = tensor.New(1, 8, 8)
+		for j := range xs[i].Data {
+			xs[i].Data[j] = rng.Float64()
+		}
+	}
+	return xs
+}
+
+// assertGraphsClassifyIdentically drives sessions over both graphs through
+// the trained and the route-heavy threshold regimes and demands record
+// equality — the round-trip identity contract.
+func assertGraphsClassifyIdentically(t *testing.T, a, b *core.Graph) {
+	t.Helper()
+	sa, err := core.NewGraphSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := core.NewGraphSession(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{-1, 0.999} {
+		for i, x := range fuzzInputs(40, 21) {
+			ra := sa.ClassifyDelta(x, delta)
+			rb := sb.ClassifyDelta(x, delta)
+			if !ra.Equal(rb) {
+				t.Fatalf("δ=%v input %d: %+v vs %+v", delta, i, ra, rb)
+			}
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := fuzzGraph()
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGraph(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(g.Nodes) {
+		t.Fatalf("%d nodes, want %d", len(back.Nodes), len(g.Nodes))
+	}
+	for ni, n := range g.Nodes {
+		bn := back.Nodes[ni]
+		if bn.Name != n.Name {
+			t.Errorf("node %d name %q, want %q", ni, bn.Name, n.Name)
+		}
+		if len(bn.Labels) != len(n.Labels) || len(bn.Routes) != len(n.Routes) {
+			t.Errorf("node %d labels/routes lost", ni)
+		}
+	}
+	if back.NumExits() != g.NumExits() {
+		t.Fatalf("NumExits %d, want %d", back.NumExits(), g.NumExits())
+	}
+	for i := 0; i < g.NumExits(); i++ {
+		if back.ExitName(i) != g.ExitName(i) {
+			t.Errorf("ExitName(%d) = %q, want %q", i, back.ExitName(i), g.ExitName(i))
+		}
+	}
+	assertGraphsClassifyIdentically(t, g, back)
+}
+
+// TestLinearGraphSavesAsV1 pins the degeneracy contract: a one-node graph
+// writes a plain version-1 CDLN file (SaveGraph delegates to SaveCDLN;
+// byte equality is not assertable because gob serializes the layer-spec
+// maps in random order), pre-graph readers load it, and LoadGraph loads
+// any pre-graph file as the trivial one-node graph.
+func TestLinearGraphSavesAsV1(t *testing.T) {
+	c := fuzzCDLN()
+	var asGraph, asCDLN bytes.Buffer
+	if err := SaveGraph(&asGraph, core.LinearGraph(c)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCDLN(&asCDLN, c); err != nil {
+		t.Fatal(err)
+	}
+	var s graphSpec
+	if err := gob.NewDecoder(bytes.NewReader(asGraph.Bytes())).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != formatVersion || len(s.Nodes) != 0 {
+		t.Fatalf("linear SaveGraph wrote version %d with %d nodes, want a plain v%d file", s.Version, len(s.Nodes), formatVersion)
+	}
+	if _, err := LoadCDLN(bytes.NewReader(asGraph.Bytes())); err != nil {
+		t.Fatalf("pre-graph loader rejected a linear graph file: %v", err)
+	}
+	back, err := LoadGraph(bytes.NewReader(asCDLN.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadGraph rejected a v1 file: %v", err)
+	}
+	if !back.IsLinear() {
+		t.Fatal("v1 file loaded as a routed graph")
+	}
+	assertGraphsClassifyIdentically(t, core.LinearGraph(c), back)
+}
+
+// TestLoadCDLNRejectsRoutedGraph: the linear loader must refuse a routed
+// file with a pointer at LoadGraph rather than dropping its branches.
+func TestLoadCDLNRejectsRoutedGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, fuzzGraph()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCDLN(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("LoadCDLN accepted a routed graph file")
+	}
+	if !strings.Contains(err.Error(), "LoadGraph") {
+		t.Fatalf("error %q does not point at LoadGraph", err)
+	}
+}
+
+// encodeGraphSpec gob-encodes a hand-built spec — the shape of a hostile
+// or corrupted file that no public Save API would produce.
+func encodeGraphSpec(t *testing.T, s graphSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadGraphRejectsHostileSpecs feeds LoadGraph hand-encoded specs for
+// every decode-time rejection: version, node-count bounds, branch-map
+// bounds, and the topology classes Validate refuses (orphans, cycles).
+func TestLoadGraphRejectsHostileSpecs(t *testing.T) {
+	trunkSpec, err := specFromCDLN(fuzzCDLN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchSpec, err := specFromCDLN(fuzzBranch(31, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec graphSpec
+		want string
+	}{
+		{"unknown version", graphSpec{Version: 3}, "format version 3"},
+		{"no nodes", graphSpec{Version: graphFormatVersion}, "no nodes"},
+		{"node cap", graphSpec{
+			Version: graphFormatVersion,
+			Nodes:   make([]graphNodeSpec, maxGraphNodes+1),
+		}, "exceed the cap"},
+		{"branch map cap", graphSpec{
+			Version: graphFormatVersion,
+			Nodes: []graphNodeSpec{
+				{Name: "trunk", Model: trunkSpec, Routes: []routeSpec{{Stage: 0, Branch: make([]int, maxSpecElems+1)}}},
+				{Name: "b", Model: branchSpec},
+			},
+		}, "exceeds the cap"},
+		{"orphan node", graphSpec{
+			Version: graphFormatVersion,
+			Nodes: []graphNodeSpec{
+				{Name: "trunk", Model: trunkSpec},
+				{Name: "b", Model: branchSpec},
+			},
+		}, "no route targets it"},
+		{"cycle", graphSpec{
+			Version: graphFormatVersion,
+			Nodes: []graphNodeSpec{
+				{Name: "trunk", Model: trunkSpec},
+				{Name: "b1", Model: branchSpec, Routes: []routeSpec{{Stage: 0, Branch: []int{-1, -1, 2}}}},
+				{Name: "b2", Model: branchSpec, Routes: []routeSpec{{Stage: 0, Branch: []int{-1, -1, 1}}}},
+			},
+		}, "route cycle"},
+		{"dangling target", graphSpec{
+			Version: graphFormatVersion,
+			Nodes: []graphNodeSpec{
+				{Name: "trunk", Model: trunkSpec, Routes: []routeSpec{{Stage: 0, Branch: []int{9, -1, -1}}}},
+				{Name: "b", Model: branchSpec, Routes: nil},
+			},
+		}, "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadGraph(bytes.NewReader(encodeGraphSpec(t, tc.spec)))
+			if err == nil {
+				t.Fatal("hostile spec decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// graphFuzzSeeds returns the FuzzLoadGraph corpus: a valid routed file, a
+// valid linear (v1) file, truncations, corruptions, and the hostile
+// topology gobs.
+func graphFuzzSeeds(t testing.TB) [][]byte {
+	var routed bytes.Buffer
+	if err := SaveGraph(&routed, fuzzGraph()); err != nil {
+		t.Fatal(err)
+	}
+	var linear bytes.Buffer
+	if err := SaveCDLN(&linear, fuzzCDLN()); err != nil {
+		t.Fatal(err)
+	}
+	valid := routed.Bytes()
+	corrupt := func(off int, b byte) []byte {
+		c := append([]byte(nil), valid...)
+		if off < len(c) {
+			c[off] ^= b
+		}
+		return c
+	}
+	orphan := graphSpec{Version: graphFormatVersion, Nodes: []graphNodeSpec{{Name: "b"}}}
+	var orphanBuf bytes.Buffer
+	if err := gob.NewEncoder(&orphanBuf).Encode(orphan); err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{
+		valid,
+		linear.Bytes(),
+		valid[:len(valid)/2], // truncated mid-node
+		valid[:8],            // header only
+		{},                   // empty
+		[]byte("not a gob stream"),
+		corrupt(4, 0xff), // mangled type descriptor
+		corrupt(len(valid)/2, 0x55),
+		corrupt(len(valid)-2, 0xaa),
+		orphanBuf.Bytes(),
+	}
+}
+
+// FuzzLoadGraph: whatever the bytes, LoadGraph must either error or return
+// a graph that validates and round-trips through SaveGraph — never panic,
+// never a structurally inconsistent topology, never unbounded allocation.
+func FuzzLoadGraph(f *testing.F) {
+	for _, seed := range graphFuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		g, err := LoadGraph(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("LoadGraph returned an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if serr := SaveGraph(&buf, g); serr != nil {
+			t.Fatalf("loaded graph does not re-save: %v", serr)
+		}
+	})
+}

@@ -18,7 +18,14 @@ import (
 )
 
 // formatVersion guards against decoding files from incompatible revisions.
-const formatVersion = 1
+// graphFormatVersion marks a routed-graph file (SaveGraph of a non-linear
+// model); linear models — graphs with one routeless node included — stay
+// at formatVersion, so every pre-graph file loads unchanged and every
+// linear save stays loadable by pre-graph readers.
+const (
+	formatVersion      = 1
+	graphFormatVersion = 2
+)
 
 // maxSpecElems bounds any single decoded weight tensor (and any layer's
 // implied allocation) to 4M elements (32 MB of float64) — orders of
@@ -32,6 +39,11 @@ const formatVersion = 1
 const (
 	maxSpecElems  = 1 << 22
 	maxSpecLayers = 256
+	// maxGraphNodes bounds a routed-graph file's node count: together with
+	// maxSpecLayers/maxSpecElems it caps the total allocation a hostile
+	// graph file can demand before core.Graph.Validate rejects its
+	// topology (cycles, orphans, shape mismatches).
+	maxGraphNodes = 64
 )
 
 // checkDims rejects non-positive or overflow-prone dimensions before any
@@ -82,6 +94,36 @@ type cdlnSpec struct {
 	Delta       float64
 	StageDeltas []float64
 	Rule        string
+}
+
+// routeSpec is one dispatch point of a graph node: the stage it sits at
+// and the class→target map (−1 = continue on the node).
+type routeSpec struct {
+	Stage  int
+	Branch []int
+}
+
+// graphNodeSpec is one node of a routed-graph file: a full cascade spec
+// plus its name, label mapping and routes.
+type graphNodeSpec struct {
+	Name   string
+	Model  cdlnSpec
+	Labels []int
+	Routes []routeSpec
+}
+
+// graphSpec is the top-level decode target for both file versions. Gob
+// matches struct fields by name, so a version-1 file (an encoded cdlnSpec)
+// decodes into the leading fields with Nodes empty, and a version-2 file
+// (routed graph) populates Nodes with the linear fields empty.
+type graphSpec struct {
+	Version     int
+	Arch        archSpec
+	Stages      []stageSpec
+	Delta       float64
+	StageDeltas []float64
+	Rule        string
+	Nodes       []graphNodeSpec
 }
 
 func specFromLayer(l nn.Layer) (layerSpec, error) {
@@ -261,15 +303,14 @@ func LoadArch(r io.Reader) (*nn.Arch, error) {
 	return archFromSpec(s)
 }
 
-// SaveCDLN writes a full conditional network: baseline, admitted stages
-// with classifier weights, δ and the exit rule.
-func SaveCDLN(w io.Writer, c *core.CDLN) error {
+// specFromCDLN folds a validated cascade into its on-disk spec.
+func specFromCDLN(c *core.CDLN) (cdlnSpec, error) {
 	if err := c.Validate(); err != nil {
-		return err
+		return cdlnSpec{}, err
 	}
 	as, err := specFromArch(c.Arch)
 	if err != nil {
-		return err
+		return cdlnSpec{}, err
 	}
 	s := cdlnSpec{
 		Version:     formatVersion,
@@ -288,15 +329,13 @@ func SaveCDLN(w io.Writer, c *core.CDLN) error {
 			Gain: st.Gain,
 		})
 	}
-	return gob.NewEncoder(w).Encode(s)
+	return s, nil
 }
 
-// LoadCDLN reads a conditional network saved with SaveCDLN.
-func LoadCDLN(r io.Reader) (*core.CDLN, error) {
-	var s cdlnSpec
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("modelio: decode cdln: %w", err)
-	}
+// cdlnFromSpec rebuilds and validates a cascade from its spec, applying
+// the bounded-allocation dimension checks before any constructor
+// allocates.
+func cdlnFromSpec(s cdlnSpec) (*core.CDLN, error) {
 	if s.Version != formatVersion {
 		return nil, fmt.Errorf("modelio: format version %d, want %d", s.Version, formatVersion)
 	}
@@ -329,4 +368,117 @@ func LoadCDLN(r io.Reader) (*core.CDLN, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// SaveCDLN writes a full conditional network: baseline, admitted stages
+// with classifier weights, δ and the exit rule.
+func SaveCDLN(w io.Writer, c *core.CDLN) error {
+	s, err := specFromCDLN(c)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadCDLN reads a conditional network saved with SaveCDLN. It reads
+// linear models only; a routed-graph file (version 2) is rejected with a
+// pointer at LoadGraph, rather than silently dropping its branches.
+func LoadCDLN(r io.Reader) (*core.CDLN, error) {
+	var s cdlnSpec
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelio: decode cdln: %w", err)
+	}
+	if s.Version == graphFormatVersion {
+		return nil, fmt.Errorf("modelio: file is a routed graph (version %d); load it with LoadGraph", s.Version)
+	}
+	return cdlnFromSpec(s)
+}
+
+// SaveGraph writes a routing graph. A linear graph (one routeless node) is
+// written as a plain version-1 CDLN file — bit-compatible with SaveCDLN
+// and readable by pre-graph loaders — so the format only diverges where
+// the model actually routes.
+func SaveGraph(w io.Writer, g *core.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if g.IsLinear() {
+		return SaveCDLN(w, g.Trunk())
+	}
+	s := graphSpec{Version: graphFormatVersion}
+	for _, n := range g.Nodes {
+		ms, err := specFromCDLN(n.Model)
+		if err != nil {
+			return err
+		}
+		ns := graphNodeSpec{Name: n.Name, Model: ms}
+		if n.Labels != nil {
+			ns.Labels = append([]int(nil), n.Labels...)
+		}
+		for _, r := range n.Routes {
+			ns.Routes = append(ns.Routes, routeSpec{Stage: r.Stage, Branch: append([]int(nil), r.Branch...)})
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadGraph reads a routing graph saved with SaveGraph — or any version-1
+// linear CDLN file, which loads as the trivial one-node graph. Topology is
+// fully validated (core.Graph.Validate rejects cyclic and orphan-node
+// graphs, dangling route targets and shape-mismatched branches) and node
+// and dimension counts are bounded before any allocation they imply, the
+// same contract the layer specs have always had.
+func LoadGraph(r io.Reader) (*core.Graph, error) {
+	var s graphSpec
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelio: decode graph: %w", err)
+	}
+	switch s.Version {
+	case formatVersion:
+		c, err := cdlnFromSpec(cdlnSpec{
+			Version:     s.Version,
+			Arch:        s.Arch,
+			Stages:      s.Stages,
+			Delta:       s.Delta,
+			StageDeltas: s.StageDeltas,
+			Rule:        s.Rule,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return core.LinearGraph(c), nil
+	case graphFormatVersion:
+	default:
+		return nil, fmt.Errorf("modelio: format version %d, want %d or %d", s.Version, formatVersion, graphFormatVersion)
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("modelio: routed graph has no nodes")
+	}
+	if len(s.Nodes) > maxGraphNodes {
+		return nil, fmt.Errorf("modelio: %d graph nodes exceed the cap %d", len(s.Nodes), maxGraphNodes)
+	}
+	g := &core.Graph{}
+	for ni, ns := range s.Nodes {
+		c, err := cdlnFromSpec(ns.Model)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: graph node %d (%s): %w", ni, ns.Name, err)
+		}
+		node := &core.Node{Name: ns.Name, Model: c}
+		if ns.Labels != nil {
+			node.Labels = append([]int(nil), ns.Labels...)
+		}
+		for _, rs := range ns.Routes {
+			if len(rs.Branch) > maxSpecElems {
+				return nil, fmt.Errorf("modelio: graph node %d (%s) route branch map of %d entries exceeds the cap %d",
+					ni, ns.Name, len(rs.Branch), maxSpecElems)
+			}
+			node.Routes = append(node.Routes, core.Route{Stage: rs.Stage, Branch: append([]int(nil), rs.Branch...)})
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }

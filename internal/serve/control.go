@@ -47,9 +47,11 @@ type entryControl struct {
 	mu           sync.Mutex
 	ctrl         *control.Controller
 	boundVersion int
-	boundStages  int
-	lastSnap     control.Snapshot
-	lastSample   control.Sample
+	// boundDepth is the routing graph's max path depth the ladder was
+	// built for (the stage count on linear models).
+	boundDepth int
+	lastSnap   control.Snapshot
+	lastSample control.Sample
 
 	stop chan struct{}
 	done chan struct{}
@@ -96,16 +98,19 @@ func (r *Registry) SetSLO(name string, slo control.SLO) error {
 	return nil
 }
 
-// bind (re)builds the controller for a model version. Caller holds ec.mu.
+// bind (re)builds the controller for a model version. The actuation
+// ladder spans the routing graph's max path depth, so on a routed model
+// the deepest rungs shed branch depth before trunk depth. Caller holds
+// ec.mu.
 func (ec *entryControl) bind(m *Model, slo control.SLO, interval time.Duration) error {
-	ladder := control.Ladder(len(m.cdln.Stages), slo.AccuracyFloorDelta)
+	ladder := control.Ladder(m.graph.MaxDepth(), slo.AccuracyFloorDelta)
 	ctrl, err := control.New(slo, ladder, control.Config{Interval: interval})
 	if err != nil {
 		return err
 	}
 	ec.ctrl = ctrl
 	ec.boundVersion = m.version
-	ec.boundStages = len(m.cdln.Stages)
+	ec.boundDepth = m.graph.MaxDepth()
 	return nil
 }
 
@@ -175,9 +180,9 @@ func (r *Registry) controlTick(ec *entryControl) {
 	if m.version != ec.boundVersion {
 		// A hot-swap published a new version. Telemetry restarts with
 		// the fresh model's window; the controller state carries over
-		// unless the cascade's shape changed, in which case the ladder
+		// unless the graph's depth changed, in which case the ladder
 		// no longer matches and is rebuilt from rung 0.
-		if len(m.cdln.Stages) != ec.boundStages {
+		if m.graph.MaxDepth() != ec.boundDepth {
 			if err := ec.bind(m, ec.ctrl.SLO(), r.cfg.ControlInterval); err != nil {
 				// The new shape leaves nothing to actuate; park at
 				// identity until the SLO is re-targeted.

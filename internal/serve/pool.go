@@ -30,8 +30,11 @@ type job struct {
 	// touching a replica (cancelled is set and the waiter released).
 	ctx context.Context
 	x   *tensor.T
-	// fromStage 0 = classify from the input layer (Session.Resume
+	// node/fromStage locate the resume point on the model's routing graph:
+	// (0, 0) = classify from the trunk's input layer, (0, s) = a trunk
+	// split resume, (n, 0) = a branch-entry handoff (Session.ResumeAt
 	// semantics).
+	node      int
 	fromStage int
 	// pol is the request's validated exit policy, shared by every job the
 	// request fanned out into. Never nil.
@@ -144,15 +147,16 @@ func samePolicy(a, b *core.ExitPolicy) bool {
 // batch through the batched GEMM fast path (Session.ResumeBatchPolicy)
 // instead of a per-sample loop. Jobs whose request context died in the
 // queue are dropped first — a cancelled client costs no replica time.
-// Live jobs are grouped by (fromStage, policy) — a batched cascade pass
-// needs one split position and one policy — and a micro-batch usually is
-// one group (multi-image requests fan out sharing a policy, resumes share
-// a split), so the common case is a single batched pass over the whole
-// micro-batch. ResumeBatchPolicy(xs, 0, pol) is exactly a batched
-// policy-aware classify, so one call covers both fresh classifications and
-// split-resume jobs; each job writes its record in place, so grouping
-// never disturbs response order. done is called once per batch after every
-// record is written and its waiters released.
+// Live jobs are grouped by (node, fromStage, policy) — a batched cascade
+// pass needs one resume point and one policy — and a micro-batch usually
+// is one group (multi-image requests fan out sharing a policy, resumes
+// share a split), so the common case is a single batched pass over the
+// whole micro-batch. ResumeBatchPolicyAt(xs, 0, 0, pol) is exactly a
+// batched policy-aware classify, so one call covers fresh classifications,
+// split-resume jobs and branch-entry handoffs alike; each job writes its
+// record in place, so grouping never disturbs response order. done is
+// called once per batch after every record is written and its waiters
+// released.
 func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 	defer p.wg.Done()
 	batch := make([]*job, 0, p.maxBatch)
@@ -196,13 +200,13 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 				// which validate first, but cheap to harden against)
 				// compares unequal to itself and would otherwise leave the
 				// group empty and spin this loop forever.
-				if j == lead || (j.fromStage == lead.fromStage && samePolicy(j.pol, lead.pol)) {
+				if j == lead || (j.node == lead.node && j.fromStage == lead.fromStage && samePolicy(j.pol, lead.pol)) {
 					claimed[i] = true
 					group = append(group, j)
 					xs = append(xs, j.x)
 				}
 			}
-			for gi, rec := range sess.ResumeBatchPolicy(xs, lead.fromStage, *lead.pol) {
+			for gi, rec := range sess.ResumeBatchPolicyAt(xs, lead.node, lead.fromStage, *lead.pol) {
 				*group[gi].rec = rec
 				group[gi].wg.Done()
 			}

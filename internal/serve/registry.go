@@ -30,13 +30,18 @@ import (
 const DefaultModelName = "default"
 
 // Model is one loaded, servable version of a named registry entry: the
-// validated CDLN, its warm replica pool and its live metrics. A Model is
-// immutable after construction — a reload produces a new Model and retires
-// this one — so handlers can use it without holding registry locks.
+// validated routing graph, its warm replica pool and its live metrics. A
+// Model is immutable after construction — a reload (or branch swap)
+// produces a new Model and retires this one — so handlers can use it
+// without holding registry locks.
 type Model struct {
 	name    string
 	version int
 	path    string
+	// graph is the full routing graph; cdln is its trunk (the linear
+	// cascade for single-node graphs), kept separate because the request
+	// surface's input validation and stage-delta checks are trunk-shaped.
+	graph   *core.Graph
 	cdln    *core.CDLN
 	inWidth int
 	// maxResumeWire bounds /resume bodies: the largest wire-encoded
@@ -58,20 +63,23 @@ type Model struct {
 	controlled atomic.Pointer[core.ExitPolicy]
 }
 
-// newModel validates the CDLN, pre-clones cfg.Workers warm sessions and
-// starts the replica pool — the per-model half of what serve.New did for
-// its single model.
-func newModel(name string, version int, path string, cdln *core.CDLN, cfg Config) (*Model, error) {
-	if err := cdln.Validate(); err != nil {
+// newModel validates the routing graph, pre-clones cfg.Workers warm
+// sessions and starts the replica pool — the per-model half of what
+// serve.New did for its single model. The Model owns a private clone, so
+// callers may keep mutating (or re-swapping branches of) the graph they
+// passed in.
+func newModel(name string, version int, path string, g *core.Graph, cfg Config) (*Model, error) {
+	g = g.Clone()
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	acc, err := energy.NewEvaluator().NewAccumulator(cdln)
+	acc, err := energy.NewEvaluator().NewGraphAccumulator(g)
 	if err != nil {
 		return nil, err
 	}
 	sessions := make([]*core.Session, cfg.Workers)
 	for i := range sessions {
-		if sessions[i], err = core.NewSession(cdln); err != nil {
+		if sessions[i], err = core.NewGraphSession(g); err != nil {
 			return nil, err
 		}
 	}
@@ -79,15 +87,16 @@ func newModel(name string, version int, path string, cdln *core.CDLN, cfg Config
 		name:    name,
 		version: version,
 		path:    path,
-		cdln:    cdln,
-		inWidth: inputWidth(cdln),
-		exitOps: cdln.ExitOps(),
-		metrics: newMetrics(cdln, acc),
+		graph:   g,
+		cdln:    g.Trunk(),
+		inWidth: inputWidth(g.Trunk()),
+		exitOps: g.ExitOps(),
+		metrics: newMetrics(g, acc),
 		workers: cfg.Workers,
 	}
-	m.maxResumeWire = maxResumeWireSize(cdln)
+	m.maxResumeWire = maxResumeWireSize(g)
 	buckets := 10
-	m.window = control.NewWindow(cdln.NumExits(), control.WindowConfig{
+	m.window = control.NewWindow(g.NumExits(), control.WindowConfig{
 		Buckets:   buckets,
 		BucketDur: cfg.ControlWindow / time.Duration(buckets),
 	})
@@ -128,9 +137,13 @@ func (m *Model) Version() int { return m.version }
 // in-memory registrations).
 func (m *Model) Path() string { return m.path }
 
-// CDLN returns the served cascade. Treat it as read-only: replicas were
-// cloned from it at construction.
+// CDLN returns the served graph's trunk cascade. Treat it as read-only:
+// replicas were cloned from it at construction.
 func (m *Model) CDLN() *core.CDLN { return m.cdln }
+
+// Graph returns the served routing graph (a one-node graph for plain
+// cascades). Treat it as read-only.
+func (m *Model) Graph() *core.Graph { return m.graph }
 
 // Stats snapshots this model's live counters.
 func (m *Model) Stats() Stats { return m.metrics.snapshot(m.pool.depth(), m.workers) }
@@ -192,7 +205,10 @@ func validName(name string) error {
 // retired version's pool is drained (in-flight batches complete) before
 // Register returns. The first registered entry becomes the default.
 func (r *Registry) Register(name string, cdln *core.CDLN) (*Model, error) {
-	return r.swapIn(name, "", cdln)
+	if err := cdln.Validate(); err != nil {
+		return nil, err
+	}
+	return r.swapIn(name, "", core.LinearGraph(cdln))
 }
 
 // RegisterAt is Register recording the file the CDLN originated from —
@@ -200,29 +216,76 @@ func (r *Registry) Register(name string, cdln *core.CDLN) (*Model, error) {
 // override) and then publish it, so /healthz and /v2/models still
 // attribute the entry to its real source path.
 func (r *Registry) RegisterAt(name, path string, cdln *core.CDLN) (*Model, error) {
-	return r.swapIn(name, path, cdln)
+	if err := cdln.Validate(); err != nil {
+		return nil, err
+	}
+	return r.swapIn(name, path, core.LinearGraph(cdln))
 }
 
-// Load reads a modelio CDLN file and publishes it under name with
-// Register semantics — the hot-reload entry point behind PUT
-// /v2/models/{name}. The file is fully parsed and validated before the
-// swap, so a torn or hostile file never displaces a serving version.
+// RegisterGraph publishes an in-memory routing graph under name with
+// Register semantics.
+func (r *Registry) RegisterGraph(name string, g *core.Graph) (*Model, error) {
+	return r.swapIn(name, "", g)
+}
+
+// Load reads a modelio file — a linear CDLN or a v2 routing graph — and
+// publishes it under name with Register semantics — the hot-reload entry
+// point behind PUT /v2/models/{name}. The file is fully parsed and
+// validated before the swap, so a torn or hostile file never displaces a
+// serving version.
 func (r *Registry) Load(name, path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load model %q: %w", name, err)
 	}
 	defer f.Close()
-	cdln, err := modelio.LoadCDLN(f)
+	g, err := modelio.LoadGraph(f)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load model %q: %w", name, err)
 	}
-	return r.swapIn(name, path, cdln)
+	return r.swapIn(name, path, g)
+}
+
+// SwapBranch republishes entry name with one branch subnetwork (or, for
+// branch name "" / the trunk's name, the trunk) replaced — the
+// branch-granular hot-swap: the rest of the graph keeps its weights, the
+// new version's pool is fully warmed before publication, and requests in
+// flight on the old version drain as in any other swap, so the trunk
+// never stops serving. The replacement must preserve the branch's
+// interface (input shape from its router tap, class count); validation
+// failures leave the serving version untouched. Concurrent SwapBranch
+// calls on one entry serialize through version reservation — each is
+// applied to the registry's current graph at its own reservation time.
+func (r *Registry) SwapBranch(name, branch string, cdln *core.CDLN) (*Model, error) {
+	cur, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cur.graph.WithBranch(branch, cdln)
+	if err != nil {
+		return nil, fmt.Errorf("serve: swap branch %q of %q: %w", branch, cur.name, err)
+	}
+	return r.swapIn(cur.name, cur.path, g)
+}
+
+// LoadBranch is SwapBranch reading the replacement cascade from a modelio
+// file — the entry point behind PUT /v2/models/{name}/branches/{branch}.
+func (r *Registry) LoadBranch(name, branch, path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load branch %q of %q: %w", branch, name, err)
+	}
+	defer f.Close()
+	cdln, err := modelio.LoadCDLN(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load branch %q of %q: %w", branch, name, err)
+	}
+	return r.SwapBranch(name, branch, cdln)
 }
 
 // swapIn builds the new version outside the lock, publishes it atomically,
 // then drains the retired pool.
-func (r *Registry) swapIn(name, path string, cdln *core.CDLN) (*Model, error) {
+func (r *Registry) swapIn(name, path string, g *core.Graph) (*Model, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
@@ -237,7 +300,7 @@ func (r *Registry) swapIn(name, path string, cdln *core.CDLN) (*Model, error) {
 	r.versions[name] = version
 	r.mu.Unlock()
 
-	m, err := newModel(name, version, path, cdln, r.cfg)
+	m, err := newModel(name, version, path, g, r.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@
 //	GET  /v2/models                      list models + metadata (stages, δ, op costs)
 //	GET  /v2/models/{model}              one model's metadata
 //	PUT  /v2/models/{model}              load-from-path hot-swap (admin surface)
+//	PUT  /v2/models/{model}/branches/{b} hot-swap one branch subnetwork of a routed model
 //	POST /v2/models/{model}/classify     classify on a named model under an ExitPolicy
 //	POST /v2/models/{model}/resume       resume on a named model under an ExitPolicy
 //	GET  /v2/models/{model}/slo          attached SLO + controller state (rung, δ, window)
@@ -142,24 +143,29 @@ func DefaultConfig() Config { return Config{}.withDefaults() }
 
 // maxResumeWireSize is the largest wire-encoded activation any valid
 // resume payload for this model can carry (the lossless encoding of the
-// widest split point), used to bound request bodies before decoding.
-func maxResumeWireSize(model *core.CDLN) int {
-	inWidth := inputWidth(model)
-	maxNumel, maxRank := inWidth, len(model.Arch.Net.InShape)
-	for split := 1; split <= len(model.Stages); split++ {
-		shape := model.Arch.Net.ShapeAt(model.SplitPos(split))
-		n := 1
-		for _, d := range shape {
-			n *= d
-		}
-		if n > maxNumel {
-			maxNumel = n
-		}
-		if len(shape) > maxRank {
-			maxRank = len(shape)
+// widest resume point on any graph node — trunk split stages and branch
+// entry handoffs alike), used to bound request bodies before decoding.
+func maxResumeWireSize(g *core.Graph) int {
+	size := 0
+	for ni, node := range g.Nodes {
+		model := node.Model
+		for split := 0; split <= len(model.Stages); split++ {
+			if ni != 0 && split > 0 {
+				// A branch payload always hands off at its entry (stage 0);
+				// deeper branch splits never appear on the wire.
+				break
+			}
+			shape := model.Arch.Net.ShapeAt(model.SplitPos(split))
+			n := 1
+			for _, d := range shape {
+				n *= d
+			}
+			if s := wire.EncodedSizeAt(ni, len(shape), n, wire.EncodingFloat64); s > size {
+				size = s
+			}
 		}
 	}
-	return wire.EncodedSize(maxRank, maxNumel, wire.EncodingFloat64)
+	return size
 }
 
 // Server serves classification over a model registry. Create with New (one
@@ -196,6 +202,7 @@ func NewWithRegistry(reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("GET /v2/models", s.handleModelsList)
 	s.mux.HandleFunc("GET /v2/models/{model}", s.handleModelGet)
 	s.mux.HandleFunc("PUT /v2/models/{model}", s.handleModelPut)
+	s.mux.HandleFunc("PUT /v2/models/{model}/branches/{branch}", s.handleBranchPut)
 	s.mux.HandleFunc("POST /v2/models/{model}/classify", s.handleV2Classify)
 	s.mux.HandleFunc("POST /v2/models/{model}/resume", s.handleV2Resume)
 	s.mux.HandleFunc("GET /v2/models/{model}/slo", s.handleSLOGet)
@@ -335,10 +342,15 @@ type ClassifyRequest struct {
 type ClassifyResult struct {
 	// Label is the predicted class.
 	Label int `json:"label"`
-	// Exit names the exit point taken ("O1".."On" or "FC"); ExitIndex is
-	// its index in the cascade.
+	// Exit names the exit point taken ("O1".."On", "FC", or a
+	// branch-qualified "branch/O1" on routed models); ExitIndex is its
+	// global index in the routing graph's exit numbering (the cascade
+	// index for linear models).
 	Exit      string `json:"exit"`
 	ExitIndex int    `json:"exit_index"`
+	// Node is the routing-graph node that resolved the input (0 = trunk,
+	// omitted for linear models).
+	Node int `json:"node,omitempty"`
 	// Confidence is the winning score at the exit point.
 	Confidence float64 `json:"confidence"`
 	// Ops and EnergyPJ are the dynamic cost of this input; NormalizedOps is
@@ -525,6 +537,7 @@ func v1Results(m *Model, records []core.ExitRecord) []ClassifyResult {
 			Label:      rec.Label,
 			Exit:       rec.StageName,
 			ExitIndex:  rec.StageIndex,
+			Node:       rec.Node,
 			Confidence: rec.Confidence,
 			Ops:        rec.Ops,
 			EnergyPJ:   m.metrics.acc.ExitEnergy(rec.StageIndex),
@@ -621,29 +634,31 @@ func (req *ResumeRequest) normalizePayloads(maxPayloads int) ([]string, *request
 }
 
 // resumeActivation decodes and validates one base64 wire payload against
-// the model, returning the ready-to-submit tensor and stage.
-func (m *Model) resumeActivation(p string) (*tensor.T, int, error) {
+// the model's routing graph, returning the ready-to-submit tensor and its
+// (node, stage) resume point.
+func (m *Model) resumeActivation(p string) (*tensor.T, int, int, error) {
 	raw, err := base64.StdEncoding.DecodeString(p)
 	if err != nil {
-		return nil, 0, fmt.Errorf("bad base64 payload: %v", err)
+		return nil, 0, 0, fmt.Errorf("bad base64 payload: %v", err)
 	}
 	act, err := wire.Decode(raw)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	if err := m.cdln.ValidateResume(act.FromStage, act.Pos, act.Shape); err != nil {
-		return nil, 0, err
+	if err := m.graph.ValidateResume(act.Node, act.FromStage, act.Pos, act.Shape); err != nil {
+		return nil, 0, 0, err
 	}
-	return tensor.FromSlice(act.Data, act.Shape...), act.FromStage, nil
+	return tensor.FromSlice(act.Data, act.Shape...), act.Node, act.FromStage, nil
 }
 
 // newResumeBatch decodes and validates payloads against m and fans them
 // out into jobs under one shared context and policy. A policy depth cap
-// shallower than a payload's resume stage is unsatisfiable (those stages
-// already ran on the edge tier): an explicit policy is rejected, while an
-// inherited one (the SLO controller's current rung — the client never
-// asked for a cap) is relaxed to the deepest resume stage in the request,
-// so controller actuation can never 400 offloaded traffic.
+// shallower than a payload's resume depth (entry depth of its node plus
+// its resume stage) is unsatisfiable — those stages already ran on the
+// edge tier: an explicit policy is rejected, while an inherited one (the
+// SLO controller's current rung — the client never asked for a cap) is
+// relaxed to the deepest resume depth in the request, so controller
+// actuation can never 400 offloaded traffic.
 func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.ExitPolicy, inherited bool) (*jobBatch, *requestError) {
 	b := &jobBatch{
 		jobs:    make([]*job, len(payloads)),
@@ -652,22 +667,22 @@ func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.
 	}
 	maxFrom := 0
 	for i, p := range payloads {
-		x, fromStage, err := m.resumeActivation(p)
+		x, node, fromStage, err := m.resumeActivation(p)
 		if err != nil {
 			return nil, badRequest("payload %d: %v", i, err)
 		}
-		if fromStage > maxFrom {
-			maxFrom = fromStage
+		if depth := m.graph.EntryDepth(node) + fromStage; depth > maxFrom {
+			maxFrom = depth
 		}
-		b.jobs[i] = &job{ctx: ctx, x: x, fromStage: fromStage, rec: &b.records[i], wg: b.wg}
+		b.jobs[i] = &job{ctx: ctx, x: x, node: node, fromStage: fromStage, rec: &b.records[i], wg: b.wg}
 	}
-	maxExit := len(m.cdln.Stages)
+	maxExit := m.graph.MaxDepth()
 	if pol.MaxExit >= 0 {
 		maxExit = pol.MaxExit
 	}
 	if maxFrom > maxExit {
 		if !inherited {
-			return nil, badRequest("resume stage %d beyond the policy's max exit %d", maxFrom, maxExit)
+			return nil, badRequest("resume depth %d beyond the policy's max exit %d", maxFrom, maxExit)
 		}
 		relaxed := *pol
 		relaxed.MaxExit = maxFrom

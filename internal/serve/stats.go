@@ -44,6 +44,13 @@ type metrics struct {
 	totalOps    float64
 	baselineOps float64
 	acc         *energy.Accumulator
+	// exitNode maps each global exit index to its graph node, exitOps is
+	// the per-exit path cost, and nodeNames names the nodes — the
+	// per-branch aggregation tables for routed models (len(nodeNames) == 1
+	// for a plain linear cascade).
+	exitNode  []int
+	exitOps   []float64
+	nodeNames []string
 
 	// Cumulative latency histograms over every classified image: queue
 	// wait (enqueue → micro-batch start), service (batch start → batch
@@ -54,19 +61,26 @@ type metrics struct {
 	totalLat   *control.Histogram
 }
 
-func newMetrics(c *core.CDLN, acc *energy.Accumulator) *metrics {
+func newMetrics(g *core.Graph, acc *energy.Accumulator) *metrics {
 	m := &metrics{
 		started:     time.Now(),
-		exitNames:   make([]string, c.NumExits()),
-		exitCounts:  make([]int64, c.NumExits()),
-		baselineOps: c.BaselineOps(),
+		exitNames:   make([]string, g.NumExits()),
+		exitCounts:  make([]int64, g.NumExits()),
+		baselineOps: g.BaselineOps(),
 		acc:         acc,
+		exitNode:    make([]int, g.NumExits()),
+		exitOps:     g.ExitOps(),
+		nodeNames:   make([]string, len(g.Nodes)),
 		queueLat:    control.NewHistogram(),
 		serviceLat:  control.NewHistogram(),
 		totalLat:    control.NewHistogram(),
 	}
 	for e := range m.exitNames {
-		m.exitNames[e] = c.ExitName(e)
+		m.exitNames[e] = g.ExitName(e)
+		m.exitNode[e], _ = g.NodeOfExit(e)
+	}
+	for ni, n := range g.Nodes {
+		m.nodeNames[ni] = n.Name
 	}
 	return m
 }
@@ -142,6 +156,20 @@ type ExitStat struct {
 	EnergyPJ float64 `json:"energy_pj"`
 }
 
+// BranchStat aggregates the exit distribution by routing-graph node: how
+// much of the served traffic resolved on the trunk versus each branch
+// subnetwork, and what it cost there. Present in /statsz only for routed
+// models (a linear cascade is all trunk).
+type BranchStat struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	Fraction float64 `json:"fraction"`
+	// MeanOps/MeanEnergyPJ are per image resolved on this node (whole-path
+	// cost, trunk prefix included).
+	MeanOps      float64 `json:"mean_ops"`
+	MeanEnergyPJ float64 `json:"mean_energy_pj"`
+}
+
 // LatencyStats summarizes one latency histogram in milliseconds.
 type LatencyStats struct {
 	Count  int64   `json:"count"`
@@ -196,6 +224,9 @@ type Stats struct {
 	TotalLatency   LatencyStats `json:"total_latency"`
 
 	Exits []ExitStat `json:"exits"`
+	// Branches is the exit distribution aggregated by routing-graph node
+	// (trunk + branch subnetworks); absent for linear cascades.
+	Branches []BranchStat `json:"branches,omitempty"`
 
 	MeanOps       float64 `json:"mean_ops"`
 	BaselineOps   float64 `json:"baseline_ops"`
@@ -244,6 +275,29 @@ func (m *metrics) snapshot(queueDepth, workers int) Stats {
 		}
 		if m.images > 0 {
 			s.Exits[e].Fraction = float64(m.exitCounts[e]) / float64(m.images)
+		}
+	}
+	if len(m.nodeNames) > 1 {
+		s.Branches = make([]BranchStat, len(m.nodeNames))
+		ops := make([]float64, len(m.nodeNames))
+		pj := make([]float64, len(m.nodeNames))
+		for ni, name := range m.nodeNames {
+			s.Branches[ni].Name = name
+		}
+		for e, cnt := range m.exitCounts {
+			ni := m.exitNode[e]
+			s.Branches[ni].Count += cnt
+			ops[ni] += float64(cnt) * m.exitOps[e]
+			pj[ni] += float64(cnt) * m.acc.ExitEnergy(e)
+		}
+		for ni := range s.Branches {
+			if n := s.Branches[ni].Count; n > 0 {
+				s.Branches[ni].MeanOps = ops[ni] / float64(n)
+				s.Branches[ni].MeanEnergyPJ = pj[ni] / float64(n)
+			}
+			if m.images > 0 {
+				s.Branches[ni].Fraction = float64(s.Branches[ni].Count) / float64(m.images)
+			}
 		}
 	}
 	sum := m.acc.Summary()

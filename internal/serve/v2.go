@@ -29,9 +29,10 @@ type PolicyRequest struct {
 	// the model's stage count, and each entry must be in [0,1] or negative
 	// (negative = keep Delta / the trained value for that stage).
 	StageDeltas []float64 `json:"stage_deltas,omitempty"`
-	// MaxExit caps cascade depth: inputs still active at this exit point
-	// exit there unconditionally (0-based stage index; the stage count
-	// means the FC terminator, i.e. no cap).
+	// MaxExit caps cascade depth: inputs still active at this path depth
+	// exit there unconditionally (0-based stage index on a linear model;
+	// on a routed model the cap counts stages along the root-to-exit path;
+	// the graph's max depth means the deepest terminator, i.e. no cap).
 	MaxExit *int `json:"max_exit,omitempty"`
 	// OpsBudget caps the per-input dynamic operation count: the cascade is
 	// truncated at the deepest exit whose cost fits the budget. Combines
@@ -79,13 +80,13 @@ func (p *PolicyRequest) resolve(m *Model) (core.ExitPolicy, string, *requestErro
 	}
 	if p.MaxExit != nil {
 		me := *p.MaxExit
-		if me < 0 || me > len(m.cdln.Stages) {
-			return pol, "", badRequest("policy: max_exit %d outside [0,%d]", me, len(m.cdln.Stages))
+		if me < 0 || me > m.graph.MaxDepth() {
+			return pol, "", badRequest("policy: max_exit %d outside [0,%d]", me, m.graph.MaxDepth())
 		}
 		pol.MaxExit = me
 	}
 	if p.OpsBudget != nil {
-		me, err := m.cdln.MaxExitForOps(*p.OpsBudget)
+		me, err := m.graph.MaxExitForOps(*p.OpsBudget)
 		if err != nil {
 			return pol, "", badRequest("policy: %v", err)
 		}
@@ -133,9 +134,12 @@ type V2ResumeRequest struct {
 // omitted at detail level "label"; StageConfidences is present only at
 // detail level "trace".
 type V2Result struct {
-	Label            int       `json:"label"`
-	Exit             string    `json:"exit"`
-	ExitIndex        int       `json:"exit_index"`
+	Label     int    `json:"label"`
+	Exit      string `json:"exit"`
+	ExitIndex int    `json:"exit_index"`
+	// Node is the routing-graph node that resolved the input (0 = trunk,
+	// omitted for linear models).
+	Node             int       `json:"node,omitempty"`
 	Confidence       float64   `json:"confidence"`
 	Ops              float64   `json:"ops,omitempty"`
 	NormalizedOps    float64   `json:"normalized_ops,omitempty"`
@@ -166,6 +170,7 @@ func v2Results(m *Model, records []core.ExitRecord, detail string) []V2Result {
 			Label:      rec.Label,
 			Exit:       rec.StageName,
 			ExitIndex:  rec.StageIndex,
+			Node:       rec.Node,
 			Confidence: rec.Confidence,
 		}
 		if detail != DetailLabel {
@@ -342,14 +347,36 @@ type ModelInfo struct {
 	// a request policy overrides).
 	Delta       float64   `json:"delta"`
 	StageDeltas []float64 `json:"stage_deltas,omitempty"`
-	// ExitNames and ExitOps describe the exit points in cascade order
-	// (stages then FC); BaselineOps is one full forward pass.
+	// ExitNames and ExitOps describe the exit points in the routing
+	// graph's global exit order (trunk stages then FC, then each branch's;
+	// cascade order for linear models); BaselineOps is one full trunk
+	// forward pass.
 	ExitNames   []string  `json:"exit_names"`
 	ExitOps     []float64 `json:"exit_ops"`
 	BaselineOps float64   `json:"baseline_ops"`
-	Workers     int       `json:"workers"`
+	// MaxDepth is the deepest root-to-exit path length (equals Stages for
+	// linear models) — the max_exit scale of a request policy.
+	MaxDepth int `json:"max_depth"`
+	// Branches describes the routing graph's branch subnetworks, absent
+	// for linear models.
+	Branches []BranchInfo `json:"branches,omitempty"`
+	Workers  int          `json:"workers"`
 	// Images is the number of images this version has classified.
 	Images int64 `json:"images"`
+}
+
+// BranchInfo is one branch subnetwork's metadata on GET /v2/models: what
+// a client needs to target PUT /v2/models/{model}/branches/{branch} and
+// to read branch-qualified exit names.
+type BranchInfo struct {
+	Name string `json:"name"`
+	// Parent/RouterStage locate the branch: it is entered when the parent
+	// node's router at that stage selects it.
+	Parent      string `json:"parent"`
+	RouterStage int    `json:"router_stage"`
+	Stages      int    `json:"stages"`
+	// Labels maps the branch's local class indices to trunk classes.
+	Labels []int `json:"labels"`
 }
 
 // V2ModelsResponse is the GET /v2/models payload.
@@ -361,13 +388,26 @@ type V2ModelsResponse struct {
 // info assembles a ModelInfo snapshot.
 func (m *Model) info(isDefault bool) ModelInfo {
 	c := m.cdln
-	names := make([]string, c.NumExits())
+	g := m.graph
+	names := make([]string, g.NumExits())
 	for i := range names {
-		names[i] = c.ExitName(i)
+		names[i] = g.ExitName(i)
 	}
 	var stageDeltas []float64
 	if c.StageDeltas != nil {
 		stageDeltas = append([]float64(nil), c.StageDeltas...)
+	}
+	var branches []BranchInfo
+	for ni := 1; ni < len(g.Nodes); ni++ {
+		n := g.Nodes[ni]
+		parent, stage := g.ParentOf(ni)
+		branches = append(branches, BranchInfo{
+			Name:        n.Name,
+			Parent:      g.Nodes[parent].Name,
+			RouterStage: stage,
+			Stages:      len(n.Model.Stages),
+			Labels:      append([]int(nil), n.Labels...),
+		})
 	}
 	return ModelInfo{
 		Name:        m.name,
@@ -381,6 +421,8 @@ func (m *Model) info(isDefault bool) ModelInfo {
 		ExitNames:   names,
 		ExitOps:     append([]float64(nil), m.exitOps...),
 		BaselineOps: c.BaselineOps(),
+		MaxDepth:    g.MaxDepth(),
+		Branches:    branches,
 		Workers:     m.workers,
 		Images:      m.Stats().Images,
 	}
@@ -464,4 +506,57 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 		Model: m.name, Version: m.version,
 		Arch: m.cdln.Arch.Name, Stages: len(m.cdln.Stages), Delta: m.cdln.Delta,
 	})
+}
+
+// V2PutBranchRequest is the PUT /v2/models/{model}/branches/{branch}
+// payload: the modelio CDLN file holding the replacement branch cascade.
+// Same trust boundary as PUT /v2/models/{model}.
+type V2PutBranchRequest struct {
+	Path string `json:"path"`
+}
+
+// V2PutBranchResponse reports the published version after a branch swap.
+type V2PutBranchResponse struct {
+	Model   string `json:"model"`
+	Branch  string `json:"branch"`
+	Version int    `json:"version"`
+}
+
+// handleBranchPut hot-swaps one branch subnetwork of a routed model: the
+// rest of the graph keeps serving its current weights, and the swap obeys
+// the same warm-before-publish, drain-after contract as a whole-model
+// reload — zero dropped requests.
+func (s *Server) handleBranchPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	branch := r.PathValue("branch")
+	if err := validName(branch); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := s.reg.Get(name); err != nil {
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)", name, s.reg.names()))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req V2PutBranchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Path == "" {
+		WriteError(w, http.StatusBadRequest, `missing "path"`)
+		return
+	}
+	m, err := s.reg.LoadBranch(name, branch, req.Path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		WriteError(w, status, err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, V2PutBranchResponse{Model: m.Name(), Branch: branch, Version: m.Version()})
 }
