@@ -33,6 +33,7 @@ import (
 	"cdl/internal/edgecloud"
 	"cdl/internal/edgecloud/wire"
 	"cdl/internal/energy"
+	"cdl/internal/obs"
 )
 
 func main() {
@@ -47,8 +48,19 @@ func main() {
 	pjByte := flag.Float64("pjbyte", energy.DefaultLink().PJPerByte, "link energy model: pJ per transmitted byte")
 	pjOffload := flag.Float64("pjoffload", energy.DefaultLink().PerOffloadPJ, "link energy model: fixed pJ per transfer")
 	slo := flag.String("slo", "", `adapt the offload split to an SLO: "p99=20ms,queue=0.8,energy=2.5e9" — under pressure the controller resolves inputs locally at the last edge stage instead of queueing on the cloud (requests with an explicit δ bypass it)`)
+	adminAddr := flag.String("admin-addr", "", "separate listen address for the admin/debug surface (pprof, expvar, phase profile); empty = disabled")
+	profile := flag.Bool("profile", false, "enable the per-phase (im2col/gemm/classifier) time breakdown from startup; also toggleable at runtime via POST /debug/phaseprof on -admin-addr")
 	flag.Parse()
 
+	obs.SetProfiling(*profile)
+	if *adminAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdledge: admin surface on %s\n", *adminAddr)
+			if err := obs.ListenAdmin(*adminAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "cdledge: admin listener:", err)
+			}
+		}()
+	}
 	if err := run(*model, *addr, *cloud, *cloudModel, *encoding, *slo, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
 		fmt.Fprintln(os.Stderr, "cdledge:", err)
 		os.Exit(1)

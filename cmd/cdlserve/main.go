@@ -38,6 +38,7 @@ import (
 
 	"cdl"
 	"cdl/internal/control"
+	"cdl/internal/obs"
 	"cdl/internal/serve"
 )
 
@@ -86,10 +87,21 @@ func main() {
 	defName := flag.String("default", "", "name of the default model entry (the /v1 alias target; default: first -model)")
 	slo := flag.String("slo", "", `attach an SLO controller to every model: "p99=15ms,queue=0.8,energy=2.5e9,floor=0.5" (see internal/control.ParseSLO); requests without an explicit δ/policy degrade to shallower exits under load instead of shedding`)
 	sloInterval := flag.Duration("slo-interval", 0, "SLO controller tick period (0 = default 200ms)")
+	adminAddr := flag.String("admin-addr", "", "separate listen address for the admin/debug surface (pprof, expvar, phase profile); empty = disabled")
+	profile := flag.Bool("profile", false, "enable the per-phase (im2col/gemm/classifier) time breakdown from startup; also toggleable at runtime via POST /debug/phaseprof on -admin-addr")
 	flag.Parse()
 
 	if len(models.entries) == 0 {
 		models.entries = []modelEntry{{serve.DefaultModelName, "model.cdln"}}
+	}
+	obs.SetProfiling(*profile)
+	if *adminAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdlserve: admin surface on %s\n", *adminAddr)
+			if err := obs.ListenAdmin(*adminAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "cdlserve: admin listener:", err)
+			}
+		}()
 	}
 	if err := run(models.entries, *addr, *workers, *queue, *batch, *window, *delta, *defName, *slo, *sloInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlserve:", err)

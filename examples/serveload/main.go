@@ -72,7 +72,17 @@ type classifyResponse struct {
 		Node          int     `json:"node"` // 0 = trunk; routed models report the branch node
 		NormalizedOps float64 `json:"normalized_ops"`
 	} `json:"results"`
-	Count int `json:"count"`
+	Count   int    `json:"count"`
+	TraceID string `json:"trace_id"`
+	Spans   []span `json:"spans"`
+}
+
+// span mirrors the server's trace span shape (internal/obs.Span).
+type span struct {
+	Name        string  `json:"name"`
+	StartUnixNS int64   `json:"start_unix_ns"`
+	DurationMS  float64 `json:"duration_ms"`
+	Detail      string  `json:"detail"`
 }
 
 // branchOf maps a result to its display branch: the qualified exit-name
@@ -101,6 +111,7 @@ func main() {
 	rate := flag.Float64("rate", 300, "open-loop base offered rate, images/sec")
 	peak := flag.Float64("peak", 0, "open-loop peak offered rate, images/sec (0 = 5x -rate)")
 	duration := flag.Duration("duration", 30*time.Second, "open-loop run length")
+	traceSample := flag.Int("trace-sample", 0, "after the run, send N traced single-image requests and print their span timelines plus a slowest-trace summary")
 	flag.Parse()
 
 	var models []string
@@ -121,10 +132,104 @@ func main() {
 	} else {
 		err = run(*addr, *n, *concurrency, *batch, *delta, *seed, models, *groups, *groupWeights)
 	}
+	if err == nil && *traceSample > 0 {
+		first := ""
+		if len(models) > 0 {
+			first = models[0]
+		}
+		err = sampleTraces(*addr, first, *traceSample, *delta, *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
+}
+
+// sampleTraces sends n traced single-image requests (each with a distinct
+// X-Trace-Id, which opts the response into span detail) and prints each
+// request's span timeline, then a summary of the slowest trace and the
+// span that dominated it. Requests go one at a time so each timeline
+// reflects an idle server — the interesting comparison is across spans
+// within a request, not across requests.
+func sampleTraces(addr, model string, n int, delta float64, seed int64) error {
+	testImgs, err := dataset(n, seed+1, "", "")
+	if err != nil {
+		return err
+	}
+	url := addr + "/v1/classify"
+	if model != "" {
+		url = addr + "/v2/models/" + model + "/classify"
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	fmt.Printf("\ntrace sample: %d single-image requests against %s\n", n, url)
+	slowest, slowestID, slowestSpan := 0.0, "", ""
+	for i := 0; i < n; i++ {
+		var body []byte
+		if model == "" {
+			req := classifyRequest{Images: [][]float64{testImgs[i].Pixels}}
+			if delta >= 0 {
+				req.Delta = &delta
+			}
+			body, err = json.Marshal(req)
+		} else {
+			req := v2ClassifyRequest{Images: [][]float64{testImgs[i].Pixels}}
+			if delta >= 0 {
+				req.Policy = &v2Policy{Delta: &delta}
+			}
+			body, err = json.Marshal(req)
+		}
+		if err != nil {
+			return err
+		}
+		hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		// Any ID the client pins is echoed and threaded through the span
+		// tree; 32 hex digits additionally survive wire-encoded edge→cloud
+		// hops.
+		hreq.Header.Set("X-Trace-Id", fmt.Sprintf("%032x", uint64(seed)<<16|uint64(i+1)))
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return err
+		}
+		payload, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace sample %d: HTTP %d: %s", i, resp.StatusCode, payload)
+		}
+		var out classifyResponse
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return err
+		}
+		sort.Slice(out.Spans, func(a, b int) bool { return out.Spans[a].StartUnixNS < out.Spans[b].StartUnixNS })
+		total, top, t0 := 0.0, "", int64(0)
+		if len(out.Spans) > 0 {
+			t0 = out.Spans[0].StartUnixNS
+			last := out.Spans[len(out.Spans)-1]
+			total = float64(last.StartUnixNS-t0)/1e6 + last.DurationMS
+		}
+		fmt.Printf("trace %d/%d %s  %d spans  %.2fms\n", i+1, n, out.TraceID, len(out.Spans), total)
+		topDur := 0.0
+		for _, s := range out.Spans {
+			fmt.Printf("  +%8.3fms %9.3fms  %-24s %s\n",
+				float64(s.StartUnixNS-t0)/1e6, s.DurationMS, s.Name, s.Detail)
+			if s.DurationMS > topDur {
+				topDur, top = s.DurationMS, s.Name
+			}
+		}
+		if total > slowest {
+			slowest, slowestID, slowestSpan = total, out.TraceID, top
+		}
+	}
+	if slowestID != "" {
+		fmt.Printf("slowest trace: %s (%.2fms), dominated by %s\n", slowestID, slowest, slowestSpan)
+	}
+	return nil
 }
 
 // dataset synthesizes the n-image test stream: the default balanced set,

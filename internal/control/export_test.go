@@ -1,0 +1,80 @@
+package control
+
+import "testing"
+
+// TestHistogramExport checks the coarsened exposition view: counts are
+// conserved under any merge step, bounds stay sorted, and each observation
+// lands in the exported bucket whose bound covers it.
+func TestHistogramExport(t *testing.T) {
+	h := NewHistogram()
+	obs := []float64{0.0005, 0.5, 2, 10, 10, 500, 70_000 /* clamps to last bucket */}
+	var wantSum float64
+	for _, v := range obs {
+		h.Observe(v)
+		wantSum += v
+	}
+
+	for _, step := range []int{1, 8, 1000, 0 /* treated as 1 */} {
+		bounds, counts, sum, total := h.Export(step)
+		if len(bounds) != len(counts) {
+			t.Fatalf("step %d: %d bounds vs %d counts", step, len(bounds), len(counts))
+		}
+		if total != int64(len(obs)) {
+			t.Errorf("step %d: total %d, want %d", step, total, len(obs))
+		}
+		if sum != wantSum {
+			t.Errorf("step %d: sum %g, want %g", step, sum, wantSum)
+		}
+		var n int64
+		for i, c := range counts {
+			n += c
+			if i > 0 && bounds[i] <= bounds[i-1] {
+				t.Errorf("step %d: bounds not increasing at %d: %g <= %g", step, i, bounds[i], bounds[i-1])
+			}
+		}
+		if n != int64(len(obs)) {
+			t.Errorf("step %d: bucket counts sum to %d, want %d", step, n, len(obs))
+		}
+		if bounds[len(bounds)-1] != 60_000 {
+			t.Errorf("step %d: last bound %g, want 60000", step, bounds[len(bounds)-1])
+		}
+	}
+
+	// Step 8 is the serving layer's scrape coarsening: the cardinality
+	// policy pins it to roughly a dozen buckets.
+	bounds, counts, _, _ := h.Export(8)
+	if len(bounds) < 12 || len(bounds) > 24 {
+		t.Errorf("step 8 exports %d buckets, want ~20", len(bounds))
+	}
+
+	// Coarsening must agree with the fine view: cumulative count at each
+	// exported bound equals the fine cumulative count at the same bound.
+	fineBounds, fineCounts, _, _ := h.Export(1)
+	cumAt := func(bs []float64, cs []int64, bound float64) int64 {
+		var cum int64
+		for i, b := range bs {
+			if b > bound {
+				break
+			}
+			cum += cs[i]
+		}
+		return cum
+	}
+	for i, b := range bounds {
+		if got, want := cumAt(bounds, counts, b), cumAt(fineBounds, fineCounts, b); got != want {
+			t.Errorf("cumulative at le=%g: coarse %d, fine %d (bucket %d)", b, got, want, i)
+		}
+	}
+}
+
+func TestHistogramExportEmpty(t *testing.T) {
+	bounds, counts, sum, total := NewHistogram().Export(8)
+	if total != 0 || sum != 0 {
+		t.Errorf("empty export: sum %g total %d", sum, total)
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Errorf("bucket %d (le %g) = %d, want 0", i, bounds[i], c)
+		}
+	}
+}

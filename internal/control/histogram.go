@@ -13,7 +13,7 @@ import (
 )
 
 // histBounds are the bucket upper bounds in milliseconds: 1µs growing by
-// 1.125× up to 60s. ~93 buckets; a quantile estimate is off by at most one
+// 1.125× up to 60s. ~150 buckets; a quantile estimate is off by at most one
 // growth factor.
 var histBounds = func() []float64 {
 	const min, max, growth = 1e-3, 60_000.0, 1.125
@@ -83,6 +83,32 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.total)
+}
+
+// Export returns the histogram's distribution coarsened for external
+// exposition: bucket upper bounds (ms) with step adjacent native buckets
+// merged per exported bucket, the matching per-bucket (non-cumulative)
+// counts, and the running sum and total. With ~150 native buckets, step 8
+// yields ~20 exported buckets spanning 1µs→60s at ~2.6× growth — wide
+// enough for dashboards, narrow enough to keep scrape cardinality flat.
+// step < 1 is treated as 1. Caller holds whatever lock guards Observe.
+func (h *Histogram) Export(step int) (bounds []float64, counts []int64, sum float64, total int64) {
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(histBounds); i += step {
+		hi := i + step
+		if hi > len(histBounds) {
+			hi = len(histBounds)
+		}
+		var c int64
+		for j := i; j < hi; j++ {
+			c += h.counts[j]
+		}
+		bounds = append(bounds, histBounds[hi-1])
+		counts = append(counts, c)
+	}
+	return bounds, counts, h.sum, h.total
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) in milliseconds: the

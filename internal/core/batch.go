@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cdl/internal/tensor"
 )
@@ -259,6 +260,13 @@ func (s *Session) stackBatchAt(node int, xs []*tensor.T, pos int) (*tensor.T, []
 func (s *Session) runStagesBatch(node int, act *tensor.T, pos, from, to int, pol ExitPolicy, idx []int, recs []ExitRecord, routed *[]batchGroup) (*tensor.T, int, []int) {
 	c := s.graph.Nodes[node].Model
 	for i := from; i < to && len(idx) > 0; i++ {
+		var evStart time.Time
+		var evRows []int
+		if s.observer != nil {
+			// Copy before the row loop: compaction rewrites idx in place.
+			evStart = time.Now()
+			evRows = append([]int(nil), idx...)
+		}
 		st := c.Stages[i]
 		act = c.Arch.Net.ForwardBatchRange(act, pos, st.Tap)
 		pos = st.Tap
@@ -331,6 +339,13 @@ func (s *Session) runStagesBatch(node int, act *tensor.T, pos, from, to int, pol
 			idx[w] = orig
 			w++
 		}
+		if s.observer != nil {
+			evEnd := time.Now()
+			s.observer(StageEvent{Kind: StageForward, Node: node, Stage: i, Rows: evRows, Start: evStart, End: evEnd})
+			for _, h := range hand {
+				s.observer(StageEvent{Kind: StageRoute, Node: node, Stage: i, Branch: h.node, Rows: h.idx, Start: evEnd, End: evEnd})
+			}
+		}
 		for _, h := range hand {
 			shape := s.graph.Nodes[h.node].Model.Arch.Net.InShape
 			*routed = append(*routed, batchGroup{
@@ -376,6 +391,10 @@ func (s *Session) finalExitBatch(node int, act *tensor.T, pos int, idx []int, re
 	if len(idx) == 0 {
 		return
 	}
+	var evStart time.Time
+	if s.observer != nil {
+		evStart = time.Now()
+	}
 	c := s.graph.Nodes[node].Model
 	act = c.Arch.Net.ForwardBatchRange(act, pos, len(c.Arch.Net.Layers))
 	osz := act.Numel() / len(idx)
@@ -396,6 +415,9 @@ func (s *Session) finalExitBatch(node int, act *tensor.T, pos int, idx []int, re
 		}
 		recs[orig] = rec
 	}
+	if s.observer != nil {
+		s.observer(StageEvent{Kind: StageFinal, Node: node, Stage: len(c.Stages), Rows: idx, Start: evStart, End: time.Now()})
+	}
 }
 
 // forcedExitBatch terminates the surviving rows unconditionally at the
@@ -408,6 +430,10 @@ func (s *Session) finalExitBatch(node int, act *tensor.T, pos int, idx []int, re
 func (s *Session) forcedExitBatch(node int, act *tensor.T, pos, stage int, idx []int, recs []ExitRecord, trace bool) {
 	if len(idx) == 0 {
 		return
+	}
+	var evStart time.Time
+	if s.observer != nil {
+		evStart = time.Now()
 	}
 	c := s.graph.Nodes[node].Model
 	st := c.Stages[stage]
@@ -437,5 +463,8 @@ func (s *Session) forcedExitBatch(node int, act *tensor.T, pos, stage int, idx [
 			rec.Trace = append(recs[orig].Trace, conf)
 		}
 		recs[orig] = rec
+	}
+	if s.observer != nil {
+		s.observer(StageEvent{Kind: StageForced, Node: node, Stage: stage, Rows: idx, Start: evStart, End: time.Now()})
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cdl/internal/tensor"
 )
@@ -30,6 +31,10 @@ type Session struct {
 	// ClassifyBatch/ResumeBatch calls.
 	bscores []float64
 	bidx    []int
+
+	// observer, when set, sees one StageEvent per executed unit of
+	// cascade work (observe.go). Nil costs one pointer check per stage.
+	observer func(StageEvent)
 }
 
 // NewSession validates the model and returns a warm session over a private
@@ -113,6 +118,10 @@ func (s *Session) classifyFrom(act *tensor.T, node, from, pos int, delta float64
 	n := s.graph.Nodes[node]
 	c := n.Model
 	for i := from; i < len(c.Stages); i++ {
+		var evStart time.Time
+		if s.observer != nil {
+			evStart = time.Now()
+		}
 		st := c.Stages[i]
 		act = c.Arch.Net.ForwardRange(act, pos, st.Tap)
 		pos = st.Tap
@@ -125,7 +134,11 @@ func (s *Session) classifyFrom(act *tensor.T, node, from, pos int, delta float64
 		if delta >= 0 {
 			d = delta
 		}
-		if c.Rule.ShouldExit(scores, d) {
+		exit := c.Rule.ShouldExit(scores, d)
+		if s.observer != nil {
+			s.observer(StageEvent{Kind: StageForward, Node: node, Stage: i, Start: evStart, End: time.Now()})
+		}
+		if exit {
 			conf, label := scores.Max()
 			gi := s.graph.ExitIndex(node, i)
 			return ExitRecord{
@@ -140,11 +153,22 @@ func (s *Session) classifyFrom(act *tensor.T, node, from, pos int, delta float64
 		if r := s.graph.routeFor(node, i); r != nil {
 			_, label := scores.Max()
 			if t := r.Branch[label]; t >= 0 {
+				if s.observer != nil {
+					now := time.Now()
+					s.observer(StageEvent{Kind: StageRoute, Node: node, Stage: i, Branch: t, Start: now, End: now})
+				}
 				return s.classifyFrom(act, t, 0, 0, delta)
 			}
 		}
 	}
+	var evStart time.Time
+	if s.observer != nil {
+		evStart = time.Now()
+	}
 	act = c.Arch.Net.ForwardRange(act, pos, len(c.Arch.Net.Layers))
+	if s.observer != nil {
+		s.observer(StageEvent{Kind: StageFinal, Node: node, Stage: len(c.Stages), Start: evStart, End: time.Now()})
+	}
 	conf, label := act.Max()
 	gi := s.graph.ExitIndex(node, len(c.Stages))
 	return ExitRecord{
@@ -202,6 +226,10 @@ func (s *Session) ClassifyPrefix(x *tensor.T, splitStage int, delta float64) Pre
 	c.SplitPos(splitStage) // validates splitStage
 	act, pos := x, 0
 	for i := 0; i < splitStage; i++ {
+		var evStart time.Time
+		if s.observer != nil {
+			evStart = time.Now()
+		}
 		st := c.Stages[i]
 		act = c.Arch.Net.ForwardRange(act, pos, st.Tap)
 		pos = st.Tap
@@ -214,7 +242,11 @@ func (s *Session) ClassifyPrefix(x *tensor.T, splitStage int, delta float64) Pre
 		if delta >= 0 {
 			d = delta
 		}
-		if c.Rule.ShouldExit(scores, d) {
+		exit := c.Rule.ShouldExit(scores, d)
+		if s.observer != nil {
+			s.observer(StageEvent{Kind: StageForward, Node: 0, Stage: i, Start: evStart, End: time.Now()})
+		}
+		if exit {
 			conf, label := scores.Max()
 			return PrefixResult{Record: ExitRecord{
 				StageIndex: i,
@@ -227,6 +259,10 @@ func (s *Session) ClassifyPrefix(x *tensor.T, splitStage int, delta float64) Pre
 		if r := s.graph.routeFor(0, i); r != nil {
 			_, label := scores.Max()
 			if t := r.Branch[label]; t >= 0 {
+				if s.observer != nil {
+					now := time.Now()
+					s.observer(StageEvent{Kind: StageRoute, Node: 0, Stage: i, Branch: t, Start: now, End: now})
+				}
 				return PrefixResult{Activation: act, Node: t, FromStage: 0, Pos: 0}
 			}
 		}

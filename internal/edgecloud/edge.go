@@ -20,12 +20,17 @@
 package edgecloud
 
 import (
+	"encoding/hex"
 	"fmt"
+	"strconv"
+	"time"
 
 	"cdl/internal/core"
 	"cdl/internal/edgecloud/wire"
 	"cdl/internal/energy"
 	"cdl/internal/fixed"
+	"cdl/internal/obs"
+	"cdl/internal/serve"
 	"cdl/internal/tensor"
 )
 
@@ -88,6 +93,17 @@ type BatchTransport interface {
 	ResumeBatch(payloads [][]byte, delta float64) ([]core.ExitRecord, error)
 }
 
+// TracedBatchTransport is the tracing extension of BatchTransport: the
+// hop carries the request's trace ID to the cloud tier (as an X-Trace-Id
+// header on HTTPTransport, in-process on Loopback) and returns the cloud's
+// span timeline alongside the records, so an Edge with an attached trace
+// can stitch one end-to-end tree across the tier split. Implementations
+// return the cloud spans un-prefixed; the Edge namespaces them "cloud:".
+type TracedBatchTransport interface {
+	Transport
+	ResumeBatchTraced(payloads [][]byte, delta float64, traceID string) ([]core.ExitRecord, []obs.Span, error)
+}
+
 // Edge is the edge-tier runtime: a warm session over the full model of
 // which it executes only the prefix, plus the offload machinery. Like
 // core.Session it is single-goroutine; create one per worker (the edge
@@ -97,6 +113,10 @@ type Edge struct {
 	sess      *core.Session
 	transport Transport
 	costs     *energy.TierCosts
+	// tr is the attached request trace (nil between requests): prefix
+	// stage spans, the offload hop and the cloud tier's merged spans all
+	// record into it.
+	tr *obs.Trace
 }
 
 // New validates the model and config and returns a warm edge runtime over a
@@ -143,6 +163,46 @@ func NewGraph(g *core.Graph, t Transport, cfg Config) (*Edge, error) {
 // Config returns the edge's effective (defaults-filled) configuration.
 func (e *Edge) Config() Config { return e.cfg }
 
+// AttachTrace attaches a request trace for the next Classify* call(s):
+// prefix stage spans record as "edge:stage:...", the cloud round trip as
+// "edge:offload", and — when the transport supports tracing — the cloud's
+// own spans merge back under "cloud:". Pass nil to detach. Like every Edge
+// method this is single-goroutine; the edge Server attaches per request
+// while it holds the worker.
+func (e *Edge) AttachTrace(tr *obs.Trace) { e.tr = tr }
+
+// installObserver wires the session's stage events into the attached
+// trace for the duration of one prefix walk; the returned func detaches.
+func (e *Edge) installObserver() func() {
+	if e.tr == nil {
+		return func() {}
+	}
+	g := e.sess.Graph()
+	tr := e.tr
+	e.sess.SetStageObserver(func(ev core.StageEvent) {
+		detail := ""
+		if len(ev.Rows) > 1 && ev.Kind != core.StageRoute {
+			detail = "batch=" + strconv.Itoa(len(ev.Rows))
+		}
+		tr.Record("edge:"+serve.SpanName(g, ev), ev.Start, ev.End, detail)
+	})
+	return func() { e.sess.SetStageObserver(nil) }
+}
+
+// wireTraceID returns the attached trace's ID when it fits the wire format
+// (exactly 16 bytes hex — generated IDs always do), else "" — client-pinned
+// free-form IDs still propagate over HTTP transports via the header.
+func (e *Edge) wireTraceID() string {
+	if e.tr == nil {
+		return ""
+	}
+	id := e.tr.ID()
+	if raw, err := hex.DecodeString(id); err != nil || len(raw) != 16 {
+		return ""
+	}
+	return id
+}
+
 // Costs returns the precomputed per-exit tier energy split.
 func (e *Edge) Costs() *energy.TierCosts { return e.costs }
 
@@ -174,7 +234,9 @@ func (e *Edge) Classify(x *tensor.T) (Result, error) {
 // ClassifyDelta is Classify with a per-call δ override (< 0 keeps the
 // model's trained thresholds), forwarded to the cloud on offload.
 func (e *Edge) ClassifyDelta(x *tensor.T, delta float64) (Result, error) {
+	detach := e.installObserver()
 	pre := e.sess.ClassifyPrefix(x, e.cfg.SplitStage, delta)
+	detach()
 	if pre.Exited {
 		return e.localResult(pre.Record), nil
 	}
@@ -182,11 +244,11 @@ func (e *Edge) ClassifyDelta(x *tensor.T, delta float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rec, err := e.transport.Resume(payload, delta)
+	recs, err := e.resumeOffloads([][]byte{payload}, delta)
 	if err != nil {
-		return Result{}, fmt.Errorf("edgecloud: cloud resume: %w", err)
+		return Result{}, err
 	}
-	return e.offloadResult(rec, len(payload))
+	return e.offloadResult(recs[0], len(payload))
 }
 
 // ClassifyBatch runs the split pipeline over a batch: the whole batch's
@@ -219,7 +281,10 @@ func (e *Edge) ClassifyBatchPolicy(xs []*tensor.T, pol core.ExitPolicy) ([]Resul
 	results := make([]Result, len(xs))
 	var payloads [][]byte
 	var deferred []int // index into xs of each offloaded input
-	for i, pre := range e.sess.ClassifyPrefixBatchPolicy(xs, e.cfg.SplitStage, pol) {
+	detach := e.installObserver()
+	prefixes := e.sess.ClassifyPrefixBatchPolicy(xs, e.cfg.SplitStage, pol)
+	detach()
+	for i, pre := range prefixes {
 		if pre.Exited {
 			results[i] = e.localResult(pre.Record)
 			continue
@@ -234,24 +299,9 @@ func (e *Edge) ClassifyBatchPolicy(xs []*tensor.T, pol core.ExitPolicy) ([]Resul
 	if len(payloads) == 0 {
 		return results, nil
 	}
-	var recs []core.ExitRecord
-	if bt, ok := e.transport.(BatchTransport); ok {
-		var err error
-		if recs, err = bt.ResumeBatch(payloads, delta); err != nil {
-			return nil, fmt.Errorf("edgecloud: cloud resume: %w", err)
-		}
-		if len(recs) != len(payloads) {
-			return nil, fmt.Errorf("edgecloud: cloud returned %d records for %d offloads", len(recs), len(payloads))
-		}
-	} else {
-		recs = make([]core.ExitRecord, len(payloads))
-		for k, p := range payloads {
-			rec, err := e.transport.Resume(p, delta)
-			if err != nil {
-				return nil, fmt.Errorf("edgecloud: cloud resume: %w", err)
-			}
-			recs[k] = rec
-		}
+	recs, err := e.resumeOffloads(payloads, delta)
+	if err != nil {
+		return nil, err
 	}
 	for k, rec := range recs {
 		res, err := e.offloadResult(rec, len(payloads[k]))
@@ -263,6 +313,45 @@ func (e *Edge) ClassifyBatchPolicy(xs []*tensor.T, pol core.ExitPolicy) ([]Resul
 	return results, nil
 }
 
+// resumeOffloads ships the deferred payloads across the link — one round
+// trip on a BatchTransport, serially otherwise — recording the hop as an
+// "edge:offload" span and, on a TracedBatchTransport, forwarding the trace
+// ID and folding the cloud tier's spans back in under "cloud:".
+func (e *Edge) resumeOffloads(payloads [][]byte, delta float64) ([]core.ExitRecord, error) {
+	var start time.Time
+	if e.tr != nil {
+		start = time.Now()
+	}
+	var recs []core.ExitRecord
+	var err error
+	if tt, ok := e.transport.(TracedBatchTransport); ok && e.tr != nil {
+		var spans []obs.Span
+		recs, spans, err = tt.ResumeBatchTraced(payloads, delta, e.tr.ID())
+		if err == nil {
+			e.tr.Merge("cloud:", spans)
+		}
+	} else if bt, ok := e.transport.(BatchTransport); ok {
+		recs, err = bt.ResumeBatch(payloads, delta)
+	} else {
+		recs = make([]core.ExitRecord, len(payloads))
+		for k, p := range payloads {
+			if recs[k], err = e.transport.Resume(p, delta); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("edgecloud: cloud resume: %w", err)
+	}
+	if len(recs) != len(payloads) {
+		return nil, fmt.Errorf("edgecloud: cloud returned %d records for %d offloads", len(recs), len(payloads))
+	}
+	if e.tr != nil {
+		e.tr.Record("edge:offload", start, time.Now(), "payloads="+strconv.Itoa(len(payloads)))
+	}
+	return recs, nil
+}
+
 // localResult charges a prefix exit to the edge tier.
 func (e *Edge) localResult(rec core.ExitRecord) Result {
 	return Result{Record: rec, EdgePJ: e.costs.Edge[rec.StageIndex]}
@@ -270,7 +359,9 @@ func (e *Edge) localResult(rec core.ExitRecord) Result {
 
 // encodePrefix serializes a deferred prefix for the wire: a trunk residue
 // resumes at the split stage, a routed input hands off at its branch entry
-// (node, stage 0, pos 0).
+// (node, stage 0, pos 0). With a wire-compatible trace attached the
+// payload carries the trace ID (format v3), so even a cloud tier reached
+// through a headerless transport can continue the request's trace.
 func (e *Edge) encodePrefix(pre core.PrefixResult) ([]byte, error) {
 	payload, err := wire.Encode(wire.Activation{
 		Node:      pre.Node,
@@ -278,6 +369,7 @@ func (e *Edge) encodePrefix(pre core.PrefixResult) ([]byte, error) {
 		Pos:       pre.Pos,
 		Shape:     pre.Activation.Shape(),
 		Data:      pre.Activation.Data,
+		TraceID:   e.wireTraceID(),
 	}, e.cfg.Encoding, e.cfg.Format)
 	if err != nil {
 		return nil, fmt.Errorf("edgecloud: encode offload: %w", err)

@@ -12,6 +12,7 @@ import (
 	"cdl/internal/control"
 	"cdl/internal/core"
 	"cdl/internal/energy"
+	"cdl/internal/obs"
 	"cdl/internal/serve"
 	"cdl/internal/tensor"
 )
@@ -112,6 +113,9 @@ type Server struct {
 	baseOps  float64
 	edges    chan *Edge
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the tracing middleware
+	slow     *obs.SlowLog
+	closed   atomic.Bool // flips on Close; /readyz turns 503
 	started  time.Time
 	mu       sync.Mutex
 	acc      *energy.TieredAccumulator
@@ -209,7 +213,11 @@ func NewGraphServer(g *core.Graph, newTransport func() (Transport, error), edgeC
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.slow = obs.NewSlowLog()
+	s.handler = obs.Middleware(s.mux, s.slow)
 	return s, nil
 }
 
@@ -229,13 +237,16 @@ func edgeLadder(maxDepth, splitStage int, floor float64) []core.ExitPolicy {
 	return out
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the route mux wrapped in the tracing
+// middleware (X-Trace-Id on every response, slow-request logging), exactly
+// as on the cloud tier.
+func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close stops the SLO control loop (idempotent; the HTTP layer is the
-// caller's to stop, as with serve.Server).
+// Close stops the SLO control loop and flips /readyz to 503 (idempotent;
+// the HTTP layer is the caller's to stop, as with serve.Server).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.closed.Store(true)
 		if s.stopCtrl != nil {
 			close(s.stopCtrl)
 			<-s.ctrlDone
@@ -438,6 +449,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer func() { s.edges <- edge }()
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		edge.AttachTrace(tr)
+		// Detach runs before the worker returns to the pool (LIFO defers).
+		defer edge.AttachTrace(nil)
+	}
 
 	xs := make([]*tensor.T, len(images))
 	for i, img := range images {
@@ -470,11 +487,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if s.window != nil {
-		obs := make([]control.Obs, len(results))
+		samples := make([]control.Obs, len(results))
 		for i, res := range results {
-			obs[i] = control.Obs{LatencyMS: elapsedMS, ExitIndex: res.Record.StageIndex, EnergyPJ: res.TotalPJ()}
+			samples[i] = control.Obs{LatencyMS: elapsedMS, ExitIndex: res.Record.StageIndex, EnergyPJ: res.TotalPJ()}
 		}
-		s.window.ObserveBatch(obs)
+		s.window.ObserveBatch(samples)
 	}
 
 	resp := serve.ClassifyResponse{Results: make([]serve.ClassifyResult, len(results)), Count: len(results)}
@@ -495,6 +512,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			out.NormalizedOps = rec.Ops / s.baseOps
 		}
 		resp.Results[i] = out
+	}
+	if tr != nil && tr.Propagated() {
+		// The client opted in by sending X-Trace-Id: return the stitched
+		// cross-tier timeline (edge prefix, offload hop, cloud spans).
+		resp.TraceID = tr.ID()
+		resp.Spans = tr.Spans()
 	}
 	serve.WriteJSON(w, http.StatusOK, resp)
 }
@@ -542,6 +565,68 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleReadyz is the readiness probe: an edge front builds its whole
+// worker pool before serving, so it is ready from construction until
+// Close. /healthz stays pure liveness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		serve.WriteJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+// handleMetricsz is the edge tier's Prometheus-text exposition: request
+// and offload counters, the tiered (edge/link/cloud) energy split, the
+// whole-request latency histogram and the offload-split controller state.
+// Label values come only from fixed vocabulary (tier names), never request
+// content.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	ctrl := s.controlStatus() // ctrlMu domain — fetch outside s.mu
+	busy := float64(s.cfg.Workers - len(s.edges))
+	p := obs.NewProm()
+	p.Gauge("cdl_uptime_seconds", "Seconds since the edge front started.", nil, time.Since(s.started).Seconds())
+	p.Gauge("cdl_tracing_enabled", "Whether request tracing is on (1) or off (0).", nil, func() float64 {
+		if obs.Enabled() {
+			return 1
+		}
+		return 0
+	}())
+	p.Gauge("cdl_edge_workers", "Warm edge runtimes.", nil, float64(s.cfg.Workers))
+	p.Gauge("cdl_edge_busy_workers", "Edge runtimes currently holding a request (the edge's queue-pressure signal).", nil, busy)
+
+	s.mu.Lock()
+	tier := s.acc.Summary()
+	p.Counter("cdl_edge_requests_total", "Classify requests admitted.", nil, float64(s.requests))
+	p.Counter("cdl_edge_invalid_requests_total", "Requests rejected with 4xx.", nil, float64(s.invalid))
+	p.Counter("cdl_edge_rejected_total", "Requests shed with 503 + Retry-After (no worker freed within the acquire timeout).", nil, float64(s.rejected))
+	p.Counter("cdl_edge_cloud_errors_total", "Offloads that failed at the cloud tier (502 for the whole request).", nil, float64(s.cloudErr))
+	p.Counter("cdl_edge_images_total", "Images classified.", nil, float64(s.images))
+	p.Counter("cdl_edge_local_exits_total", "Images resolved by the local prefix cascade.", nil, float64(s.local))
+	p.Counter("cdl_edge_offloads_total", "Images shipped across the link as intermediate activations.", nil, float64(s.offload))
+	p.Gauge("cdl_edge_split_stage", "Cascade stages the edge owns.", nil, float64(s.edgeCfg.SplitStage))
+	p.Gauge("cdl_edge_offload_fraction", "Fraction of images that crossed the link.", nil, tier.OffloadFraction)
+	p.Counter("cdl_edge_wire_bytes_total", "Total encoded payload bytes shipped.", nil, float64(tier.WireBytes))
+	p.Counter("cdl_tier_energy_pj_total", "Cumulative 45 nm energy by tier (edge compute, link transfer, cloud compute).", obs.Labels{{"tier", "edge"}}, tier.EdgePJ)
+	p.Counter("cdl_tier_energy_pj_total", "", obs.Labels{{"tier", "link"}}, tier.LinkPJ)
+	p.Counter("cdl_tier_energy_pj_total", "", obs.Labels{{"tier", "cloud"}}, tier.CloudPJ)
+	p.Gauge("cdl_energy_pj_per_image", "Mean whole-system energy per image (pJ), link surcharge included.", nil, tier.MeanTotalPJ)
+	bounds, counts, sum, total := s.lat.Export(8)
+	p.Histogram("cdl_edge_latency_ms", "Whole-request per-image latency (local exits and cloud round trips alike), milliseconds.", nil, bounds, counts, sum, total)
+	s.mu.Unlock()
+
+	if ctrl != nil {
+		p.Gauge("cdl_control_rung", "Offload-split controller's current actuation rung (0 = configured split).", nil, float64(ctrl.Rung))
+		p.Gauge("cdl_control_max_rung", "Deepest actuation rung the controller may take.", nil, float64(ctrl.MaxRung))
+		p.Gauge("cdl_control_max_exit", "Current depth cap (-1 = none).", nil, float64(ctrl.MaxExit))
+		p.Gauge("cdl_control_queue_frac", "Busy-worker fraction at the controller's last tick.", nil, ctrl.QueueFrac)
+		p.Counter("cdl_control_violations_total", "Controller ticks that observed an SLO violation.", nil, float64(ctrl.Violations))
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = p.WriteTo(w)
+}
+
 // ListenAndServe runs the edge front on addr until stop is closed, then
 // shuts down gracefully, with the same slow-client hardening as the cloud
 // server (serve.ListenHardened). The SLO control loop (when configured)
@@ -552,5 +637,5 @@ func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
 		IdleTimeout:       s.cfg.IdleTimeout,
 		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
-	return serve.ListenHardened(addr, s.mux, stop, hard, s.Close)
+	return serve.ListenHardened(addr, s.handler, stop, hard, s.Close)
 }

@@ -12,6 +12,7 @@ import (
 
 	"cdl/internal/core"
 	"cdl/internal/edgecloud/wire"
+	"cdl/internal/obs"
 	"cdl/internal/serve"
 	"cdl/internal/tensor"
 )
@@ -60,6 +61,19 @@ func (h *HTTPTransport) Resume(payload []byte, delta float64) (core.ExitRecord, 
 // resume request, so a hard batch costs one round trip instead of one per
 // image.
 func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.ExitRecord, error) {
+	recs, _, err := h.resumeBatch(payloads, delta, "")
+	return recs, err
+}
+
+// ResumeBatchTraced implements TracedBatchTransport: the trace ID rides
+// the X-Trace-Id request header (so the cloud adopts it and opts the
+// response into span detail), and the cloud's span timeline comes back in
+// the response body.
+func (h *HTTPTransport) ResumeBatchTraced(payloads [][]byte, delta float64, traceID string) ([]core.ExitRecord, []obs.Span, error) {
+	return h.resumeBatch(payloads, delta, traceID)
+}
+
+func (h *HTTPTransport) resumeBatch(payloads [][]byte, delta float64, traceID string) ([]core.ExitRecord, []obs.Span, error) {
 	b64 := make([]string, len(payloads))
 	for i, p := range payloads {
 		b64[i] = base64.StdEncoding.EncodeToString(p)
@@ -90,39 +104,47 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 		body, err = json.Marshal(req)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	client := h.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	url := strings.TrimSuffix(h.BaseURL, "/") + path
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		hreq.Header.Set(obs.TraceHeader, traceID)
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("cloud HTTP %d: %s", resp.StatusCode, e.Error)
+			return nil, nil, fmt.Errorf("cloud HTTP %d: %s", resp.StatusCode, e.Error)
 		}
-		return nil, fmt.Errorf("cloud HTTP %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("cloud HTTP %d", resp.StatusCode)
 	}
 	// The v1 and v2 result rows share field names, so one decode shape
 	// covers both surfaces.
 	var out serve.ClassifyResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
-		return nil, fmt.Errorf("cloud response: %w", err)
+		return nil, nil, fmt.Errorf("cloud response: %w", err)
 	}
 	if len(out.Results) != len(payloads) {
-		return nil, fmt.Errorf("cloud returned %d results for %d payloads", len(out.Results), len(payloads))
+		return nil, nil, fmt.Errorf("cloud returned %d results for %d payloads", len(out.Results), len(payloads))
 	}
 	recs := make([]core.ExitRecord, len(out.Results))
 	for i, r := range out.Results {
@@ -135,7 +157,7 @@ func (h *HTTPTransport) ResumeBatch(payloads [][]byte, delta float64) ([]core.Ex
 			Ops:        r.Ops,
 		}
 	}
-	return recs, nil
+	return recs, out.Spans, nil
 }
 
 // Loopback is an in-process cloud tier: it decodes offloads and resumes
@@ -179,4 +201,29 @@ func (l *Loopback) Resume(payload []byte, delta float64) (core.ExitRecord, error
 		return core.ExitRecord{}, err
 	}
 	return l.sess.ResumeAt(tensor.FromSlice(act.Data, act.Shape...), act.Node, act.FromStage, delta), nil
+}
+
+// ResumeBatchTraced implements TracedBatchTransport: payloads resume
+// serially on the private session with a stage observer attached, so the
+// in-process "cloud" returns the same span vocabulary a real backend
+// would (minus queue/batch spans — there is no pool here).
+func (l *Loopback) ResumeBatchTraced(payloads [][]byte, delta float64, traceID string) ([]core.ExitRecord, []obs.Span, error) {
+	var spans []obs.Span
+	l.sess.SetStageObserver(func(ev core.StageEvent) {
+		spans = append(spans, obs.Span{
+			Name:        serve.SpanName(l.graph, ev),
+			StartUnixNS: ev.Start.UnixNano(),
+			DurationMS:  float64(ev.End.Sub(ev.Start)) / float64(time.Millisecond),
+		})
+	})
+	defer l.sess.SetStageObserver(nil)
+	recs := make([]core.ExitRecord, len(payloads))
+	for i, p := range payloads {
+		rec, err := l.Resume(p, delta)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs[i] = rec
+	}
+	return recs, spans, nil
 }

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"cdl/internal/fixed"
+)
+
+// TestRoundTripTraced pins the version-3 contract: a trace ID rides the
+// header and survives the round trip, an empty ID keeps the exact
+// version-1/2 bytes (so untraced peers never see the new version), and
+// TraceOverhead bounds the growth.
+func TestRoundTripTraced(t *testing.T) {
+	const id = "00112233445566778899aabbccddeeff"
+	a := testActivation()
+	a.TraceID = id
+
+	for _, enc := range []Encoding{EncodingFloat64, EncodingFixed} {
+		b, err := Encode(a, enc, fixed.Q2x13)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", enc, err)
+		}
+		if got.TraceID != id {
+			t.Errorf("%v: trace ID %q, want %q", enc, got.TraceID, id)
+		}
+		if got.FromStage != a.FromStage || got.Pos != a.Pos || got.Node != a.Node {
+			t.Errorf("%v: header drifted: %+v", enc, got)
+		}
+
+		plain := a
+		plain.TraceID = ""
+		pb, err := Encode(plain, enc, fixed.Q2x13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grow := len(b) - len(pb); grow > TraceOverhead {
+			t.Errorf("%v: traced payload grew %d bytes, TraceOverhead says ≤%d", enc, grow, TraceOverhead)
+		}
+		pd, err := Decode(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pd.TraceID != "" {
+			t.Errorf("%v: untraced payload decoded trace ID %q", enc, pd.TraceID)
+		}
+	}
+}
+
+// TestEncodeRejectsBadTraceID: only 32-hex (16 raw byte) IDs fit the fixed
+// header slot; anything else must error rather than truncate.
+func TestEncodeRejectsBadTraceID(t *testing.T) {
+	for _, bad := range []string{"short", strings.Repeat("0", 31), strings.Repeat("g", 32), strings.Repeat("0", 34)} {
+		a := testActivation()
+		a.TraceID = bad
+		if _, err := Encode(a, EncodingFloat64, fixed.Q2x13); err == nil {
+			t.Errorf("Encode accepted trace ID %q", bad)
+		}
+	}
+}
+
+// TestRoundTripTracedRouted: the trace ID coexists with a branch handoff
+// (node > 0) — version 3 carries both the node and the ID.
+func TestRoundTripTracedRouted(t *testing.T) {
+	a := testActivation()
+	a.Node = 2
+	a.TraceID = "ffeeddccbbaa99887766554433221100"
+	b, err := Encode(a, EncodingFloat64, fixed.Q2x13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 2 || got.TraceID != a.TraceID {
+		t.Errorf("node=%d traceID=%q, want 2/%q", got.Node, got.TraceID, a.TraceID)
+	}
+}

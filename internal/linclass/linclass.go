@@ -13,7 +13,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
+	"cdl/internal/obs"
 	"cdl/internal/tensor"
 )
 
@@ -56,9 +58,17 @@ func (c *Classifier) ScoresInto(x, y *tensor.T) {
 	if y.Numel() != c.Out {
 		panic(fmt.Sprintf("linclass: score width %d, want %d", y.Numel(), c.Out))
 	}
+	prof := obs.ProfilingEnabled()
+	var t0 time.Time
+	if prof {
+		t0 = time.Now()
+	}
 	tensor.MatVecInto(c.W, x.Flatten(), y)
 	for o := 0; o < c.Out; o++ {
 		y.Data[o] = 1 / (1 + math.Exp(-(y.Data[o] + c.B.Data[o])))
+	}
+	if prof {
+		obs.ProfAdd(obs.PhaseClassifier, time.Since(t0))
 	}
 }
 
@@ -77,6 +87,11 @@ func (c *Classifier) ScoresBatchInto(x, y *tensor.T) {
 	if y.Rank() != 2 || y.Dim(0) != bsz || y.Dim(1) != c.Out {
 		panic(fmt.Sprintf("linclass: batch score shape %v, want [%d %d]", y.Shape(), bsz, c.Out))
 	}
+	prof := obs.ProfilingEnabled()
+	var t0 time.Time
+	if prof {
+		t0 = time.Now()
+	}
 	wd, bd := c.W.Data, c.B.Data
 	for bi := 0; bi < bsz; bi++ {
 		xr := x.Data[bi*c.In : (bi+1)*c.In]
@@ -89,6 +104,9 @@ func (c *Classifier) ScoresBatchInto(x, y *tensor.T) {
 			}
 			yr[o] = 1 / (1 + math.Exp(-(s + bd[o])))
 		}
+	}
+	if prof {
+		obs.ProfAdd(obs.PhaseClassifier, time.Since(t0))
 	}
 }
 

@@ -19,7 +19,9 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"cdl/internal/obs"
 	"cdl/internal/tensor"
 )
 
@@ -125,8 +127,18 @@ func (c *Conv2D) ForwardBatch(in *tensor.T) *tensor.T {
 	ncols := bsz * planeOut
 	c.bcols = growScratch(c.bcols, kcols*ncols)
 	c.bgemm = growScratch(c.bgemm, c.outC*ncols)
-	im2colInto(in.Data, bsz, c.inC, h, w, c.k, c.bcols)
-	gemmGrouped(c.weight.W.Data, c.outC, kcols, c.bcols, ncols, c.bgemm, kk)
+	if obs.ProfilingEnabled() {
+		t0 := time.Now()
+		im2colInto(in.Data, bsz, c.inC, h, w, c.k, c.bcols)
+		t1 := time.Now()
+		gemmGrouped(c.weight.W.Data, c.outC, kcols, c.bcols, ncols, c.bgemm, kk)
+		t2 := time.Now()
+		obs.ProfAdd(obs.PhaseIm2Col, t1.Sub(t0))
+		obs.ProfAdd(obs.PhaseGEMM, t2.Sub(t1))
+	} else {
+		im2colInto(in.Data, bsz, c.inC, h, w, c.k, c.bcols)
+		gemmGrouped(c.weight.W.Data, c.outC, kcols, c.bcols, ncols, c.bgemm, kk)
+	}
 	for oc := 0; oc < c.outC; oc++ {
 		b := c.bias.W.Data[oc]
 		grow := c.bgemm[oc*ncols : (oc+1)*ncols]

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests may build more than one admin mux.
+var publishOnce sync.Once
+
+// AdminMux builds the admin/debug surface served on the separate
+// -admin-addr listener: net/http/pprof, expvar, and the phase profile
+// (JSON snapshot + enable/disable/reset controls). It is deliberately not
+// part of the serving mux — profiling endpoints on a public port are an
+// operational foot-gun.
+func AdminMux() *http.ServeMux {
+	publishOnce.Do(func() {
+		expvar.Publish("cdl_phase_profile", expvar.Func(func() any { return ProfSnapshot() }))
+		expvar.Publish("cdl_tracing_enabled", expvar.Func(func() any { return Enabled() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/phaseprof", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Enabled bool        `json:"enabled"`
+			Phases  []PhaseStat `json:"phases"`
+		}{ProfilingEnabled(), ProfSnapshot()})
+	})
+	mux.HandleFunc("POST /debug/phaseprof", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("action") {
+		case "enable":
+			SetProfiling(true)
+		case "disable":
+			SetProfiling(false)
+		case "reset":
+			ProfReset()
+		default:
+			http.Error(w, `action must be "enable", "disable" or "reset"`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Enabled bool `json:"enabled"`
+		}{ProfilingEnabled()})
+	})
+	return mux
+}
+
+// ListenAdmin serves the admin mux on addr until the listener fails or the
+// process exits. Run it on its own goroutine; errors are returned for the
+// caller to log.
+func ListenAdmin(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: AdminMux()}
+	return srv.ListenAndServe()
+}

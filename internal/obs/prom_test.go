@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exposition text byte for byte: families grouped
+// under one HELP/TYPE header in first-touch order, label order preserved,
+// histograms rendered cumulatively with +Inf, _sum and _count. Scrapers
+// parse this format mechanically — drift here is an interface break.
+func TestPromGolden(t *testing.T) {
+	p := NewProm()
+	p.Counter("cdl_requests_total", "Requests admitted.", Labels{{"model", "default"}}, 42)
+	p.Gauge("cdl_queue_depth", "Images waiting.", Labels{{"model", "default"}}, 3)
+	// Same family touched later: groups under the first header.
+	p.Counter("cdl_requests_total", "", Labels{{"model", "b"}}, 7)
+	p.Histogram("cdl_total_latency_ms", "End-to-end latency.", Labels{{"model", "default"}},
+		[]float64{1, 5, 25}, []int64{2, 3, 0}, 12.5, 6)
+
+	const golden = `# HELP cdl_requests_total Requests admitted.
+# TYPE cdl_requests_total counter
+cdl_requests_total{model="default"} 42
+cdl_requests_total{model="b"} 7
+# HELP cdl_queue_depth Images waiting.
+# TYPE cdl_queue_depth gauge
+cdl_queue_depth{model="default"} 3
+# HELP cdl_total_latency_ms End-to-end latency.
+# TYPE cdl_total_latency_ms histogram
+cdl_total_latency_ms_bucket{model="default",le="1"} 2
+cdl_total_latency_ms_bucket{model="default",le="5"} 5
+cdl_total_latency_ms_bucket{model="default",le="25"} 5
+cdl_total_latency_ms_bucket{model="default",le="+Inf"} 6
+cdl_total_latency_ms_sum{model="default"} 12.5
+cdl_total_latency_ms_count{model="default"} 6
+`
+	if got := p.String(); got != golden {
+		t.Errorf("exposition drifted:\n got:\n%s\n want:\n%s", got, golden)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	p := NewProm()
+	p.Gauge("g", "help with \\ and\nnewline", Labels{{"l", "va\"l\\ue\n"}}, 1)
+	got := p.String()
+	want := `# HELP g help with \\ and\nnewline
+# TYPE g gauge
+g{l="va\"l\\ue\n"} 1
+`
+	if got != want {
+		t.Errorf("escaping drifted:\n got:\n%q\n want:\n%q", got, want)
+	}
+}
+
+func TestPromSpecialValues(t *testing.T) {
+	p := NewProm()
+	p.Gauge("inf", "", nil, math.Inf(1))
+	p.Gauge("ninf", "", nil, math.Inf(-1))
+	p.Gauge("nan", "", nil, math.NaN())
+	got := p.String()
+	for _, want := range []string{"inf +Inf\n", "ninf -Inf\n", "nan NaN\n"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestPromHistogramOverflow: observations beyond the last bound appear in
+// +Inf (via count) but not in any finite bucket.
+func TestPromHistogramOverflow(t *testing.T) {
+	p := NewProm()
+	p.Histogram("h", "", nil, []float64{1}, []int64{2}, 100, 5)
+	got := p.String()
+	if !strings.Contains(got, `h_bucket{le="1"} 2`) || !strings.Contains(got, `h_bucket{le="+Inf"} 5`) {
+		t.Errorf("overflow handling drifted:\n%s", got)
+	}
+}

@@ -1,0 +1,506 @@
+package serve
+
+// obs_test.go covers the observability surface: readiness vs liveness,
+// X-Trace-Id propagation (header echo on every response path, body trace
+// only when the client asked), span completeness over a routed graph,
+// wire-carried trace adoption on /v1/resume, the /metricsz exposition
+// (structure, under concurrent scrape + classify + hot-swap load, and the
+// CI sample artifact), and the overhead guard benchmark pinning the cost
+// of always-on tracing.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cdl/internal/edgecloud/wire"
+	"cdl/internal/fixed"
+	"cdl/internal/obs"
+)
+
+func TestReadyzLifecycle(t *testing.T) {
+	cdln, _ := testCDLN(t, 61)
+	srv, ts := startServer(t, cdln, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyResponse
+	err = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !ready.Ready {
+		t.Fatalf("warm server: HTTP %d ready=%v err=%v", resp.StatusCode, ready.Ready, err)
+	}
+	if ready.Default != DefaultModelName {
+		t.Errorf("default entry %q, want %q", ready.Default, DefaultModelName)
+	}
+
+	// Liveness must not flip with readiness: /healthz stays 200 while
+	// /readyz reports the drain.
+	srv.Close()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /readyz HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server: /healthz HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// postTraced posts a classify request with an optional pinned trace ID.
+func postTraced(t testing.TB, url, traceID string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		hreq.Header.Set(obs.TraceHeader, traceID)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestTraceEchoAndSpans: a pinned X-Trace-Id is echoed on the response
+// header and opts the body into the span timeline (queue, batch, stages —
+// all closed and ordered); without a pinned ID the header carries a
+// generated ID and the body stays exactly the golden /v1 shape.
+func TestTraceEchoAndSpans(t *testing.T) {
+	cdln, data := testCDLN(t, 62)
+	_, ts := startServer(t, cdln, Config{Workers: 2})
+	req := ClassifyRequest{Images: [][]float64{data[0].X.Flatten().Data, data[1].X.Flatten().Data}}
+
+	resp, body := postTraced(t, ts.URL+"/v1/classify", "pinned-trace-1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "pinned-trace-1" {
+		t.Fatalf("header echo %q, want pinned-trace-1", got)
+	}
+	var out ClassifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != "pinned-trace-1" {
+		t.Fatalf("body trace_id %q", out.TraceID)
+	}
+	assertSpanTree(t, out.Spans, true)
+
+	// Unpinned: generated header ID, no trace fields in the body (the
+	// golden /v1 contract must not grow fields under clients' feet).
+	resp, body = postTraced(t, ts.URL+"/v1/classify", "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if id := resp.Header.Get(obs.TraceHeader); len(id) != 32 {
+		t.Fatalf("generated header ID %q", id)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["trace_id"]; ok {
+		t.Error("unpinned response leaked trace_id into the body")
+	}
+	if _, ok := raw["spans"]; ok {
+		t.Error("unpinned response leaked spans into the body")
+	}
+}
+
+// assertSpanTree checks the span-completeness contract: non-empty, every
+// span closed (non-negative duration), ordered by start time, and — when
+// wantPool is set — covering admission (queue), grouping (batch) and at
+// least one cascade stage.
+func assertSpanTree(t *testing.T, spans []obs.Span, wantPool bool) {
+	t.Helper()
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	names := make(map[string]bool)
+	for i, sp := range spans {
+		if sp.Name == "" || sp.StartUnixNS == 0 {
+			t.Errorf("span %d incomplete: %+v", i, sp)
+		}
+		if sp.DurationMS < 0 {
+			t.Errorf("span %d not closed: %+v", i, sp)
+		}
+		if i > 0 && sp.StartUnixNS < spans[i-1].StartUnixNS {
+			t.Errorf("span %d out of order: %d < %d", i, sp.StartUnixNS, spans[i-1].StartUnixNS)
+		}
+		names[sp.Name] = true
+	}
+	if !wantPool {
+		return
+	}
+	for _, want := range []string{"queue", "batch"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q: %v", want, spanNames(spans))
+		}
+	}
+	stages := 0
+	for n := range names {
+		if strings.HasPrefix(n, "stage:") || strings.HasPrefix(n, "fc:") || strings.HasPrefix(n, "forced:") {
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Errorf("span tree has no stage spans: %v", spanNames(spans))
+	}
+}
+
+func spanNames(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestRoutedSpanTree drives single-image requests through the routed
+// graph fixture with the routing δ: every trace must be complete, and the
+// traffic as a whole must surface route-decision spans with the
+// "route:<node>-><branch>" vocabulary.
+func TestRoutedSpanTree(t *testing.T) {
+	ts, _, data := newRoutedServer(t, 63)
+	d := routingDelta
+	routed := false
+	for i := 0; i < 12; i++ {
+		req := ClassifyRequest{Images: [][]float64{data[i].X.Flatten().Data}, Delta: &d}
+		resp, body := postTraced(t, ts.URL+"/v1/classify", "route-trace-"+strconv.Itoa(i), req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+		var out ClassifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		assertSpanTree(t, out.Spans, true)
+		for _, sp := range out.Spans {
+			if strings.HasPrefix(sp.Name, "route:trunk->") {
+				routed = true
+			}
+		}
+	}
+	if !routed {
+		t.Error("no request produced a route span; routing fixture degenerate")
+	}
+}
+
+// TestShedEchoesTrace: a 503 shed must still carry Retry-After AND the
+// trace header — the middleware sets the echo before the handler runs, so
+// error paths cannot lose it.
+func TestShedEchoesTrace(t *testing.T) {
+	cdln, data := testCDLN(t, 64)
+	srv, ts := startServer(t, cdln, Config{Workers: 1})
+	// Retire the serving pool with no successor version: dispatch hits
+	// ErrClosed and sheds — the deterministic stand-in for a full queue.
+	m, err := srv.reg.Get(DefaultModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.pool.close()
+	req := ClassifyRequest{Images: [][]float64{data[0].X.Flatten().Data, data[1].X.Flatten().Data}}
+	resp, body := postTraced(t, ts.URL+"/v1/classify", "shed-trace-1", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed without Retry-After")
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "shed-trace-1" {
+		t.Errorf("shed trace echo %q, want shed-trace-1", got)
+	}
+}
+
+// TestWireTraceAdoption: a trace ID carried in-band by a version-3 wire
+// payload (headerless transport) must be adopted by /v1/resume — echoed on
+// the response header and opting the body into span detail — stitching the
+// edge's trace to the cloud's without HTTP header support.
+func TestWireTraceAdoption(t *testing.T) {
+	cdln, data := testCDLN(t, 65)
+	_, ts := startServer(t, cdln, Config{Workers: 1})
+	const wireID = "aabbccddeeff00112233445566778899"
+	x := data[0].X
+	b, err := wire.Encode(wire.Activation{
+		FromStage: 0,
+		Pos:       0,
+		Shape:     x.Shape(),
+		Data:      x.Data,
+		TraceID:   wireID,
+	}, wire.EncodingFloat64, fixed.Format{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postTraced(t, ts.URL+"/v1/resume", "",
+		ResumeRequest{Payload: base64.StdEncoding.EncodeToString(b)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != wireID {
+		t.Fatalf("header %q, want wire-adopted %q", got, wireID)
+	}
+	var out ClassifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != wireID {
+		t.Fatalf("body trace_id %q, want %q", out.TraceID, wireID)
+	}
+	assertSpanTree(t, out.Spans, true)
+}
+
+// TestV2TraceDetail: detail "trace" opts into the span timeline even
+// without a pinned header — the v2 client asked for trace detail in-band.
+func TestV2TraceDetail(t *testing.T) {
+	cdln, data := testCDLN(t, 66)
+	_, ts := startServer(t, cdln, Config{Workers: 1})
+	req := V2ClassifyRequest{
+		Images: [][]float64{data[0].X.Flatten().Data},
+		Policy: &PolicyRequest{Detail: DetailTrace},
+	}
+	resp, body := postTraced(t, ts.URL+"/v2/models/"+DefaultModelName+"/classify", "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out V2ClassifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID == "" {
+		t.Fatal("detail=trace response has no trace_id")
+	}
+	assertSpanTree(t, out.Spans, true)
+}
+
+// scrape fetches /metricsz and validates the text format line by line.
+func scrape(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz HTTP %d: %s", resp.StatusCode, buf.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, obs.ContentType)
+	}
+	body := buf.String()
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparsable sample line %q", line)
+		}
+		val := line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("bad sample value in %q: %v", line, err)
+			}
+		}
+	}
+	return body
+}
+
+// TestMetricszExposition drives traffic then checks every promised family
+// is present with the model label.
+func TestMetricszExposition(t *testing.T) {
+	cdln, data := testCDLN(t, 67)
+	_, ts := startServer(t, cdln, Config{Workers: 2})
+	req := ClassifyRequest{}
+	for _, s := range data[:20] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	if status, body := postClassify(t, ts.URL, req); status != http.StatusOK {
+		t.Fatalf("classify HTTP %d: %s", status, body)
+	}
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		"cdl_uptime_seconds ",
+		"cdl_tracing_enabled 1",
+		`cdl_model_version{model="default"} 1`,
+		`cdl_requests_total{model="default"} 1`,
+		`cdl_images_total{model="default"} 20`,
+		`cdl_rejected_total{model="default",cause="queue_full"} 0`,
+		`cdl_exit_images_total{model="default",exit=`,
+		`cdl_exit_energy_pj{model="default",exit=`,
+		`cdl_branch_images_total{model="default",branch=`,
+		`cdl_queue_latency_ms_bucket{model="default",le=`,
+		`cdl_service_latency_ms_count{model="default"} 20`,
+		`cdl_total_latency_ms_sum{model="default"} `,
+		`cdl_ops_per_image{model="default"} `,
+		`cdl_energy_pj_per_image{model="default"} `,
+		`cdl_queue_depth{model="default"} `,
+		`cdl_workers{model="default"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestMetricszUnderLoad is the race acceptance test: concurrent scrapes
+// against a classify storm and hot swaps must stay valid text and never
+// tear (run under -race in CI).
+func TestMetricszUnderLoad(t *testing.T) {
+	cdln, data := testCDLN(t, 68)
+	srv, ts := startServer(t, cdln, Config{Workers: 2, MaxBatch: 4})
+	req := ClassifyRequest{}
+	for _, s := range data[:8] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ { // classify storm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // hot-swapper: republishes the default entry
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.reg.Register(DefaultModelName, cdln); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		out := scrape(t, ts.URL)
+		if !strings.Contains(out, "cdl_requests_total") {
+			t.Fatalf("scrape lost the default model:\n%s", out)
+		}
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes < 3 {
+		t.Errorf("only %d scrapes completed", scrapes)
+	}
+}
+
+// TestMetricszSample writes one post-traffic scrape to $METRICSZ_OUT so CI
+// can archive a real exposition next to the benchmark artifacts.
+func TestMetricszSample(t *testing.T) {
+	out := os.Getenv("METRICSZ_OUT")
+	if out == "" {
+		t.Skip("METRICSZ_OUT not set")
+	}
+	cdln, data := testCDLN(t, 69)
+	_, ts := startServer(t, cdln, Config{Workers: 2})
+	req := ClassifyRequest{}
+	for _, s := range data[:32] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	if status, body := postClassify(t, ts.URL, req); status != http.StatusOK {
+		t.Fatalf("classify HTTP %d: %s", status, body)
+	}
+	if err := os.WriteFile(out, []byte(scrape(t, ts.URL)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkObservabilityOverhead pins the cost of always-on tracing: the
+// same classify traffic with the obs layer enabled (default) and globally
+// disabled. The acceptance bar is ≤5% throughput overhead.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	cdln, data := testCDLN(b, 70)
+	srv, err := New(cdln, Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	req := ClassifyRequest{}
+	for _, s := range data[:8] {
+		req.Images = append(req.Images, s.X.Flatten().Data)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B) {
+		b.SetBytes(int64(len(req.Images)))
+		for i := 0; i < b.N; i++ {
+			r := httptest.NewRequest(http.MethodPost, "/v1/classify", bytes.NewReader(body))
+			r.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("tracing=on", run)
+	b.Run("tracing=off", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		run(b)
+	})
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"cdl/internal/core"
+	"cdl/internal/obs"
 	"cdl/internal/tensor"
 )
 
@@ -41,6 +43,10 @@ type job struct {
 	pol *core.ExitPolicy
 	rec *core.ExitRecord
 	wg  *sync.WaitGroup
+	// tr is the request's trace (nil when tracing is disabled): the worker
+	// maps the session's stage events onto its spans, and onBatch adds the
+	// queue-wait and batch-grouping spans.
+	tr *obs.Trace
 	// cancelled is set (before wg.Done) when the job was dropped for a dead
 	// context; the handler discards the whole request and metrics skip it.
 	cancelled bool
@@ -182,6 +188,9 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 				claimed = append(claimed, true)
 				continue
 			}
+			if j.tr != nil {
+				j.tr.Record("queue", j.enqueued, started, "")
+			}
 			claimed = append(claimed, false)
 			remaining++
 		}
@@ -206,7 +215,29 @@ func (p *pool) worker(sess *core.Session, done func(batch []*job)) {
 					xs = append(xs, j.x)
 				}
 			}
-			for gi, rec := range sess.ResumeBatchPolicyAt(xs, lead.node, lead.fromStage, *lead.pol) {
+			traced := anyTraced(group)
+			if traced {
+				// Capture the slice header: collect/claim reuse the backing
+				// arrays only after this call returns and the observer is
+				// cleared, so events index into a stable group.
+				grp := group
+				sess.SetStageObserver(stageObserver(grp, sess.Graph()))
+			}
+			recs := sess.ResumeBatchPolicyAt(xs, lead.node, lead.fromStage, *lead.pol)
+			if traced {
+				sess.SetStageObserver(nil)
+				// Record the grouping span before releasing any waiter so a
+				// handler never serializes a trace that is still gaining
+				// spans.
+				end := time.Now()
+				size := "size=" + strconv.Itoa(len(group))
+				for _, j := range group {
+					if j.tr != nil {
+						j.tr.Record("batch", started, end, size)
+					}
+				}
+			}
+			for gi, rec := range recs {
 				*group[gi].rec = rec
 				group[gi].wg.Done()
 			}

@@ -180,6 +180,17 @@ func NewRegistry(cfg Config) *Registry {
 // Config returns the defaults-filled sizing every entry uses.
 func (r *Registry) Config() Config { return r.cfg }
 
+// Ready reports whether the registry can serve a default-model request
+// right now: it is not closed and the default entry exists with its warmed
+// pool. This is the readiness-probe predicate — distinct from liveness,
+// which only asks whether the process can answer at all. A registry with
+// zero entries (or mid-Close) is alive but not ready.
+func (r *Registry) Ready() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return !r.closed && r.defaultName != "" && r.models[r.defaultName] != nil
+}
+
 // validName keeps entry names URL- and log-safe: they appear verbatim in
 // /v2/models/{name}/... routes.
 func validName(name string) error {

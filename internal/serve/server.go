@@ -55,6 +55,7 @@ import (
 
 	"cdl/internal/core"
 	"cdl/internal/edgecloud/wire"
+	"cdl/internal/obs"
 	"cdl/internal/tensor"
 )
 
@@ -165,7 +166,9 @@ func maxResumeWireSize(g *core.Graph) int {
 			}
 		}
 	}
-	return size
+	// Trace-carrying payloads (wire v3) grow the header by a fixed amount;
+	// the body bound must admit them.
+	return size + wire.TraceOverhead
 }
 
 // Server serves classification over a model registry. Create with New (one
@@ -175,6 +178,8 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the tracing middleware
+	slow    *obs.SlowLog
 	started time.Time
 }
 
@@ -209,7 +214,11 @@ func NewWithRegistry(reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("PUT /v2/models/{model}/slo", s.handleSLOPut)
 	s.mux.HandleFunc("DELETE /v2/models/{model}/slo", s.handleSLODelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.slow = obs.NewSlowLog()
+	s.handler = obs.Middleware(s.mux, s.slow)
 	return s, nil
 }
 
@@ -217,8 +226,11 @@ func NewWithRegistry(reg *Registry) (*Server, error) {
 // registration and hot-swap alongside the HTTP admin surface).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the HTTP handler (also what ListenAndServe mounts).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (also what ListenAndServe mounts): the
+// route mux wrapped in the tracing middleware, which assigns or adopts the
+// X-Trace-Id of every request — error and shed responses included — and
+// rate-limit-logs slow requests with their span timelines.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Stats snapshots the default model's live counters (the /statsz payload;
 // per-model views are on /v2/models), including the SLO controller state
@@ -317,7 +329,7 @@ func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
 		IdleTimeout:       s.cfg.IdleTimeout,
 		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
-	return ListenHardened(addr, s.mux, stop, hard, s.Close)
+	return ListenHardened(addr, s.handler, stop, hard, s.Close)
 }
 
 // ClassifyRequest is the /v1/classify payload: exactly one of Image (a
@@ -361,10 +373,14 @@ type ClassifyResult struct {
 }
 
 // ClassifyResponse is the /v1/classify response; Results is in request
-// order.
+// order. TraceID and Spans appear only when the client sent an X-Trace-Id
+// header (opting into tracing detail) — requests without one get the exact
+// pre-tracing body, which golden_test.go pins byte for byte.
 type ClassifyResponse struct {
 	Results []ClassifyResult `json:"results"`
 	Count   int              `json:"count"`
+	TraceID string           `json:"trace_id,omitempty"`
+	Spans   []obs.Span       `json:"spans,omitempty"`
 }
 
 type errorResponse struct {
@@ -413,6 +429,7 @@ func newImageBatch(ctx context.Context, m *Model, images [][]float64, pol *core.
 		records: make([]core.ExitRecord, len(images)),
 		wg:      &sync.WaitGroup{},
 	}
+	tr := obs.FromContext(ctx)
 	for i, img := range images {
 		b.jobs[i] = &job{
 			ctx: ctx,
@@ -420,6 +437,7 @@ func newImageBatch(ctx context.Context, m *Model, images [][]float64, pol *core.
 			pol: pol,
 			rec: &b.records[i],
 			wg:  b.wg,
+			tr:  tr,
 		}
 	}
 	return b
@@ -596,7 +614,26 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	WriteJSON(w, http.StatusOK, ClassifyResponse{Results: v1Results(m, records), Count: len(records)})
+	resp := ClassifyResponse{Results: v1Results(m, records), Count: len(records)}
+	resp.TraceID, resp.Spans = finishTrace(w, r)
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// finishTrace re-asserts the response trace header — the ID may have been
+// adopted from a resumed wire payload after the middleware first set it —
+// and returns the body detail (ID + span timeline) for clients that opted
+// in by sending X-Trace-Id themselves. Requests without the header keep
+// their exact pre-tracing bodies.
+func finishTrace(w http.ResponseWriter, r *http.Request) (string, []obs.Span) {
+	tr := obs.FromContext(r.Context())
+	if tr == nil {
+		return "", nil
+	}
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	if !tr.Propagated() {
+		return "", nil
+	}
+	return tr.ID(), tr.Spans()
 }
 
 // ResumeRequest is the /v1/resume payload: exactly one of Payload (a
@@ -634,21 +671,22 @@ func (req *ResumeRequest) normalizePayloads(maxPayloads int) ([]string, *request
 }
 
 // resumeActivation decodes and validates one base64 wire payload against
-// the model's routing graph, returning the ready-to-submit tensor and its
-// (node, stage) resume point.
-func (m *Model) resumeActivation(p string) (*tensor.T, int, int, error) {
+// the model's routing graph, returning the ready-to-submit tensor and the
+// decoded activation (resume point, and the trace ID a v3 payload carried
+// across the tier boundary).
+func (m *Model) resumeActivation(p string) (*tensor.T, *wire.Activation, error) {
 	raw, err := base64.StdEncoding.DecodeString(p)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("bad base64 payload: %v", err)
+		return nil, nil, fmt.Errorf("bad base64 payload: %v", err)
 	}
 	act, err := wire.Decode(raw)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, err
 	}
 	if err := m.graph.ValidateResume(act.Node, act.FromStage, act.Pos, act.Shape); err != nil {
-		return nil, 0, 0, err
+		return nil, nil, err
 	}
-	return tensor.FromSlice(act.Data, act.Shape...), act.Node, act.FromStage, nil
+	return tensor.FromSlice(act.Data, act.Shape...), &act, nil
 }
 
 // newResumeBatch decodes and validates payloads against m and fans them
@@ -665,16 +703,23 @@ func newResumeBatch(ctx context.Context, m *Model, payloads []string, pol *core.
 		records: make([]core.ExitRecord, len(payloads)),
 		wg:      &sync.WaitGroup{},
 	}
+	tr := obs.FromContext(ctx)
 	maxFrom := 0
 	for i, p := range payloads {
-		x, node, fromStage, err := m.resumeActivation(p)
+		x, act, err := m.resumeActivation(p)
 		if err != nil {
 			return nil, badRequest("payload %d: %v", i, err)
 		}
-		if depth := m.graph.EntryDepth(node) + fromStage; depth > maxFrom {
+		if act.TraceID != "" {
+			// Continue the trace the edge tier started: adopt its ID unless
+			// the HTTP client already pinned one (AdoptID is a no-op then,
+			// and on a nil trace).
+			tr.AdoptID(act.TraceID)
+		}
+		if depth := m.graph.EntryDepth(act.Node) + act.FromStage; depth > maxFrom {
 			maxFrom = depth
 		}
-		b.jobs[i] = &job{ctx: ctx, x: x, node: node, fromStage: fromStage, rec: &b.records[i], wg: b.wg}
+		b.jobs[i] = &job{ctx: ctx, x: x, node: act.Node, fromStage: act.FromStage, rec: &b.records[i], wg: b.wg, tr: tr}
 	}
 	maxExit := m.graph.MaxDepth()
 	if pol.MaxExit >= 0 {
@@ -736,7 +781,9 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	WriteJSON(w, http.StatusOK, ClassifyResponse{Results: v1Results(m, records), Count: len(records)})
+	resp := ClassifyResponse{Results: v1Results(m, records), Count: len(records)}
+	resp.TraceID, resp.Spans = finishTrace(w, r)
+	WriteJSON(w, http.StatusOK, resp)
 	m.metrics.observeResume()
 }
 
@@ -815,6 +862,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Delta = m.cdln.Delta
 	}
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// readyResponse is the /readyz payload.
+type readyResponse struct {
+	Ready   bool   `json:"ready"`
+	Default string `json:"default_model,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 only while the registry can
+// serve a default-model request (at least one warmed entry, not mid-Close).
+// /healthz stays pure liveness — it answers 200 whenever the process can
+// answer at all, so orchestrators restart on liveness and un-route on
+// readiness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.reg.Ready() {
+		WriteJSON(w, http.StatusOK, readyResponse{Ready: true, Default: s.reg.DefaultName()})
+		return
+	}
+	WriteJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

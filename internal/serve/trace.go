@@ -1,0 +1,93 @@
+package serve
+
+// trace.go maps the core layer's stage events onto per-request trace spans.
+// The worker installs a stage observer on its session for the duration of
+// one grouped ResumeBatchPolicyAt call; every event carries the batch rows
+// it covered, so each traced job in the group receives exactly the spans of
+// the work its image took part in — shared batched stage passes appear in
+// every participant's trace (annotated with the rows they batched with),
+// route dispatches and exits only in the traces of the rows they moved.
+
+import (
+	"strconv"
+
+	"cdl/internal/core"
+	"cdl/internal/obs"
+)
+
+// SpanName renders a stage event as a span name using the graph's node
+// names: "stage:<node>#<i>" for a cascade stage forward (conv stage +
+// linear classifier + exit decision), "route:<node>-><branch>" for a
+// branch dispatch, "fc:<node>" for a final FC exit and "forced:<node>#<i>"
+// for a depth-cap exit. The set of names is bounded by the model's graph,
+// never by request content. Exported for the edge tier, which renders its
+// prefix and loopback walks with the same vocabulary so a cross-tier trace
+// reads uniformly.
+func SpanName(g *core.Graph, ev core.StageEvent) string {
+	node := nodeName(g, ev.Node)
+	switch ev.Kind {
+	case core.StageRoute:
+		return "route:" + node + "->" + nodeName(g, ev.Branch)
+	case core.StageFinal:
+		return "fc:" + node
+	case core.StageForced:
+		return "forced:" + node + "#" + strconv.Itoa(ev.Stage)
+	default:
+		return "stage:" + node + "#" + strconv.Itoa(ev.Stage)
+	}
+}
+
+func nodeName(g *core.Graph, node int) string {
+	if node < 0 || node >= len(g.Nodes) {
+		return "node" + strconv.Itoa(node)
+	}
+	if n := g.Nodes[node].Name; n != "" {
+		return n
+	}
+	return "node" + strconv.Itoa(node)
+}
+
+// anyTraced reports whether installing a stage observer would do anything
+// for this group — the common untraced case skips the observer entirely,
+// leaving the hot path at one nil check per stage inside core.
+func anyTraced(group []*job) bool {
+	for _, j := range group {
+		if j.tr != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// stageObserver returns the observer to install around one grouped batch
+// call: it fans each stage event out to the traces of the rows it covered
+// (all of them when the event predates compaction info, i.e. Rows is nil).
+// Batched stage spans note the batch width so a trace shows which stages
+// amortized across neighbours. The returned closure runs on the worker
+// goroutine only, and group's backing array is stable for the duration of
+// the call, so no locking beyond the traces' own is needed.
+func stageObserver(group []*job, g *core.Graph) func(core.StageEvent) {
+	return func(ev core.StageEvent) {
+		name := SpanName(g, ev)
+		detail := ""
+		if len(ev.Rows) > 1 && ev.Kind != core.StageRoute {
+			detail = "batch=" + strconv.Itoa(len(ev.Rows))
+		}
+		record := func(tr *obs.Trace) {
+			if tr != nil {
+				tr.Record(name, ev.Start, ev.End, detail)
+			}
+		}
+		if ev.Rows == nil {
+			for _, j := range group {
+				record(j.tr)
+			}
+			return
+		}
+		for _, row := range ev.Rows {
+			if row >= 0 && row < len(group) {
+				record(group[row].tr)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cdl/internal/core"
+	"cdl/internal/obs"
 )
 
 // PolicyRequest is the wire form of a per-request exit policy (v2 bodies,
@@ -159,6 +160,26 @@ type V2ClassifyResponse struct {
 	Results        []V2Result `json:"results"`
 	Count          int        `json:"count"`
 	DeadlineUnixMS int64      `json:"deadline_unix_ms,omitempty"`
+	// TraceID and Spans carry the request's span timeline (queue wait,
+	// batch grouping, every executed stage, route decisions, exits). They
+	// appear when the client sent an X-Trace-Id header or asked for detail
+	// level "trace".
+	TraceID string     `json:"trace_id,omitempty"`
+	Spans   []obs.Span `json:"spans,omitempty"`
+}
+
+// v2Trace fills the response's trace fields: always when the client
+// propagated an ID (finishTrace), additionally at detail level "trace"
+// even without a client-sent header.
+func (resp *V2ClassifyResponse) v2Trace(w http.ResponseWriter, r *http.Request, detail string) {
+	resp.TraceID, resp.Spans = finishTrace(w, r)
+	if resp.TraceID != "" || detail != DetailTrace {
+		return
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		resp.TraceID = tr.ID()
+		resp.Spans = tr.Spans()
+	}
 }
 
 // v2Results renders records at the requested detail level.
@@ -271,6 +292,7 @@ func (s *Server) handleV2Classify(w http.ResponseWriter, r *http.Request) {
 			resp.DeadlineUnixMS = dl.UnixMilli()
 		}
 	}
+	resp.v2Trace(w, r, detail)
 	WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -329,6 +351,7 @@ func (s *Server) handleV2Resume(w http.ResponseWriter, r *http.Request) {
 			resp.DeadlineUnixMS = dl.UnixMilli()
 		}
 	}
+	resp.v2Trace(w, r, detail)
 	WriteJSON(w, http.StatusOK, resp)
 	m.metrics.observeResume()
 }
