@@ -112,6 +112,11 @@ func main() {
 	peak := flag.Float64("peak", 0, "open-loop peak offered rate, images/sec (0 = 5x -rate)")
 	duration := flag.Duration("duration", 30*time.Second, "open-loop run length")
 	traceSample := flag.Int("trace-sample", 0, "after the run, send N traced single-image requests and print their span timelines plus a slowest-trace summary")
+	router := flag.Int("router", 0, "self-hosted fleet bench: boot N in-process cdlserve backends plus the cdlrouter front door on loopback and measure direct vs routed vs hedged phases (ignores -addr; needs N ≥ 2)")
+	benchOut := flag.String("bench-out", "", `write the -router bench document here (e.g. "BENCH_fleet.json"; empty = print only)`)
+	stragglerEvery := flag.Int64("straggler-every", 16, "-router: stall every K'th classify per backend (the injected straggler fraction is 1/K)")
+	stragglerDelay := flag.Duration("straggler-delay", 150*time.Millisecond, "-router: injected straggler stall")
+	hedgeDeadline := flag.Duration("hedge-deadline", 40*time.Millisecond, "-router: pinned hedge deadline for the hedged phase")
 	flag.Parse()
 
 	var models []string
@@ -119,6 +124,15 @@ func main() {
 		models = strings.Split(*model, ",")
 	}
 	var err error
+	if *router > 0 {
+		err = runRouterBench(*router, *n, *concurrency, *batch, *seed,
+			*stragglerEvery, *stragglerDelay, *hedgeDeadline, *benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ramp != "" {
 		p := *peak
 		if p <= 0 {

@@ -1,0 +1,471 @@
+package main
+
+// router.go is serveload's -router mode: a self-hosted multi-process
+// fleet bench. Instead of targeting a running server it boots N real
+// in-process cdlserve backends on loopback listeners, puts the
+// cdlrouter front door (internal/fleet) over them, and measures four
+// phases over the same request stream:
+//
+//	direct             round-robin straight at the backends (baseline)
+//	routed             through the router, hedging off → router overhead
+//	straggler_nohedge  through the router with an injected straggler
+//	                   (1-in-K classifies sleep ~150ms) → the tail the
+//	                   paper's latency story inherits at fleet scale
+//	straggler_hedge    same straggler storm through a hedging router
+//	                   with a pinned deadline → the hedge's p99 win and
+//	                   its duplicate-work cost (hedges / requests)
+//
+// The result document (written with -bench-out, e.g. BENCH_fleet.json)
+// carries per-phase latency percentiles plus the two headline numbers
+// CI tracks per commit: hedge_p99_win_ms (straggler_nohedge p99 minus
+// straggler_hedge p99 — positive means hedging clipped the tail) and
+// duplicate_work_fraction (hedges sent per routed request — the cost,
+// expected ≈ the straggler fraction and ≤ 0.10).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/fleet"
+	"cdl/internal/nn"
+	"cdl/internal/serve"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// straggler wraps one backend's handler and, when armed, puts every
+// every'th classify POST to sleep for delay before forwarding — the
+// in-process analogue of a replica with a GC pause or a noisy
+// neighbour. Probes (GET /readyz, /metricsz) are never delayed, so the
+// backend stays "healthy" the whole time: exactly the straggler shape
+// health checks cannot catch and hedging exists for.
+type straggler struct {
+	next     http.Handler
+	every    int64
+	delay    time.Duration
+	on       atomic.Bool
+	n        atomic.Int64
+	injected atomic.Int64
+}
+
+func (s *straggler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.on.Load() && r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/classify") {
+		if s.n.Add(1)%s.every == 0 {
+			s.injected.Add(1)
+			time.Sleep(s.delay)
+		}
+	}
+	s.next.ServeHTTP(w, r)
+}
+
+// benchBackend is one self-hosted cdlserve "process": a full Server on
+// its own loopback listener behind a straggler shim.
+type benchBackend struct {
+	srv   *serve.Server
+	hs    *http.Server
+	url   string
+	shim  *straggler
+	close func()
+}
+
+func startBenchBackend(cdln *core.CDLN, cfg serve.Config, every int64, delay time.Duration) (*benchBackend, error) {
+	srv, err := serve.New(cdln, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	shim := &straggler{next: srv.Handler(), every: every, delay: delay}
+	hs := &http.Server{Handler: shim}
+	go func() { _ = hs.Serve(ln) }()
+	b := &benchBackend{srv: srv, hs: hs, url: "http://" + ln.Addr().String(), shim: shim}
+	b.close = func() {
+		_ = hs.Close()
+		srv.Close()
+	}
+	return b, nil
+}
+
+// benchModel trains the small blob cascade the serving-tier tests use
+// (12×12 inputs, 3 classes, two taps) — big enough that classify does
+// real cascade work, small enough to train in about a second — and
+// returns it with the pixel stream the phases will replay.
+func benchModel(seed int64) (*core.CDLN, [][]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{1, 12, 12},
+		nn.NewConv2D("C1", 1, 2, 3),
+		nn.NewSigmoid("C1.act"),
+		nn.NewMaxPool2D("P1", 2),
+		nn.NewConv2D("C2", 2, 3, 2),
+		nn.NewSigmoid("C2.act"),
+		nn.NewMaxPool2D("P2", 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("FC", 3*2*2, 3),
+		nn.NewSigmoid("FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{
+		Name: "fleet-bench", Net: net,
+		Taps: []int{3, 6}, TapNames: []string{"P1", "P2"},
+		NumClasses: 3,
+	}
+	centers := [][2]int{{3, 3}, {3, 8}, {8, 5}}
+	data := make([]train.Sample, 256)
+	for i := range data {
+		label := i % 3
+		noise := 0.05
+		if rng.Float64() < 0.3 {
+			noise = 0.35
+		}
+		x := tensor.New(1, 12, 12)
+		cy, cx := centers[label][0], centers[label][1]
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d2 := float64((y-cy)*(y-cy) + (xx-cx)*(xx-cx))
+				v := 1/(1+d2/3) + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				x.Data[y*12+xx] = v
+			}
+		}
+		data[i] = train.Sample{X: x, Label: label}
+	}
+	tcfg := train.Defaults(3)
+	tcfg.Epochs = 12
+	tcfg.BatchSize = 10
+	if _, err := train.SGD(arch.Net, data, tcfg); err != nil {
+		return nil, nil, err
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, data, bcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pixels := make([][]float64, len(data))
+	for i, s := range data {
+		pixels[i] = s.X.Data
+	}
+	return cdln, pixels, nil
+}
+
+// phaseResult is one phase's client-side view.
+type phaseResult struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	ImagesPerS float64 `json:"images_per_sec"`
+}
+
+// firePhase replays nImgs images in batched /v1 classify requests from
+// c closed-loop clients, round-robining requests across urls (one URL =
+// everything through that front door; several = direct-to-backend).
+func firePhase(urls []string, pixels [][]float64, nImgs, c, batch int) (phaseResult, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	defer client.CloseIdleConnections()
+	nReq := (nImgs + batch - 1) / batch
+	lats := make([]time.Duration, nReq)
+	var errs atomic.Int64
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				lo := (i * batch) % (len(pixels) - batch)
+				body, err := json.Marshal(classifyRequest{Images: pixels[lo : lo+batch]})
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(urls[i%len(urls)]+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, rerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				lats[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := 0; i < nReq; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := lats[:0]
+	for _, l := range lats {
+		if l > 0 {
+			ok = append(ok, l)
+		}
+	}
+	if len(ok) == 0 {
+		return phaseResult{Requests: nReq, Errors: int(errs.Load())}, fmt.Errorf("phase: all %d requests failed", nReq)
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	pct := func(p float64) float64 {
+		return float64(ok[int(p*float64(len(ok)-1))]) / float64(time.Millisecond)
+	}
+	return phaseResult{
+		Requests:   nReq,
+		Errors:     int(errs.Load()),
+		P50MS:      pct(0.50),
+		P95MS:      pct(0.95),
+		P99MS:      pct(0.99),
+		MaxMS:      float64(ok[len(ok)-1]) / float64(time.Millisecond),
+		ImagesPerS: float64(nImgs) / elapsed.Seconds(),
+	}, nil
+}
+
+// fleetBench is the BENCH_fleet.json document.
+type fleetBench struct {
+	Backends         int     `json:"backends"`
+	Concurrency      int     `json:"concurrency"`
+	Batch            int     `json:"batch"`
+	ImagesPerPhase   int     `json:"images_per_phase"`
+	StragglerEvery   int64   `json:"straggler_every"`
+	StragglerDelayMS float64 `json:"straggler_delay_ms"`
+	HedgeDeadlineMS  float64 `json:"hedge_deadline_ms"`
+
+	Phases map[string]phaseResult `json:"phases"`
+
+	// RouterOverheadP50MS is routed p50 minus direct p50 — what one hop
+	// through the front door costs a median request.
+	RouterOverheadP50MS float64 `json:"router_overhead_p50_ms"`
+	// HedgeP99WinMS is straggler_nohedge p99 minus straggler_hedge p99:
+	// positive means hedging clipped the injected tail.
+	HedgeP99WinMS float64 `json:"hedge_p99_win_ms"`
+	HedgesSent    int64   `json:"hedges_sent"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	HedgeLosses   int64   `json:"hedge_losses"`
+	// DuplicateWorkFraction is hedges sent per routed request in the
+	// hedged phase — the duplicate-work cost of the p99 win. Expected ≈
+	// the straggler fraction (1/straggler_every), budgeted ≤ 0.10.
+	DuplicateWorkFraction float64 `json:"duplicate_work_fraction"`
+	StragglersInjected    int64   `json:"stragglers_injected"`
+}
+
+// waitFleetReady polls the router until every backend is admitted.
+func waitFleetReady(rt *fleet.Router, want int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthy := 0
+		for _, b := range rt.Stats().Backends {
+			if b.Healthy {
+				healthy++
+			}
+		}
+		if healthy == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router admitted %d/%d backends after 10s", healthy, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runRouterBench is the -router entry point.
+func runRouterBench(nBackends, nImgs, c, batch int, seed int64, every int64, delay, hedgeDeadline time.Duration, out string) error {
+	if nBackends < 2 {
+		return fmt.Errorf("-router needs at least 2 backends (hedges and overflow need somewhere to go)")
+	}
+	if every < 2 {
+		return fmt.Errorf("-straggler-every must be ≥ 2")
+	}
+	if batch < 1 || c < 1 || nImgs < batch {
+		return fmt.Errorf("n, c and batch must be positive (and n ≥ batch)")
+	}
+
+	fmt.Printf("fleet bench: training the blob cascade... ")
+	t0 := time.Now()
+	cdln, pixels, err := benchModel(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	// Backends: real cdlserve servers on loopback, each behind a
+	// straggler shim (armed only for the straggler phases).
+	scfg := serve.Config{Workers: 2, QueueDepth: 256, MaxBatch: batch}
+	backends := make([]*benchBackend, nBackends)
+	urls := make([]string, nBackends)
+	for i := range backends {
+		b, err := startBenchBackend(cdln, scfg, every, delay)
+		if err != nil {
+			return err
+		}
+		defer b.close()
+		backends[i] = b
+		urls[i] = b.url
+	}
+
+	// Two routers over the same fleet: hedging off (overhead + straggler
+	// baseline) and hedging on with a pinned deadline (min == max), so
+	// the hedge fires if and only if an attempt outlives the deadline.
+	newRouter := func(hedge bool) (*fleet.Router, string, func(), error) {
+		cfg := fleet.Config{
+			Backends:      urls,
+			ProbeInterval: 100 * time.Millisecond,
+			ProbeTimeout:  2 * time.Second,
+			Hedge:         hedge,
+			HedgeMin:      hedgeDeadline,
+			HedgeMax:      hedgeDeadline,
+		}
+		rt, err := fleet.New(cfg)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rt.Close()
+			return nil, "", nil, err
+		}
+		hs := &http.Server{Handler: rt.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		stop := func() {
+			_ = hs.Close()
+			rt.Close()
+		}
+		return rt, "http://" + ln.Addr().String(), stop, nil
+	}
+	plainRT, plainURL, stopPlain, err := newRouter(false)
+	if err != nil {
+		return err
+	}
+	defer stopPlain()
+	hedgeRT, hedgeURL, stopHedge, err := newRouter(true)
+	if err != nil {
+		return err
+	}
+	defer stopHedge()
+	if err := waitFleetReady(plainRT, nBackends); err != nil {
+		return err
+	}
+	if err := waitFleetReady(hedgeRT, nBackends); err != nil {
+		return err
+	}
+
+	bench := fleetBench{
+		Backends:         nBackends,
+		Concurrency:      c,
+		Batch:            batch,
+		ImagesPerPhase:   nImgs,
+		StragglerEvery:   every,
+		StragglerDelayMS: float64(delay) / float64(time.Millisecond),
+		HedgeDeadlineMS:  float64(hedgeDeadline) / float64(time.Millisecond),
+		Phases:           make(map[string]phaseResult),
+	}
+	setStragglers := func(on bool) {
+		for _, b := range backends {
+			b.shim.on.Store(on)
+		}
+	}
+	runPhase := func(name string, urls []string) (phaseResult, error) {
+		r, err := firePhase(urls, pixels, nImgs, c, batch)
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", name, err)
+		}
+		bench.Phases[name] = r
+		fmt.Printf("%-18s p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms  %6.0f imgs/s  errors %d\n",
+			name, r.P50MS, r.P95MS, r.P99MS, r.MaxMS, r.ImagesPerS, r.Errors)
+		return r, nil
+	}
+
+	fmt.Printf("fleet bench: %d backends, %d images/phase (batch %d, %d clients), straggler 1-in-%d × %v, hedge deadline %v\n",
+		nBackends, nImgs, batch, c, every, delay, hedgeDeadline)
+	// Warm every backend's pools and the routers' latency windows before
+	// measuring, so phase 1 isn't paying first-request setup.
+	if _, err := firePhase(urls, pixels, 4*batch, c, batch); err != nil {
+		return err
+	}
+	if _, err := firePhase([]string{plainURL}, pixels, 4*batch, c, batch); err != nil {
+		return err
+	}
+	if _, err := firePhase([]string{hedgeURL}, pixels, 4*batch, c, batch); err != nil {
+		return err
+	}
+
+	direct, err := runPhase("direct", urls)
+	if err != nil {
+		return err
+	}
+	routed, err := runPhase("routed", []string{plainURL})
+	if err != nil {
+		return err
+	}
+	setStragglers(true)
+	noHedge, err := runPhase("straggler_nohedge", []string{plainURL})
+	if err != nil {
+		return err
+	}
+	// Snapshot the hedging router's counters around its phase so the
+	// duplicate-work fraction covers exactly the hedged storm.
+	before := hedgeRT.Stats()
+	hedged, err := runPhase("straggler_hedge", []string{hedgeURL})
+	if err != nil {
+		return err
+	}
+	setStragglers(false)
+	after := hedgeRT.Stats()
+
+	bench.RouterOverheadP50MS = routed.P50MS - direct.P50MS
+	bench.HedgeP99WinMS = noHedge.P99MS - hedged.P99MS
+	bench.HedgesSent = after.HedgesSent - before.HedgesSent
+	bench.HedgeWins = after.HedgeWins - before.HedgeWins
+	bench.HedgeLosses = after.HedgeLosses - before.HedgeLosses
+	bench.DuplicateWorkFraction = float64(bench.HedgesSent) / float64(hedged.Requests)
+	for _, b := range backends {
+		bench.StragglersInjected += b.shim.injected.Load()
+	}
+
+	fmt.Printf("\nrouter overhead (p50, routed - direct): %+.2fms\n", bench.RouterOverheadP50MS)
+	fmt.Printf("hedge p99 win (no-hedge - hedged under straggler): %+.2fms\n", bench.HedgeP99WinMS)
+	fmt.Printf("duplicate work: %d hedges / %d requests = %.1f%% (wins %d, losses %d; budget ≤ 10%%)\n",
+		bench.HedgesSent, hedged.Requests, 100*bench.DuplicateWorkFraction, bench.HedgeWins, bench.HedgeLosses)
+
+	if out != "" {
+		doc, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		doc = append(doc, '\n')
+		if err := os.WriteFile(out, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,496 @@
+package fleet
+
+// fleet_test.go is the multi-process-shaped harness the fleet tier is
+// proven with: every test boots real cdlserve backends — full servers with
+// their own worker pools, registries and HTTP surfaces — on loopback
+// listeners, puts the router in front, and drives concurrent load through
+// failure storms under -race. In-process keeps the harness hermetic and
+// race-instrumented end to end, while the boundaries crossed (TCP, HTTP,
+// health probes, process-style kill = listener and connections severed)
+// are the same ones separate processes would cross.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdl/internal/core"
+	"cdl/internal/nn"
+	"cdl/internal/serve"
+	"cdl/internal/tensor"
+	"cdl/internal/train"
+)
+
+// testCDLN trains the small two-tap blob cascade every serving-tier test
+// uses (12×12 inputs, 3 classes, some inputs exit early, some reach FC).
+func testCDLN(t testing.TB, seed int64) (*core.CDLN, []train.Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{1, 12, 12},
+		nn.NewConv2D("C1", 1, 2, 3),
+		nn.NewSigmoid("C1.act"),
+		nn.NewMaxPool2D("P1", 2),
+		nn.NewConv2D("C2", 2, 3, 2),
+		nn.NewSigmoid("C2.act"),
+		nn.NewMaxPool2D("P2", 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("FC", 3*2*2, 3),
+		nn.NewSigmoid("FC.act"),
+	)
+	nn.InitNetwork(net, rng)
+	arch := &nn.Arch{
+		Name: "fleet-test", Net: net,
+		Taps: []int{3, 6}, TapNames: []string{"P1", "P2"},
+		NumClasses: 3,
+	}
+	data := blobData(180, seed+1)
+	cfg := train.Defaults(3)
+	cfg.Epochs = 12
+	cfg.BatchSize = 10
+	if _, err := train.SGD(arch.Net, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultBuildConfig()
+	bcfg.ForceAllStages = true
+	cdln, _, err := core.Build(arch, data, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdln, data
+}
+
+func blobData(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]int{{3, 3}, {3, 8}, {8, 5}}
+	out := make([]train.Sample, n)
+	for i := range out {
+		label := i % 3
+		noise := 0.05
+		if rng.Float64() < 0.3 {
+			noise = 0.35
+		}
+		x := tensor.New(1, 12, 12)
+		cy, cx := centers[label][0], centers[label][1]
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				d2 := float64((y-cy)*(y-cy) + (xx-cx)*(xx-cx))
+				v := 1/(1+d2/3) + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				x.Data[y*12+xx] = v
+			}
+		}
+		out[i] = train.Sample{X: x, Label: label}
+	}
+	return out
+}
+
+// testBackend is one in-process cdlserve "process": a full Server behind a
+// real loopback listener. Kill severs the listener and every open
+// connection at once — the closest in-process analogue of a SIGKILL — and
+// Restart rebinds the same address so probe-driven re-admission is
+// observable.
+type testBackend struct {
+	t    testing.TB
+	cdln *core.CDLN
+	cfg  serve.Config
+
+	mu   sync.Mutex
+	srv  *serve.Server
+	hs   *http.Server
+	addr string
+	url  string
+}
+
+func startBackend(t testing.TB, cdln *core.CDLN, cfg serve.Config) *testBackend {
+	t.Helper()
+	b := &testBackend{t: t, cdln: cdln, cfg: cfg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.addr = ln.Addr().String()
+	b.url = "http://" + b.addr
+	b.serveOn(ln)
+	t.Cleanup(b.Kill)
+	return b
+}
+
+func (b *testBackend) serveOn(ln net.Listener) {
+	srv, err := serve.New(b.cdln, b.cfg)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	b.mu.Lock()
+	b.srv, b.hs = srv, hs
+	b.mu.Unlock()
+	go func() { _ = hs.Serve(ln) }()
+}
+
+// Kill severs the backend: listener and all live connections close
+// immediately, then the server's pools stop. Safe to call twice.
+func (b *testBackend) Kill() {
+	b.mu.Lock()
+	srv, hs := b.srv, b.hs
+	b.srv, b.hs = nil, nil
+	b.mu.Unlock()
+	if hs != nil {
+		_ = hs.Close()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Restart rebinds the same loopback address with a fresh Server. Go
+// listeners set SO_REUSEADDR, so the rebind succeeds as soon as the old
+// listener is gone.
+func (b *testBackend) Restart() {
+	b.t.Helper()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", b.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		b.t.Fatalf("rebind %s: %v", b.addr, err)
+	}
+	b.serveOn(ln)
+}
+
+// Server returns the live serve.Server (nil while killed).
+func (b *testBackend) Server() *serve.Server {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.srv
+}
+
+// testFleet is N backends plus the router, served via httptest.
+type testFleet struct {
+	backends []*testBackend
+	router   *Router
+	ts       *httptest.Server
+}
+
+func (f *testFleet) URL() string { return f.ts.URL }
+
+// startFleet boots n backends over a shared trained model and a router in
+// front of them. Probe cadence is fast (25ms) so failure-detection bounds
+// keep the test quick; mutate cfg for per-test routing behaviour.
+func startFleet(t testing.TB, cdln *core.CDLN, n int, mutate func(*Config)) *testFleet {
+	t.Helper()
+	scfg := serve.Config{Workers: 2, QueueDepth: 256, MaxBatch: 8}
+	f := &testFleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		b := startBackend(t, cdln, scfg)
+		f.backends = append(f.backends, b)
+		urls[i] = b.url
+	}
+	cfg := Config{
+		Backends:      urls,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.ts = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		f.ts.Close()
+		rt.Close()
+	})
+	return f
+}
+
+// sampleImages flattens k samples into v1/v2 request image payloads.
+func sampleImages(data []train.Sample, off, k int) [][]float64 {
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = data[(off+i)%len(data)].X.Data
+	}
+	return out
+}
+
+func postJSON(t testing.TB, client *http.Client, url string, v any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil
+	}
+	return resp.StatusCode, resp.Header, payload
+}
+
+func jsonBody(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func readAll(resp *http.Response) ([]byte, error) { return io.ReadAll(resp.Body) }
+
+// routerStats fetches and decodes the router's /statsz.
+func routerStats(t testing.TB, url string) RouterStats {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitReady blocks until the router reports n ready backends (probe
+// rounds take ~ProbeInterval; the deadline is generous for -race).
+func waitReady(t testing.TB, f *testFleet, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := 0
+		for _, st := range routerStats(t, f.URL()).Backends {
+			if st.Healthy {
+				ready++
+			}
+		}
+		if ready >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("router never saw %d ready backends", n)
+}
+
+// TestFleetRoutesAcrossBackends is the basic fan-out check: traffic
+// through the router answers correctly and every backend takes a share
+// (the ring spreads distinct inputs).
+func TestFleetRoutesAcrossBackends(t *testing.T) {
+	cdln, data := testCDLN(t, 31)
+	f := startFleet(t, cdln, 3, nil)
+	waitReady(t, f, 3)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 60; i++ {
+		status, _, body := postJSON(t, client, f.URL()+"/v1/classify",
+			serve.ClassifyRequest{Images: sampleImages(data, i*3, 2)})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d: %s", i, status, body)
+		}
+		var cr serve.ClassifyResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatalf("request %d: bad body: %v", i, err)
+		}
+		if cr.Count != 2 {
+			t.Fatalf("request %d: count %d, want 2", i, cr.Count)
+		}
+	}
+	st := routerStats(t, f.URL())
+	for _, b := range st.Backends {
+		if b.Requests == 0 {
+			t.Errorf("backend %s took no traffic; ring is not spreading", b.URL)
+		}
+	}
+	if mt := st.Models[serve.DefaultModelName]; mt.Requests != 60 {
+		t.Errorf("router counted %d requests, want 60", mt.Requests)
+	}
+}
+
+// TestFleetSurvivesBackendKill is the e2e storm the issue names: 3 real
+// backends under concurrent load, one severed mid-flight (listener and all
+// connections die, as a SIGKILL would). Requirements: zero non-503 client
+// errors (transport failures must be retried onto survivors, sheds must
+// stay proper 503s), the router marks the dead backend down within one
+// probe interval, and a restart is re-admitted by probing alone.
+func TestFleetSurvivesBackendKill(t *testing.T) {
+	cdln, data := testCDLN(t, 32)
+	f := startFleet(t, cdln, 3, nil)
+	waitReady(t, f, 3)
+
+	const (
+		loaders   = 6
+		perLoader = 40
+	)
+	var (
+		ok, shed atomic.Int64
+		bad      atomic.Int64
+		badMu    sync.Mutex
+		badNotes []string
+	)
+	var wg sync.WaitGroup
+	stopLoad := make(chan struct{})
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < perLoader; i++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				status, _, body := postJSON(t, client, f.URL()+"/v2/models/"+serve.DefaultModelName+"/classify",
+					serve.V2ClassifyRequest{Images: sampleImages(data, l*perLoader+i, 1)})
+				switch status {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					bad.Add(1)
+					badMu.Lock()
+					if len(badNotes) < 5 {
+						badNotes = append(badNotes, fmt.Sprintf("HTTP %d: %.200s", status, body))
+					}
+					badMu.Unlock()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(l)
+	}
+
+	// Let load flow, then sever one backend mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	victim := f.backends[1]
+	killedAt := time.Now()
+	victim.Kill()
+
+	// The router must stop trusting the dead backend within one probe
+	// interval (transport errors mark it down even faster).
+	deadline := killedAt.Add(f.router.cfg.ProbeInterval + time.Second)
+	for {
+		st := routerStats(t, f.URL())
+		var vs *BackendStats
+		for i := range st.Backends {
+			if st.Backends[i].URL == victim.url {
+				vs = &st.Backends[i]
+			}
+		}
+		if vs == nil {
+			t.Fatal("victim missing from /statsz")
+		}
+		if !vs.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router still considers the killed backend healthy past one probe interval")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	wg.Wait()
+	close(stopLoad)
+	if bad.Load() != 0 {
+		t.Fatalf("%d non-503 errors during the kill storm (want 0): %v", bad.Load(), badNotes)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no successful requests at all")
+	}
+	t.Logf("kill storm: %d ok, %d shed (503), 0 hard errors", ok.Load(), shed.Load())
+
+	// Restart the victim on the same address: probing alone must re-admit
+	// it, and it must then take traffic again.
+	victim.Restart()
+	waitReady(t, f, 3)
+	before := backendRequests(t, f, victim.url)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; ; i++ {
+		if i >= 500 {
+			t.Fatal("restarted backend never took traffic")
+		}
+		status, _, body := postJSON(t, client, f.URL()+"/v1/classify",
+			serve.ClassifyRequest{Images: sampleImages(data, i*7, 1)})
+		if status != http.StatusOK {
+			t.Fatalf("post-restart request failed: HTTP %d: %s", status, body)
+		}
+		if backendRequests(t, f, victim.url) > before {
+			break
+		}
+	}
+}
+
+func backendRequests(t testing.TB, f *testFleet, url string) int64 {
+	t.Helper()
+	for _, b := range routerStats(t, f.URL()).Backends {
+		if b.URL == url {
+			return b.Requests
+		}
+	}
+	t.Fatalf("backend %s missing from /statsz", url)
+	return 0
+}
+
+// TestFleetReadyz pins the router's own readiness contract: ready while
+// any backend lives, 503 once the whole fleet is gone.
+func TestFleetReadyz(t *testing.T) {
+	cdln, _ := testCDLN(t, 33)
+	f := startFleet(t, cdln, 2, nil)
+	waitReady(t, f, 2)
+
+	get := func() int {
+		resp, err := http.Get(f.URL() + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := get(); got != http.StatusOK {
+		t.Fatalf("readyz with live fleet: HTTP %d", got)
+	}
+	f.backends[0].Kill()
+	f.backends[1].Kill()
+	deadline := time.Now().Add(3 * time.Second)
+	for get() != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("router never turned unready after the whole fleet died")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// With zero ready backends the data path must shed, not hang or 502.
+	client := &http.Client{Timeout: 5 * time.Second}
+	status, hdr, _ := postJSON(t, client, f.URL()+"/v1/classify", serve.ClassifyRequest{})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("data path with dead fleet: HTTP %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("fleet-wide shed carries no Retry-After")
+	}
+}

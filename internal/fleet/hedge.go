@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"cdl/internal/obs"
+)
+
+// hedged forwards the attempt to primary and, if no answer lands within
+// the per-model hedge deadline, re-sends the same input to secondary and
+// returns whichever answers first. The loser's context is cancelled the
+// moment a winner is chosen, and the result channel is buffered to the
+// attempt count so the losing goroutine always completes — cancellation
+// is observable (tests settle goroutine counts around hedge storms) and
+// leak-free by construction.
+//
+// Counter conservation is the invariant the metrics tests pin:
+// every hedge sent resolves exactly once as a win (the hedge's response
+// was the one used — including the case where the primary had already
+// failed) or a loss (the primary's response was used, or both failed).
+// hedges_sent == hedge_wins + hedge_losses at every quiescent point.
+func (rt *Router) hedged(ctx context.Context, primary, secondary *backend, method, path string, body []byte, model, traceID string, tr *obs.Trace) attemptResult {
+	mm := rt.metrics.model(model)
+	deadline := rt.hedgeDeadline(mm)
+
+	type arrival struct {
+		res    attemptResult
+		hedge  bool
+		cancel context.CancelFunc
+	}
+	results := make(chan arrival, 2)
+	launch := func(b *backend, hedge bool) context.CancelFunc {
+		actx, cancel := context.WithCancel(ctx)
+		go func() {
+			results <- arrival{res: rt.send(actx, b, method, path, body, traceID), hedge: hedge, cancel: cancel}
+		}()
+		return cancel
+	}
+
+	start := time.Now()
+	pCancel := launch(primary, false)
+	defer pCancel()
+
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+
+	hedgeSent := false
+	var hCancel context.CancelFunc
+	// resolve settles the hedge counters exactly once.
+	resolve := func(hedgeWon bool) {
+		if !hedgeSent {
+			return
+		}
+		if hedgeWon {
+			mm.hedgeWins.Add(1)
+		} else {
+			mm.hedgeLosses.Add(1)
+		}
+	}
+
+	var first *arrival
+	pending := 1
+	for {
+		select {
+		case a := <-results:
+			pending--
+			if a.res.decisive() {
+				// Winner. Cancel the other attempt (if any) and settle.
+				if hedgeSent {
+					if a.hedge {
+						pCancel()
+					} else if hCancel != nil {
+						hCancel()
+					}
+					tr.Record("router:hedge", start, time.Now(), "model="+model+" winner="+hedgeLabel(a.hedge)+" backend="+a.res.backend.url)
+				} else {
+					tr.Record("router:pick", start, time.Now(), "backend="+a.res.backend.url+" model="+model)
+				}
+				resolve(a.hedge)
+				return a.res
+			}
+			// Non-decisive (transport error or 503).
+			if a.res.err != nil && ctx.Err() == nil {
+				a.res.backend.setHealthy(false)
+			}
+			if first == nil {
+				cp := a
+				first = &cp
+			}
+			if !hedgeSent {
+				// Primary failed outright before the deadline: hedge
+				// immediately rather than waiting out a timer that can no
+				// longer be beaten.
+				if ctx.Err() != nil {
+					return a.res
+				}
+				mm.hedgesSent.Add(1)
+				hedgeSent = true
+				hCancel = launch(secondary, true)
+				defer hCancel()
+				pending++
+				continue
+			}
+			if pending == 0 {
+				// Both attempts non-decisive: report the primary's outcome
+				// (stable for the client), count the hedge as a loss.
+				tr.Record("router:hedge", start, time.Now(), "model="+model+" winner=none")
+				resolve(false)
+				if !first.hedge {
+					return first.res
+				}
+				return a.res
+			}
+		case <-timer.C:
+			if hedgeSent {
+				continue
+			}
+			mm.hedgesSent.Add(1)
+			hedgeSent = true
+			hCancel = launch(secondary, true)
+			defer hCancel()
+			pending++
+		case <-ctx.Done():
+			// Client gone: cancel everything, settle any open hedge as a
+			// loss, and report the cancellation. The launched goroutines
+			// drain into the buffered channel and exit.
+			resolve(false)
+			return attemptResult{backend: primary, err: ctx.Err()}
+		}
+	}
+}
+
+func hedgeLabel(hedge bool) string {
+	if hedge {
+		return "hedge"
+	}
+	return "primary"
+}
+
+// hedgeDeadline picks the hedge trigger for one model: its own router-
+// observed latency quantile once enough samples exist, clamped to
+// [HedgeMin, HedgeMax]; before that, HedgeMax (hedge conservatively while
+// the distribution is unknown).
+func (rt *Router) hedgeDeadline(mm *modelMetrics) time.Duration {
+	count, q := mm.latQuantile(rt.cfg.HedgeQuantile)
+	if count < rt.cfg.HedgeMinSamples {
+		return rt.cfg.HedgeMax
+	}
+	d := time.Duration(q * float64(time.Millisecond))
+	if d < rt.cfg.HedgeMin {
+		return rt.cfg.HedgeMin
+	}
+	if d > rt.cfg.HedgeMax {
+		return rt.cfg.HedgeMax
+	}
+	return d
+}
+
+// hedgeTotals sums the hedge counters across models (the /statsz and
+// conservation-check surface).
+func (rt *Router) hedgeTotals() (sent, wins, losses int64) {
+	rt.metrics.mu.Lock()
+	defer rt.metrics.mu.Unlock()
+	for _, mm := range rt.metrics.models {
+		sent += mm.hedgesSent.Load()
+		wins += mm.hedgeWins.Load()
+		losses += mm.hedgeLosses.Load()
+	}
+	return
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdl/internal/control"
+	"cdl/internal/obs"
+	"cdl/internal/serve"
+)
+
+// routerMetrics aggregates the router's own counters: per-model request
+// outcomes (keyed by the model label the client addressed) plus fleet-
+// level probe and swap counts. Per-backend counters live on the backends
+// themselves.
+type routerMetrics struct {
+	mu     sync.Mutex
+	models map[string]*modelMetrics
+
+	probeErrors  atomic.Int64
+	swaps        atomic.Int64
+	swapFailures atomic.Int64
+}
+
+// maxModelSeries caps the per-model metric cardinality: model names come
+// straight from URL paths, and an unbounded map would let a client mint
+// series at will. Past the cap, new names fold into the overflow bucket.
+const maxModelSeries = 256
+
+const overflowModel = "_other"
+
+// modelMetrics is one model's router-side counters.
+type modelMetrics struct {
+	requests    atomic.Int64
+	retries     atomic.Int64
+	sheds       atomic.Int64
+	hedgesSent  atomic.Int64
+	hedgeWins   atomic.Int64
+	hedgeLosses atomic.Int64
+
+	latMu sync.Mutex
+	lat   *control.Histogram // end-to-end router latency, ms
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{models: make(map[string]*modelMetrics)}
+}
+
+func (m *routerMetrics) model(name string) *modelMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mm := m.models[name]
+	if mm == nil {
+		if len(m.models) >= maxModelSeries {
+			name = overflowModel
+			if mm = m.models[name]; mm != nil {
+				return mm
+			}
+		}
+		mm = &modelMetrics{lat: control.NewHistogram()}
+		m.models[name] = mm
+	}
+	return mm
+}
+
+func (mm *modelMetrics) observeLatency(ms float64) {
+	mm.latMu.Lock()
+	mm.lat.Observe(ms)
+	mm.latMu.Unlock()
+}
+
+// latQuantile returns the sample count and quantile q of the model's
+// router-observed latency.
+func (mm *modelMetrics) latQuantile(q float64) (int64, float64) {
+	mm.latMu.Lock()
+	defer mm.latMu.Unlock()
+	return mm.lat.Count(), mm.lat.Quantile(q)
+}
+
+// histExportStep mirrors the serving tier's exposition granularity: every
+// 8th histogram bucket becomes an exported bound.
+const histExportStep = 8
+
+// handleHealthz: the router process is up (probe state notwithstanding).
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: ready iff at least one backend is ready — the router can
+// do useful work. A fleet with zero ready backends reports 503 so an
+// outer balancer stops sending it traffic.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := 0
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			ready++
+		}
+	}
+	status := http.StatusOK
+	if ready == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	serve.WriteJSON(w, status, map[string]any{
+		"status":   map[bool]string{true: "ready", false: "unready"}[ready > 0],
+		"ready":    ready,
+		"backends": len(rt.backends),
+	})
+}
+
+// BackendStats is one backend's row in the router's /statsz.
+type BackendStats struct {
+	URL        string  `json:"url"`
+	Healthy    bool    `json:"healthy"`
+	Swapping   bool    `json:"swapping"`
+	Inflight   int64   `json:"inflight"`
+	QueueDepth int64   `json:"queue_depth"`
+	QueueFrac  float64 `json:"queue_frac"`
+	P95MS      float64 `json:"p95_ms"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	ProbeFails int64   `json:"probe_fails"`
+}
+
+// RouterStats is the router's /statsz document.
+type RouterStats struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Backends      []BackendStats        `json:"backends"`
+	Models        map[string]ModelStats `json:"models"`
+	HedgesSent    int64                 `json:"hedges_sent"`
+	HedgeWins     int64                 `json:"hedge_wins"`
+	HedgeLosses   int64                 `json:"hedge_losses"`
+	Swaps         int64                 `json:"swaps"`
+	SwapFailures  int64                 `json:"swap_failures"`
+	ProbeErrors   int64                 `json:"probe_errors"`
+}
+
+// ModelStats is one model's row in the router's /statsz.
+type ModelStats struct {
+	Requests    int64   `json:"requests"`
+	Retries     int64   `json:"retries"`
+	Sheds       int64   `json:"sheds"`
+	HedgesSent  int64   `json:"hedges_sent"`
+	HedgeWins   int64   `json:"hedge_wins"`
+	HedgeLosses int64   `json:"hedge_losses"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// Stats snapshots the router's state (the /statsz payload).
+func (rt *Router) Stats() RouterStats {
+	out := RouterStats{
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		Models:        make(map[string]ModelStats),
+	}
+	for _, b := range rt.backends {
+		out.Backends = append(out.Backends, BackendStats{
+			URL:        b.url,
+			Healthy:    b.healthy.Load(),
+			Swapping:   b.swapping.Load(),
+			Inflight:   b.inflight.Load(),
+			QueueDepth: b.queueDepth.Load(),
+			QueueFrac:  b.loadFrac(),
+			P95MS:      b.probedP95(),
+			Requests:   b.requests.Load(),
+			Errors:     b.errors.Load(),
+			ProbeFails: b.probeFails.Load(),
+		})
+	}
+	rt.metrics.mu.Lock()
+	for name, mm := range rt.metrics.models {
+		mm.latMu.Lock()
+		ms := ModelStats{
+			Requests:    mm.requests.Load(),
+			Retries:     mm.retries.Load(),
+			Sheds:       mm.sheds.Load(),
+			HedgesSent:  mm.hedgesSent.Load(),
+			HedgeWins:   mm.hedgeWins.Load(),
+			HedgeLosses: mm.hedgeLosses.Load(),
+			P50MS:       mm.lat.Quantile(0.50),
+			P95MS:       mm.lat.Quantile(0.95),
+			P99MS:       mm.lat.Quantile(0.99),
+		}
+		mm.latMu.Unlock()
+		out.Models[name] = ms
+		out.HedgesSent += ms.HedgesSent
+		out.HedgeWins += ms.HedgeWins
+		out.HedgeLosses += ms.HedgeLosses
+	}
+	rt.metrics.mu.Unlock()
+	out.Swaps = rt.metrics.swaps.Load()
+	out.SwapFailures = rt.metrics.swapFailures.Load()
+	out.ProbeErrors = rt.metrics.probeErrors.Load()
+	return out
+}
+
+func (rt *Router) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, rt.Stats())
+}
+
+// handleMetricsz renders the router's Prometheus exposition. Iteration
+// orders are pinned (config order for backends, sorted names for models)
+// so the output is deterministic and golden-testable.
+func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	p := obs.NewProm()
+	p.Gauge("fleet_backends", "Configured backends.", nil, float64(len(rt.backends)))
+	ready := 0
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			ready++
+		}
+	}
+	p.Gauge("fleet_backends_ready", "Backends currently passing readiness probes.", nil, float64(ready))
+	for _, b := range rt.backends {
+		l := obs.Labels{{"backend", b.url}}
+		p.Gauge("fleet_backend_healthy", "1 if the backend passed its last readiness probe.", l, boolGauge(b.healthy.Load()))
+		p.Gauge("fleet_backend_swapping", "1 while the backend drains for a rolling swap.", l, boolGauge(b.swapping.Load()))
+		p.Gauge("fleet_backend_inflight", "Router-side in-flight requests against the backend.", l, float64(b.inflight.Load()))
+		p.Gauge("fleet_backend_queue_depth", "Backend queue depth from its last load probe.", l, float64(b.queueDepth.Load()))
+		p.Gauge("fleet_backend_p95_ms", "Backend p95 total latency from its last load probe.", l, b.probedP95())
+		p.Counter("fleet_backend_requests_total", "Forwarded attempts answered by the backend.", l, float64(b.requests.Load()))
+		p.Counter("fleet_backend_errors_total", "Forwarded attempts that died in transport.", l, float64(b.errors.Load()))
+		p.Counter("fleet_backend_probe_fails_total", "Probe rounds that found the backend unready.", l, float64(b.probeFails.Load()))
+	}
+
+	rt.metrics.mu.Lock()
+	names := make([]string, 0, len(rt.metrics.models))
+	for name := range rt.metrics.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mm := rt.metrics.models[name]
+		l := obs.Labels{{"model", name}}
+		p.Counter("fleet_requests_total", "Requests routed, by model.", l, float64(mm.requests.Load()))
+		p.Counter("fleet_retries_total", "Failover retries after a failed attempt, by model.", l, float64(mm.retries.Load()))
+		p.Counter("fleet_sheds_total", "Requests shed (no backend, or backend 503), by model.", l, float64(mm.sheds.Load()))
+		p.Counter("fleet_hedges_sent_total", "Hedge attempts launched, by model.", l, float64(mm.hedgesSent.Load()))
+		p.Counter("fleet_hedge_wins_total", "Hedges whose response was used, by model.", l, float64(mm.hedgeWins.Load()))
+		p.Counter("fleet_hedge_losses_total", "Hedges whose response was discarded, by model.", l, float64(mm.hedgeLosses.Load()))
+		mm.latMu.Lock()
+		bounds, counts, sum, total := mm.lat.Export(histExportStep)
+		mm.latMu.Unlock()
+		p.Histogram("fleet_latency_ms", "End-to-end router latency, by model.", l, bounds, counts, sum, total)
+	}
+	rt.metrics.mu.Unlock()
+
+	p.Counter("fleet_probe_errors_total", "Load probes that failed against ready backends.", nil, float64(rt.metrics.probeErrors.Load()))
+	p.Counter("fleet_swaps_total", "Rolling fleet swaps completed.", nil, float64(rt.metrics.swaps.Load()))
+	p.Counter("fleet_swap_failures_total", "Rolling fleet swaps aborted mid-fleet.", nil, float64(rt.metrics.swapFailures.Load()))
+
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = p.WriteTo(w)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

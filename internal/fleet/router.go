@@ -1,0 +1,494 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"cdl/internal/obs"
+	"cdl/internal/serve"
+)
+
+// Config sizes the router.
+type Config struct {
+	// Backends are the cdlserve base URLs the router fans across. At
+	// least one is required; identity (and therefore ring placement) is
+	// the URL string.
+	Backends []string
+
+	// ProbeInterval is the health/load refresh period. Default 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe HTTP exchange. Default 2s.
+	ProbeTimeout time.Duration
+	// RequestTimeout bounds one forwarded backend attempt (connect +
+	// headers + body). Default 30s.
+	RequestTimeout time.Duration
+
+	// Replicas is the ring's virtual-node count per backend. Default 128.
+	Replicas int
+	// LoadFactor is the bounded-load constant c: a backend is skipped (in
+	// favour of the next ring node) while its router-side in-flight count
+	// exceeds c × the fleet-wide mean. Default 2.0; values < 1 are
+	// treated as 1 (a factor below the mean would reject everything).
+	LoadFactor float64
+	// SpillQueueFrac overflows a backend whose probed queue occupancy is
+	// at or above this fraction. Default 0.9.
+	SpillQueueFrac float64
+
+	// Hedge enables hedged requests: when a classify/resume attempt is
+	// still unanswered after the per-model hedge deadline, the same input
+	// is re-sent to the next ring node and the first answer wins. Default
+	// off (enable explicitly; duplicate work must be opted into).
+	Hedge bool
+	// HedgeQuantile is the per-model latency quantile used as the hedge
+	// deadline. Default 0.95.
+	HedgeQuantile float64
+	// HedgeMin/HedgeMax clamp the hedge deadline. Defaults 5ms / 1s.
+	// Setting HedgeMin == HedgeMax pins a fixed deadline (tests do).
+	HedgeMin, HedgeMax time.Duration
+	// HedgeMinSamples is how many router-observed latencies a model needs
+	// before its own p95 drives the deadline; below it HedgeMax is used.
+	// Default 50.
+	HedgeMinSamples int64
+
+	// LoadSource selects the probe's load telemetry: LoadFromMetricsz
+	// (default; parses the Prometheus exposition) or LoadFromStatsz (the
+	// compact JSON summary).
+	LoadSource string
+
+	// MaxBodyBytes bounds an accepted request body. Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxIdleConnsPerHost sizes the forwarding client's connection reuse
+	// per backend. Default 2×GOMAXPROCS.
+	MaxIdleConnsPerHost int
+
+	// Hardening carries the front-door listener limits (ListenAndServe).
+	Hardening serve.HTTPHardening
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 2.0
+	}
+	if c.LoadFactor < 1 {
+		c.LoadFactor = 1
+	}
+	if c.SpillQueueFrac <= 0 {
+		c.SpillQueueFrac = 0.9
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 5 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = time.Second
+	}
+	if c.HedgeMax < c.HedgeMin {
+		c.HedgeMax = c.HedgeMin
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 50
+	}
+	if c.LoadSource == "" {
+		c.LoadSource = LoadFromMetricsz
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxIdleConnsPerHost <= 0 {
+		c.MaxIdleConnsPerHost = 2 * runtime.GOMAXPROCS(0)
+	}
+	c.Hardening = c.Hardening.WithDefaults()
+	return c
+}
+
+// Router is the fleet front door. Create with New, expose via Handler or
+// ListenAndServe, stop with Close.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	ring     *Ring
+	metrics  *routerMetrics
+
+	// probeClient and dataClient are deliberately separate and both carry
+	// explicit timeouts and bounded connection reuse: the zero-value
+	// http.Client (no timeout at all) would let one hung backend pin a
+	// probe goroutine — or a request goroutine — forever.
+	probeClient *http.Client
+	dataClient  *http.Client
+
+	mux     *http.ServeMux
+	handler http.Handler
+	slow    *obs.SlowLog
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// New builds a router over cfg.Backends and runs one synchronous probe
+// round before returning, so a router with any reachable backend starts
+// ready. The probe loop keeps refreshing in the background until Close.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("fleet: no backends configured")
+	}
+	backends := make([]*backend, len(cfg.Backends))
+	names := make([]string, len(cfg.Backends))
+	for i, raw := range cfg.Backends {
+		b, err := newBackend(raw)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = b
+		names[i] = b.url
+	}
+	ring, err := NewRing(names, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:      cfg,
+		backends: backends,
+		ring:     ring,
+		metrics:  newRouterMetrics(),
+		probeClient: &http.Client{
+			Timeout: cfg.ProbeTimeout,
+			Transport: &http.Transport{
+				DialContext:           (&net.Dialer{Timeout: cfg.ProbeTimeout}).DialContext,
+				MaxIdleConnsPerHost:   2,
+				IdleConnTimeout:       30 * time.Second,
+				ResponseHeaderTimeout: cfg.ProbeTimeout,
+			},
+		},
+		dataClient: &http.Client{
+			// No client-wide Timeout: each attempt carries its own
+			// RequestTimeout context (a global timeout would also cap the
+			// rolling-swap PUTs, whose model warm-up legitimately runs
+			// longer than a classify).
+			Transport: &http.Transport{
+				DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+				MaxIdleConnsPerHost:   cfg.MaxIdleConnsPerHost,
+				MaxIdleConns:          cfg.MaxIdleConnsPerHost * len(cfg.Backends),
+				IdleConnTimeout:       60 * time.Second,
+				ResponseHeaderTimeout: cfg.RequestTimeout,
+			},
+		},
+		stop:    make(chan struct{}),
+		started: time.Now(),
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, "", routeClassify)
+	})
+	rt.mux.HandleFunc("POST /v1/resume", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, "", routeResume)
+	})
+	rt.mux.HandleFunc("POST /v2/models/{model}/classify", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, r.PathValue("model"), routeClassify)
+	})
+	rt.mux.HandleFunc("POST /v2/models/{model}/resume", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, r.PathValue("model"), routeResume)
+	})
+	rt.mux.HandleFunc("GET /v2/models", rt.handleProxyGet)
+	rt.mux.HandleFunc("GET /v2/models/{model}", rt.handleProxyGet)
+	rt.mux.HandleFunc("GET /v2/models/{model}/slo", rt.handleProxyGet)
+	rt.mux.HandleFunc("PUT /v2/models/{model}", rt.handleRollingSwap)
+	rt.mux.HandleFunc("PUT /v2/models/{model}/branches/{branch}", rt.handleRollingSwap)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /statsz", rt.handleStatsz)
+	rt.mux.HandleFunc("GET /metricsz", rt.handleMetricsz)
+	rt.slow = obs.NewSlowLog()
+	rt.handler = obs.Middleware(rt.mux, rt.slow)
+
+	rt.probeRound()
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Handler returns the front-door handler: the route mux wrapped in the
+// same tracing middleware both serving tiers use (X-Trace-Id adopted or
+// generated, echoed on every response path, slow requests sampled).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Close stops the probe loop and releases pooled connections. In-flight
+// forwards complete on their own contexts.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	rt.wg.Wait()
+	rt.probeClient.CloseIdleConnections()
+	rt.dataClient.CloseIdleConnections()
+}
+
+// ListenAndServe runs the router on addr until stop is closed, then shuts
+// down gracefully, reusing the serving tier's hardened listener.
+func (rt *Router) ListenAndServe(addr string, stop <-chan struct{}) error {
+	return serve.ListenHardened(addr, rt.handler, stop, rt.cfg.Hardening, rt.Close)
+}
+
+// route names label the per-model metrics.
+const (
+	routeClassify = "classify"
+	routeResume   = "resume"
+)
+
+// modelKey normalizes the metrics/ring label for the /v1 alias surface.
+func modelKey(model string) string {
+	if model == "" {
+		return serve.DefaultModelName
+	}
+	return model
+}
+
+// pickChain orders the backends for one key: ring sequence, filtered to
+// healthy + non-draining + under the bounded-load cap first, then healthy
+// non-draining overloaded ones (load spill must degrade to "serve anyway",
+// never to "reject while capacity exists"), then draining ones as a last
+// resort. Unhealthy backends are excluded entirely — transport errors
+// rejoin them only via the probe loop.
+func (rt *Router) pickChain(key uint64) []*backend {
+	seq := rt.ring.Seq(key)
+	cap := rt.loadCap()
+	chain := make([]*backend, 0, len(seq))
+	var overloaded, draining []*backend
+	for _, mi := range seq {
+		b := rt.backends[mi]
+		if !b.healthy.Load() {
+			continue
+		}
+		switch {
+		case b.swapping.Load():
+			draining = append(draining, b)
+		case b.inflight.Load() >= cap || b.loadFrac() >= rt.cfg.SpillQueueFrac:
+			overloaded = append(overloaded, b)
+		default:
+			chain = append(chain, b)
+		}
+	}
+	chain = append(chain, overloaded...)
+	return append(chain, draining...)
+}
+
+// loadCap is the bounded-load threshold: c × ceil((total in flight + 1) /
+// healthy backends), counting the incoming request itself so an idle
+// fleet never rounds the cap down to zero.
+func (rt *Router) loadCap() int64 {
+	total, healthy := int64(0), int64(0)
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			healthy++
+			total += b.inflight.Load()
+		}
+	}
+	if healthy == 0 {
+		return 1
+	}
+	mean := float64(total+1) / float64(healthy)
+	cap := int64(rt.cfg.LoadFactor * mean)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// attemptResult is one forwarded attempt's outcome.
+type attemptResult struct {
+	backend *backend
+	status  int
+	header  http.Header
+	body    []byte
+	err     error
+}
+
+// decisive reports whether the result should be returned to the client
+// rather than retried on the next ring node: any real HTTP response except
+// a 503 shed (which overflow can still absorb elsewhere).
+func (a attemptResult) decisive() bool {
+	return a.err == nil && a.status != http.StatusServiceUnavailable
+}
+
+// send forwards one attempt to b and buffers the response. The trace ID is
+// propagated to the backend only when the client itself supplied one —
+// otherwise backend response bodies would grow trace fields the client
+// never asked for.
+func (rt *Router) send(ctx context.Context, b *backend, method, path string, body []byte, traceID string) attemptResult {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{backend: b, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
+	resp, err := rt.dataClient.Do(req)
+	if err != nil {
+		b.errors.Add(1)
+		return attemptResult{backend: b, err: err}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		b.errors.Add(1)
+		return attemptResult{backend: b, err: err}
+	}
+	b.requests.Add(1)
+	return attemptResult{backend: b, status: resp.StatusCode, header: resp.Header, body: payload}
+}
+
+// writeResult relays a backend response to the client: status, body, and
+// the headers that carry contract (Content-Type; Retry-After on sheds is
+// propagated, not swallowed — the backend's own backoff hint must reach
+// the client).
+func writeResult(w http.ResponseWriter, res attemptResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// handleData is the classify/resume data path: hash, pick, forward with
+// hedging and failover.
+func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, model, route string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			serve.WriteError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	mk := modelKey(model)
+	key := HashRequest(mk, body)
+	chain := rt.pickChain(key)
+	if len(chain) == 0 {
+		rt.metrics.model(mk).sheds.Add(1)
+		serve.WriteShed(w, "no ready backend")
+		return
+	}
+	tr := obs.FromContext(r.Context())
+	traceID := ""
+	if tr.Propagated() {
+		traceID = tr.ID()
+	}
+	start := time.Now()
+	res := rt.dispatch(r.Context(), chain, r.Method, r.URL.RequestURI(), body, mk, route, traceID, tr)
+	if res.err != nil {
+		rt.metrics.model(mk).sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		serve.WriteError(w, http.StatusBadGateway, fmt.Sprintf("all backends failed: %v", res.err))
+		return
+	}
+	mm := rt.metrics.model(mk)
+	if res.status == http.StatusServiceUnavailable {
+		mm.sheds.Add(1)
+	} else if res.status == http.StatusOK {
+		mm.observeLatency(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	mm.requests.Add(1)
+	writeResult(w, res)
+}
+
+// dispatch runs the attempt chain: the primary attempt is hedged (when
+// enabled), later attempts are straight failover. A transport error marks
+// the backend down on the spot — rerouting does not wait for the probe
+// loop — and moves on; a 503 is remembered (for Retry-After propagation)
+// while overflow tries the rest of the chain.
+func (rt *Router) dispatch(ctx context.Context, chain []*backend, method, path string, body []byte, model, route, traceID string, tr *obs.Trace) attemptResult {
+	var last attemptResult
+	haveLast := false
+	for i := 0; i < len(chain); i++ {
+		b := chain[i]
+		var res attemptResult
+		start := time.Now()
+		if i == 0 && rt.cfg.Hedge && len(chain) > 1 {
+			res = rt.hedged(ctx, b, chain[1], method, path, body, model, traceID, tr)
+		} else {
+			res = rt.send(ctx, b, method, path, body, traceID)
+			name := "router:pick"
+			if i > 0 {
+				name = "router:retry"
+				rt.metrics.model(model).retries.Add(1)
+			}
+			tr.Record(name, start, time.Now(), "backend="+b.url+" model="+model+" route="+route)
+		}
+		if res.err != nil {
+			if ctx.Err() != nil {
+				// The client is gone or out of time; stop burning backends.
+				return res
+			}
+			res.backend.setHealthy(false)
+			last, haveLast = res, true
+			continue
+		}
+		if res.decisive() {
+			return res
+		}
+		last, haveLast = res, true
+	}
+	if !haveLast {
+		return attemptResult{err: errors.New("no backend attempted")}
+	}
+	return last
+}
+
+// handleProxyGet forwards a read-only request to the first healthy
+// backend in ring order of the path (cheap spread without affinity
+// requirements).
+func (rt *Router) handleProxyGet(w http.ResponseWriter, r *http.Request) {
+	chain := rt.pickChain(HashKey(r.URL.Path))
+	if len(chain) == 0 {
+		serve.WriteShed(w, "no ready backend")
+		return
+	}
+	var res attemptResult
+	for _, b := range chain {
+		res = rt.send(r.Context(), b, http.MethodGet, r.URL.RequestURI(), nil, "")
+		if res.err == nil {
+			writeResult(w, res)
+			return
+		}
+		b.setHealthy(false)
+	}
+	w.Header().Set("Retry-After", "1")
+	serve.WriteError(w, http.StatusBadGateway, fmt.Sprintf("all backends failed: %v", res.err))
+}

@@ -1,0 +1,220 @@
+package fleet
+
+// swap_test.go: the rolling hot-swap storm. Repeated fleet-wide
+// PUT /v2/models/{name} at the router during sustained traffic must drop
+// nothing — every classify answers 200 (each backend's registry swap is
+// zero-drop and the router drains one node at a time) — and no response
+// may mix versions: the v2 version field must always be one the fleet
+// actually published.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdl/internal/modelio"
+	"cdl/internal/serve"
+)
+
+func TestFleetRollingSwapStorm(t *testing.T) {
+	cdln, data := testCDLN(t, 41)
+	f := startFleet(t, cdln, 3, nil)
+	waitReady(t, f, 3)
+
+	// The replacement artifact: the same trained cascade saved to disk —
+	// version churn without behaviour churn, so correctness stays checkable.
+	path := filepath.Join(t.TempDir(), "swap.cdln")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := modelio.SaveCDLN(fh, cdln); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		loaders   = 4
+		swaps     = 5
+		perLoader = 60
+	)
+	var (
+		ok, dropped atomic.Int64
+		verMu       sync.Mutex
+		badVersions []int
+	)
+	// Versions start at 1 (boot) and each fleet swap bumps every backend
+	// by one, so anything outside [1, swaps+1] was never published.
+	maxVersion := int64(1)
+
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < perLoader; i++ {
+				status, _, body := postJSON(t, client, f.URL()+"/v2/models/"+serve.DefaultModelName+"/classify",
+					serve.V2ClassifyRequest{Images: sampleImages(data, l*131+i, 1)})
+				if status != http.StatusOK {
+					dropped.Add(1)
+					continue
+				}
+				ok.Add(1)
+				var cr serve.V2ClassifyResponse
+				if err := json.Unmarshal(body, &cr); err != nil {
+					t.Errorf("loader %d: bad body: %v", l, err)
+					continue
+				}
+				if cr.Version < 1 || int64(cr.Version) > atomic.LoadInt64(&maxVersion) {
+					verMu.Lock()
+					badVersions = append(badVersions, cr.Version)
+					verMu.Unlock()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(l)
+	}
+
+	// The storm: rolling fleet swaps back to back while the load runs.
+	swapClient := &http.Client{Timeout: 60 * time.Second}
+	for s := 0; s < swaps; s++ {
+		// Publish the higher bound before the swap starts: a response may
+		// legitimately carry the new version the moment any backend swaps.
+		atomic.StoreInt64(&maxVersion, int64(s+2))
+		req := map[string]any{"path": path}
+		status, _, body := func() (int, http.Header, []byte) {
+			b, _ := json.Marshal(req)
+			hr, err := http.NewRequest(http.MethodPut, f.URL()+"/v2/models/"+serve.DefaultModelName, jsonBody(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hr.Header.Set("Content-Type", "application/json")
+			resp, err := swapClient.Do(hr)
+			if err != nil {
+				t.Fatalf("swap %d: %v", s, err)
+			}
+			defer resp.Body.Close()
+			var buf []byte
+			buf, err = readAll(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, resp.Header, buf
+		}()
+		if status != http.StatusOK {
+			t.Fatalf("swap %d: HTTP %d: %s", s, status, body)
+		}
+		var sr SwapResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("swap %d: bad body: %v", s, err)
+		}
+		if sr.Swapped != 3 || sr.Failed != "" {
+			t.Fatalf("swap %d: swapped %d/3, failed=%q", s, sr.Swapped, sr.Failed)
+		}
+		for _, res := range sr.Results {
+			if res.Version != s+2 {
+				t.Errorf("swap %d: backend %s reports version %d, want %d", s, res.Backend, res.Version, s+2)
+			}
+		}
+	}
+	wg.Wait()
+
+	if dropped.Load() != 0 {
+		t.Errorf("%d requests dropped during the swap storm (want 0; the fleet swap must be zero-drop)", dropped.Load())
+	}
+	if got := ok.Load(); got != loaders*perLoader {
+		t.Errorf("%d/%d requests succeeded", got, loaders*perLoader)
+	}
+	if len(badVersions) != 0 {
+		t.Errorf("responses carried unpublished versions %v", badVersions)
+	}
+
+	// After the storm every backend must have converged on the final
+	// version and none may still be marked draining.
+	for _, b := range f.backends {
+		srv := b.Server()
+		if srv == nil {
+			t.Fatal("backend vanished during the storm")
+		}
+		m, err := srv.Registry().Get(serve.DefaultModelName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Version() != swaps+1 {
+			t.Errorf("backend %s settled on version %d, want %d", b.url, m.Version(), swaps+1)
+		}
+	}
+	st := routerStats(t, f.URL())
+	if st.Swaps != swaps {
+		t.Errorf("router counted %d fleet swaps, want %d", st.Swaps, swaps)
+	}
+	for _, bs := range st.Backends {
+		if bs.Swapping {
+			t.Errorf("backend %s still marked draining after the storm", bs.URL)
+		}
+	}
+}
+
+// TestFleetSwapAbortsOnFailure pins the rollout-stop contract: when a
+// backend refuses the PUT mid-fleet, the swap stops there, reports the
+// failure, and the fleet keeps serving.
+func TestFleetSwapAbortsOnFailure(t *testing.T) {
+	cdln, data := testCDLN(t, 42)
+	f := startFleet(t, cdln, 3, nil)
+	waitReady(t, f, 3)
+
+	// A path that exists for no backend: every node refuses, so the swap
+	// must stop at the first.
+	req, _ := json.Marshal(map[string]any{"path": filepath.Join(t.TempDir(), "missing.cdln")})
+	hr, err := http.NewRequest(http.MethodPut, f.URL()+"/v2/models/"+serve.DefaultModelName, jsonBody(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("fleet swap of a missing artifact reported success: %s", body)
+	}
+	var sr SwapResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad swap failure body: %v", err)
+	}
+	if sr.Swapped != 0 || sr.Failed == "" || len(sr.Results) != 1 {
+		t.Errorf("swap should stop at the first refusal: swapped=%d failed=%q results=%d",
+			sr.Swapped, sr.Failed, len(sr.Results))
+	}
+	if f.router.metrics.swapFailures.Load() == 0 {
+		t.Error("swap failure not counted")
+	}
+
+	// The fleet still serves, on the original version.
+	client := &http.Client{Timeout: 10 * time.Second}
+	status, _, body := postJSON(t, client, f.URL()+"/v2/models/"+serve.DefaultModelName+"/classify",
+		serve.V2ClassifyRequest{Images: sampleImages(data, 7, 1)})
+	if status != http.StatusOK {
+		t.Fatalf("fleet broken after failed swap: HTTP %d: %s", status, body)
+	}
+	var cr serve.V2ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Version != 1 {
+		t.Errorf("version %d after an aborted swap, want 1", cr.Version)
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+// promparse.go is the reader half of the Prometheus text format whose
+// writer lives in prom.go: the fleet router scrapes each backend's
+// /metricsz and turns queue-depth gauges and latency histograms into
+// load weights and hedge deadlines without growing a metrics dependency.
+// The parser handles exactly what Prom emits (format 0.0.4 sample lines
+// with escaped label values); it skips comment and blank lines and
+// rejects structurally broken sample lines rather than guessing.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line: name{labels} value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// matches reports whether the sample carries every (name, value) pair in
+// want (extra labels are allowed).
+func (s PromSample) matches(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseProm parses a text-format exposition into its sample lines.
+// Comment (#) and blank lines are skipped; a malformed sample line is an
+// error naming the line number.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` (the label block is
+// optional).
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest[1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (which Prom never writes) would appear as a
+	// second field; reject rather than misread it as the value.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` returning the map and the remainder
+// after the closing brace.
+func parseLabels(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", name)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+		rest = rest[i:]
+	}
+}
+
+// parsePromValue parses a sample value, accepting the spelled-out
+// specials formatValue emits.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// SumSamples sums every sample of the family matching the label subset —
+// e.g. total queue depth across a backend's models:
+// SumSamples(samples, "cdl_queue_depth", nil).
+func SumSamples(samples []PromSample, name string, match map[string]string) float64 {
+	sum := 0.0
+	for _, s := range samples {
+		if s.Name == name && s.matches(match) {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// GaugeValue returns the first matching sample's value (ok=false when the
+// family or label combination is absent).
+func GaugeValue(samples []PromSample, name string, match map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name && s.matches(match) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramQuantile estimates quantile q from a family's _bucket samples,
+// merging every series that matches the label subset (so a multi-model
+// backend's latency histograms fold into one fleet-facing distribution).
+// Buckets are cumulative le= counts as the text format defines; the
+// estimate is the upper bound of the first bucket at or past rank q — a
+// deliberate over-estimate, which is the safe direction for both load
+// weights and hedge deadlines. Returns ok=false with no observations.
+func HistogramQuantile(samples []PromSample, name string, match map[string]string, q float64) (float64, bool) {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Merge matching series bucket-by-bucket: cumulative counts sum across
+	// series at equal bounds.
+	merged := make(map[float64]float64)
+	for _, s := range samples {
+		if s.Name != name+"_bucket" || !s.matches(match) {
+			continue
+		}
+		le := s.Labels["le"]
+		bound, err := parsePromValue(le)
+		if err != nil {
+			continue
+		}
+		merged[bound] += s.Value
+	}
+	if len(merged) == 0 {
+		return 0, false
+	}
+	bounds := make([]float64, 0, len(merged))
+	for b := range merged {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	total := merged[bounds[len(bounds)-1]] // +Inf bucket carries the count
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	for _, b := range bounds {
+		if merged[b] >= rank {
+			if math.IsInf(b, 1) && len(bounds) > 1 {
+				// The tail beyond the last finite bound: report that bound —
+				// still an underestimate-free answer for every observation
+				// the histogram actually resolved.
+				return bounds[len(bounds)-2], true
+			}
+			return b, true
+		}
+	}
+	return bounds[len(bounds)-1], true
+}

@@ -1,0 +1,144 @@
+package obs
+
+// promparse_test.go: the reader half of the text format must invert the
+// writer half — whatever Prom emits, ParseProm recovers — plus the
+// histogram-quantile math the fleet router hangs load decisions on.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParsePromRoundTrip: build an exposition with the writer, parse it
+// back, and check every sample survives — including escaped label values
+// and the +Inf histogram bucket.
+func TestParsePromRoundTrip(t *testing.T) {
+	p := NewProm()
+	p.Counter("reqs_total", "Requests.", Labels{{"model", "default"}}, 42)
+	p.Counter("reqs_total", "", Labels{{"model", `we"ird\name`}}, 7)
+	p.Gauge("depth", "Queue depth.", nil, 3.5)
+	p.Histogram("lat_ms", "Latency.", Labels{{"model", "default"}},
+		[]float64{1, 10, 100}, []int64{5, 3, 1}, 123.5, 10)
+
+	samples, err := ParseProm(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := GaugeValue(samples, "reqs_total", map[string]string{"model": "default"}); !ok || v != 42 {
+		t.Errorf("reqs_total{model=default} = %v,%v", v, ok)
+	}
+	if v, ok := GaugeValue(samples, "reqs_total", map[string]string{"model": `we"ird\name`}); !ok || v != 7 {
+		t.Errorf("escaped label round trip failed: %v,%v", v, ok)
+	}
+	if v, ok := GaugeValue(samples, "depth", nil); !ok || v != 3.5 {
+		t.Errorf("depth = %v,%v", v, ok)
+	}
+	// Histogram pieces: cumulative buckets, +Inf bucket carrying the total
+	// count (one observation above the last bound), _sum and _count.
+	if v, ok := GaugeValue(samples, "lat_ms_bucket", map[string]string{"le": "10"}); !ok || v != 8 {
+		t.Errorf("le=10 bucket = %v,%v (want cumulative 8)", v, ok)
+	}
+	if v, ok := GaugeValue(samples, "lat_ms_bucket", map[string]string{"le": "+Inf"}); !ok || v != 10 {
+		t.Errorf("+Inf bucket = %v,%v (want 10)", v, ok)
+	}
+	if v, ok := GaugeValue(samples, "lat_ms_sum", nil); !ok || v != 123.5 {
+		t.Errorf("_sum = %v,%v", v, ok)
+	}
+	if v, ok := GaugeValue(samples, "lat_ms_count", nil); !ok || v != 10 {
+		t.Errorf("_count = %v,%v", v, ok)
+	}
+	if got := SumSamples(samples, "reqs_total", nil); got != 49 {
+		t.Errorf("SumSamples(reqs_total) = %v, want 49", got)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		`name{unterminated="x` + "\n",
+		`name{a=unquoted} 1`,
+		"name 1 1700000000", // trailing timestamp field
+		"name notanumber",
+		`{__name__="empty"} 1`,
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed exposition %q", bad)
+		}
+	}
+}
+
+func TestParsePromSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# HELP x y\n# TYPE x counter\n\nx 1\n"
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Name != "x" || samples[0].Value != 1 {
+		t.Errorf("samples = %+v", samples)
+	}
+}
+
+func TestParsePromSpecialValues(t *testing.T) {
+	in := "a +Inf\nb -Inf\nc NaN\n"
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(samples[0].Value, 1) || !math.IsInf(samples[1].Value, -1) || !math.IsNaN(samples[2].Value) {
+		t.Errorf("special values parsed as %+v", samples)
+	}
+}
+
+// TestHistogramQuantile: the estimate is the upper bound of the bucket
+// holding the rank, merged across matching series, and +Inf degrades to
+// the last finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	p := NewProm()
+	// Two models' series merge: counts 6+4 below 1ms, 3+3 in (1,10],
+	// 1+3 in (10,100].
+	p.Histogram("lat_ms", "", Labels{{"model", "a"}}, []float64{1, 10, 100}, []int64{6, 3, 1}, 50, 10)
+	p.Histogram("lat_ms", "", Labels{{"model", "b"}}, []float64{1, 10, 100}, []int64{4, 3, 3}, 90, 10)
+	samples, err := ParseProm(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if q, ok := HistogramQuantile(samples, "lat_ms", nil, 0.5); !ok || q != 1 {
+		t.Errorf("merged p50 = %v,%v, want 1 (10/20 at or below 1ms)", q, ok)
+	}
+	if q, ok := HistogramQuantile(samples, "lat_ms", nil, 0.95); !ok || q != 100 {
+		t.Errorf("merged p95 = %v,%v, want 100", q, ok)
+	}
+	// Single-series selection via label match.
+	if q, ok := HistogramQuantile(samples, "lat_ms", map[string]string{"model": "a"}, 0.9); !ok || q != 10 {
+		t.Errorf("model=a p90 = %v,%v, want 10", q, ok)
+	}
+	// Absent family.
+	if _, ok := HistogramQuantile(samples, "nope_ms", nil, 0.5); ok {
+		t.Error("quantile of a missing family reported ok")
+	}
+}
+
+// TestHistogramQuantileTail: observations above the last finite bound live
+// in +Inf; the estimate degrades to the last finite bound rather than
+// reporting infinity.
+func TestHistogramQuantileTail(t *testing.T) {
+	p := NewProm()
+	// All 5 observations above 100: buckets all zero, count 5.
+	p.Histogram("lat_ms", "", nil, []float64{1, 10, 100}, []int64{0, 0, 0}, 5000, 5)
+	samples, err := ParseProm(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := HistogramQuantile(samples, "lat_ms", nil, 0.99)
+	if !ok {
+		t.Fatal("no quantile")
+	}
+	if math.IsInf(q, 1) {
+		t.Error("tail quantile reported +Inf")
+	}
+	if q != 100 {
+		t.Errorf("tail quantile = %v, want 100 (last finite bound)", q)
+	}
+}

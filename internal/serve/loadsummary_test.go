@@ -1,0 +1,66 @@
+package serve
+
+// loadsummary_test.go: /statsz?summary=1 is the fleet router's cheap load
+// probe — pin its shape (compact JSON, aggregated across entries) and its
+// relationship to the full Stats view.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestStatszSummary(t *testing.T) {
+	cdln, data := testCDLN(t, 61)
+	_, ts := startServer(t, cdln, Config{Workers: 2, QueueDepth: 64})
+
+	// Serve some traffic so the latency histogram is non-empty.
+	for i := 0; i < 5; i++ {
+		status, body := postClassify(t, ts.URL, ClassifyRequest{Image: data[i].X.Data})
+		if status != http.StatusOK {
+			t.Fatalf("classify %d: HTTP %d: %s", i, status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz?summary=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum LoadSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ready {
+		t.Error("summary reports unready on a serving backend")
+	}
+	if sum.Models != 1 {
+		t.Errorf("models = %d, want 1", sum.Models)
+	}
+	if sum.Requests != 5 {
+		t.Errorf("requests = %d, want 5", sum.Requests)
+	}
+	if sum.P95TotalMS <= 0 {
+		t.Errorf("p95_total_ms = %v after real traffic, want > 0", sum.P95TotalMS)
+	}
+	if sum.QueueFrac < 0 || sum.QueueFrac > 1 {
+		t.Errorf("queue_frac = %v outside [0,1]", sum.QueueFrac)
+	}
+	if sum.Rejected != 0 {
+		t.Errorf("rejected = %d, want 0", sum.Rejected)
+	}
+
+	// The plain /statsz stays the full document (summary is opt-in).
+	full, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(full.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 5 || len(st.Exits) == 0 {
+		t.Errorf("full /statsz lost its shape: requests=%d exits=%d", st.Requests, len(st.Exits))
+	}
+}

@@ -884,7 +884,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("summary") == "1" {
+		WriteJSON(w, http.StatusOK, s.LoadSummary())
+		return
+	}
 	WriteJSON(w, http.StatusOK, s.Stats())
+}
+
+// LoadSummary assembles the compact load snapshot (/statsz?summary=1):
+// queue depth sums across entries, occupancy and p95 report the worst
+// entry — a fleet router steering by shed risk wants the hottest queue,
+// not the average.
+func (s *Server) LoadSummary() LoadSummary {
+	sum := LoadSummary{Ready: s.reg.Ready()}
+	queueCap := s.reg.Config().QueueDepth
+	for _, m := range s.reg.Models() {
+		sum.Models++
+		depth := m.pool.depth()
+		sum.QueueDepth += depth
+		if queueCap > 0 {
+			if frac := float64(depth) / float64(queueCap); frac > sum.QueueFrac {
+				sum.QueueFrac = frac
+			}
+		}
+		m.metrics.mu.Lock()
+		if p95 := m.metrics.totalLat.Quantile(0.95); p95 > sum.P95TotalMS {
+			sum.P95TotalMS = p95
+		}
+		sum.Requests += m.metrics.requests
+		sum.Rejected += m.metrics.rejected
+		m.metrics.mu.Unlock()
+	}
+	return sum
 }
 
 // WriteJSON writes v as a JSON response with the given status — the one
