@@ -1,0 +1,156 @@
+// cdlvet is the repo-specific static-analysis suite: it type-checks the
+// module with the pure-Go source importer (no external dependencies) and
+// runs the passes in internal/analysis — determinism, lock discipline,
+// context propagation, observability hygiene, layer-surface exhaustiveness
+// and goroutine lifecycle — rejecting invariant-violating code at build
+// time that the dynamic tests can only sample at run time.
+//
+// Usage:
+//
+//	go run ./cmd/cdlvet ./...                 # analyze the whole module
+//	go run ./cmd/cdlvet ./internal/serve      # one package
+//	go run ./cmd/cdlvet -json ./... > report.json
+//	go run ./cmd/cdlvet -write-baseline ./... # grandfather current findings
+//
+// Findings can be waived inline with
+//
+//	//cdlvet:allow <analyzer>[,<analyzer>] -- <reason>
+//
+// on the offending line or the line above (the reason is mandatory), or
+// grandfathered in the checked-in baseline file (.cdlvet.baseline.json at
+// the module root, created by -write-baseline). The target state is an
+// empty baseline; stale baseline entries are reported so the file only
+// ever shrinks. Exit status: 0 clean, 1 findings, 2 driver error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cdl/internal/analysis"
+)
+
+const defaultBaseline = ".cdlvet.baseline.json"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("cdlvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file (default: <module>/"+defaultBaseline+" when present)")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "cdlvet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "cdlvet: %v\n", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdlvet: %v\n", err)
+		return 2
+	}
+	if errs := mod.TypeErrors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "cdlvet: type error: %v\n", e)
+		}
+		return 2
+	}
+
+	findings := analysis.Run(mod, analyzers)
+	findings = append(findings, mod.MalformedDirectives()...)
+
+	bp := *baselinePath
+	if bp == "" {
+		candidate := filepath.Join(mod.Dir, defaultBaseline)
+		if _, err := os.Stat(candidate); err == nil {
+			bp = candidate
+		}
+	}
+	if *writeBaseline {
+		if bp == "" {
+			bp = filepath.Join(mod.Dir, defaultBaseline)
+		}
+		if err := analysis.WriteBaseline(bp, findings); err != nil {
+			fmt.Fprintf(stderr, "cdlvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cdlvet: wrote %d baseline entries to %s\n", len(findings), bp)
+		return 0
+	}
+
+	var baselined []analysis.Finding
+	var stale []analysis.BaselineEntry
+	if bp != "" {
+		entries, err := analysis.LoadBaseline(bp)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdlvet: %v\n", err)
+			return 2
+		}
+		findings, baselined, stale = analysis.ApplyBaseline(findings, entries)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "cdlvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "cdlvet: stale baseline entry (fixed? remove it): [%s] %s: %s\n", e.Analyzer, e.File, e.Message)
+	}
+	if n := len(baselined); n > 0 {
+		fmt.Fprintf(stderr, "cdlvet: %d finding(s) suppressed by baseline %s\n", n, bp)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cdlvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses root calling fn with each node and its ancestor chain
+// (outermost first, not including the node itself). Returning false prunes
+// the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// exprString renders an expression compactly ("rt.metrics"). Used to match
+// mutex holder paths textually; semantically distinct expressions with the
+// same spelling are treated as the same holder, which is the convention the
+// lock annotations rely on.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// exprLabel renders an expression for a finding message: whitespace
+// collapsed and truncated so composite literals don't flood the report.
+func exprLabel(fset *token.FileSet, e ast.Expr) string {
+	s := strings.Join(strings.Fields(exprString(fset, e)), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+// pkgFunc reports whether the call expression invokes the package-level
+// function pkgPath.name (e.g. "time".Now), resolved through the type info
+// so aliased imports are handled.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isPkg := info.Uses[baseIdent(sel.X)].(*types.PkgName); !isPkg {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeOf resolves the called function or method object, or nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// baseIdent returns the leftmost identifier of a selector chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasRelPrefix reports whether the package's module-relative dir is rel or
+// lies under it.
+func hasRelPrefix(pkg *Package, rels ...string) bool {
+	for _, rel := range rels {
+		if pkg.Rel == rel || strings.HasPrefix(pkg.Rel, rel+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost enclosing function declaration or
+// literal from an ancestor stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit node.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// funcType returns the type expression of a FuncDecl or FuncLit node.
+func funcType(fn ast.Node) *ast.FuncType {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Type
+	case *ast.FuncLit:
+		return f.Type
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCtxFlow enforces context propagation through the serving tiers:
+// below the request roots in serve, fleet and edgecloud, cancellation must
+// flow — a function that already has a context.Context (its own parameter
+// or one captured from an enclosing function) must not mint a fresh root
+// with context.Background()/context.TODO(), and must build outbound
+// requests with http.NewRequestWithContext rather than http.NewRequest.
+//
+// True roots — functions with no Context anywhere in scope, like the
+// graceful-shutdown path or the probe loop's ticker — may still call
+// context.Background(); that is what makes them roots.
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background()/TODO() and ctx-less requests below serving roots",
+	Run:  runCtxFlow,
+}
+
+var ctxFlowRels = []string{"internal/serve", "internal/fleet", "internal/edgecloud"}
+
+func runCtxFlow(p *Pass) {
+	if !hasRelPrefix(p.Pkg, ctxFlowRels...) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !ctxInScope(p, stack) {
+				return true
+			}
+			switch {
+			case pkgFunc(info, call, "context", "Background"):
+				p.Reportf(call.Pos(), "context.Background() below a serving root: a Context is already in scope — derive from it (context.WithTimeout(ctx, ...)) so cancellation propagates")
+			case pkgFunc(info, call, "context", "TODO"):
+				p.Reportf(call.Pos(), "context.TODO() below a serving root: a Context is already in scope — pass it through")
+			case pkgFunc(info, call, "net/http", "NewRequest"):
+				p.Reportf(call.Pos(), "http.NewRequest below a serving root drops the in-scope Context; use http.NewRequestWithContext(ctx, ...)")
+			}
+			return true
+		})
+	}
+}
+
+// ctxInScope reports whether any enclosing function in the ancestor chain
+// declares a context.Context parameter, or a context-typed variable is
+// visibly bound in an enclosing function's parameters. (Capture of a
+// ctx-typed local by a literal also counts, via the enclosing FuncDecl's
+// parameters being in the chain.)
+func ctxInScope(p *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ft := funcType(stack[i])
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDeterminism enforces the bit-identical output contract of the
+// pinned-summation packages — the exactly-one-exit rule's fast path, model
+// serialization and the wire format are all golden-pinned byte for byte, so
+// nothing in them may depend on map iteration order or wall-clock reads.
+//
+// In the order-pinned packages it flags `range` over a map: iteration order
+// is randomized per run, so any map walk that can reach output bytes,
+// float accumulation order or serialized fields is a reproducibility bug.
+// The one sanctioned shape is collect-keys-then-sort (append the key to a
+// slice that is later passed to sort/slices in the same function), which
+// the pass recognizes and admits.
+//
+// In the pure-compute packages it additionally flags:
+//   - time.Now outside an observability gate (an enclosing `if` on an
+//     *Enabled() probe or a nil-check of an observer/tracer hook) — the
+//     repo's convention for timestamps that exist only for profiling;
+//   - package-level math/rand calls (the process-global source; seeded
+//     *rand.Rand values passed in by the caller stay legal);
+//   - math.FMA, whose fused rounding diverges from the reference
+//     mul-then-add summation the differential harnesses pin.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "map iteration, wall-clock and global randomness in bit-pinned packages",
+	Run:  runDeterminism,
+}
+
+// detOrderRels are packages whose outputs (serialized bytes, report text,
+// accumulated floats) must be identical run to run.
+var detOrderRels = []string{
+	"internal/nn",
+	"internal/core",
+	"internal/modelio",
+	"internal/edgecloud/wire",
+	"internal/energy",
+	"internal/experiments",
+	"internal/fixed",
+	"internal/hw",
+	"internal/linclass",
+	"internal/opcount",
+	"internal/stats",
+	"internal/tensor",
+}
+
+// detPureRels are the pure-compute subset where wall-clock and global
+// randomness are also banned.
+var detPureRels = []string{
+	"internal/nn",
+	"internal/core",
+	"internal/modelio",
+	"internal/edgecloud/wire",
+	"internal/fixed",
+	"internal/linclass",
+	"internal/opcount",
+	"internal/tensor",
+}
+
+func runDeterminism(p *Pass) {
+	order := hasRelPrefix(p.Pkg, detOrderRels...)
+	pure := hasRelPrefix(p.Pkg, detPureRels...)
+	if !order && !pure {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				if !order {
+					return true
+				}
+				tv, ok := info.Types[v.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if collectThenSort(info, v, enclosingFunc(stack)) {
+					return true
+				}
+				p.Reportf(v.Pos(), "range over map %s: iteration order is nondeterministic in an output-pinned package (collect keys and sort, or range over a slice)", exprLabel(p.Mod.Fset, v.X))
+			case *ast.CallExpr:
+				if !pure {
+					return true
+				}
+				switch {
+				case pkgFunc(info, v, "time", "Now"):
+					if !obsGated(info, stack) {
+						p.Reportf(v.Pos(), "time.Now in a pure-compute package outside an observability gate (wrap in `if obs.ProfilingEnabled()` / `if observer != nil`, or hoist the timestamp to the caller)")
+					}
+				case globalRandCall(info, v):
+					p.Reportf(v.Pos(), "package-level math/rand call uses the process-global source; thread a seeded *rand.Rand instead")
+				case pkgFunc(info, v, "math", "FMA"):
+					p.Reportf(v.Pos(), "math.FMA fuses rounding and diverges from the pinned mul-then-add summation order")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// globalRandCall reports a call to a math/rand package-level function other
+// than the constructors (New, NewSource, NewZipf), which are deterministic
+// given their seed arguments.
+func globalRandCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math/rand" {
+		return false
+	}
+	if _, isPkg := info.Uses[baseIdent(sel.X)].(*types.PkgName); !isPkg {
+		return false // method on a seeded *rand.Rand
+	}
+	switch obj.Name() {
+	case "New", "NewSource", "NewZipf":
+		return false
+	}
+	return true
+}
+
+// obsGated reports whether the node (whose ancestor stack is given) sits
+// inside an if-statement that gates observability: a condition mentioning a
+// call to some *Enabled() probe, a nil comparison (observer hooks), or a
+// bare bool identifier assigned from an *Enabled() call in the enclosing
+// function.
+func obsGated(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condIsObsGate(info, ifStmt.Cond, enclosingFunc(stack[:i])) {
+			return true
+		}
+	}
+	return false
+}
+
+func condIsObsGate(info *types.Info, cond ast.Expr, fn ast.Node) bool {
+	gate := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeOf(info, v); callee != nil && strings.HasSuffix(callee.Name(), "Enabled") {
+				gate = true
+			}
+		case *ast.BinaryExpr:
+			if isNilIdent(v.X) || isNilIdent(v.Y) {
+				gate = true
+			}
+		case *ast.Ident:
+			if fn != nil && identAssignedFromEnabled(info, v, fn) {
+				gate = true
+			}
+		}
+		return !gate
+	})
+	return gate
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// identAssignedFromEnabled reports whether id names a variable assigned
+// somewhere in fn from a call to an *Enabled() function — the
+// `prof := obs.ProfilingEnabled(); if prof { ... }` idiom.
+func identAssignedFromEnabled(info *types.Info, id *ast.Ident, fn ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || (info.Defs[lid] != obj && info.Uses[lid] != obj) {
+				continue
+			}
+			if i < len(as.Rhs) {
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+					if callee := calleeOf(info, call); callee != nil && strings.HasSuffix(callee.Name(), "Enabled") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectThenSort admits the one sanctioned map walk: the body only appends
+// the key to a slice that the same function later sorts.
+func collectThenSort(info *types.Info, rng *ast.RangeStmt, fn ast.Node) bool {
+	if rng.Value != nil || rng.Key == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return false
+	}
+	if arg1, ok := call.Args[1].(*ast.Ident); !ok || arg1.Name != keyID.Name {
+		return false
+	}
+	// The collected slice must be sorted later in the same function.
+	dstObj := info.Uses[dst]
+	if dstObj == nil {
+		dstObj = info.Defs[dst]
+	}
+	body := funcBody(fn)
+	if body == nil || dstObj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeOf(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if pp := callee.Pkg().Path(); pp != "sort" && pp != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && (info.Uses[id] == dstObj || info.Defs[id] == dstObj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

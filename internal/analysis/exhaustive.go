@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerExhaustive enforces the fast-path and accounting surfaces of the
+// layer abstraction: every concrete type in the module that implements
+// nn.Layer must also
+//
+//   - implement nn.BatchLayer (ForwardBatch), so it cannot silently fall
+//     off the batched im2col+GEMM fast path into the per-sample fallback;
+//   - be handled by opcount.LayerOps's type switch, so the paper's
+//     ops-per-input metric and the 45 nm energy accounting stay total over
+//     the layer set.
+//
+// A new layer that misses either surface compiles and passes unit tests
+// today (the fallback keeps it correct, the op switch panics only when an
+// unknown layer is actually costed) — exactly the kind of sampled-only
+// invariant this suite exists to pin at build time.
+var AnalyzerExhaustive = &Analyzer{
+	Name:      "exhaustive",
+	Doc:       "nn.Layer implementations missing BatchLayer or opcount coverage",
+	RunModule: runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	nnPkg := p.Mod.Lookup("internal/nn")
+	if nnPkg == nil || nnPkg.Types == nil {
+		return
+	}
+	layerIface := lookupInterface(nnPkg.Types, "Layer")
+	batchIface := lookupInterface(nnPkg.Types, "BatchLayer")
+	if layerIface == nil {
+		return
+	}
+
+	opcountCases := opcountSwitchTypes(p.Mod)
+
+	for _, pkg := range p.All {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			T := tn.Type()
+			if types.IsInterface(T) {
+				continue
+			}
+			ptr := types.NewPointer(T)
+			if !types.Implements(T, layerIface) && !types.Implements(ptr, layerIface) {
+				continue
+			}
+			if batchIface != nil && !types.Implements(T, batchIface) && !types.Implements(ptr, batchIface) {
+				p.Reportf(tn.Pos(), "%s implements nn.Layer but not nn.BatchLayer: it silently falls off the batched fast path into the per-sample fallback (add ForwardBatch)", tn.Name())
+			}
+			if opcountCases != nil && !opcountCases[tn] {
+				p.Reportf(tn.Pos(), "%s implements nn.Layer but is not handled in opcount.LayerOps: ops/energy accounting panics the first time this layer is costed (add a case)", tn.Name())
+			}
+		}
+	}
+}
+
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}
+
+// opcountSwitchTypes collects the concrete layer types named by the type
+// switch inside opcount.LayerOps; nil when the package or function is
+// absent (the check is then skipped).
+func opcountSwitchTypes(mod *Module) map[*types.TypeName]bool {
+	pkg := mod.Lookup("internal/opcount")
+	if pkg == nil {
+		return nil
+	}
+	var fn *ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "LayerOps" && fd.Recv == nil {
+				fn = fd
+			}
+		}
+	}
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	cases := make(map[*types.TypeName]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				tv, ok := pkg.Info.Types[expr]
+				if !ok {
+					continue
+				}
+				t := tv.Type
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					cases[named.Obj()] = true
+				}
+			}
+		}
+		return true
+	})
+	return cases
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The fixture mini-module under testdata/src/minimod is a self-contained
+// Go module (also named "cdl", so the analyzers' module-relative package
+// pinning applies) with one positive and one negative case per rule. Each
+// expected finding is marked in the fixture source with a
+//
+//	// want:<analyzer> "<regexp>"
+//
+// comment on the finding's line; the harness runs the full suite and
+// requires an exact bidirectional match — every expectation produces a
+// finding and every finding was expected.
+var wantRe = regexp.MustCompile(`want:([a-z]+) "([^"]*)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureMod  *Module
+	fixtureErr  error
+)
+
+func loadFixtureModule(t *testing.T) *Module {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureMod, fixtureErr = LoadModule(filepath.Join("testdata", "src", "minimod"), []string{"./..."})
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	if errs := fixtureMod.TypeErrors(); len(errs) > 0 {
+		t.Fatalf("fixture module has type errors (fix the fixtures): %v", errs)
+	}
+	return fixtureMod
+}
+
+func collectExpectations(t *testing.T, mod *Module) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, pkg := range mod.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[2])
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", m[2], err)
+						}
+						pos := mod.Fset.Position(c.Pos())
+						rel, err := filepath.Rel(mod.Dir, pos.Filename)
+						if err != nil {
+							rel = pos.Filename
+						}
+						exps = append(exps, &expectation{
+							file:     filepath.ToSlash(rel),
+							line:     pos.Line,
+							analyzer: m[1],
+							re:       re,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(exps) == 0 {
+		t.Fatal("no want expectations found in fixture module")
+	}
+	return exps
+}
+
+// TestFixtures is the driver test: it runs every analyzer over the
+// synthetic mini-module and checks the findings against the inline
+// expectations.
+func TestFixtures(t *testing.T) {
+	mod := loadFixtureModule(t)
+	exps := collectExpectations(t, mod)
+	findings := Run(mod, All())
+	for _, f := range findings {
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.file == f.File && e.line == f.Line && e.analyzer == f.Analyzer && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected %s finding matching %q, got none", e.file, e.line, e.analyzer, e.re)
+		}
+	}
+}
+
+// TestFixturesPerAnalyzer re-runs each analyzer alone and checks it
+// produces exactly its own expectations — no cross-talk between passes.
+func TestFixturesPerAnalyzer(t *testing.T) {
+	mod := loadFixtureModule(t)
+	exps := collectExpectations(t, mod)
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			var want int
+			for _, e := range exps {
+				if e.analyzer == a.Name {
+					want++
+				}
+			}
+			got := Run(mod, []*Analyzer{a})
+			if len(got) != want {
+				t.Errorf("analyzer %s: got %d findings, want %d:", a.Name, len(got), want)
+				for _, f := range got {
+					t.Logf("  %s", f)
+				}
+			}
+			for _, f := range got {
+				if f.Analyzer != a.Name {
+					t.Errorf("analyzer %s reported under name %s", a.Name, f.Analyzer)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedDirective checks the driver surfaces //cdlvet:allow
+// directives missing the mandatory "-- reason" tail.
+func TestMalformedDirective(t *testing.T) {
+	mod := loadFixtureModule(t)
+	mal := mod.MalformedDirectives()
+	if len(mal) != 1 {
+		t.Fatalf("got %d malformed directives, want 1: %v", len(mal), mal)
+	}
+	if mal[0].File != "internal/core/det.go" {
+		t.Errorf("malformed directive reported in %s, want internal/core/det.go", mal[0].File)
+	}
+}

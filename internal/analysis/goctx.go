@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnalyzerGoCtx enforces goroutine lifecycle hygiene in the serving tiers:
+// a `go func() { ... }()` that captures a request-scoped context.Context
+// must either observe its cancellation (ctx.Done(), ctx.Err(),
+// ctx.Deadline()) or hand the context on to a callee that does. A goroutine
+// that captures ctx but never looks at it outlives cancelled requests —
+// the slow leak behind every "zero-drop hot-swap" regression that only a
+// -race storm with perfect timing would catch.
+//
+// Goroutines that never touch a context are out of scope (they are
+// lifecycle-managed some other way, e.g. by the pool's stop channel), as
+// are `go someFunc(ctx)` statements — passing the context is delegation.
+var AnalyzerGoCtx = &Analyzer{
+	Name: "goctx",
+	Doc:  "goroutines capturing a request context without observing Done()",
+	Run:  runGoCtx,
+}
+
+var goCtxRels = []string{"internal/serve", "internal/fleet", "internal/edgecloud"}
+
+func runGoCtx(p *Pass) {
+	if !hasRelPrefix(p.Pkg, goCtxRels...) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			goStmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := goStmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // go f(ctx): delegation
+			}
+			usesCtx := false
+			respectsCtx := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.Ident:
+					if obj := info.Uses[v]; obj != nil && isContextType(obj.Type()) {
+						usesCtx = true
+					}
+				case *ast.CallExpr:
+					if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+						if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+							switch sel.Sel.Name {
+							case "Done", "Err", "Deadline":
+								respectsCtx = true
+							}
+						}
+					}
+					for _, arg := range v.Args {
+						if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+							respectsCtx = true // delegated to a callee
+						}
+					}
+				}
+				return true
+			})
+			// The literal's own context parameters (passed via the go
+			// call's arguments) count the same as captures.
+			for _, arg := range goStmt.Call.Args {
+				if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+					usesCtx = true
+				}
+			}
+			if usesCtx && !respectsCtx {
+				p.Reportf(goStmt.Pos(), "goroutine captures a context but never observes it (no Done()/Err() and not passed on): it will outlive cancelled requests")
+			}
+			return true
+		})
+	}
+}

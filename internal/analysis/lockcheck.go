@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerLockCheck enforces the `// guarded by <mu>` field annotations:
+// every read or write of an annotated struct field must happen in a
+// function that acquires the named mutex on the same holder expression
+// before the access.
+//
+// The pass is a lexical discipline checker, not an alias analysis: holders
+// are matched by spelling (`m`, `rt.metrics`), which is exactly the
+// convention the annotations encode. Three shapes are exempt:
+//
+//   - functions whose name ends in "Locked", and functions whose doc
+//     comment says the mutex is held by the caller (e.g. "callers hold
+//     mu") — the repo's convention for helpers called under the lock;
+//   - freshly constructed values: accesses through a local variable that
+//     the same function created via a composite literal or new(), which no
+//     other goroutine can see yet;
+//   - the composite literal itself (field keys are not accesses).
+//
+// Lock acquisitions inside a nested function literal do not cover the
+// enclosing function and vice versa: a goroutine body must take the lock
+// itself.
+var AnalyzerLockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "accesses to `// guarded by mu` fields without holding the mutex",
+	Run:  runLockCheck,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// heldByCallerRe matches doc comments that transfer the locking obligation
+// to the caller ("callers hold mu", "mu must be held", "holding latMu").
+var heldByCallerRe = regexp.MustCompile(`(?i)\b(hold|holds|held|holding)\b`)
+
+type guardedField struct {
+	structName string
+	mutex      string
+}
+
+func runLockCheck(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockScope(p, guards, fd, fd.Body, funcDoc(fd))
+		}
+	}
+}
+
+// collectGuards maps each annotated field object to its guard.
+func collectGuards(p *Pass) map[*types.Var]guardedField {
+	guards := make(map[*types.Var]guardedField)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guardedField{structName: ts.Name.Name, mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkLockScope checks guarded accesses directly inside body (function
+// literals open a fresh scope and are recursed into separately — their
+// accesses need their own Lock, and their Locks don't cover the outer
+// function).
+func checkLockScope(p *Pass, guards map[*types.Var]guardedField, scope ast.Node, body *ast.BlockStmt, doc string) {
+	info := p.Pkg.Info
+	callerHolds := heldByCallerRe.MatchString(doc)
+	name := ""
+	if fd, ok := scope.(*ast.FuncDecl); ok {
+		name = fd.Name.Name
+	}
+	exempt := callerHolds || strings.HasSuffix(name, "Locked")
+
+	locks := lockSites(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != scope {
+			checkLockScope(p, guards, lit, lit.Body, "")
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[fv]
+		if !guarded || exempt {
+			return true
+		}
+		holder := exprString(p.Mod.Fset, sel.X)
+		if freshLocal(info, sel.X, body) {
+			return true
+		}
+		for _, l := range locks {
+			if l.holder == holder && l.mutex == g.mutex && l.pos < sel.Pos() {
+				return true
+			}
+		}
+		p.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s but accessed without %s.%s.Lock()/RLock() (or a *Locked helper convention)", g.structName, fv.Name(), g.mutex, holder, g.mutex)
+		return true
+	})
+}
+
+type lockSite struct {
+	holder string
+	mutex  string
+	pos    token.Pos
+}
+
+// lockSites finds every `<holder>.<mu>.Lock()` / `.RLock()` call directly
+// in body, excluding nested function literals.
+func lockSites(p *Pass, body *ast.BlockStmt) []lockSite {
+	var sites []lockSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sites = append(sites, lockSite{
+			holder: exprString(p.Mod.Fset, muSel.X),
+			mutex:  muSel.Sel.Name,
+			pos:    call.Pos(),
+		})
+		return true
+	})
+	return sites
+}
+
+// freshLocal reports whether the access base is a local variable that this
+// function freshly constructed (composite literal or new), and which
+// therefore cannot be shared with another goroutine yet.
+func freshLocal(info *types.Info, holder ast.Expr, body *ast.BlockStmt) bool {
+	id := baseIdent(holder)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	fresh := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || fresh {
+			return !fresh
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || info.Defs[lid] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if constructsValue(as.Rhs[i]) {
+				fresh = true
+			}
+		}
+		return !fresh
+	})
+	return fresh
+}
+
+func constructsValue(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := v.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+func funcDoc(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	return fd.Doc.Text()
+}

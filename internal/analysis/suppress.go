@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches an inline waiver:
+//
+//	//cdlvet:allow determinism -- profiling timestamps never reach outputs
+//	//cdlvet:allow determinism,ctxflow -- reason
+//
+// The "-- reason" tail is mandatory: a waiver without a recorded
+// justification is itself reported by the driver (as a malformed
+// directive), so every grandfathered site documents why it is safe.
+var allowRe = regexp.MustCompile(`^//cdlvet:allow\s+([a-z][a-z0-9_,\s]*?)\s+--\s+\S`)
+
+var allowPrefixRe = regexp.MustCompile(`^//cdlvet:allow\b`)
+
+// scanDirectives records every //cdlvet:allow directive of f, keyed by file
+// and line. Malformed directives (no analyzer list or no reason) are stored
+// under the pseudo-analyzer name "!malformed" so the driver can surface
+// them.
+func (m *Module) scanDirectives(path string, f *ast.File) {
+	rel, err := filepath.Rel(m.Dir, path)
+	if err != nil {
+		rel = path
+	}
+	rel = filepath.ToSlash(rel)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !allowPrefixRe.MatchString(text) {
+				continue
+			}
+			line := m.Fset.Position(c.Pos()).Line
+			byLine := m.allow[rel]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				m.allow[rel] = byLine
+			}
+			sub := allowRe.FindStringSubmatch(text)
+			if sub == nil {
+				byLine[line] = append(byLine[line], "!malformed")
+				continue
+			}
+			for _, name := range strings.Split(sub[1], ",") {
+				name = strings.TrimSpace(name)
+				if name != "" {
+					byLine[line] = append(byLine[line], name)
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether f is waived by an inline directive on its line or
+// the line above.
+func (m *Module) allowed(f Finding) bool {
+	byLine := m.allow[f.File]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Line, f.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MalformedDirectives returns a finding for every //cdlvet:allow directive
+// missing an analyzer list or a "-- reason" tail.
+func (m *Module) MalformedDirectives() []Finding {
+	var out []Finding
+	for file, byLine := range m.allow {
+		for line, names := range byLine {
+			for _, n := range names {
+				if n == "!malformed" {
+					out = append(out, Finding{
+						Analyzer: "cdlvet",
+						File:     file,
+						Line:     line,
+						Col:      1,
+						Message:  "malformed //cdlvet:allow directive: want //cdlvet:allow <analyzer>[,<analyzer>] -- <reason>",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BaselineEntry grandfathers one finding: it matches on analyzer, file and
+// message but deliberately not on line number, so unrelated edits to the
+// same file do not churn the baseline.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries). A missing
+// file is an empty baseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes the findings as a baseline file.
+func WriteBaseline(path string, findings []Finding) error {
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline splits findings into new (not grandfathered) and baselined,
+// and reports stale baseline entries that no longer match anything — the
+// signal to shrink the file.
+func ApplyBaseline(findings []Finding, entries []BaselineEntry) (fresh, baselined []Finding, stale []BaselineEntry) {
+	used := make([]bool, len(entries))
+	for _, f := range findings {
+		matched := false
+		for i, e := range entries {
+			if e.Analyzer == f.Analyzer && e.File == f.File && e.Message == f.Message {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			baselined = append(baselined, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for i, e := range entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, baselined, stale
+}

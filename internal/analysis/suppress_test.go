@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllowDirectives(t *testing.T) {
+	m := &Module{Dir: "/m", Fset: token.NewFileSet(), allow: map[string]map[int][]string{}}
+	src := `package p
+
+//cdlvet:allow determinism -- justified
+var a = 1
+
+//cdlvet:allow lockcheck,goctx -- two analyzers, one waiver
+var b = 2
+`
+	f, err := parser.ParseFile(m.Fset, "/m/x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.scanDirectives("/m/x.go", f)
+
+	// Waived on the directive's own line and the line below it.
+	if !m.allowed(Finding{Analyzer: "determinism", File: "x.go", Line: 4}) {
+		t.Error("directive on the line above did not waive the finding")
+	}
+	if !m.allowed(Finding{Analyzer: "determinism", File: "x.go", Line: 3}) {
+		t.Error("directive on the finding's own line did not waive it")
+	}
+	if !m.allowed(Finding{Analyzer: "goctx", File: "x.go", Line: 7}) {
+		t.Error("comma-separated analyzer list not honored")
+	}
+	if m.allowed(Finding{Analyzer: "ctxflow", File: "x.go", Line: 4}) {
+		t.Error("waiver leaked to an analyzer it does not name")
+	}
+	if m.allowed(Finding{Analyzer: "determinism", File: "x.go", Line: 6}) {
+		t.Error("waiver leaked to an unrelated line")
+	}
+	if got := m.MalformedDirectives(); len(got) != 0 {
+		t.Errorf("well-formed directives reported as malformed: %v", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []Finding{
+		{Analyzer: "determinism", File: "a.go", Line: 3, Col: 2, Message: "msg one"},
+		{Analyzer: "lockcheck", File: "b.go", Line: 9, Col: 1, Message: "msg two"},
+	}
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d baseline entries, want 2", len(entries))
+	}
+
+	// One finding fixed, one new: the fixed entry goes stale, the new
+	// finding stays fresh, the surviving match is baselined.
+	current := []Finding{
+		findings[0],
+		{Analyzer: "goctx", File: "c.go", Line: 1, Col: 1, Message: "brand new"},
+	}
+	fresh, baselined, stale := ApplyBaseline(current, entries)
+	if len(fresh) != 1 || fresh[0].Analyzer != "goctx" {
+		t.Errorf("fresh = %v, want the goctx finding", fresh)
+	}
+	if len(baselined) != 1 || baselined[0].Analyzer != "determinism" {
+		t.Errorf("baselined = %v, want the determinism finding", baselined)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "lockcheck" {
+		t.Errorf("stale = %v, want the lockcheck entry", stale)
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	entries, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing baseline: got (%v, %v), want (nil, nil)", entries, err)
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		rel      string
+		want     bool
+	}{
+		{nil, "internal/nn", true},
+		{[]string{"./..."}, "internal/nn", true},
+		{[]string{"./..."}, "", true},
+		{[]string{"./internal/..."}, "internal/serve", true},
+		{[]string{"./internal/..."}, "cmd/cdlvet", false},
+		{[]string{"./internal/serve"}, "internal/serve", true},
+		{[]string{"./internal/serve"}, "internal/serve2", false},
+		{[]string{"./internal/serve/..."}, "internal/serve", true},
+		{[]string{"./cmd/cdlvet", "./internal/nn"}, "internal/nn", true},
+	}
+	for _, c := range cases {
+		if got := matchPatterns(c.patterns, c.rel); got != c.want {
+			t.Errorf("matchPatterns(%v, %q) = %v, want %v", c.patterns, c.rel, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cdl
+
+go 1.22

@@ -1,0 +1,101 @@
+// Package core stubs the bit-pinned compute tier: every determinism
+// fixture lives here (internal/core is both order-pinned and pure-compute).
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cdl/internal/obs"
+)
+
+// BadWalk ranges over a map where iteration order reaches the output.
+func BadWalk(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want:determinism "range over map m: iteration order is nondeterministic"
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodWalk collects keys then sorts — the sanctioned map-walk shape.
+func GoodWalk(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadClock reads the wall clock outside any observability gate.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want:determinism "time.Now in a pure-compute package"
+}
+
+// GoodClock reads the clock only under the profiling gate.
+func GoodClock() int64 {
+	if obs.ProfilingEnabled() {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+// GoodClockHoisted uses the hoisted-gate idiom
+// (prof := obs.ProfilingEnabled(); if prof { ... }).
+func GoodClockHoisted() int64 {
+	prof := obs.ProfilingEnabled()
+	var t int64
+	if prof {
+		t = time.Now().UnixNano()
+	}
+	return t
+}
+
+// GoodClockNilGate reads the clock under an observer nil-check.
+func GoodClockNilGate(observer func(int64)) {
+	if observer != nil {
+		observer(time.Now().UnixNano())
+	}
+}
+
+// AllowedClock is waived inline; the directive must swallow the finding.
+func AllowedClock() int64 {
+	//cdlvet:allow determinism -- fixture: verifies the inline waiver mechanism
+	return time.Now().UnixNano()
+}
+
+// BadRand draws from the process-global source.
+func BadRand() float64 {
+	return rand.Float64() // want:determinism "package-level math/rand call"
+}
+
+// GoodRand threads a seeded source.
+func GoodRand(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// GoodRandNew constructs a seeded source: the constructors are
+// deterministic given their seed.
+func GoodRandNew(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// BadFMA fuses rounding and diverges from pinned mul-then-add sums.
+func BadFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want:determinism "math.FMA fuses rounding"
+}
+
+// GoodMulAdd is the reference shape.
+func GoodMulAdd(a, b, c float64) float64 {
+	return a*b + c
+}
+
+// The directive below is malformed (no "-- reason" tail); the driver must
+// surface it rather than silently ignoring it.
+//
+//cdlvet:allow determinism
+var zero = 0

@@ -1,0 +1,30 @@
+// Package fleet stubs the router tier: metric-name fixtures for the
+// obshygiene Prom-sink analysis.
+package fleet
+
+import "cdl/internal/obs"
+
+// emit exercises every metric-name rule against the Prom sinks directly.
+func emit(p *obs.Prom) {
+	p.Counter("cdl_requests_total", "", nil, 1)
+	p.Counter("cdl_requests", "", nil, 1) // want:obshygiene "counter .cdl_requests. must end in _total"
+	p.Gauge("cdl_queue_depth", "", nil, 0)
+	p.Gauge("cdl_queue_total", "", nil, 0) // want:obshygiene "must not end in _total"
+	p.Histogram("cdl_latency_ms", "", nil, nil, nil, 0, 0)
+	p.Histogram("cdl_latency", "", nil, nil, nil, 0, 0) // want:obshygiene "must carry a unit suffix"
+	p.Counter("CDL_bad__name_total", "", nil, 1)        // want:obshygiene "violates Prometheus naming rules"
+	p.Counter("cdl_widget_count", "", nil, 1)           // want:obshygiene "reserved histogram suffix"
+}
+
+// observe forwards its name parameter into a histogram sink: the analyzer
+// treats it as a sink itself, so its call sites are checked instead.
+func observe(p *obs.Prom, name string, sum float64) {
+	p.Histogram(name, "", nil, nil, nil, sum, 1)
+}
+
+// emitForwarded exercises the forwarding-sink fixpoint.
+func emitForwarded(p *obs.Prom, model string) {
+	observe(p, "cdl_router_latency_ms", 1)
+	observe(p, "cdl_router_latency", 1) // want:obshygiene "must carry a unit suffix"
+	observe(p, "cdl_"+model+"_ms", 1)   // want:obshygiene "not a compile-time constant"
+}

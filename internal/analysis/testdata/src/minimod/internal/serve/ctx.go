@@ -1,0 +1,72 @@
+// Context-propagation (ctxflow) and goroutine-hygiene (goctx) fixtures.
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+// BadBackground mints a fresh root below a serving root.
+func BadBackground(ctx context.Context) context.Context {
+	return context.Background() // want:ctxflow "context.Background"
+}
+
+// BadTODO reaches for TODO with a ctx in scope.
+func BadTODO(ctx context.Context) context.Context {
+	return context.TODO() // want:ctxflow "context.TODO"
+}
+
+// BadRequest builds an outbound request without the in-scope context.
+func BadRequest(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want:ctxflow "http.NewRequest below a serving root"
+}
+
+// BadCapture: the literal inherits the enclosing scope's ctx, so a fresh
+// root inside it is still a violation.
+func BadCapture(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.Background() // want:ctxflow "context.Background"
+	}
+}
+
+// GoodRequest threads the context.
+func GoodRequest(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// Root has no context anywhere in scope: minting one is what makes it a
+// root.
+func Root() context.Context {
+	return context.Background()
+}
+
+// BadSpawn captures ctx but never observes its cancellation.
+func BadSpawn(ctx context.Context, work func()) {
+	go func() { // want:goctx "goroutine captures a context but never observes it"
+		_ = ctx
+		work()
+	}()
+}
+
+// GoodSpawnSelect observes cancellation.
+func GoodSpawnSelect(ctx context.Context, work func()) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		default:
+			work()
+		}
+	}()
+}
+
+// GoodSpawnDelegate hands the context on to a callee.
+func GoodSpawnDelegate(ctx context.Context, work func(context.Context)) {
+	go func() {
+		work(ctx)
+	}()
+}
+
+// GoodSpawnPlain never touches a context: lifecycle is managed elsewhere.
+func GoodSpawnPlain(work func()) {
+	go func() { work() }()
+}

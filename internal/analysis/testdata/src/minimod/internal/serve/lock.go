@@ -1,0 +1,47 @@
+// Lock-discipline fixtures: the `// guarded by mu` annotation and its
+// sanctioned exemptions.
+package serve
+
+import "sync"
+
+// counter is the lockcheck fixture struct.
+type counter struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+}
+
+// Good locks before touching the guarded field.
+func (c *counter) Good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+}
+
+// Bad touches the guarded field without the lock.
+func (c *counter) Bad() int {
+	return c.hits // want:lockcheck "counter.hits is guarded by mu but accessed without"
+}
+
+// BadGoroutine takes the lock in the outer function, but the goroutine
+// body is a fresh lock scope and must acquire the mutex itself.
+func (c *counter) BadGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.hits++ // want:lockcheck "counter.hits is guarded by mu"
+	}()
+}
+
+// readLocked relies on the *Locked naming convention.
+func (c *counter) readLocked() int { return c.hits }
+
+// peek reports hits. Callers hold mu.
+func (c *counter) peek() int { return c.hits }
+
+// fresh constructs a new counter: values no other goroutine can see yet
+// need no lock.
+func fresh() *counter {
+	c := &counter{}
+	c.hits = 1
+	return c
+}

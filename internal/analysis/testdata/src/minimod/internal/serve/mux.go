@@ -1,0 +1,32 @@
+// Observability-hygiene fixtures: mux wrapping.
+package serve
+
+import (
+	"net/http"
+
+	"cdl/internal/obs"
+)
+
+// wrappedServer wires its mux through obs.Middleware.
+type wrappedServer struct {
+	mux     *http.ServeMux
+	handler http.Handler
+}
+
+func newWrappedServer(slow *obs.SlowLog) *wrappedServer {
+	s := &wrappedServer{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	s.handler = obs.Middleware(s.mux, slow)
+	return s
+}
+
+// nakedServer registers handlers but never wraps the mux.
+type nakedServer struct {
+	mux *http.ServeMux
+}
+
+func newNakedServer() *nakedServer {
+	s := &nakedServer{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {}) // want:obshygiene "never wrapped by obs.Middleware"
+	return s
+}

@@ -88,8 +88,8 @@ type Window struct {
 	mu       sync.Mutex
 	cfg      WindowConfig
 	numExits int
-	buckets  []wbucket
-	cur      int
+	buckets  []wbucket // guarded by mu
+	cur      int       // guarded by mu
 }
 
 // NewWindow returns an empty window for a cascade with numExits exit

@@ -118,14 +118,14 @@ type Server struct {
 	closed   atomic.Bool // flips on Close; /readyz turns 503
 	started  time.Time
 	mu       sync.Mutex
-	acc      *energy.TieredAccumulator
-	requests int64
-	invalid  int64
-	rejected int64
-	cloudErr int64
-	images   int64
-	local    int64
-	offload  int64
+	acc      *energy.TieredAccumulator // guarded by mu
+	requests int64                     // guarded by mu
+	invalid  int64                     // guarded by mu
+	rejected int64                     // guarded by mu
+	cloudErr int64                     // guarded by mu
+	images   int64                     // guarded by mu
+	local    int64                     // guarded by mu
+	offload  int64                     // guarded by mu
 	// lat is the cumulative whole-request latency histogram (local exits
 	// and cloud round trips alike), guarded by mu.
 	lat *control.Histogram
@@ -135,9 +135,9 @@ type Server struct {
 	// no-δ requests currently inherit.
 	window     *control.Window
 	ctrlMu     sync.Mutex
-	ctrl       *control.Controller
-	lastSample control.Sample
-	lastSnap   control.Snapshot
+	ctrl       *control.Controller // guarded by ctrlMu
+	lastSample control.Sample      // guarded by ctrlMu
+	lastSnap   control.Snapshot    // guarded by ctrlMu
 	controlled atomic.Pointer[core.ExitPolicy]
 	stopCtrl   chan struct{}
 	ctrlDone   chan struct{}
@@ -296,11 +296,11 @@ func (s *Server) controlTick() {
 // controlStatus snapshots the controller (nil when no SLO is attached),
 // in the same wire shape as the cloud registry's.
 func (s *Server) controlStatus() *serve.ControlStatus {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
 	if s.ctrl == nil {
 		return nil
 	}
-	s.ctrlMu.Lock()
-	defer s.ctrlMu.Unlock()
 	st := s.ctrl.State()
 	delta := st.Policy.Delta
 	if delta < 0 {

@@ -181,7 +181,11 @@ func GainReport(ctx *Context) (string, error) {
 	}
 	var b strings.Builder
 	b.WriteString("Algorithm 1 gain-rule decisions (Eq. 1)\n")
-	for name, rep := range map[string]*core.Report{"MNIST_2C": rep2, "MNIST_3C": rep3} {
+	for _, entry := range []struct {
+		name string
+		rep  *core.Report
+	}{{"MNIST_2C", rep2}, {"MNIST_3C", rep3}} {
+		name, rep := entry.name, entry.rep
 		fmt.Fprintf(&b, "%s (baseline %.0f ops):\n", name, rep.BaselineOps)
 		for _, s := range rep.Stages {
 			fmt.Fprintf(&b, "  %-3s reach=%-5d classify=%-5d lcAcc=%.3f gain=%8.1f ops/input admitted=%v\n",

@@ -18,7 +18,7 @@ import (
 // themselves.
 type routerMetrics struct {
 	mu     sync.Mutex
-	models map[string]*modelMetrics
+	models map[string]*modelMetrics // guarded by mu
 
 	probeErrors  atomic.Int64
 	swaps        atomic.Int64
@@ -42,7 +42,7 @@ type modelMetrics struct {
 	hedgeLosses atomic.Int64
 
 	latMu sync.Mutex
-	lat   *control.Histogram // end-to-end router latency, ms
+	lat   *control.Histogram // guarded by latMu; end-to-end router latency, ms
 }
 
 func newRouterMetrics() *routerMetrics {

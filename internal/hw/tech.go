@@ -72,12 +72,15 @@ func (t Tech) Validate() error {
 	if err := t.Width.Validate(); err != nil {
 		return err
 	}
-	for name, v := range map[string]float64{
-		"EMul": t.EMul, "EAdd": t.EAdd, "ECmp": t.ECmp, "EAct": t.EAct,
-		"ESRAMRead": t.ESRAMRead, "ESRAMWrite": t.ESRAMWrite,
+	for _, e := range []struct {
+		name string
+		v    float64
+	}{
+		{"EMul", t.EMul}, {"EAdd", t.EAdd}, {"ECmp", t.ECmp}, {"EAct", t.EAct},
+		{"ESRAMRead", t.ESRAMRead}, {"ESRAMWrite", t.ESRAMWrite},
 	} {
-		if v <= 0 {
-			return fmt.Errorf("hw: %s = %v must be positive", name, v)
+		if e.v <= 0 {
+			return fmt.Errorf("hw: %s = %v must be positive", e.name, e.v)
 		}
 	}
 	if t.LeakagePower < 0 {

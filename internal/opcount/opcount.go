@@ -81,6 +81,9 @@ func LayerOps(l nn.Layer, inShape []int) LayerBreakdown {
 		b.Adds = float64(outN)
 	case *nn.Flatten:
 		// free: a reshape moves no data in this implementation
+	case *nn.Dropout:
+		// free at inference: the layer is the identity outside training
+		// mode, and the OPS metric costs inference passes only
 	default:
 		panic(fmt.Sprintf("opcount: unknown layer type %T", l))
 	}

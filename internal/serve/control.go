@@ -45,13 +45,13 @@ type entryControl struct {
 	name string
 
 	mu           sync.Mutex
-	ctrl         *control.Controller
-	boundVersion int
+	ctrl         *control.Controller // guarded by mu
+	boundVersion int                 // guarded by mu
 	// boundDepth is the routing graph's max path depth the ladder was
-	// built for (the stage count on linear models).
+	// built for (the stage count on linear models). guarded by mu.
 	boundDepth int
-	lastSnap   control.Snapshot
-	lastSample control.Sample
+	lastSnap   control.Snapshot // guarded by mu
+	lastSample control.Sample   // guarded by mu
 
 	stop chan struct{}
 	done chan struct{}

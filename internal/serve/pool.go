@@ -70,8 +70,8 @@ type pool struct {
 	maxBatch int
 	window   time.Duration
 
-	mu     sync.Mutex // serializes submits; guards closed against close
-	closed bool
+	mu     sync.Mutex // serializes submits
+	closed bool       // guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -154,17 +154,17 @@ type Registry struct {
 	cfg Config
 
 	mu          sync.RWMutex
-	models      map[string]*Model
-	versions    map[string]int // last assigned version per name, survives swaps
-	defaultName string
-	closed      bool
+	models      map[string]*Model // guarded by mu
+	versions    map[string]int    // guarded by mu; last assigned version per name, survives swaps
+	defaultName string            // guarded by mu
+	closed      bool              // guarded by mu
 
 	// ctrlMu guards the per-entry SLO controllers (control.go). Separate
 	// from mu: control ticks must never contend with the request path's
 	// model lookups.
 	ctrlMu     sync.Mutex
-	ctrls      map[string]*entryControl
-	closedCtrl bool
+	ctrls      map[string]*entryControl // guarded by ctrlMu
+	closedCtrl bool                     // guarded by ctrlMu
 }
 
 // NewRegistry returns an empty registry whose models will all be sized by

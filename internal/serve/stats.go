@@ -29,21 +29,24 @@ const (
 type metrics struct {
 	mu        sync.Mutex
 	started   time.Time
-	requests  int64 // classify + resume requests admitted
-	resumes   int64 // resume requests admitted (edge offloads)
-	rejected  int64 // 503s (queue full / shutting down / reload churn)
-	rejFull   int64 // 503s from a full work queue
-	rejClosed int64 // 503s from a draining/closed pool
-	rejChurn  int64 // 503s from hot-swap churn outrunning dispatch retries
-	invalid   int64 // 4xx classify/resume requests
-	cancelled int64 // requests whose context died before completion
-	images    int64
+	requests  int64 // guarded by mu; classify + resume requests admitted
+	resumes   int64 // guarded by mu; resume requests admitted (edge offloads)
+	rejected  int64 // guarded by mu; 503s (queue full / shutting down / reload churn)
+	rejFull   int64 // guarded by mu; 503s from a full work queue
+	rejClosed int64 // guarded by mu; 503s from a draining/closed pool
+	rejChurn  int64 // guarded by mu; 503s from hot-swap churn outrunning dispatch retries
+	invalid   int64 // guarded by mu; 4xx classify/resume requests
+	cancelled int64 // guarded by mu; requests whose context died before completion
+	images    int64 // guarded by mu
 
-	exitNames   []string
-	exitCounts  []int64
-	totalOps    float64
+	exitNames   []string // immutable after construction
+	exitCounts  []int64  // guarded by mu
+	totalOps    float64  // guarded by mu
 	baselineOps float64
-	acc         *energy.Accumulator
+	// acc's pointer is immutable; its counters are mutated and read under
+	// mu (observeBatch / snapshot / promInto take the same critical
+	// section).
+	acc *energy.Accumulator
 	// exitNode maps each global exit index to its graph node, exitOps is
 	// the per-exit path cost, and nodeNames names the nodes — the
 	// per-branch aggregation tables for routed models (len(nodeNames) == 1
@@ -56,9 +59,9 @@ type metrics struct {
 	// wait (enqueue → micro-batch start), service (batch start → batch
 	// done) and their sum. The controller reads the *windowed*
 	// counterparts (Model.window); these are the lifetime /statsz view.
-	queueLat   *control.Histogram
-	serviceLat *control.Histogram
-	totalLat   *control.Histogram
+	queueLat   *control.Histogram // guarded by mu
+	serviceLat *control.Histogram // guarded by mu
+	totalLat   *control.Histogram // guarded by mu
 }
 
 func newMetrics(g *core.Graph, acc *energy.Accumulator) *metrics {
