@@ -53,21 +53,13 @@ func main() {
 	flag.Parse()
 
 	obs.SetProfiling(*profile)
-	if *adminAddr != "" {
-		go func() {
-			fmt.Fprintf(os.Stderr, "cdledge: admin surface on %s\n", *adminAddr)
-			if err := obs.ListenAdmin(*adminAddr); err != nil {
-				fmt.Fprintln(os.Stderr, "cdledge: admin listener:", err)
-			}
-		}()
-	}
-	if err := run(*model, *addr, *cloud, *cloudModel, *encoding, *slo, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
+	if err := run(*model, *addr, *adminAddr, *cloud, *cloudModel, *encoding, *slo, *split, *workers, *delta, *pjByte, *pjOffload); err != nil {
 		fmt.Fprintln(os.Stderr, "cdledge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, cloud, cloudModel, encoding, slo string, split, workers int, delta, pjByte, pjOffload float64) error {
+func run(model, addr, adminAddr, cloud, cloudModel, encoding, slo string, split, workers int, delta, pjByte, pjOffload float64) error {
 	cdln, err := cdl.LoadCDLN(model)
 	if err != nil {
 		return err
@@ -110,6 +102,21 @@ func run(model, addr, cloud, cloudModel, encoding, slo string, split, workers in
 		})
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		// The admin listener carries the observability query surfaces
+		// alongside pprof/expvar: the flight recorder and the burn-rate
+		// state stay reachable even when the data listener is saturated.
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdledge: admin surface on %s\n", adminAddr)
+			err := obs.ListenAdmin(adminAddr,
+				obs.AdminRoute{Pattern: "GET /alertz", Handler: srv.AlertzHandler()},
+				obs.AdminRoute{Pattern: "GET /debug/flightz", Handler: srv.FlightzHandler()},
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdledge: admin listener:", err)
+			}
+		}()
 	}
 
 	stop := make(chan struct{})

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"cdl/internal/fleet"
+	"cdl/internal/obs"
 )
 
 // backendFlag collects repeatable -backend URLs.
@@ -62,20 +63,21 @@ func main() {
 	hedgeMin := flag.Duration("hedge-min", 0, "hedge deadline floor (0 = default 5ms)")
 	hedgeMax := flag.Duration("hedge-max", 0, "hedge deadline ceiling, also used before enough samples exist (0 = default 1s)")
 	loadSource := flag.String("load-source", "", `backend load telemetry: "metricsz" (parse the Prometheus exposition; default) or "statsz" (poll the compact /statsz?summary=1 JSON)`)
+	adminAddr := flag.String("admin-addr", "", "separate listen address for the admin/debug surface (pprof, expvar, fleet /alertz and /debug/flightz); empty = disabled")
 	flag.Parse()
 
 	if len(backends) == 0 {
 		fmt.Fprintln(os.Stderr, "cdlrouter: at least one -backend is required")
 		os.Exit(2)
 	}
-	if err := run(backends, *addr, *probeInterval, *probeTimeout, *reqTimeout,
+	if err := run(backends, *addr, *adminAddr, *probeInterval, *probeTimeout, *reqTimeout,
 		*replicas, *loadFactor, *hedge, *hedgeMin, *hedgeMax, *loadSource); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlrouter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(backends []string, addr string, probeInterval, probeTimeout, reqTimeout time.Duration,
+func run(backends []string, addr, adminAddr string, probeInterval, probeTimeout, reqTimeout time.Duration,
 	replicas int, loadFactor float64, hedge bool, hedgeMin, hedgeMax time.Duration, loadSource string) error {
 	rt, err := fleet.New(fleet.Config{
 		Backends:       backends,
@@ -91,6 +93,21 @@ func run(backends []string, addr string, probeInterval, probeTimeout, reqTimeout
 	})
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		// The admin listener mirrors the serving tiers: the fleet alert
+		// view and the router's flight recorder stay reachable even when
+		// the front door is saturated.
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdlrouter: admin surface on %s\n", adminAddr)
+			err := obs.ListenAdmin(adminAddr,
+				obs.AdminRoute{Pattern: "GET /alertz", Handler: rt.AlertzHandler()},
+				obs.AdminRoute{Pattern: "GET /debug/flightz", Handler: rt.FlightzHandler()},
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdlrouter: admin listener:", err)
+			}
+		}()
 	}
 
 	stop := make(chan struct{})

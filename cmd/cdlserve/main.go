@@ -95,21 +95,13 @@ func main() {
 		models.entries = []modelEntry{{serve.DefaultModelName, "model.cdln"}}
 	}
 	obs.SetProfiling(*profile)
-	if *adminAddr != "" {
-		go func() {
-			fmt.Fprintf(os.Stderr, "cdlserve: admin surface on %s\n", *adminAddr)
-			if err := obs.ListenAdmin(*adminAddr); err != nil {
-				fmt.Fprintln(os.Stderr, "cdlserve: admin listener:", err)
-			}
-		}()
-	}
-	if err := run(models.entries, *addr, *workers, *queue, *batch, *window, *delta, *defName, *slo, *sloInterval); err != nil {
+	if err := run(models.entries, *addr, *adminAddr, *workers, *queue, *batch, *window, *delta, *defName, *slo, *sloInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(models []modelEntry, addr string, workers, queue, batch int, window time.Duration, delta float64, defName, slo string, sloInterval time.Duration) error {
+func run(models []modelEntry, addr, adminAddr string, workers, queue, batch int, window time.Duration, delta float64, defName, slo string, sloInterval time.Duration) error {
 	reg := serve.NewRegistry(serve.Config{
 		Workers:         workers,
 		QueueDepth:      queue,
@@ -160,6 +152,21 @@ func run(models []modelEntry, addr string, workers, queue, batch int, window tim
 	srv, err := serve.NewWithRegistry(reg)
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		// The admin listener carries the observability query surfaces
+		// alongside pprof/expvar: the flight recorder and the burn-rate
+		// state stay reachable even when the data listener is saturated.
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdlserve: admin surface on %s\n", adminAddr)
+			err := obs.ListenAdmin(adminAddr,
+				obs.AdminRoute{Pattern: "GET /alertz", Handler: srv.AlertzHandler()},
+				obs.AdminRoute{Pattern: "GET /debug/flightz", Handler: srv.FlightzHandler()},
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdlserve: admin listener:", err)
+			}
+		}()
 	}
 
 	stop := make(chan struct{})

@@ -112,6 +112,7 @@ func main() {
 	peak := flag.Float64("peak", 0, "open-loop peak offered rate, images/sec (0 = 5x -rate)")
 	duration := flag.Duration("duration", 30*time.Second, "open-loop run length")
 	traceSample := flag.Int("trace-sample", 0, "after the run, send N traced single-image requests and print their span timelines plus a slowest-trace summary")
+	flight := flag.Bool("flight", false, "after the run, query the server's /debug/flightz flight recorder and /alertz burn-rate monitor and print the slowest retained traces plus the alert timeline")
 	router := flag.Int("router", 0, "self-hosted fleet bench: boot N in-process cdlserve backends plus the cdlrouter front door on loopback and measure direct vs routed vs hedged phases (ignores -addr; needs N ≥ 2)")
 	benchOut := flag.String("bench-out", "", `write the -router bench document here (e.g. "BENCH_fleet.json"; empty = print only)`)
 	stragglerEvery := flag.Int64("straggler-every", 16, "-router: stall every K'th classify per backend (the injected straggler fraction is 1/K)")
@@ -153,10 +154,141 @@ func main() {
 		}
 		err = sampleTraces(*addr, first, *traceSample, *delta, *seed)
 	}
+	if err == nil && *flight {
+		err = flightReport(*addr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
+}
+
+// Wire mirrors of the server's /debug/flightz and /alertz documents
+// (internal/obs.FlightzResponse, internal/control.AlertzReport) — only the
+// fields the report prints.
+type flightzDoc struct {
+	Tier    string `json:"tier"`
+	Enabled bool   `json:"enabled"`
+	Models  map[string]struct {
+		Seen      int64 `json:"seen"`
+		Sampled   int64 `json:"sampled"`
+		Anomalous int64 `json:"anomalous"`
+	} `json:"models"`
+	Records []struct {
+		TraceID   string   `json:"trace_id"`
+		Model     string   `json:"model"`
+		NodePath  string   `json:"node_path"`
+		ExitIndex int      `json:"exit_index"`
+		TotalMS   float64  `json:"total_ms"`
+		Outcome   string   `json:"outcome"`
+		Anomalies []string `json:"anomalies"`
+		Spans     []span   `json:"spans"`
+	} `json:"records"`
+	Snapshots []struct {
+		Reason       string  `json:"reason"`
+		Model        string  `json:"model"`
+		Rung         int     `json:"rung"`
+		P99LatencyMS float64 `json:"p99_latency_ms"`
+	} `json:"snapshots"`
+}
+
+type alertzDoc struct {
+	Tier   string `json:"tier"`
+	Active bool   `json:"active"`
+	Models map[string]struct {
+		Active bool `json:"active"`
+		Fast   struct {
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"fast"`
+		Slow struct {
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"slow"`
+		History []struct {
+			Alert    string  `json:"alert"`
+			Active   bool    `json:"active"`
+			AtUnixNS int64   `json:"at_unix_ns"`
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"history"`
+	} `json:"models"`
+}
+
+// flightReport pulls the server's retained flight evidence after a run:
+// the slowest tail-retained traces (with their anomaly tags and span
+// counts), any controller rung-down snapshots, and the burn-rate alert
+// timeline — the same walk the README's triage quickstart does by hand.
+func flightReport(addr string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var fd flightzDoc
+	resp, err := client.Get(addr + "/debug/flightz?limit=64")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fd)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode /debug/flightz: %v", err)
+	}
+	fmt.Printf("\nflight recorder (%s tier, enabled=%v):\n", fd.Tier, fd.Enabled)
+	var names []string
+	for m := range fd.Models {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		st := fd.Models[m]
+		fmt.Printf("  %s: %d seen, %d sampled, %d anomalous retained\n", m, st.Seen, st.Sampled, st.Anomalous)
+	}
+	sort.Slice(fd.Records, func(i, j int) bool { return fd.Records[i].TotalMS > fd.Records[j].TotalMS })
+	top := fd.Records
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	if len(top) > 0 {
+		fmt.Println("slowest retained traces:")
+		for _, r := range top {
+			anom := "-"
+			if len(r.Anomalies) > 0 {
+				anom = strings.Join(r.Anomalies, ",")
+			}
+			fmt.Printf("  %8.3fms  %-10s exit=%-2d node=%-14s spans=%-3d anomalies=%-22s %s\n",
+				r.TotalMS, r.Outcome, r.ExitIndex, r.NodePath, len(r.Spans), anom, r.TraceID)
+		}
+	}
+	for _, s := range fd.Snapshots {
+		fmt.Printf("rung-down snapshot: %s model=%s rung=%d windowed p99=%.2fms\n",
+			s.Reason, s.Model, s.Rung, s.P99LatencyMS)
+	}
+
+	var ad alertzDoc
+	resp, err = client.Get(addr + "/alertz")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ad)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode /alertz: %v", err)
+	}
+	fmt.Printf("alerts (%s tier): active=%v\n", ad.Tier, ad.Active)
+	names = names[:0]
+	for m := range ad.Models {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		st := ad.Models[m]
+		fmt.Printf("  %s: active=%v fast_burn=%.2f slow_burn=%.2f\n", m, st.Active, st.Fast.BurnRate, st.Slow.BurnRate)
+		for _, tr := range st.History {
+			verb := "cleared"
+			if tr.Active {
+				verb = "fired"
+			}
+			fmt.Printf("    %s  %s window %s (burn %.2f)\n",
+				time.Unix(0, tr.AtUnixNS).Format("15:04:05.000"), tr.Alert, verb, tr.BurnRate)
+		}
+	}
+	return nil
 }
 
 // sampleTraces sends n traced single-image requests (each with a distinct

@@ -30,3 +30,17 @@ func (p *Prom) Gauge(name, help string, labels Labels, v float64) {}
 // Histogram records a histogram snapshot.
 func (p *Prom) Histogram(name, help string, labels Labels, bounds []float64, counts []int64, sum float64, count int64) {
 }
+
+// AdminMux mirrors the real admin-listener builder. The obs package itself
+// is exempt from the mux-wrapping rule (the admin surface must stay
+// reachable even when the data path's middleware stack is saturated), so
+// these /alertz and /debug/flightz registrations produce no finding.
+func AdminMux(routes map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /alertz", func(w http.ResponseWriter, r *http.Request) {})
+	mux.Handle("GET /debug/flightz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for pattern, h := range routes {
+		mux.Handle(pattern, h)
+	}
+	return mux
+}

@@ -16,6 +16,8 @@ type wrappedServer struct {
 func newWrappedServer(slow *obs.SlowLog) *wrappedServer {
 	s := &wrappedServer{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	s.mux.HandleFunc("GET /alertz", func(w http.ResponseWriter, r *http.Request) {})
+	s.mux.Handle("GET /debug/flightz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	s.handler = obs.Middleware(s.mux, slow)
 	return s
 }
@@ -28,5 +30,19 @@ type nakedServer struct {
 func newNakedServer() *nakedServer {
 	s := &nakedServer{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {}) // want:obshygiene "never wrapped by obs.Middleware"
+	return s
+}
+
+// nakedFlightServer exposes the flight-recorder and alert query surfaces
+// on a data mux without the middleware wrap — the exact regression the
+// obshygiene rule exists to catch on serving tiers.
+type nakedFlightServer struct {
+	mux *http.ServeMux
+}
+
+func newNakedFlightServer() *nakedFlightServer {
+	s := &nakedFlightServer{mux: http.NewServeMux()}
+	s.mux.Handle("GET /debug/flightz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})) // want:obshygiene "never wrapped by obs.Middleware"
+	s.mux.HandleFunc("GET /alertz", func(w http.ResponseWriter, r *http.Request) {})
 	return s
 }

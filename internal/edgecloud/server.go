@@ -3,6 +3,7 @@ package edgecloud
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -142,6 +143,20 @@ type Server struct {
 	stopCtrl   chan struct{}
 	ctrlDone   chan struct{}
 	closeOnce  sync.Once
+
+	// Flight recorder and burn-rate monitor (the edge observability
+	// plane): flights backs /debug/flightz, flight is the single model's
+	// ring, alert is nil without an SLO (no latency target to classify
+	// against). flightName labels both surfaces.
+	flights    *obs.FlightSet
+	flight     *obs.FlightRecorder
+	flightName string
+	alert      *control.AlertMonitor
+	ctrlRung   atomic.Int32
+	// liveP99Bits/liveP99AtNS cache the window's p99 for the flight
+	// recorder's anomaly gate (refreshed at most every 250ms).
+	liveP99Bits atomic.Uint64
+	liveP99AtNS atomic.Int64
 }
 
 // NewServer builds cfg.Workers Edge runtimes, each with its own transport
@@ -195,6 +210,12 @@ func NewGraphServer(g *core.Graph, newTransport func() (Transport, error), edgeC
 		}
 		s.edges <- e
 	}
+	s.flightName = cfg.ModelName
+	if s.flightName == "" {
+		s.flightName = "edge"
+	}
+	s.flights = obs.NewFlightSet("edge", obs.FlightConfig{})
+	s.flight = s.flights.Recorder(s.flightName)
 	if cfg.SLO.Active() {
 		ladder := edgeLadder(g.MaxDepth(), edgeCfg.SplitStage, cfg.SLO.AccuracyFloorDelta)
 		ctrl, err := control.New(cfg.SLO, ladder, control.Config{Interval: cfg.ControlInterval})
@@ -206,6 +227,7 @@ func NewGraphServer(g *core.Graph, newTransport func() (Transport, error), edgeC
 			Buckets: buckets, BucketDur: cfg.ControlWindow / time.Duration(buckets),
 		})
 		s.ctrl = ctrl
+		s.alert = control.NewAlertMonitor(control.AlertConfig{})
 		s.stopCtrl = make(chan struct{})
 		s.ctrlDone = make(chan struct{})
 		go s.controlLoop()
@@ -216,6 +238,8 @@ func NewGraphServer(g *core.Graph, newTransport func() (Transport, error), edgeC
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /alertz", s.handleAlertz)
+	s.mux.Handle("GET /debug/flightz", s.flights.Handler())
 	s.slow = obs.NewSlowLog()
 	s.handler = obs.Middleware(s.mux, s.slow)
 	return s, nil
@@ -286,10 +310,144 @@ func (s *Server) controlTick() {
 	dec := s.ctrl.Step(sample)
 	s.lastSample, s.lastSnap = sample, snap
 	s.ctrlMu.Unlock()
+	s.ctrlRung.Store(int32(dec.Rung))
+	if dec.Action == control.ActionShallow {
+		// The controller just tightened the offload split — freeze the
+		// flight evidence that drove the degradation.
+		s.flight.Snapshot("rung_down", s.flightName, dec.Rung, snap.P99LatencyMS, time.Now().UnixNano())
+	}
 	cur := s.controlled.Load()
 	if cur == nil || !cur.Equal(dec.Policy) {
 		p := dec.Policy
 		s.controlled.Store(&p)
+	}
+}
+
+// FlightzHandler returns the /debug/flightz query handler for the admin
+// listener (obs.AdminRoute).
+func (s *Server) FlightzHandler() http.Handler { return s.flights.Handler() }
+
+// AlertzHandler returns the /alertz burn-rate view for the admin
+// listener.
+func (s *Server) AlertzHandler() http.Handler { return http.HandlerFunc(s.handleAlertz) }
+
+// AlertReport assembles the edge tier's /alertz document (empty Models
+// when no SLO — an unmonitored edge never pages).
+func (s *Server) AlertReport() control.AlertzReport {
+	rep := control.AlertzReport{Tier: "edge", Models: make(map[string]control.AlertStatus)}
+	if s.alert != nil {
+		st := s.alert.Status()
+		rep.Models[s.flightName] = st
+		rep.Active = st.Active
+	}
+	return rep
+}
+
+func (s *Server) handleAlertz(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, s.AlertReport())
+}
+
+// liveP99 returns the cached window p99 (0 without an SLO window),
+// re-snapshotting at most every 250ms.
+func (s *Server) liveP99(nowNS int64) float64 {
+	if s.window == nil {
+		return 0
+	}
+	const refreshNS = int64(250 * time.Millisecond)
+	if at := s.liveP99AtNS.Load(); nowNS-at > refreshNS && s.liveP99AtNS.CompareAndSwap(at, nowNS) {
+		s.liveP99Bits.Store(math.Float64bits(s.window.Snapshot().P99LatencyMS))
+	}
+	return math.Float64frombits(s.liveP99Bits.Load())
+}
+
+// flightShed records one rejected or failed request (always
+// tail-retained) and charges its images against the burn-rate monitor.
+func (s *Server) flightShed(tr *obs.Trace, outcome, cause string, images int) {
+	s.alert.Observe(0, int64(images))
+	if !obs.FlightEnabled() {
+		return
+	}
+	rec := obs.FlightRecord{
+		Model:       s.flightName,
+		Rung:        int(s.ctrlRung.Load()),
+		ExitIndex:   -1,
+		BatchSize:   images,
+		Outcome:     outcome,
+		RejectCause: cause,
+		Anomalies:   []string{obs.AnomalyShed},
+		StartUnixNS: time.Now().UnixNano(),
+	}
+	if outcome == obs.FlightError {
+		rec.Anomalies = []string{obs.AnomalyError}
+	}
+	if tr != nil {
+		rec.TraceID = tr.ID()
+		rec.Spans = tr.Spans()
+	}
+	s.flight.Record(rec)
+}
+
+// observeFlight offers one finished request's images to the flight
+// recorder and classifies them against the burn-rate monitor. The node
+// path records which tier resolved each image — "edge" for local exits,
+// "edge->cloud" for offloads.
+func (s *Server) observeFlight(tr *obs.Trace, explicit bool, results []Result, elapsedMS float64) {
+	if s.alert != nil {
+		var good, bad int64
+		for range results {
+			if elapsedMS > s.cfg.SLO.P99LatencyMs {
+				bad++
+			} else {
+				good++
+			}
+		}
+		s.alert.Observe(good, bad)
+	}
+	if !obs.FlightEnabled() {
+		return
+	}
+	now := time.Now()
+	nowNS := now.UnixNano()
+	p99 := s.liveP99(nowNS)
+	deepest := s.graph.NumExits() - 1
+	rung := int(s.ctrlRung.Load())
+	source := "default"
+	switch {
+	case explicit:
+		source = "explicit"
+	case s.controlled.Load() != nil:
+		source = "controller"
+	}
+	startNS := nowNS - int64(elapsedMS*float64(time.Millisecond))
+	for _, res := range results {
+		rec := obs.FlightRecord{
+			Model:        s.flightName,
+			Rung:         rung,
+			PolicySource: source,
+			ExitIndex:    res.Record.StageIndex,
+			NodePath:     "edge",
+			TotalMS:      elapsedMS,
+			BatchSize:    len(results),
+			EnergyPJ:     res.TotalPJ(),
+			Outcome:      obs.FlightOK,
+			StartUnixNS:  startNS,
+		}
+		if res.Offloaded {
+			rec.NodePath = "edge->cloud"
+		}
+		if (p99 > 0 && elapsedMS > p99) || (s.alert != nil && elapsedMS > s.cfg.SLO.P99LatencyMs) {
+			rec.Anomalies = append(rec.Anomalies, obs.AnomalyP99)
+		}
+		if res.Record.StageIndex == deepest {
+			rec.Anomalies = append(rec.Anomalies, obs.AnomalyDeepExit)
+		}
+		if tr != nil {
+			rec.TraceID = tr.ID()
+			if len(rec.Anomalies) > 0 {
+				rec.Spans = tr.Spans()
+			}
+		}
+		s.flight.Record(rec)
 	}
 }
 
@@ -444,6 +602,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			if s.window != nil {
 				s.window.Sheds(len(images))
 			}
+			s.flightShed(obs.FromContext(r.Context()), obs.FlightShed, "workers_busy", len(images))
 			serve.WriteShed(w, "all edge workers busy")
 			return
 		}
@@ -467,6 +626,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.cloudErr++
 		s.mu.Unlock()
+		s.flightShed(tr, obs.FlightError, "cloud_error", len(images))
 		serve.WriteError(w, http.StatusBadGateway, err.Error())
 		return
 	}
@@ -493,6 +653,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		s.window.ObserveBatch(samples)
 	}
+	s.observeFlight(tr, req.Delta != nil, results, elapsedMS)
 
 	resp := serve.ClassifyResponse{Results: make([]serve.ClassifyResult, len(results)), Count: len(results)}
 	for i, res := range results {
@@ -585,9 +746,16 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	ctrl := s.controlStatus() // ctrlMu domain — fetch outside s.mu
 	busy := float64(s.cfg.Workers - len(s.edges))
 	p := obs.NewProm()
+	p.Gauge("cdl_build_info", "Build identity (constant 1; the identity lives in the labels).", obs.BuildInfoLabels("edge"), 1)
 	p.Gauge("cdl_uptime_seconds", "Seconds since the edge front started.", nil, time.Since(s.started).Seconds())
 	p.Gauge("cdl_tracing_enabled", "Whether request tracing is on (1) or off (0).", nil, func() float64 {
 		if obs.Enabled() {
+			return 1
+		}
+		return 0
+	}())
+	p.Gauge("cdl_flight_enabled", "Whether the flight recorder is on (1) or off (0).", nil, func() float64 {
+		if obs.FlightEnabled() {
 			return 1
 		}
 		return 0
@@ -622,6 +790,22 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		p.Gauge("cdl_control_queue_frac", "Busy-worker fraction at the controller's last tick.", nil, ctrl.QueueFrac)
 		p.Counter("cdl_control_violations_total", "Controller ticks that observed an SLO violation.", nil, float64(ctrl.Violations))
 	}
+	if s.alert != nil {
+		st := s.alert.Status()
+		active := 0.0
+		if st.Active {
+			active = 1
+		}
+		p.Gauge("cdl_alert_active", "Whether any burn-rate window is firing (the page signal).", nil, active)
+		p.Gauge("cdl_alert_fast_burn_rate", "Error-budget burn rate over the fast window (1.0 = exactly on budget).", nil, st.Fast.BurnRate)
+		p.Gauge("cdl_alert_slow_burn_rate", "Error-budget burn rate over the slow window.", nil, st.Slow.BurnRate)
+		p.Counter("cdl_alert_bad_total", "Requests that burned error budget (latency above target, or shed).", nil, float64(st.TotalBad))
+		p.Counter("cdl_alert_good_total", "Requests that met the latency target.", nil, float64(st.TotalGood))
+	}
+	fst := s.flight.Stats()
+	p.Counter("cdl_flight_seen_total", "Requests offered to the flight recorder.", nil, float64(fst.Seen))
+	p.Counter("cdl_flight_anomalous_total", "Requests tail-retained with full span trees.", nil, float64(fst.Anomalous))
+	p.Gauge("cdl_flight_buffered", "Records currently live in the flight ring.", nil, float64(fst.Buffered))
 	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = p.WriteTo(w)

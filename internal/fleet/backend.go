@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cdl/internal/control"
 	"cdl/internal/obs"
 	"cdl/internal/serve"
 )
@@ -52,6 +53,11 @@ type backend struct {
 	requests   atomic.Int64 // forwarded attempts that produced an HTTP response
 	errors     atomic.Int64 // forwarded attempts that died in transport
 	probeFails atomic.Int64 // probe rounds that found the backend unready/unreachable
+
+	// alertz caches the backend's last-probed burn-rate report (nil until
+	// the first successful fetch; best-effort — a backend without /alertz
+	// simply never populates the fleet alert view).
+	alertz atomic.Pointer[control.AlertzReport]
 }
 
 func newBackend(raw string) (*backend, error) {
@@ -119,6 +125,34 @@ func (rt *Router) probeOnce(ctx context.Context, b *backend) {
 		return
 	}
 	b.setLoad(depth, frac, p95)
+	rt.probeAlertz(ctx, b)
+}
+
+// probeAlertz piggybacks the backend's burn-rate state on the probe round:
+// the fleet /alertz view aggregates these cached reports, so a breaching
+// backend surfaces at the front door within one probe interval. Failures
+// are silent — the report just goes stale until the next round.
+func (rt *Router) probeAlertz(ctx context.Context, b *backend) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/alertz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	var rep control.AlertzReport
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProbeBody)).Decode(&rep); err != nil {
+		return
+	}
+	b.alertz.Store(&rep)
 }
 
 // probeReady is the /readyz check: any 200 is ready, everything else

@@ -78,6 +78,8 @@ func (rt *Router) hedged(ctx context.Context, primary, secondary *backend, metho
 					tr.Record("router:pick", start, time.Now(), "backend="+a.res.backend.url+" model="+model)
 				}
 				resolve(a.hedge)
+				a.res.hedged = hedgeSent
+				a.res.hedgeWon = hedgeSent && a.hedge
 				return a.res
 			}
 			// Non-decisive (transport error or 503).
@@ -108,8 +110,10 @@ func (rt *Router) hedged(ctx context.Context, primary, secondary *backend, metho
 				tr.Record("router:hedge", start, time.Now(), "model="+model+" winner=none")
 				resolve(false)
 				if !first.hedge {
+					first.res.hedged = true
 					return first.res
 				}
+				a.res.hedged = true
 				return a.res
 			}
 		case <-timer.C:

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,8 +42,41 @@ type modelMetrics struct {
 	hedgeWins   atomic.Int64
 	hedgeLosses atomic.Int64
 
+	// alert is the router's own availability monitor for this model: a
+	// forwarded 200 is good, a shed or transport failure burns budget. The
+	// latency dimension lives on the backends; the fleet view merges both.
+	alert *control.AlertMonitor
+
+	// liveP99Bits/liveP99AtNS cache the router-observed p99 for the flight
+	// recorder's anomaly gate, refreshed at most every liveP99RefreshNS so
+	// the data path never computes a histogram quantile per request.
+	liveP99Bits atomic.Uint64
+	liveP99AtNS atomic.Int64
+
 	latMu sync.Mutex
 	lat   *control.Histogram // guarded by latMu; end-to-end router latency, ms
+}
+
+// liveP99RefreshNS bounds how often the flight anomaly gate recomputes the
+// router-observed p99 from the latency histogram.
+const liveP99RefreshNS = int64(250 * time.Millisecond)
+
+// liveP99 returns the cached router-observed p99 for this model (0 until
+// enough samples exist), recomputing at most every liveP99RefreshNS.
+func (mm *modelMetrics) liveP99(nowNS int64) float64 {
+	last := mm.liveP99AtNS.Load()
+	if nowNS-last < liveP99RefreshNS {
+		return math.Float64frombits(mm.liveP99Bits.Load())
+	}
+	if !mm.liveP99AtNS.CompareAndSwap(last, nowNS) {
+		return math.Float64frombits(mm.liveP99Bits.Load())
+	}
+	count, p99 := mm.latQuantile(0.99)
+	if count < flightP99MinSamples {
+		p99 = 0
+	}
+	mm.liveP99Bits.Store(math.Float64bits(p99))
+	return p99
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -60,7 +94,10 @@ func (m *routerMetrics) model(name string) *modelMetrics {
 				return mm
 			}
 		}
-		mm = &modelMetrics{lat: control.NewHistogram()}
+		mm = &modelMetrics{
+			lat:   control.NewHistogram(),
+			alert: control.NewAlertMonitor(control.AlertConfig{}),
+		}
 		m.models[name] = mm
 	}
 	return mm
@@ -201,11 +238,21 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, rt.Stats())
 }
 
+// FleetAlertz is the router's /alertz document: its own per-model
+// availability monitors in the shared AlertzReport shape, plus every
+// backend's last-probed burn-rate report keyed by backend URL.
+type FleetAlertz struct {
+	control.AlertzReport
+	Backends map[string]control.AlertzReport `json:"backends,omitempty"`
+}
+
 // handleMetricsz renders the router's Prometheus exposition. Iteration
 // orders are pinned (config order for backends, sorted names for models)
 // so the output is deterministic and golden-testable.
 func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	p := obs.NewProm()
+	p.Gauge("cdl_build_info", "Build identity (constant 1; the identity lives in the labels).", obs.BuildInfoLabels("fleet"), 1)
+	p.Gauge("cdl_flight_enabled", "Whether the flight recorder is on (1) or off (0).", nil, boolGauge(obs.FlightEnabled()))
 	p.Gauge("fleet_backends", "Configured backends.", nil, float64(len(rt.backends)))
 	ready := 0
 	for _, b := range rt.backends {
@@ -224,6 +271,9 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		p.Counter("fleet_backend_requests_total", "Forwarded attempts answered by the backend.", l, float64(b.requests.Load()))
 		p.Counter("fleet_backend_errors_total", "Forwarded attempts that died in transport.", l, float64(b.errors.Load()))
 		p.Counter("fleet_backend_probe_fails_total", "Probe rounds that found the backend unready.", l, float64(b.probeFails.Load()))
+		if rep := b.alertz.Load(); rep != nil {
+			p.Gauge("fleet_backend_alert_active", "1 while the backend's own burn-rate monitor pages (from its last-probed /alertz).", l, boolGauge(rep.Active))
+		}
 	}
 
 	rt.metrics.mu.Lock()
@@ -245,6 +295,16 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		bounds, counts, sum, total := mm.lat.Export(histExportStep)
 		mm.latMu.Unlock()
 		p.Histogram("fleet_latency_ms", "End-to-end router latency, by model.", l, bounds, counts, sum, total)
+		st := mm.alert.Status()
+		p.Gauge("cdl_alert_active", "Whether any router-side burn-rate window is firing for this model.", l, boolGauge(st.Active))
+		p.Gauge("cdl_alert_fast_burn_rate", "Error-budget burn rate over the fast window (1.0 = exactly on budget).", l, st.Fast.BurnRate)
+		p.Gauge("cdl_alert_slow_burn_rate", "Error-budget burn rate over the slow window.", l, st.Slow.BurnRate)
+		p.Counter("cdl_alert_bad_total", "Requests that burned error budget (shed or transport failure).", l, float64(st.TotalBad))
+		p.Counter("cdl_alert_good_total", "Requests forwarded successfully.", l, float64(st.TotalGood))
+		fst := rt.flights.Recorder(name).Stats()
+		p.Counter("cdl_flight_seen_total", "Requests offered to the flight recorder.", l, float64(fst.Seen))
+		p.Counter("cdl_flight_anomalous_total", "Requests tail-retained with full span trees.", l, float64(fst.Anomalous))
+		p.Gauge("cdl_flight_buffered", "Records currently live in the flight ring.", l, float64(fst.Buffered))
 	}
 	rt.metrics.mu.Unlock()
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"cdl/internal/control"
 	"cdl/internal/obs"
 	"cdl/internal/serve"
 )
@@ -141,6 +142,7 @@ type Router struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	slow    *obs.SlowLog
+	flights *obs.FlightSet
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -221,6 +223,9 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStatsz)
 	rt.mux.HandleFunc("GET /metricsz", rt.handleMetricsz)
+	rt.flights = obs.NewFlightSet("fleet", obs.FlightConfig{})
+	rt.mux.HandleFunc("GET /alertz", rt.handleAlertz)
+	rt.mux.Handle("GET /debug/flightz", rt.flights.Handler())
 	rt.slow = obs.NewSlowLog()
 	rt.handler = obs.Middleware(rt.mux, rt.slow)
 
@@ -326,6 +331,11 @@ type attemptResult struct {
 	header  http.Header
 	body    []byte
 	err     error
+	// hedged/hedgeWon carry the hedge outcome up to the flight recorder:
+	// hedged is true when a hedge was launched for this request, hedgeWon
+	// when the hedge's response (not the primary's) was the one used.
+	hedged   bool
+	hedgeWon bool
 }
 
 // decisive reports whether the result should be returned to the client
@@ -400,32 +410,165 @@ func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, model, rout
 	mk := modelKey(model)
 	key := HashRequest(mk, body)
 	chain := rt.pickChain(key)
+	tr := obs.FromContext(r.Context())
 	if len(chain) == 0 {
-		rt.metrics.model(mk).sheds.Add(1)
+		mm := rt.metrics.model(mk)
+		mm.sheds.Add(1)
+		mm.alert.Observe(0, 1)
+		rt.flightShed(tr, mk, "no_backend")
 		serve.WriteShed(w, "no ready backend")
 		return
 	}
-	tr := obs.FromContext(r.Context())
 	traceID := ""
 	if tr.Propagated() {
 		traceID = tr.ID()
 	}
 	start := time.Now()
 	res := rt.dispatch(r.Context(), chain, r.Method, r.URL.RequestURI(), body, mk, route, traceID, tr)
+	elapsedMS := float64(time.Since(start)) / float64(time.Millisecond)
+	mm := rt.metrics.model(mk)
 	if res.err != nil {
-		rt.metrics.model(mk).sheds.Add(1)
+		mm.sheds.Add(1)
+		mm.alert.Observe(0, 1)
+		rt.recordFlight(tr, mm, mk, res, elapsedMS, start)
 		w.Header().Set("Retry-After", "1")
 		serve.WriteError(w, http.StatusBadGateway, fmt.Sprintf("all backends failed: %v", res.err))
 		return
 	}
-	mm := rt.metrics.model(mk)
-	if res.status == http.StatusServiceUnavailable {
+	switch {
+	case res.status == http.StatusServiceUnavailable:
 		mm.sheds.Add(1)
-	} else if res.status == http.StatusOK {
-		mm.observeLatency(float64(time.Since(start)) / float64(time.Millisecond))
+		mm.alert.Observe(0, 1)
+	case res.status == http.StatusOK:
+		mm.observeLatency(elapsedMS)
+		mm.alert.Observe(1, 0)
 	}
 	mm.requests.Add(1)
+	rt.recordFlight(tr, mm, mk, res, elapsedMS, start)
 	writeResult(w, res)
+}
+
+// flightP99MinSamples is how many router-observed latencies a model needs
+// before its live p99 starts tagging AnomalyP99 — below it every early
+// request would look like a tail against an empty histogram.
+const flightP99MinSamples = 50
+
+// recordFlight writes the router-side wide event for one data request.
+// The router's records carry what the front door knows — the backend the
+// answer came from as the node path, the hedge outcome, and the end-to-end
+// router latency — and are tail-retained on sheds, transport errors, hedge
+// losses, and latencies above the model's live p99.
+func (rt *Router) recordFlight(tr *obs.Trace, mm *modelMetrics, model string, res attemptResult, elapsedMS float64, start time.Time) {
+	if !obs.FlightEnabled() {
+		return
+	}
+	rec := obs.FlightRecord{
+		Model:       model,
+		ExitIndex:   -1,
+		TotalMS:     elapsedMS,
+		Outcome:     obs.FlightOK,
+		StartUnixNS: start.UnixNano(),
+	}
+	if res.backend != nil {
+		rec.NodePath = res.backend.url
+	}
+	switch {
+	case res.err != nil:
+		rec.Outcome = obs.FlightError
+		rec.RejectCause = "transport"
+		rec.Anomalies = append(rec.Anomalies, obs.AnomalyError)
+	case res.status == http.StatusServiceUnavailable:
+		rec.Outcome = obs.FlightShed
+		rec.RejectCause = "backend_shed"
+		rec.Anomalies = append(rec.Anomalies, obs.AnomalyShed)
+	case res.hedged && res.hedgeWon:
+		rec.Outcome = obs.FlightHedgeWin
+	case res.hedged:
+		// The hedge lost: the request succeeded but burned duplicate work —
+		// exactly the tail evidence worth retaining.
+		rec.Anomalies = append(rec.Anomalies, obs.AnomalyHedge)
+	}
+	if res.err == nil && res.status == http.StatusOK {
+		if p99 := mm.liveP99(start.UnixNano()); p99 > 0 && elapsedMS > p99 {
+			rec.Anomalies = append(rec.Anomalies, obs.AnomalyP99)
+		}
+	}
+	if tr != nil {
+		rec.TraceID = tr.ID()
+		if len(rec.Anomalies) > 0 {
+			rec.Spans = tr.Spans()
+		}
+	}
+	rt.flights.Recorder(model).Record(rec)
+}
+
+// flightShed records a request the router rejected before any backend
+// attempt (always anomalous — sheds are tail-retained by definition).
+func (rt *Router) flightShed(tr *obs.Trace, model, cause string) {
+	if !obs.FlightEnabled() {
+		return
+	}
+	rec := obs.FlightRecord{
+		Model:       model,
+		ExitIndex:   -1,
+		Outcome:     obs.FlightShed,
+		RejectCause: cause,
+		Anomalies:   []string{obs.AnomalyShed},
+		StartUnixNS: time.Now().UnixNano(),
+	}
+	if tr != nil {
+		rec.TraceID = tr.ID()
+		rec.Spans = tr.Spans()
+	}
+	rt.flights.Recorder(model).Record(rec)
+}
+
+// Flights exposes the router's flight recorders (tests and embedding).
+func (rt *Router) Flights() *obs.FlightSet { return rt.flights }
+
+// FlightzHandler returns the /debug/flightz query handler, for mounting on
+// an admin listener alongside the data mux registration.
+func (rt *Router) FlightzHandler() http.Handler { return rt.flights.Handler() }
+
+// AlertzHandler returns the fleet /alertz handler for admin listeners.
+func (rt *Router) AlertzHandler() http.Handler { return http.HandlerFunc(rt.handleAlertz) }
+
+// AlertReport rolls the fleet's burn-rate state into one view: the
+// router's own per-model availability monitors plus every backend's
+// last-probed /alertz report. The fleet pages when anything underneath
+// pages — its own monitors or any backend's.
+func (rt *Router) AlertReport() FleetAlertz {
+	out := FleetAlertz{AlertzReport: control.AlertzReport{
+		Tier:   "fleet",
+		Models: make(map[string]control.AlertStatus),
+	}}
+	rt.metrics.mu.Lock()
+	monitors := make(map[string]*control.AlertMonitor, len(rt.metrics.models))
+	for name, mm := range rt.metrics.models {
+		monitors[name] = mm.alert
+	}
+	rt.metrics.mu.Unlock()
+	for name, mon := range monitors {
+		st := mon.Status()
+		out.Models[name] = st
+		out.Active = out.Active || st.Active
+	}
+	for _, b := range rt.backends {
+		rep := b.alertz.Load()
+		if rep == nil {
+			continue
+		}
+		if out.Backends == nil {
+			out.Backends = make(map[string]control.AlertzReport)
+		}
+		out.Backends[b.url] = *rep
+		out.Active = out.Active || rep.Active
+	}
+	return out
+}
+
+func (rt *Router) handleAlertz(w http.ResponseWriter, _ *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, rt.AlertReport())
 }
 
 // dispatch runs the attempt chain: the primary attempt is hedged (when

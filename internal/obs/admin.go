@@ -12,12 +12,22 @@ import (
 // duplicate names, and tests may build more than one admin mux.
 var publishOnce sync.Once
 
+// AdminRoute is an extra handler a tier mounts on its admin listener next
+// to the static pprof/expvar surface — the flight-recorder query
+// (/debug/flightz) and the burn-rate alert view (/alertz) ride here, so
+// an operator can read the tail evidence even when the data port is the
+// thing that's on fire.
+type AdminRoute struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // AdminMux builds the admin/debug surface served on the separate
-// -admin-addr listener: net/http/pprof, expvar, and the phase profile
-// (JSON snapshot + enable/disable/reset controls). It is deliberately not
-// part of the serving mux — profiling endpoints on a public port are an
-// operational foot-gun.
-func AdminMux() *http.ServeMux {
+// -admin-addr listener: net/http/pprof, expvar, the phase profile
+// (JSON snapshot + enable/disable/reset controls), plus any tier-supplied
+// extra routes. It is deliberately not part of the serving mux —
+// profiling endpoints on a public port are an operational foot-gun.
+func AdminMux(extra ...AdminRoute) *http.ServeMux {
 	publishOnce.Do(func() {
 		expvar.Publish("cdl_phase_profile", expvar.Func(func() any { return ProfSnapshot() }))
 		expvar.Publish("cdl_tracing_enabled", expvar.Func(func() any { return Enabled() }))
@@ -53,13 +63,16 @@ func AdminMux() *http.ServeMux {
 			Enabled bool `json:"enabled"`
 		}{ProfilingEnabled()})
 	})
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
 // ListenAdmin serves the admin mux on addr until the listener fails or the
 // process exits. Run it on its own goroutine; errors are returned for the
 // caller to log.
-func ListenAdmin(addr string) error {
-	srv := &http.Server{Addr: addr, Handler: AdminMux()}
+func ListenAdmin(addr string, extra ...AdminRoute) error {
+	srv := &http.Server{Addr: addr, Handler: AdminMux(extra...)}
 	return srv.ListenAndServe()
 }

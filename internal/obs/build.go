@@ -1,0 +1,42 @@
+package obs
+
+// build.go identifies the running binary on every tier's /metricsz: the
+// cdl_build_info gauge carries the module version, the Go toolchain and
+// the serving tier as labels (value is always 1, the Prometheus info-
+// metric idiom), so a fleet scrape can answer "which build is that
+// backend running" without shelling into the box.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildOnce    sync.Once
+	buildVersion string
+)
+
+// moduleVersion returns the main module's version from the embedded build
+// info ("(devel)" for an untagged local build, "unknown" when the binary
+// carries no build info at all, e.g. under some test harnesses).
+func moduleVersion() string {
+	buildOnce.Do(func() {
+		buildVersion = "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+			buildVersion = bi.Main.Version
+		}
+	})
+	return buildVersion
+}
+
+// BuildInfoLabels returns the cdl_build_info label set for a tier. Label
+// order is pinned (go_version, module_version, tier) so expositions stay
+// deterministic and golden-testable.
+func BuildInfoLabels(tier string) Labels {
+	return Labels{
+		{"go_version", runtime.Version()},
+		{"module_version", moduleVersion()},
+		{"tier", tier},
+	}
+}

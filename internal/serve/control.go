@@ -28,6 +28,14 @@ import (
 // attached: the model's trained behaviour. Never mutated.
 var identityPolicy = core.DefaultExitPolicy()
 
+// alertSink pairs an entry's burn-rate monitor with the latency target
+// its good/bad classification uses — published to the model as one
+// atomic pointer so the batch path reads a consistent pair.
+type alertSink struct {
+	mon         *control.AlertMonitor
+	p99TargetMS float64
+}
+
 // servePolicy is the policy a request without an explicit one inherits:
 // the controller's current rung, or the identity policy. The returned
 // pointer is shared across requests between controller ticks, so the
@@ -52,6 +60,11 @@ type entryControl struct {
 	boundDepth int
 	lastSnap   control.Snapshot // guarded by mu
 	lastSample control.Sample   // guarded by mu
+	// sink is the burn-rate monitor published to the model. The monitor
+	// survives SLO re-targets (its history is the point), but the sink
+	// wrapper is rebuilt so the latency target tracks the SLO. guarded
+	// by mu.
+	sink *alertSink
 
 	stop chan struct{}
 	done chan struct{}
@@ -111,6 +124,15 @@ func (ec *entryControl) bind(m *Model, slo control.SLO, interval time.Duration) 
 	ec.ctrl = ctrl
 	ec.boundVersion = m.version
 	ec.boundDepth = m.graph.MaxDepth()
+	var mon *control.AlertMonitor
+	if ec.sink != nil {
+		mon = ec.sink.mon
+	}
+	if mon == nil {
+		mon = control.NewAlertMonitor(control.AlertConfig{})
+	}
+	ec.sink = &alertSink{mon: mon, p99TargetMS: slo.P99LatencyMs}
+	m.alert.Store(ec.sink)
 	return nil
 }
 
@@ -119,7 +141,11 @@ func (ec *entryControl) bind(m *Model, slo control.SLO, interval time.Duration) 
 func (r *Registry) ClearSLO(name string) bool {
 	if m, err := r.Get(name); err == nil {
 		name = m.Name()
-		defer m.controlled.Store(nil)
+		defer func() {
+			m.controlled.Store(nil)
+			m.alert.Store(nil)
+			m.ctrlRung.Store(0)
+		}()
 	}
 	r.ctrlMu.Lock()
 	ec := r.ctrls[name]
@@ -191,6 +217,9 @@ func (r *Registry) controlTick(ec *entryControl) {
 			}
 		}
 		ec.boundVersion = m.version
+		// The successor copied the old model's sink at swap, but re-assert
+		// it in case attach raced the publication.
+		m.alert.Store(ec.sink)
 	}
 	snap := m.window.Snapshot()
 	sample := control.Sample{
@@ -202,6 +231,13 @@ func (r *Registry) controlTick(ec *entryControl) {
 	}
 	dec := ec.ctrl.Step(sample)
 	ec.lastSnap, ec.lastSample = snap, sample
+	m.ctrlRung.Store(int32(dec.Rung))
+	if dec.Action == control.ActionShallow {
+		// The controller just degraded service to protect the SLO —
+		// freeze the flight evidence that drove it before the ring
+		// churns past the offending requests.
+		m.flight.Snapshot("rung_down", m.name, dec.Rung, snap.P99LatencyMS, time.Now().UnixNano())
+	}
 	// Publish only on change so the shared pointer stays stable between
 	// actions (cross-request batch grouping is by pointer first).
 	cur := m.controlled.Load()
@@ -209,6 +245,25 @@ func (r *Registry) controlTick(ec *entryControl) {
 		p := dec.Policy
 		m.controlled.Store(&p)
 	}
+}
+
+// AlertReport assembles the serve tier's /alertz document: one
+// AlertStatus per entry with an attached monitor, plus the rolled-up
+// page signal.
+func (r *Registry) AlertReport() control.AlertzReport {
+	rep := control.AlertzReport{Tier: "serve", Models: make(map[string]control.AlertStatus)}
+	for _, m := range r.Models() {
+		sink := m.alert.Load()
+		if sink == nil {
+			continue
+		}
+		st := sink.mon.Status()
+		rep.Models[m.name] = st
+		if st.Active {
+			rep.Active = true
+		}
+	}
+	return rep
 }
 
 // ControlStatus is the controller's observable state: the /slo GET body

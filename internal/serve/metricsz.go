@@ -30,8 +30,10 @@ const histExportStep = 8
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	p := obs.NewProm()
+	p.Gauge("cdl_build_info", "Build identity (constant 1; the identity lives in the labels).", obs.BuildInfoLabels("serve"), 1)
 	p.Gauge("cdl_uptime_seconds", "Seconds since the server started.", nil, time.Since(s.started).Seconds())
 	p.Gauge("cdl_tracing_enabled", "Whether request tracing is on (1) or off (0).", nil, boolGauge(obs.Enabled()))
+	p.Gauge("cdl_flight_enabled", "Whether the flight recorder is on (1) or off (0).", nil, boolGauge(obs.FlightEnabled()))
 	if obs.ProfilingEnabled() {
 		for _, st := range obs.ProfSnapshot() {
 			lbl := obs.Labels{{"phase", st.Name}}
@@ -44,6 +46,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		// before entering the metrics critical section.
 		ctrl := s.reg.controlStatus(m.name)
 		m.metrics.promInto(p, m.name, m.version, m.pool.depth(), m.workers, ctrl)
+		promAlert(p, m.name, m.alert.Load())
+		promFlight(p, m.name, m.flight)
 	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
@@ -55,6 +59,34 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// promAlert renders one model's burn-rate monitor (entries without an
+// attached SLO export nothing — absence is the "unmonitored" signal).
+func promAlert(p *obs.Prom, name string, sink *alertSink) {
+	if sink == nil {
+		return
+	}
+	st := sink.mon.Status()
+	model := obs.Labels{{"model", name}}
+	p.Gauge("cdl_alert_active", "Whether any burn-rate window is firing for this model (the page signal).", model, boolGauge(st.Active))
+	p.Gauge("cdl_alert_fast_burn_rate", "Error-budget burn rate over the fast window (1.0 = exactly on budget).", model, st.Fast.BurnRate)
+	p.Gauge("cdl_alert_slow_burn_rate", "Error-budget burn rate over the slow window.", model, st.Slow.BurnRate)
+	p.Gauge("cdl_alert_error_budget", "Tolerated bad-request fraction.", model, st.ErrorBudget)
+	p.Counter("cdl_alert_bad_total", "Requests that burned error budget (latency above target, or shed).", model, float64(st.TotalBad))
+	p.Counter("cdl_alert_good_total", "Requests that met the latency target.", model, float64(st.TotalGood))
+}
+
+// promFlight renders one model's flight-recorder retention counters.
+func promFlight(p *obs.Prom, name string, f *obs.FlightRecorder) {
+	if f == nil {
+		return
+	}
+	st := f.Stats()
+	model := obs.Labels{{"model", name}}
+	p.Counter("cdl_flight_seen_total", "Requests offered to the flight recorder.", model, float64(st.Seen))
+	p.Counter("cdl_flight_anomalous_total", "Requests tail-retained with full span trees.", model, float64(st.Anomalous))
+	p.Gauge("cdl_flight_buffered", "Records currently live in the flight ring.", model, float64(st.Buffered))
 }
 
 // promInto renders one model's counters into the exposition. Everything

@@ -357,6 +357,10 @@ func TestMetricszExposition(t *testing.T) {
 	for _, want := range []string{
 		"cdl_uptime_seconds ",
 		"cdl_tracing_enabled 1",
+		"cdl_flight_enabled 1",
+		`cdl_build_info{go_version="`,
+		`tier="serve"} 1`,
+		`cdl_flight_seen_total{model="default"} `,
 		`cdl_model_version{model="default"} 1`,
 		`cdl_requests_total{model="default"} 1`,
 		`cdl_images_total{model="default"} 20`,
@@ -501,6 +505,14 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 	b.Run("tracing=off", func(b *testing.B) {
 		obs.SetEnabled(false)
 		defer obs.SetEnabled(true)
+		run(b)
+	})
+	// The flight recorder rides the same ≤5% acceptance bar: flight=off
+	// isolates its contribution from the tracing layer's.
+	b.Run("flight=on", run)
+	b.Run("flight=off", func(b *testing.B) {
+		obs.SetFlightEnabled(false)
+		defer obs.SetFlightEnabled(true)
 		run(b)
 	})
 }

@@ -11,7 +11,10 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -23,6 +26,7 @@ import (
 	"cdl/internal/core"
 	"cdl/internal/energy"
 	"cdl/internal/modelio"
+	"cdl/internal/obs"
 )
 
 // DefaultModelName is the entry name used when a single-model Server is
@@ -61,7 +65,34 @@ type Model struct {
 	// non-nil is the attached controller's current rung. Atomic because
 	// the control loop writes it while handlers read it.
 	controlled atomic.Pointer[core.ExitPolicy]
+
+	// flight is this entry's flight recorder, owned by the registry's
+	// FlightSet and keyed by entry name — a hot-swap's successor version
+	// inherits the same ring, so the tail evidence survives reloads.
+	flight *obs.FlightRecorder
+	// nodePaths pre-renders the routed walk for each graph node
+	// ("trunk", "trunk->convB"), so the per-request flight record never
+	// allocates a path string on the hot path.
+	nodePaths []string
+	// alert is the burn-rate monitor attached alongside the SLO
+	// controller (nil when no SLO is attached): onBatch classifies each
+	// finished image good/bad against the target it carries. Atomic for
+	// the same reason as controlled.
+	alert atomic.Pointer[alertSink]
+	// ctrlRung mirrors the controller's current ladder position for
+	// flight records (0 = trained behaviour).
+	ctrlRung atomic.Int32
+	// liveP99Bits/liveP99AtNS cache the telemetry window's p99 (float64
+	// bits + refresh stamp): onBatch tags tail-latency anomalies against
+	// it but re-snapshots the window at most every liveP99RefreshNS.
+	liveP99Bits atomic.Uint64
+	liveP99AtNS atomic.Int64
 }
+
+// liveP99RefreshNS is how often onBatch refreshes the cached live p99
+// from the telemetry window — frequent enough to track load swings,
+// rare enough that the snapshot cost never shows in the overhead guard.
+const liveP99RefreshNS = int64(250 * time.Millisecond)
 
 // newModel validates the routing graph, pre-clones cfg.Workers warm
 // sessions and starts the replica pool — the per-model half of what
@@ -95,6 +126,14 @@ func newModel(name string, version int, path string, g *core.Graph, cfg Config) 
 		workers: cfg.Workers,
 	}
 	m.maxResumeWire = maxResumeWireSize(g)
+	m.nodePaths = make([]string, len(m.metrics.nodeNames))
+	for ni, n := range m.metrics.nodeNames {
+		if ni == 0 {
+			m.nodePaths[ni] = n
+		} else {
+			m.nodePaths[ni] = m.metrics.nodeNames[0] + "->" + n
+		}
+	}
 	buckets := 10
 	m.window = control.NewWindow(g.NumExits(), control.WindowConfig{
 		Buckets:   buckets,
@@ -105,17 +144,19 @@ func newModel(name string, version int, path string, g *core.Graph, cfg Config) 
 }
 
 // onBatch is the pool's per-micro-batch callback: it charges the
-// cumulative metrics and feeds the sliding telemetry window. One lock
+// cumulative metrics, feeds the sliding telemetry window, offers every
+// job to the flight recorder (tail-retention decides what survives) and
+// classifies the batch against the burn-rate monitor. One lock
 // acquisition each per batch, not per image.
 func (m *Model) onBatch(batch []*job) {
 	m.metrics.observeBatch(batch)
-	obs := make([]control.Obs, 0, len(batch))
+	window := make([]control.Obs, 0, len(batch))
 	now := time.Now()
 	for _, j := range batch {
 		if j.cancelled {
 			continue
 		}
-		obs = append(obs, control.Obs{
+		window = append(window, control.Obs{
 			LatencyMS: float64(now.Sub(j.enqueued)) / float64(time.Millisecond),
 			ExitIndex: j.rec.StageIndex,
 			// ExitEnergy reads an immutable precomputed table — safe
@@ -123,7 +164,106 @@ func (m *Model) onBatch(batch []*job) {
 			EnergyPJ: m.metrics.acc.ExitEnergy(j.rec.StageIndex),
 		})
 	}
-	m.window.ObserveBatch(obs)
+	m.window.ObserveBatch(window)
+	m.observeFlight(batch, now)
+}
+
+// liveP99 returns the cached telemetry-window p99, re-snapshotting at
+// most every liveP99RefreshNS — the anomaly gate must not pay a window
+// scan per micro-batch.
+func (m *Model) liveP99(nowNS int64) float64 {
+	if at := m.liveP99AtNS.Load(); nowNS-at > liveP99RefreshNS && m.liveP99AtNS.CompareAndSwap(at, nowNS) {
+		m.liveP99Bits.Store(math.Float64bits(m.window.Snapshot().P99LatencyMS))
+	}
+	return math.Float64frombits(m.liveP99Bits.Load())
+}
+
+// observeFlight turns one micro-batch into flight records and burn-rate
+// observations. Records for sampled-out normals cost one atomic bump
+// inside Record; anomalous requests (above the live p99, deadline
+// deaths, deepest exits) carry their full span trees.
+func (m *Model) observeFlight(batch []*job, now time.Time) {
+	sink := m.alert.Load()
+	if m.flight == nil || !obs.FlightEnabled() {
+		// The kill switch skips record assembly entirely, but SLO
+		// accounting must not go dark with it.
+		if sink != nil {
+			var good, bad int64
+			for _, j := range batch {
+				switch {
+				case j.cancelled:
+					bad++
+				case float64(now.Sub(j.enqueued))/float64(time.Millisecond) > sink.p99TargetMS:
+					bad++
+				default:
+					good++
+				}
+			}
+			sink.mon.Observe(good, bad)
+		}
+		return
+	}
+	nowNS := now.UnixNano()
+	p99 := m.liveP99(nowNS)
+	deepest := len(m.exitOps) - 1
+	rung := int(m.ctrlRung.Load())
+	controlled := m.controlled.Load()
+	var good, bad int64
+	for _, j := range batch {
+		rec := obs.FlightRecord{
+			Model:     m.name,
+			Version:   m.version,
+			Rung:      rung,
+			ExitIndex: -1,
+			BatchSize: len(batch),
+			QueueMS:   float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond),
+			TotalMS:   float64(now.Sub(j.enqueued)) / float64(time.Millisecond),
+			Outcome:   obs.FlightOK,
+		}
+		rec.ServiceMS = rec.TotalMS - rec.QueueMS
+		rec.StartUnixNS = nowNS - int64(rec.TotalMS*float64(time.Millisecond))
+		if j.tr != nil {
+			rec.TraceID = j.tr.ID()
+		}
+		switch {
+		case j.pol == controlled && controlled != nil:
+			rec.PolicySource = "controller"
+		case j.pol == &identityPolicy:
+			rec.PolicySource = "default"
+		default:
+			rec.PolicySource = "explicit"
+		}
+		if j.cancelled {
+			rec.Outcome = obs.FlightError
+			rec.RejectCause = "deadline"
+			rec.Anomalies = append(rec.Anomalies, obs.AnomalyDeadline)
+			bad++
+		} else {
+			rec.ExitIndex = j.rec.StageIndex
+			if j.rec.Node >= 0 && j.rec.Node < len(m.nodePaths) {
+				rec.NodePath = m.nodePaths[j.rec.Node]
+			}
+			rec.EnergyPJ = m.metrics.acc.ExitEnergy(j.rec.StageIndex)
+			if p99 > 0 && rec.TotalMS > p99 {
+				rec.Anomalies = append(rec.Anomalies, obs.AnomalyP99)
+			}
+			if j.rec.StageIndex == deepest {
+				rec.Anomalies = append(rec.Anomalies, obs.AnomalyDeepExit)
+			}
+			if sink != nil && rec.TotalMS > sink.p99TargetMS {
+				bad++
+			} else {
+				good++
+			}
+		}
+		if len(rec.Anomalies) > 0 && j.tr != nil {
+			rec.Spans = j.tr.Spans()
+		}
+		m.flight.Record(rec)
+	}
+	if sink != nil {
+		sink.mon.Observe(good, bad)
+	}
 }
 
 // Name returns the registry entry name.
@@ -165,6 +305,10 @@ type Registry struct {
 	ctrlMu     sync.Mutex
 	ctrls      map[string]*entryControl // guarded by ctrlMu
 	closedCtrl bool                     // guarded by ctrlMu
+
+	// flights owns the per-entry flight recorders: keyed by name, not
+	// version, so swaps inherit rings and snapshot history.
+	flights *obs.FlightSet
 }
 
 // NewRegistry returns an empty registry whose models will all be sized by
@@ -174,8 +318,13 @@ func NewRegistry(cfg Config) *Registry {
 		cfg:      cfg.withDefaults(),
 		models:   make(map[string]*Model),
 		versions: make(map[string]int),
+		flights:  obs.NewFlightSet("serve", obs.FlightConfig{}),
 	}
 }
+
+// Flights exposes the registry's flight recorders (the /debug/flightz
+// backing store).
+func (r *Registry) Flights() *obs.FlightSet { return r.flights }
 
 // Config returns the defaults-filled sizing every entry uses.
 func (r *Registry) Config() Config { return r.cfg }
@@ -315,6 +464,7 @@ func (r *Registry) swapIn(name, path string, g *core.Graph) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.flight = r.flights.Recorder(name)
 
 	r.mu.Lock()
 	if r.closed {
@@ -329,6 +479,13 @@ func (r *Registry) swapIn(name, path string, g *core.Graph) (*Model, error) {
 		r.mu.Unlock()
 		m.pool.close()
 		return old, nil
+	}
+	if old != nil {
+		// The successor inherits the attached alert monitor and rung so
+		// burn-rate accounting never blinks across a swap (controlTick
+		// re-asserts both on its next pass anyway).
+		m.alert.Store(old.alert.Load())
+		m.ctrlRung.Store(old.ctrlRung.Load())
 	}
 	r.models[name] = m
 	if r.defaultName == "" {
@@ -406,6 +563,52 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	for _, m := range models {
 		m.pool.close()
+	}
+}
+
+// flightShed records one rejected request in the flight ring (always
+// tail-retained: a shed is by definition anomalous) and charges its
+// images against the burn-rate monitor.
+func (m *Model) flightShed(ctx context.Context, cause string, images int) {
+	if sink := m.alert.Load(); sink != nil {
+		sink.mon.Observe(0, int64(images))
+	}
+	if m.flight == nil || !obs.FlightEnabled() {
+		return
+	}
+	rec := obs.FlightRecord{
+		Model:       m.name,
+		Version:     m.version,
+		Rung:        int(m.ctrlRung.Load()),
+		ExitIndex:   -1,
+		BatchSize:   images,
+		Outcome:     obs.FlightShed,
+		RejectCause: cause,
+		Anomalies:   []string{obs.AnomalyShed},
+		StartUnixNS: time.Now().UnixNano(),
+	}
+	if cause == "deadline" {
+		rec.Outcome = obs.FlightError
+		rec.Anomalies = []string{obs.AnomalyDeadline}
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		rec.TraceID = tr.ID()
+		rec.Spans = tr.Spans()
+	}
+	m.flight.Record(rec)
+}
+
+// flightCause maps a dispatch rejection to its flight reject-cause tag.
+func flightCause(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "queue_full"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "cancelled"
 	}
 }
 

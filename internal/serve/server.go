@@ -217,6 +217,8 @@ func NewWithRegistry(reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /alertz", s.handleAlertz)
+	s.mux.Handle("GET /debug/flightz", s.reg.flights.Handler())
 	s.slow = obs.NewSlowLog()
 	s.handler = obs.Middleware(s.mux, s.slow)
 	return s, nil
@@ -249,6 +251,21 @@ func (s *Server) Stats() Stats {
 // HTTP layer has stopped accepting requests (http.Server.Shutdown);
 // classify requests racing Close receive 503.
 func (s *Server) Close() { s.reg.Close() }
+
+// FlightzHandler returns the /debug/flightz query handler — also mounted
+// on the admin listener (obs.AdminRoute) so the tail evidence stays
+// reachable when the data port is saturated.
+func (s *Server) FlightzHandler() http.Handler { return s.reg.flights.Handler() }
+
+// AlertzHandler returns the /alertz burn-rate view as a standalone
+// handler for the admin listener.
+func (s *Server) AlertzHandler() http.Handler { return http.HandlerFunc(s.handleAlertz) }
+
+// handleAlertz renders the per-model burn-rate monitors (entries with an
+// attached SLO) and the tier's rolled-up page signal.
+func (s *Server) handleAlertz(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, s.reg.AlertReport())
+}
 
 // HTTPHardening bundles the slow-client listener limits shared by the
 // cloud server and the edge front (internal/edgecloud): a server built to
@@ -517,6 +534,7 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 		case errors.Is(err, ErrOverloaded):
 			m.metrics.observeRejected(shedQueueFull)
 			m.window.Sheds(len(b.jobs))
+			m.flightShed(ctx, "queue_full", len(b.jobs))
 			WriteShed(w, err.Error())
 			return nil, nil, false
 		case errors.Is(err, ErrClosed):
@@ -527,11 +545,13 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 			}
 			m.metrics.observeRejected(shedClosed)
 			m.window.Sheds(len(b.jobs))
+			m.flightShed(ctx, "closed", len(b.jobs))
 			WriteShed(w, err.Error())
 			return nil, nil, false
 		default:
 			// Context error at admission: nothing was enqueued.
 			m.metrics.observeCancelled()
+			m.flightShed(ctx, flightCause(err), len(b.jobs))
 			if errors.Is(err, context.DeadlineExceeded) {
 				WriteError(w, http.StatusGatewayTimeout, fmt.Sprintf("request abandoned: %v", err))
 			} else {
@@ -542,6 +562,7 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, name strin
 	}
 	m.metrics.observeRejected(shedChurn)
 	m.window.Sheds(lastJobs)
+	m.flightShed(ctx, "churn", lastJobs)
 	WriteShed(w, "model reloading too fast; retry")
 	return nil, nil, false
 }
